@@ -1,0 +1,379 @@
+//! The per-sub-graph BC kernel — the paper's Algorithm 2 (`BCinSG`).
+//!
+//! For every root `s ∈ R_sgi` the kernel runs one BFS over the sub-graph's
+//! local CSR and one backward sweep that accumulates the four dependencies of
+//! §3.1.1 simultaneously:
+//!
+//! * `δ_i2i` — Brandes' classic dependency, restricted to the sub-graph
+//!   (Equation 3),
+//! * `δ_i2o` — paths ending beyond a boundary articulation point, weighted by
+//!   `α` (Equation 4),
+//! * `δ_o2o` — paths crossing the sub-graph between two boundary points,
+//!   weighted by `β(s)·α(t)` (Equation 6; only when `s` is itself a boundary
+//!   point),
+//! * `δ_o2i` — sources beyond `s`; never materialized as an array because
+//!   Equation 5 reduces it to `β(s)·δ_i2i(v)` (the `sizeO2I` factor of
+//!   Algorithm 2).
+//!
+//! The `δ^init` terms of Equations 4/6 are folded into the backward sweep
+//! lazily (when a vertex is popped) rather than pre-initialized as in the
+//! paper's phase 0 — same recursion, but the workspace reset stays
+//! `O(reached)`.
+//!
+//! Scores merge per Equation 7. One deviation from the paper as printed, with
+//! rationale in DESIGN.md §3.3: for **undirected** whiskers the root's own
+//! score uses `γ(s)·(δ_i2i(s) − 1 + δ_i2o(s) + α(s))` — the `−1` excludes the
+//! whisker itself from its derived target set, and the `+α(s)` restores the
+//! `δ^init_i2o` term at the root that Algorithm 2's `i != s` guard drops.
+//! Both corrections are pinned by the `apgre ≡ brandes` property tests.
+
+use crate::util::{atomic_f64_vec, into_f64_vec, AtomicF64, Levels};
+use apgre_decomp::SubGraph;
+use apgre_graph::{VertexId, UNREACHED};
+use rayon::prelude::*;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Sequential workspace for one sub-graph.
+pub(crate) struct SgWorkspace {
+    dist: Vec<u32>,
+    sigma: Vec<f64>,
+    d_i2i: Vec<f64>,
+    d_i2o: Vec<f64>,
+    d_o2o: Vec<f64>,
+    order: Vec<VertexId>,
+    queue: VecDeque<VertexId>,
+}
+
+impl SgWorkspace {
+    pub fn new(n: usize) -> Self {
+        SgWorkspace {
+            dist: vec![UNREACHED; n],
+            sigma: vec![0.0; n],
+            d_i2i: vec![0.0; n],
+            d_i2o: vec![0.0; n],
+            d_o2o: vec![0.0; n],
+            order: Vec::with_capacity(n),
+            queue: VecDeque::new(),
+        }
+    }
+
+    fn reset_touched(&mut self) {
+        for &v in &self.order {
+            self.dist[v as usize] = UNREACHED;
+            self.sigma[v as usize] = 0.0;
+            self.d_i2i[v as usize] = 0.0;
+            self.d_i2o[v as usize] = 0.0;
+            self.d_o2o[v as usize] = 0.0;
+        }
+        self.order.clear();
+    }
+}
+
+/// Sequential Algorithm 2 over one sub-graph. Returns the number of edges
+/// examined (forward + backward scans).
+pub(crate) fn bc_in_subgraph_seq(sg: &SubGraph, bc_local: &mut [f64]) -> u64 {
+    let n = sg.num_vertices();
+    debug_assert_eq!(bc_local.len(), n);
+    let mut ws = SgWorkspace::new(n);
+    let csr = sg.graph.csr();
+    let directed = sg.graph.is_directed();
+    let mut edges = 0u64;
+    for &s in &sg.roots {
+        // Phase 1: forward BFS (σ and order).
+        ws.dist[s as usize] = 0;
+        ws.sigma[s as usize] = 1.0;
+        ws.order.push(s);
+        ws.queue.push_back(s);
+        while let Some(u) = ws.queue.pop_front() {
+            let du = ws.dist[u as usize];
+            for &v in csr.neighbors(u) {
+                edges += 1;
+                if ws.dist[v as usize] == UNREACHED {
+                    ws.dist[v as usize] = du + 1;
+                    ws.order.push(v);
+                    ws.queue.push_back(v);
+                }
+                if ws.dist[v as usize] == du + 1 {
+                    ws.sigma[v as usize] += ws.sigma[u as usize];
+                }
+            }
+        }
+        // Phase 2: backward accumulation of the four dependencies and the
+        // score merge (Equation 7).
+        let s_boundary = sg.is_boundary[s as usize];
+        let beta_s = if s_boundary { sg.beta[s as usize] as f64 } else { 0.0 };
+        let gamma_s = sg.gamma[s as usize] as f64;
+        for idx in (0..ws.order.len()).rev() {
+            let v = ws.order[idx];
+            let vu = v as usize;
+            let dv = ws.dist[vu];
+            let sv = ws.sigma[vu];
+            let boundary_v = sg.is_boundary[vu] && v != s;
+            let mut i2i = 0.0;
+            let mut i2o = if boundary_v { sg.alpha[vu] as f64 } else { 0.0 };
+            let mut o2o = if s_boundary && boundary_v { beta_s * sg.alpha[vu] as f64 } else { 0.0 };
+            for &w in csr.neighbors(v) {
+                edges += 1;
+                if ws.dist[w as usize] == dv + 1 {
+                    let c = sv / ws.sigma[w as usize];
+                    i2i += c * (1.0 + ws.d_i2i[w as usize]);
+                    i2o += c * ws.d_i2o[w as usize];
+                    if s_boundary {
+                        o2o += c * ws.d_o2o[w as usize];
+                    }
+                }
+            }
+            ws.d_i2i[vu] = i2i;
+            ws.d_i2o[vu] = i2o;
+            ws.d_o2o[vu] = o2o;
+            if v != s {
+                bc_local[vu] += (1.0 + gamma_s) * (i2i + i2o) + beta_s * i2i + o2o;
+            } else if gamma_s > 0.0 {
+                let alpha_s = if s_boundary { sg.alpha[vu] as f64 } else { 0.0 };
+                let whisker_self = if directed { 0.0 } else { 1.0 };
+                bc_local[vu] += gamma_s * ((i2i - whisker_self) + i2o + alpha_s);
+            }
+        }
+        ws.reset_touched();
+    }
+    edges
+}
+
+/// Parallel workspace: the level-synchronous mirror of [`SgWorkspace`].
+struct SgParWs {
+    dist: Vec<AtomicU32>,
+    sigma: Vec<AtomicF64>,
+    d_i2i: Vec<AtomicF64>,
+    d_i2o: Vec<AtomicF64>,
+    d_o2o: Vec<AtomicF64>,
+    levels: Levels,
+}
+
+impl SgParWs {
+    fn new(n: usize) -> Self {
+        SgParWs {
+            dist: (0..n).map(|_| AtomicU32::new(UNREACHED)).collect(),
+            sigma: atomic_f64_vec(n),
+            d_i2i: atomic_f64_vec(n),
+            d_i2o: atomic_f64_vec(n),
+            d_o2o: atomic_f64_vec(n),
+            levels: Levels::default(),
+        }
+    }
+
+    fn reset_touched(&mut self) {
+        for &v in &self.levels.order {
+            self.dist[v as usize].store(UNREACHED, Ordering::Relaxed);
+            self.sigma[v as usize].store(0.0);
+            self.d_i2i[v as usize].store(0.0);
+            self.d_i2o[v as usize].store(0.0);
+            self.d_o2o[v as usize].store(0.0);
+        }
+        self.levels.clear();
+    }
+}
+
+/// Below this many vertices a level runs sequentially.
+const PAR_GRAIN: usize = 256;
+
+/// Level-synchronous parallel Algorithm 2 over one sub-graph — the paper's
+/// fine-grained inner level of the two-level parallelization. Forward σ is
+/// pulled per level (single writer per cell), the backward sweep scans
+/// successors; no locks anywhere, exactly as in Algorithm 2's successor
+/// method. Returns the number of edges examined.
+pub(crate) fn bc_in_subgraph_par(sg: &SubGraph, bc_local: &mut [f64]) -> u64 {
+    let n = sg.num_vertices();
+    let mut ws = SgParWs::new(n);
+    let bc: Vec<AtomicF64> = bc_local.iter().map(|&x| AtomicF64::new(x)).collect();
+    let csr = sg.graph.csr();
+    let rev = sg.graph.rev_csr();
+    let directed = sg.graph.is_directed();
+    let mut edges = 0u64;
+
+    for &s in &sg.roots {
+        // Phase 1: frontier discovery by CAS; σ pulled per level.
+        ws.dist[s as usize].store(0, Ordering::Relaxed);
+        ws.sigma[s as usize].store(1.0);
+        ws.levels.order.push(s);
+        ws.levels.starts.push(0);
+        let mut level_start = 0usize;
+        let mut d = 0u32;
+        loop {
+            let frontier = &ws.levels.order[level_start..];
+            if frontier.is_empty() {
+                ws.levels.starts.pop();
+                break;
+            }
+            let dist = &ws.dist;
+            let sigma = &ws.sigma;
+            let next: Vec<VertexId> = if frontier.len() < PAR_GRAIN {
+                let mut next = Vec::new();
+                for &u in frontier {
+                    for &v in csr.neighbors(u) {
+                        if dist[v as usize]
+                            .compare_exchange(
+                                UNREACHED,
+                                d + 1,
+                                Ordering::Relaxed,
+                                Ordering::Relaxed,
+                            )
+                            .is_ok()
+                        {
+                            next.push(v);
+                        }
+                    }
+                }
+                next
+            } else {
+                frontier
+                    .par_iter()
+                    .flat_map_iter(|&u| {
+                        csr.neighbors(u).iter().copied().filter(|&v| {
+                            dist[v as usize]
+                                .compare_exchange(
+                                    UNREACHED,
+                                    d + 1,
+                                    Ordering::Relaxed,
+                                    Ordering::Relaxed,
+                                )
+                                .is_ok()
+                        })
+                    })
+                    .collect()
+            };
+            let pull = |&w: &VertexId| {
+                let mut acc = 0.0;
+                for &u in rev.neighbors(w) {
+                    if dist[u as usize].load(Ordering::Relaxed) == d {
+                        acc += sigma[u as usize].load();
+                    }
+                }
+                sigma[w as usize].store(acc);
+            };
+            if next.len() < PAR_GRAIN {
+                next.iter().for_each(pull);
+            } else {
+                next.par_iter().for_each(pull);
+            }
+            level_start = ws.levels.order.len();
+            ws.levels.starts.push(level_start);
+            ws.levels.order.extend_from_slice(&next);
+            d += 1;
+        }
+        ws.levels.starts.push(ws.levels.order.len());
+
+        // Phase 2: backward sweep, one level at a time, single writer per
+        // vertex; δ of deeper levels is final thanks to the fork-join
+        // barrier between levels.
+        let s_boundary = sg.is_boundary[s as usize];
+        let beta_s = if s_boundary { sg.beta[s as usize] as f64 } else { 0.0 };
+        let gamma_s = sg.gamma[s as usize] as f64;
+        let dist = &ws.dist;
+        let sigma = &ws.sigma;
+        let d_i2i = &ws.d_i2i;
+        let d_i2o = &ws.d_i2o;
+        let d_o2o = &ws.d_o2o;
+        let bc_ref = &bc;
+        for dd in (0..ws.levels.num_levels()).rev() {
+            let level = ws.levels.level(dd);
+            let dv = dd as u32;
+            let body = |&v: &VertexId| {
+                let vu = v as usize;
+                let sv = sigma[vu].load();
+                let boundary_v = sg.is_boundary[vu] && v != s;
+                let mut i2i = 0.0;
+                let mut i2o = if boundary_v { sg.alpha[vu] as f64 } else { 0.0 };
+                let mut o2o =
+                    if s_boundary && boundary_v { beta_s * sg.alpha[vu] as f64 } else { 0.0 };
+                for &w in csr.neighbors(v) {
+                    if dist[w as usize].load(Ordering::Relaxed) == dv + 1 {
+                        let c = sv / sigma[w as usize].load();
+                        i2i += c * (1.0 + d_i2i[w as usize].load());
+                        i2o += c * d_i2o[w as usize].load();
+                        if s_boundary {
+                            o2o += c * d_o2o[w as usize].load();
+                        }
+                    }
+                }
+                d_i2i[vu].store(i2i);
+                d_i2o[vu].store(i2o);
+                d_o2o[vu].store(o2o);
+                let cell = &bc_ref[vu];
+                if v != s {
+                    cell.store(
+                        cell.load() + (1.0 + gamma_s) * (i2i + i2o) + beta_s * i2i + o2o,
+                    );
+                } else if gamma_s > 0.0 {
+                    let alpha_s = if s_boundary { sg.alpha[vu] as f64 } else { 0.0 };
+                    let whisker_self = if directed { 0.0 } else { 1.0 };
+                    cell.store(cell.load() + gamma_s * ((i2i - whisker_self) + i2o + alpha_s));
+                }
+            };
+            if level.len() < PAR_GRAIN {
+                level.iter().for_each(body);
+            } else {
+                level.par_iter().for_each(body);
+            }
+        }
+        // Forward and backward both scan the out-edges of every reached
+        // vertex once.
+        edges += 2 * ws.levels.order.iter().map(|&v| csr.degree(v) as u64).sum::<u64>();
+        ws.reset_touched();
+    }
+    let merged = into_f64_vec(bc);
+    bc_local.copy_from_slice(&merged);
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apgre_decomp::{decompose, PartitionOptions};
+    use apgre_graph::generators;
+
+    /// Sequential and parallel kernels must agree sub-graph by sub-graph.
+    #[test]
+    fn seq_and_par_kernels_agree() {
+        let g = generators::whiskered_community(&generators::WhiskeredCommunityParams {
+            core_vertices: 80,
+            core_attach: 3,
+            community_count: 6,
+            community_size: 12,
+            community_density: 1.8,
+            whiskers: 40,
+            seed: 21,
+        });
+        let d = decompose(&g, &PartitionOptions { merge_threshold: 8, ..Default::default() });
+        for sg in &d.subgraphs {
+            let mut seq = vec![0.0; sg.num_vertices()];
+            let mut par = vec![0.0; sg.num_vertices()];
+            bc_in_subgraph_seq(sg, &mut seq);
+            bc_in_subgraph_par(sg, &mut par);
+            for l in 0..seq.len() {
+                assert!(
+                    (seq[l] - par[l]).abs() <= 1e-7 * (1.0 + seq[l].abs()),
+                    "SG{} local {l}: {} vs {}",
+                    sg.id,
+                    seq[l],
+                    par[l]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_edge_counts_match() {
+        let g = generators::lollipop(10, 30);
+        let d = decompose(&g, &PartitionOptions { merge_threshold: 8, ..Default::default() });
+        for sg in &d.subgraphs {
+            let mut a = vec![0.0; sg.num_vertices()];
+            let mut b = vec![0.0; sg.num_vertices()];
+            let e_seq = bc_in_subgraph_seq(sg, &mut a);
+            let e_par = bc_in_subgraph_par(sg, &mut b);
+            // Connected undirected sub-graph: both kernels touch all local
+            // arcs twice per root.
+            assert_eq!(e_seq, e_par, "SG{}", sg.id);
+        }
+    }
+}

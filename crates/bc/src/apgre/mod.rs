@@ -1,0 +1,330 @@
+//! APGRE — articulation-points-guided redundancy elimination for BC
+//! (the paper's Figure 5 driver plus the two-level parallelization of §4).
+//!
+//! Three steps:
+//!
+//! 1. decompose the graph through articulation points
+//!    ([`apgre_decomp::decompose`] — Algorithm 1 + α/β/γ counting),
+//! 2. for every sub-graph, run the four-dependency kernel
+//!    (the kernel module — Algorithm 2),
+//! 3. merge per-sub-graph scores: an articulation point's BC is the sum of
+//!    its local scores (Equation 8).
+//!
+//! Parallelism is two-level: **coarse-grained asynchronous across
+//! sub-graphs** (a rayon parallel iterator, largest sub-graph first so the
+//! dominant task starts immediately) and **fine-grained level-synchronous
+//! within a sub-graph** (used only above a size threshold; small sub-graphs
+//! run the sequential kernel to avoid fork-join overhead). Both levels share
+//! one rayon pool, so inner parallelism of the top sub-graph soaks up workers
+//! once the small sub-graphs drain — the behaviour §5.4 describes.
+
+mod kernel;
+
+use apgre_decomp::{decompose, Decomposition, PartitionOptions, SubGraph};
+use apgre_graph::Graph;
+use rayon::prelude::*;
+use std::time::{Duration, Instant};
+
+/// Options for [`bc_apgre_with`].
+#[derive(Clone, Debug)]
+pub struct ApgreOptions {
+    /// Decomposition options (merge threshold, α/β method).
+    pub partition: PartitionOptions,
+    /// Process sub-graphs in parallel (the coarse level).
+    pub outer_parallel: bool,
+    /// Sub-graphs with at least this many vertices use the level-synchronous
+    /// parallel kernel; smaller ones run sequentially.
+    pub inner_parallel_min_vertices: usize,
+}
+
+impl Default for ApgreOptions {
+    fn default() -> Self {
+        ApgreOptions {
+            partition: PartitionOptions::default(),
+            outer_parallel: true,
+            inner_parallel_min_vertices: 4096,
+        }
+    }
+}
+
+/// Phase breakdown and decomposition statistics of one APGRE run — the data
+/// behind the paper's Figure 8 and Table 4.
+#[derive(Clone, Debug)]
+pub struct ApgreReport {
+    /// Algorithm 1 (BCC finding, merging, sub-graph construction).
+    pub partition_time: Duration,
+    /// α/β counting.
+    pub alpha_beta_time: Duration,
+    /// All sub-graph BC kernels (wall clock of the whole phase).
+    pub bc_time: Duration,
+    /// BC kernel time of the largest sub-graph alone.
+    pub top_subgraph_bc_time: Duration,
+    /// Number of sub-graphs.
+    pub num_subgraphs: usize,
+    /// Number of articulation points in the graph.
+    pub num_articulation_points: usize,
+    /// Vertices / edges of the top sub-graph.
+    pub top_subgraph_vertices: usize,
+    /// Edges of the top sub-graph.
+    pub top_subgraph_edges: usize,
+    /// Total roots swept (Σ |R_sgi|) — Brandes would sweep |V|.
+    pub total_roots: usize,
+    /// Total whiskers folded by γ.
+    pub total_whiskers: usize,
+    /// Edges examined across all kernels (forward + backward scans).
+    pub edges_traversed: u64,
+}
+
+/// Runs the sequential sub-graph kernel for the memoization layer
+/// (`crate::memo`); returns nothing extra — the memo cache stores only the
+/// local score vector.
+pub(crate) fn kernel_for_memo(sg: &SubGraph, bc_local: &mut [f64]) {
+    kernel::bc_in_subgraph_seq(sg, bc_local);
+}
+
+/// APGRE with default options.
+pub fn bc_apgre(g: &Graph) -> Vec<f64> {
+    bc_apgre_with(g, &ApgreOptions::default()).0
+}
+
+/// APGRE with explicit options; returns scores plus the phase report.
+pub fn bc_apgre_with(g: &Graph, opts: &ApgreOptions) -> (Vec<f64>, ApgreReport) {
+    let decomp = decompose(g, &opts.partition);
+    bc_from_decomposition(g, &decomp, opts)
+}
+
+/// Runs only steps 2–3 on a pre-built decomposition. Exposed so the harness
+/// can sweep kernel options without re-decomposing, and so incremental
+/// callers can reuse a decomposition across BC computations.
+pub fn bc_from_decomposition(
+    g: &Graph,
+    decomp: &Decomposition,
+    opts: &ApgreOptions,
+) -> (Vec<f64>, ApgreReport) {
+    let bc_start = Instant::now();
+    // Largest-first order: the top sub-graph dominates (Table 4), so it must
+    // start immediately.
+    let mut order: Vec<usize> = (0..decomp.subgraphs.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(decomp.subgraphs[i].num_vertices()));
+
+    let run_one = |&i: &usize| {
+        let sg = &decomp.subgraphs[i];
+        let t = Instant::now();
+        let mut local = vec![0.0f64; sg.num_vertices()];
+        let edges = if sg.num_vertices() >= opts.inner_parallel_min_vertices {
+            kernel::bc_in_subgraph_par(sg, &mut local)
+        } else {
+            kernel::bc_in_subgraph_seq(sg, &mut local)
+        };
+        (i, local, edges, t.elapsed())
+    };
+    let results: Vec<(usize, Vec<f64>, u64, Duration)> = if opts.outer_parallel {
+        order.par_iter().map(run_one).collect()
+    } else {
+        order.iter().map(run_one).collect()
+    };
+
+    // Merge (Equation 8) in sub-graph index order for determinism.
+    let mut merged: Vec<(usize, Vec<f64>, u64, Duration)> = results;
+    merged.sort_by_key(|&(i, ..)| i);
+    let mut bc = vec![0.0f64; g.num_vertices()];
+    let mut edges_traversed = 0u64;
+    let mut top_time = Duration::ZERO;
+    for (i, local, edges, t) in &merged {
+        let sg = &decomp.subgraphs[*i];
+        for (l, &score) in local.iter().enumerate() {
+            bc[sg.globals[l] as usize] += score;
+        }
+        edges_traversed += edges;
+        if *i == decomp.top_subgraph {
+            top_time = *t;
+        }
+    }
+    let bc_time = bc_start.elapsed();
+
+    let top = decomp.subgraphs.get(decomp.top_subgraph);
+    let report = ApgreReport {
+        partition_time: decomp.timings.partition,
+        alpha_beta_time: decomp.timings.alpha_beta,
+        bc_time,
+        top_subgraph_bc_time: top_time,
+        num_subgraphs: decomp.num_subgraphs(),
+        num_articulation_points: decomp.is_articulation.iter().filter(|&&a| a).count(),
+        top_subgraph_vertices: top.map_or(0, |sg| sg.num_vertices()),
+        top_subgraph_edges: top.map_or(0, |sg| sg.num_edges()),
+        total_roots: decomp.subgraphs.iter().map(|sg| sg.roots.len()).sum(),
+        total_whiskers: decomp
+            .subgraphs
+            .iter()
+            .map(|sg| sg.is_whisker.iter().filter(|&&w| w).count())
+            .sum(),
+        edges_traversed,
+    };
+    (bc, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brandes::bc_serial;
+    use crate::parallel::test_support::zoo;
+    use apgre_decomp::AlphaBetaMethod;
+    use apgre_graph::generators;
+
+    fn assert_close(name: &str, got: &[f64], want: &[f64]) {
+        assert_eq!(got.len(), want.len(), "{name}");
+        for i in 0..want.len() {
+            let (x, y) = (got[i], want[i]);
+            assert!(
+                (x - y).abs() <= 1e-6 * (1.0 + x.abs().max(y.abs())),
+                "{name}: vertex {i}: apgre {x}, brandes {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_brandes_on_zoo() {
+        for (name, g) in zoo() {
+            let want = bc_serial(&g);
+            assert_close(&name, &bc_apgre(&g), &want);
+        }
+    }
+
+    #[test]
+    fn matches_brandes_across_thresholds() {
+        for (name, g) in zoo() {
+            let want = bc_serial(&g);
+            for threshold in [0, 1, 2, 4, 16, 1_000_000] {
+                let opts = ApgreOptions {
+                    partition: PartitionOptions {
+                        merge_threshold: threshold,
+                        ..Default::default()
+                    },
+                    ..Default::default()
+                };
+                let (got, _) = bc_apgre_with(&g, &opts);
+                assert_close(&format!("{name}@t{threshold}"), &got, &want);
+            }
+        }
+    }
+
+    #[test]
+    fn matches_with_bfs_alpha_beta() {
+        for (name, g) in zoo() {
+            let want = bc_serial(&g);
+            let opts = ApgreOptions {
+                partition: PartitionOptions {
+                    merge_threshold: 4,
+                    alpha_beta: AlphaBetaMethod::BlockedBfs,
+                    ..Default::default()
+                },
+                ..Default::default()
+            };
+            let (got, _) = bc_apgre_with(&g, &opts);
+            assert_close(&format!("{name}+bfsab"), &got, &want);
+        }
+    }
+
+    #[test]
+    fn forced_parallel_inner_matches() {
+        for (name, g) in zoo() {
+            let want = bc_serial(&g);
+            let opts = ApgreOptions { inner_parallel_min_vertices: 0, ..Default::default() };
+            let (got, _) = bc_apgre_with(&g, &opts);
+            assert_close(&format!("{name}+parinner"), &got, &want);
+        }
+    }
+
+    #[test]
+    fn serial_outer_matches() {
+        for (name, g) in zoo() {
+            let want = bc_serial(&g);
+            let opts = ApgreOptions { outer_parallel: false, ..Default::default() };
+            let (got, _) = bc_apgre_with(&g, &opts);
+            assert_close(&format!("{name}+seqouter"), &got, &want);
+        }
+    }
+
+    #[test]
+    fn report_accounts_match_decomposition() {
+        let g = generators::whiskered_community(&generators::WhiskeredCommunityParams {
+            core_vertices: 90,
+            core_attach: 2,
+            community_count: 7,
+            community_size: 10,
+            community_density: 1.6,
+            whiskers: 45,
+            seed: 33,
+        });
+        let (bc, report) = bc_apgre_with(&g, &ApgreOptions::default());
+        assert_eq!(bc.len(), g.num_vertices());
+        assert!(report.num_subgraphs >= 1);
+        assert!(report.total_whiskers >= 40, "whiskers folded: {}", report.total_whiskers);
+        assert!(report.total_roots < g.num_vertices());
+        assert!(report.edges_traversed > 0);
+        // Redundancy elimination means strictly less sweep work than
+        // Brandes' n·2m·2 on this articulation-rich graph.
+        let brandes_edges = (g.num_vertices() as u64) * (g.num_arcs() as u64) * 2;
+        assert!(report.edges_traversed < brandes_edges / 2);
+    }
+
+    #[test]
+    fn whisker_on_articulation_point_regression() {
+        // Whisker u attached to an articulation point s that borders another
+        // sub-graph: exercises the `+α(s)` root correction.
+        // 0 (whisker) - 1 - [triangle 1,2,3] - 3 - [triangle 3,4,5]
+        let g = apgre_graph::Graph::undirected_from_edges(
+            6,
+            &[(0, 1), (1, 2), (2, 3), (1, 3), (3, 4), (4, 5), (3, 5)],
+        );
+        let want = bc_serial(&g);
+        for threshold in [0, 1, 4, 100] {
+            let opts = ApgreOptions {
+                partition: PartitionOptions { merge_threshold: threshold, ..Default::default() },
+                ..Default::default()
+            };
+            let (got, _) = bc_apgre_with(&g, &opts);
+            assert_close(&format!("whisker-art@t{threshold}"), &got, &want);
+        }
+    }
+
+    #[test]
+    fn directed_whisker_on_articulation_point() {
+        // Directed analogue: whisker 0 -> 1 where 1 is a cut vertex between
+        // two directed cycles.
+        let g = apgre_graph::Graph::directed_from_edges(
+            6,
+            &[(0, 1), (1, 2), (2, 3), (3, 1), (3, 4), (4, 5), (5, 3)],
+        );
+        let want = bc_serial(&g);
+        let (got, _) = bc_apgre_with(&g, &ApgreOptions::default());
+        assert_close("dir-whisker-art", &got, &want);
+    }
+
+    #[test]
+    fn star_exact() {
+        let g = generators::star(25);
+        let bc = bc_apgre(&g);
+        assert_eq!(bc[0], 25.0 * 24.0);
+        assert!(bc[1..].iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn path_exact() {
+        let n = 12;
+        let g = generators::path(n);
+        let bc = bc_apgre(&g);
+        for i in 0..n {
+            let want = 2.0 * (i as f64) * ((n - 1 - i) as f64);
+            assert!((bc[i] - want).abs() < 1e-9, "vertex {i}: {} vs {want}", bc[i]);
+        }
+    }
+
+    #[test]
+    fn empty_and_isolated() {
+        let g = apgre_graph::Graph::undirected_from_edges(0, &[]);
+        assert!(bc_apgre(&g).is_empty());
+        let g = apgre_graph::Graph::undirected_from_edges(4, &[(1, 2)]);
+        assert_eq!(bc_apgre(&g), vec![0.0; 4]);
+    }
+}

@@ -1,0 +1,236 @@
+//! Memoized APGRE for evolving graphs.
+//!
+//! The decomposition gives BC computation a natural memoization grain: a
+//! sub-graph's local scores depend **only** on its local structure and its
+//! `α`/`β`/`γ` annotations — nothing else in the graph. When a graph evolves
+//! (edges rewired inside one community, a new whisker added), every
+//! sub-graph whose fingerprint is unchanged can reuse its cached local
+//! scores; only the touched sub-graphs re-sweep. This is the practical
+//! "incremental BC" story the paper's decomposition enables but never
+//! spells out.
+//!
+//! The fingerprint covers exactly the kernel's inputs: local arcs (with
+//! directedness), boundary flags, `α`, `β`, `γ`, the root set, and the
+//! whisker flags. `α`/`β` being in the key makes the cache conservative:
+//! an edit that changes how many vertices hang beyond a boundary point
+//! correctly invalidates every sub-graph that sees that count.
+
+use crate::apgre::kernel_for_memo;
+use apgre_decomp::{decompose, PartitionOptions, SubGraph};
+use apgre_graph::Graph;
+use std::collections::HashMap;
+
+/// A cache of per-sub-graph local BC vectors, keyed by structural
+/// fingerprint.
+pub struct MemoizedBc {
+    partition: PartitionOptions,
+    cache: HashMap<u64, Vec<f64>>,
+    /// Sub-graph kernel runs avoided since construction.
+    pub hits: usize,
+    /// Sub-graph kernels actually executed since construction.
+    pub misses: usize,
+}
+
+impl MemoizedBc {
+    /// New cache with the given partition options.
+    pub fn new(partition: PartitionOptions) -> Self {
+        MemoizedBc { partition, cache: HashMap::new(), hits: 0, misses: 0 }
+    }
+
+    /// Computes exact BC for `g`, reusing cached sub-graph sweeps where the
+    /// fingerprint matches.
+    pub fn compute(&mut self, g: &Graph) -> Vec<f64> {
+        let decomp = decompose(g, &self.partition);
+        let mut bc = vec![0.0f64; g.num_vertices()];
+        for sg in &decomp.subgraphs {
+            let key = fingerprint(sg);
+            let local = match self.cache.get(&key) {
+                Some(cached) => {
+                    self.hits += 1;
+                    cached.clone()
+                }
+                None => {
+                    self.misses += 1;
+                    let mut local = vec![0.0f64; sg.num_vertices()];
+                    kernel_for_memo(sg, &mut local);
+                    self.cache.insert(key, local.clone());
+                    local
+                }
+            };
+            for (l, &score) in local.iter().enumerate() {
+                bc[sg.globals[l] as usize] += score;
+            }
+        }
+        bc
+    }
+
+    /// Cached sub-graph count.
+    pub fn cached_subgraphs(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Drops all cached results.
+    pub fn clear(&mut self) {
+        self.cache.clear();
+    }
+}
+
+/// FNV-1a over the kernel's exact input stream.
+fn fingerprint(sg: &SubGraph) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |x: u64| {
+        for byte in x.to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    eat(sg.graph.is_directed() as u64);
+    eat(sg.num_vertices() as u64);
+    for (u, v) in sg.graph.csr().edges() {
+        eat(((u as u64) << 32) | v as u64);
+    }
+    for l in 0..sg.num_vertices() {
+        eat(sg.is_boundary[l] as u64);
+        eat(sg.alpha[l]);
+        eat(sg.beta[l]);
+        eat(sg.gamma[l] as u64);
+        eat(sg.is_whisker[l] as u64);
+    }
+    for &r in &sg.roots {
+        eat(r as u64);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brandes::bc_serial;
+    use apgre_graph::generators;
+    use apgre_graph::VertexId;
+
+    fn assert_close(ctx: &str, got: &[f64], want: &[f64]) {
+        assert_eq!(got.len(), want.len(), "{ctx}");
+        for i in 0..want.len() {
+            assert!(
+                (got[i] - want[i]).abs() <= 1e-6 * (1.0 + want[i].abs()),
+                "{ctx}: vertex {i}: {} vs {}",
+                got[i],
+                want[i]
+            );
+        }
+    }
+
+    fn community_graph(seed: u64) -> Graph {
+        generators::whiskered_community(&generators::WhiskeredCommunityParams {
+            core_vertices: 50,
+            core_attach: 2,
+            community_count: 6,
+            community_size: 10,
+            community_density: 1.8,
+            whiskers: 25,
+            seed,
+        })
+    }
+
+    #[test]
+    fn second_run_is_all_hits() {
+        let g = community_graph(1);
+        let mut memo = MemoizedBc::new(PartitionOptions::default());
+        let a = memo.compute(&g);
+        let first_misses = memo.misses;
+        assert!(first_misses >= 1);
+        assert_eq!(memo.hits, 0);
+        let b = memo.compute(&g);
+        assert_eq!(a, b);
+        assert_eq!(memo.misses, first_misses, "no new kernel runs");
+        assert_eq!(memo.hits, first_misses);
+    }
+
+    #[test]
+    fn memoized_matches_brandes() {
+        let g = community_graph(2);
+        let mut memo = MemoizedBc::new(PartitionOptions::default());
+        assert_close("memo", &memo.compute(&g), &bc_serial(&g));
+    }
+
+    #[test]
+    fn local_rewire_reuses_untouched_subgraphs() {
+        // Rewire one intra-community edge without changing any vertex count:
+        // α/β of every other sub-graph stay identical, so only sub-graphs
+        // containing the touched community re-sweep.
+        let g = community_graph(3);
+        let mut memo = MemoizedBc::new(PartitionOptions::default());
+        let _ = memo.compute(&g);
+        let baseline_misses = memo.misses;
+        let subgraph_count = memo.cached_subgraphs();
+
+        // Swap one community-internal edge: find a vertex with local degree
+        // >= 2 outside the core and retarget one of its edges within the
+        // same component neighbourhood. Simplest structural edit preserving
+        // counts: remove edge (a,b), add edge (a,c) where c is b's
+        // neighbour — stays inside the same community.
+        let mut edges: Vec<(VertexId, VertexId)> = g.undirected_edges().collect();
+        let d = apgre_decomp::decompose(&g, &PartitionOptions::default());
+        // pick a non-top sub-graph with an internal non-bridge edge
+        let sg = d
+            .subgraphs
+            .iter()
+            .find(|sg| sg.id != d.subgraphs[d.top_subgraph].id && sg.num_edges() >= sg.num_vertices())
+            .expect("a cyclic community exists");
+        // remove one internal edge that keeps the community connected: add a
+        // parallel-ish chord instead of deleting, to keep it simple —
+        // adding an edge only changes that sub-graph's fingerprint.
+        let a = sg.globals[0];
+        let b = *sg.globals.last().unwrap();
+        if !g.csr().has_edge(a, b) && a != b {
+            edges.push((a, b));
+        } else {
+            // fall back: duplicate detection will dedup; add a chord between
+            // second pair
+            edges.push((sg.globals[1], b));
+        }
+        let g2 = Graph::undirected_from_edges(g.num_vertices(), &edges);
+
+        let scores = memo.compute(&g2);
+        assert_close("memo-after-edit", &scores, &bc_serial(&g2));
+        let new_misses = memo.misses - baseline_misses;
+        assert!(
+            new_misses <= 3,
+            "only the touched sub-graph(s) should re-sweep: {new_misses} of {subgraph_count}"
+        );
+    }
+
+    #[test]
+    fn growing_a_whisker_invalidates_alpha_dependents_only() {
+        let g = community_graph(4);
+        let mut memo = MemoizedBc::new(PartitionOptions::default());
+        let _ = memo.compute(&g);
+        let before = memo.misses;
+        // Attach one new whisker to vertex 0 (in the core / top sub-graph).
+        let mut edges: Vec<(VertexId, VertexId)> = g.undirected_edges().collect();
+        let w = g.num_vertices() as VertexId;
+        edges.push((0, w));
+        let g2 = Graph::undirected_from_edges(g.num_vertices() + 1, &edges);
+        let scores = memo.compute(&g2);
+        assert_close("memo-whisker", &scores, &bc_serial(&g2));
+        // The top sub-graph re-sweeps (γ changed) and every sub-graph with a
+        // boundary α counting the core side re-sweeps (α grew by one); pure
+        // leaf communities whose α view didn't change... all boundary points
+        // of other sub-graphs DO see the new vertex in α, so expect most to
+        // re-sweep — this documents the conservative invalidation.
+        assert!(memo.misses > before);
+    }
+
+    #[test]
+    fn clear_forgets() {
+        let g = generators::lollipop(6, 10);
+        let mut memo = MemoizedBc::new(PartitionOptions::default());
+        let _ = memo.compute(&g);
+        assert!(memo.cached_subgraphs() > 0);
+        memo.clear();
+        assert_eq!(memo.cached_subgraphs(), 0);
+    }
+}

@@ -1,0 +1,64 @@
+//! `async` baseline stand-in: coarse-grained source-parallel BC.
+//!
+//! The paper's `async` baseline (Prountzos & Pingali, PPoPP'13) runs inside
+//! the Galois runtime, extracting parallelism across sources with a global
+//! asynchronous scheduler. The portable equivalent of that comparison axis is
+//! coarse-grained source parallelism: each rayon task owns whole sources,
+//! keeps a private Brandes workspace and a private score vector, and the
+//! score vectors are reduced at the end (see DESIGN.md §5 for the
+//! substitution note). Like the original — which handles undirected graphs
+//! only — this baseline shines when there are many similar-cost sources and
+//! no shared state is contended.
+
+use crate::brandes::{accumulate_source, Workspace};
+use apgre_graph::{Graph, VertexId};
+use rayon::prelude::*;
+
+/// Coarse-grained source-parallel BC.
+pub fn bc_coarse(g: &Graph) -> Vec<f64> {
+    let n = g.num_vertices();
+    if n == 0 {
+        return Vec::new();
+    }
+    (0..n as VertexId)
+        .into_par_iter()
+        .chunks(64.max(n / 256))
+        .fold(
+            || (vec![0.0f64; n], Workspace::new(n)),
+            |(mut bc, mut ws), chunk| {
+                for s in chunk {
+                    accumulate_source(g, s, &mut ws, &mut bc);
+                    ws.reset_touched();
+                }
+                (bc, ws)
+            },
+        )
+        .map(|(bc, _)| bc)
+        .reduce(
+            || vec![0.0f64; n],
+            |mut a, b| {
+                for (x, y) in a.iter_mut().zip(&b) {
+                    *x += y;
+                }
+                a
+            },
+        )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parallel::test_support::{assert_matches_serial, zoo};
+
+    #[test]
+    fn matches_serial_on_zoo() {
+        for (name, g) in zoo() {
+            assert_matches_serial(&name, &g, &bc_coarse(&g));
+        }
+    }
+
+    #[test]
+    fn empty() {
+        assert!(bc_coarse(&apgre_graph::Graph::undirected_from_edges(0, &[])).is_empty());
+    }
+}

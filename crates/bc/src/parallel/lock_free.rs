@@ -1,0 +1,124 @@
+//! `lockSyncFree` baseline: fine-grained parallel BC with no lock
+//! synchronization (Tan, Tu, Sun, ICPP'09). Both phases push contributions
+//! with atomic compare-exchange adds — σ is accumulated during frontier
+//! expansion and δ is pushed from each vertex to its predecessors — so the
+//! kernel trades the `succs` pull passes for contended atomics.
+
+use super::{ParWs, PAR_GRAIN};
+use crate::util::{atomic_f64_vec, into_f64_vec};
+use apgre_graph::{Graph, VertexId, UNREACHED};
+use rayon::prelude::*;
+use std::sync::atomic::Ordering;
+
+/// Fine-grained level-synchronous BC, lock-free push accumulation.
+pub fn bc_lock_free(g: &Graph) -> Vec<f64> {
+    let n = g.num_vertices();
+    let bc = atomic_f64_vec(n);
+    let mut ws = ParWs::new(n);
+    let fwd = g.csr();
+    let rev = g.rev_csr();
+    for s in 0..n as VertexId {
+        // Forward: push-style frontier expansion; σ via atomic fetch-add.
+        ws.dist[s as usize].store(0, Ordering::Relaxed);
+        ws.sigma[s as usize].store(1.0);
+        ws.levels.order.push(s);
+        ws.levels.starts.push(0);
+        let mut level_start = 0usize;
+        let mut d = 0u32;
+        loop {
+            let frontier = &ws.levels.order[level_start..];
+            if frontier.is_empty() {
+                ws.levels.starts.pop();
+                break;
+            }
+            let dist = &ws.dist;
+            let sigma = &ws.sigma;
+            let expand = |&u: &VertexId, next: &mut Vec<VertexId>| {
+                let su = sigma[u as usize].load();
+                for &v in fwd.neighbors(u) {
+                    if dist[v as usize]
+                        .compare_exchange(UNREACHED, d + 1, Ordering::Relaxed, Ordering::Relaxed)
+                        .is_ok()
+                    {
+                        next.push(v);
+                    }
+                    if dist[v as usize].load(Ordering::Relaxed) == d + 1 {
+                        sigma[v as usize].fetch_add(su);
+                    }
+                }
+            };
+            let next: Vec<VertexId> = if frontier.len() < PAR_GRAIN {
+                let mut next = Vec::new();
+                for u in frontier {
+                    expand(u, &mut next);
+                }
+                next
+            } else {
+                frontier
+                    .par_iter()
+                    .fold(Vec::new, |mut acc, u| {
+                        expand(u, &mut acc);
+                        acc
+                    })
+                    .reduce(Vec::new, |mut a, mut b| {
+                        a.append(&mut b);
+                        a
+                    })
+            };
+            level_start = ws.levels.order.len();
+            ws.levels.starts.push(level_start);
+            ws.levels.order.extend_from_slice(&next);
+            d += 1;
+        }
+        ws.levels.starts.push(ws.levels.order.len());
+
+        // Backward: push δ contributions to in-neighbours one level up.
+        let dist = &ws.dist;
+        let sigma = &ws.sigma;
+        let delta = &ws.delta;
+        for dd in (1..ws.levels.num_levels()).rev() {
+            let level = ws.levels.level(dd);
+            let dw = dd as u32;
+            let body = |&w: &VertexId| {
+                let coeff = (1.0 + delta[w as usize].load()) / sigma[w as usize].load();
+                for &v in rev.neighbors(w) {
+                    if dist[v as usize].load(Ordering::Relaxed) == dw - 1 {
+                        delta[v as usize].fetch_add(sigma[v as usize].load() * coeff);
+                    }
+                }
+            };
+            if level.len() < PAR_GRAIN {
+                level.iter().for_each(body);
+            } else {
+                level.par_iter().for_each(body);
+            }
+            // δ of this level is now final; fold it into the scores.
+            let bc = &bc;
+            let score = |&w: &VertexId| {
+                if w != s {
+                    bc[w as usize].store(bc[w as usize].load() + delta[w as usize].load());
+                }
+            };
+            if level.len() < PAR_GRAIN {
+                level.iter().for_each(score);
+            } else {
+                level.par_iter().for_each(score);
+            }
+        }
+        ws.reset_touched();
+    }
+    into_f64_vec(bc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parallel::test_support::{assert_matches_serial, zoo};
+
+    #[test]
+    fn matches_serial_on_zoo() {
+        for (name, g) in zoo() {
+            assert_matches_serial(&name, &g, &bc_lock_free(&g));
+        }
+    }
+}

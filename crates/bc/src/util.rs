@@ -1,0 +1,132 @@
+//! Shared utilities for the parallel kernels: atomic `f64` cells and
+//! level-structure helpers.
+//!
+//! The level-synchronous kernels rely on rayon's fork-join barriers for
+//! cross-level visibility, so all atomic operations here use `Relaxed`
+//! ordering — the `par_iter` joins establish the happens-before edges between
+//! levels, and within a level each cell has a single writer (except the
+//! explicitly contended [`AtomicF64::fetch_add`] used by the push-style
+//! baselines).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// An `f64` stored in an `AtomicU64` via bit casting.
+#[derive(Debug, Default)]
+pub struct AtomicF64(AtomicU64);
+
+impl AtomicF64 {
+    /// New cell holding `v`.
+    #[inline]
+    pub fn new(v: f64) -> Self {
+        AtomicF64(AtomicU64::new(v.to_bits()))
+    }
+
+    /// Relaxed load.
+    #[inline]
+    pub fn load(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+
+    /// Relaxed store.
+    #[inline]
+    pub fn store(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Contended add via a compare-exchange loop (the only operation the
+    /// "lock-free" baselines need).
+    #[inline]
+    pub fn fetch_add(&self, v: f64) {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self.0.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Unwraps the cell.
+    #[inline]
+    pub fn into_inner(self) -> f64 {
+        f64::from_bits(self.0.into_inner())
+    }
+}
+
+/// A zeroed vector of atomic `f64`s.
+pub fn atomic_f64_vec(n: usize) -> Vec<AtomicF64> {
+    (0..n).map(|_| AtomicF64::new(0.0)).collect()
+}
+
+/// Unwraps a vector of atomic `f64`s.
+pub fn into_f64_vec(v: Vec<AtomicF64>) -> Vec<f64> {
+    v.into_iter().map(AtomicF64::into_inner).collect()
+}
+
+/// Vertices of one BFS, grouped by level: `order[starts[d]..starts[d+1]]`
+/// holds the vertices at distance `d` from the root. The backward sweeps of
+/// every level-synchronous kernel iterate this structure in reverse.
+#[derive(Clone, Debug, Default)]
+pub struct Levels {
+    /// Vertices in non-decreasing distance order.
+    pub order: Vec<u32>,
+    /// Level boundaries into `order` (length = number of levels + 1).
+    pub starts: Vec<usize>,
+}
+
+impl Levels {
+    /// Empties the structure for reuse.
+    pub fn clear(&mut self) {
+        self.order.clear();
+        self.starts.clear();
+    }
+
+    /// Number of levels.
+    pub fn num_levels(&self) -> usize {
+        self.starts.len().saturating_sub(1)
+    }
+
+    /// The vertices at level `d`.
+    pub fn level(&self, d: usize) -> &[u32] {
+        &self.order[self.starts[d]..self.starts[d + 1]]
+    }
+
+    /// Total vertices reached.
+    pub fn reached(&self) -> usize {
+        self.order.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atomic_f64_ops() {
+        let a = AtomicF64::new(1.5);
+        assert_eq!(a.load(), 1.5);
+        a.store(2.0);
+        a.fetch_add(0.25);
+        assert_eq!(a.load(), 2.25);
+        assert_eq!(a.into_inner(), 2.25);
+    }
+
+    #[test]
+    fn concurrent_fetch_add_sums() {
+        use rayon::prelude::*;
+        let a = AtomicF64::new(0.0);
+        (0..1000).into_par_iter().for_each(|_| a.fetch_add(1.0));
+        assert_eq!(a.load(), 1000.0);
+    }
+
+    #[test]
+    fn levels_accessors() {
+        let l = Levels { order: vec![0, 1, 2, 3], starts: vec![0, 1, 3, 4] };
+        assert_eq!(l.num_levels(), 3);
+        assert_eq!(l.level(0), &[0]);
+        assert_eq!(l.level(1), &[1, 2]);
+        assert_eq!(l.level(2), &[3]);
+        assert_eq!(l.reached(), 4);
+    }
+}

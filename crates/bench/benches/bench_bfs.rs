@@ -1,0 +1,34 @@
+//! Criterion micro-benchmark for the traversal substrate: sequential,
+//! level-synchronous parallel, and direction-optimizing BFS.
+
+use apgre_graph::traversal::{
+    bfs_distances, hybrid_bfs_distances, parallel_bfs_distances, HybridPolicy,
+};
+use apgre_workloads::{get, Scale};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_bfs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bfs");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for name in ["email-enron-like", "usa-road-ny-like"] {
+        let g = get(name).unwrap().graph(Scale::Small);
+        // Start from the highest-degree vertex so the traversal covers the
+        // giant component (corner vertices of the perforated road grids can
+        // be nearly isolated).
+        let src = g.vertices().max_by_key(|&v| g.out_degree(v)).unwrap_or(0);
+        group.bench_with_input(BenchmarkId::new("sequential", name), &g, |b, g| {
+            b.iter(|| bfs_distances(g.csr(), src))
+        });
+        group.bench_with_input(BenchmarkId::new("parallel", name), &g, |b, g| {
+            b.iter(|| parallel_bfs_distances(g.csr(), src))
+        });
+        group.bench_with_input(BenchmarkId::new("direction-optimizing", name), &g, |b, g| {
+            b.iter(|| hybrid_bfs_distances(g.csr(), g.rev_csr(), src, HybridPolicy::default()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bfs);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion micro-benchmark for the decomposition substrate: Algorithm 1's
+//! partition and the two α/β strategies (ablation A2's micro view).
+
+use apgre_decomp::{biconnected_components, decompose, AlphaBetaMethod, PartitionOptions};
+use apgre_workloads::{get, Scale};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_decomposition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decomposition");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for name in ["email-enron-like", "wikitalk-like", "usa-road-ny-like"] {
+        let g = get(name).unwrap().graph(Scale::Small);
+        let und = g.to_undirected();
+        group.bench_with_input(BenchmarkId::new("bcc", name), &und, |b, und| {
+            b.iter(|| biconnected_components(und))
+        });
+        group.bench_with_input(BenchmarkId::new("decompose-auto", name), &g, |b, g| {
+            b.iter(|| decompose(g, &PartitionOptions::default()))
+        });
+        group.bench_with_input(BenchmarkId::new("decompose-bfs-ab", name), &g, |b, g| {
+            b.iter(|| {
+                decompose(
+                    g,
+                    &PartitionOptions {
+                        alpha_beta: AlphaBetaMethod::BlockedBfs,
+                        ..Default::default()
+                    },
+                )
+            })
+        });
+    }
+    // Threshold sweep on one representative graph.
+    let g = get("email-enron-like").unwrap().graph(Scale::Small);
+    for threshold in [1usize, 32, 1024] {
+        group.bench_with_input(
+            BenchmarkId::new("threshold", threshold),
+            &g,
+            |b, g| {
+                b.iter(|| {
+                    decompose(
+                        g,
+                        &PartitionOptions { merge_threshold: threshold, ..Default::default() },
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_decomposition);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion micro-benchmark behind Figures 9/10: APGRE and the `succs`
+//! baseline under different rayon pool sizes (on a many-core host this shows
+//! the scaling curves; on a 1-core container it documents the overhead of
+//! oversubscription).
+
+use apgre_bench::{run_algorithm, with_threads};
+use apgre_workloads::{get, Scale};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let g = get("dblp-like").unwrap().graph(Scale::Tiny);
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("apgre", threads), &g, |b, g| {
+            b.iter(|| with_threads(threads, || run_algorithm("APGRE", g)))
+        });
+        group.bench_with_input(BenchmarkId::new("succs", threads), &g, |b, g| {
+            b.iter(|| with_threads(threads, || run_algorithm("succs", g)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

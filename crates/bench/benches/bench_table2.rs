@@ -1,0 +1,28 @@
+//! Criterion micro-benchmark backing Table 2: every algorithm on every
+//! Table-1 stand-in (tiny scale, so a full `cargo bench` stays tractable;
+//! the `experiments` binary runs the full-scale version).
+
+use apgre_bench::{run_algorithm, ALGORITHMS};
+use apgre_workloads::{registry, Scale};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_table2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for spec in registry() {
+        let g = spec.graph(Scale::Tiny);
+        for &algo in ALGORITHMS {
+            group.bench_with_input(
+                BenchmarkId::new(algo, spec.name),
+                &g,
+                |b, g| b.iter(|| run_algorithm(algo, g)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

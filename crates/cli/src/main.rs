@@ -1,0 +1,281 @@
+//! `bc-tool`: betweenness centrality from the command line.
+//!
+//! ```text
+//! bc-tool <input> [options]
+//!
+//! input:
+//!   path to an edge-list file (# comments, "u v" per line),
+//!   path to a DIMACS .gr file (detected by extension), or
+//!   workload:<name>[:tiny|small|medium] for a built-in stand-in
+//!
+//! options:
+//!   --algo <serial|preds|succs|lockfree|coarse|hybrid|apgre|approx|edge>
+//!                           (default apgre; approx uses --samples, edge
+//!                           ranks edges instead of vertices)
+//!   --directed              treat the input file as directed
+//!   --top <k>               print the k highest-BC vertices (default 10)
+//!   --threshold <n>         APGRE merge threshold (default 32)
+//!   --threads <t>           rayon thread count (default: all cores)
+//!   --samples <k>           pivot count for --algo approx (default n/10)
+//!   --stats                 print decomposition + redundancy statistics
+//!   --normalize             halve scores (undirected textbook convention)
+//! ```
+
+use apgre_bc::apgre::{bc_apgre_with, ApgreOptions};
+use apgre_bc::parallel::{bc_coarse, bc_hybrid, bc_lock_free, bc_preds, bc_succs};
+use apgre_bc::{brandes::bc_serial, normalize_undirected};
+use apgre_decomp::{decompose, PartitionOptions};
+use apgre_graph::Graph;
+use apgre_workloads::Scale;
+use std::process::exit;
+use std::time::Instant;
+
+struct Args {
+    input: String,
+    algo: String,
+    directed: bool,
+    top: usize,
+    threshold: usize,
+    threads: Option<usize>,
+    samples: Option<usize>,
+    stats: bool,
+    normalize: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bc-tool <edge-list|file.gr|workload:<name>[:scale]> \
+         [--algo serial|preds|succs|lockfree|coarse|hybrid|apgre] [--directed] \
+         [--top K] [--threshold N] [--threads T] [--stats] [--normalize]\n\
+         workloads: {}",
+        apgre_workloads::registry()
+            .iter()
+            .map(|w| w.name)
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        input: String::new(),
+        algo: "apgre".into(),
+        directed: false,
+        top: 10,
+        threshold: 32,
+        threads: None,
+        samples: None,
+        stats: false,
+        normalize: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut next_usize = |flag: &str| -> usize {
+            it.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| {
+                    eprintln!("{flag} needs a number");
+                    usage()
+                })
+        };
+        match a.as_str() {
+            "--algo" => args.algo = it.next().unwrap_or_else(|| usage()),
+            "--directed" => args.directed = true,
+            "--top" => args.top = next_usize("--top"),
+            "--threshold" => args.threshold = next_usize("--threshold"),
+            "--threads" => args.threads = Some(next_usize("--threads")),
+            "--samples" => args.samples = Some(next_usize("--samples")),
+            "--stats" => args.stats = true,
+            "--normalize" => args.normalize = true,
+            "--help" | "-h" => usage(),
+            _ if a.starts_with("--") => {
+                eprintln!("unknown option {a}");
+                usage()
+            }
+            _ if args.input.is_empty() => args.input = a,
+            _ => usage(),
+        }
+    }
+    if args.input.is_empty() {
+        usage()
+    }
+    args
+}
+
+fn load_graph(args: &Args) -> Graph {
+    if let Some(rest) = args.input.strip_prefix("workload:") {
+        let mut parts = rest.splitn(2, ':');
+        let name = parts.next().unwrap();
+        let scale = match parts.next().unwrap_or("small") {
+            "tiny" => Scale::Tiny,
+            "small" => Scale::Small,
+            "medium" => Scale::Medium,
+            other => {
+                eprintln!("unknown scale {other:?} (tiny|small|medium)");
+                exit(2)
+            }
+        };
+        match apgre_workloads::get(name) {
+            Some(spec) => return spec.graph(scale),
+            None => {
+                eprintln!("unknown workload {name:?}");
+                usage()
+            }
+        }
+    }
+    let result = if args.input.ends_with(".gr") {
+        match std::fs::File::open(&args.input) {
+            Ok(f) => apgre_graph::io::read_dimacs(f, args.directed),
+            Err(e) => {
+                eprintln!("cannot open {}: {e}", args.input);
+                exit(1)
+            }
+        }
+    } else {
+        apgre_graph::io::read_edge_list_file(&args.input, args.directed)
+    };
+    result.unwrap_or_else(|e| {
+        eprintln!("cannot parse {}: {e}", args.input);
+        exit(1)
+    })
+}
+
+fn main() {
+    let args = parse_args();
+    if let Some(t) = args.threads {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(t)
+            .build_global()
+            .unwrap_or_else(|e| {
+                eprintln!("thread pool: {e}");
+                exit(1)
+            });
+    }
+    let g = load_graph(&args);
+    println!(
+        "graph: {} vertices, {} edges, directed = {}",
+        g.num_vertices(),
+        g.num_edges(),
+        g.is_directed()
+    );
+
+    let partition =
+        PartitionOptions { merge_threshold: args.threshold, ..Default::default() };
+    if args.stats {
+        let t = Instant::now();
+        let d = decompose(&g, &partition);
+        let dt = t.elapsed();
+        let arts = d.is_articulation.iter().filter(|&&a| a).count();
+        let whiskers: usize = d
+            .subgraphs
+            .iter()
+            .map(|sg| sg.is_whisker.iter().filter(|&&w| w).count())
+            .sum();
+        println!("decomposition ({dt:.2?}):");
+        println!(
+            "  {} BCCs -> {} sub-graphs, {} articulation points, {} whiskers",
+            d.num_bccs,
+            d.num_subgraphs(),
+            arts,
+            whiskers
+        );
+        for (rank, sg) in d.subgraphs_by_size().iter().take(3).enumerate() {
+            println!(
+                "  #{} sub-graph: {} vertices ({:.1}%), {} edges ({:.1}%)",
+                rank + 1,
+                sg.num_vertices(),
+                100.0 * sg.num_vertices() as f64 / g.num_vertices() as f64,
+                sg.num_edges(),
+                100.0 * sg.num_edges() as f64 / g.num_edges().max(1) as f64,
+            );
+        }
+        let r = apgre_bc::redundancy::analyze(&g, &d);
+        println!(
+            "  Brandes redundancy: {:.1}% partial, {:.1}% total, {:.1}% essential",
+            100.0 * r.partial_fraction(),
+            100.0 * r.total_fraction(),
+            100.0 * r.essential_fraction()
+        );
+    }
+
+    if args.algo == "edge" {
+        rank_edges(&g, args.top);
+        return;
+    }
+    let t = Instant::now();
+    let mut scores = match args.algo.as_str() {
+        "serial" => bc_serial(&g),
+        "approx" => {
+            let k = args.samples.unwrap_or((g.num_vertices() / 10).max(1));
+            println!("approx: {k} source pivots (of {})", g.num_vertices());
+            apgre_bc::approx::bc_approx(&g, k, 0xA99)
+        }
+        "preds" => bc_preds(&g),
+        "succs" => bc_succs(&g),
+        "lockfree" => bc_lock_free(&g),
+        "coarse" | "async" => bc_coarse(&g),
+        "hybrid" => bc_hybrid(&g),
+        "apgre" => {
+            let opts = ApgreOptions { partition: partition.clone(), ..Default::default() };
+            let (scores, report) = bc_apgre_with(&g, &opts);
+            println!(
+                "apgre: partition {:.2?}, α/β {:.2?}, bc {:.2?} ({} sub-graphs, {} roots)",
+                report.partition_time,
+                report.alpha_beta_time,
+                report.bc_time,
+                report.num_subgraphs,
+                report.total_roots
+            );
+            scores
+        }
+        other => {
+            eprintln!("unknown algorithm {other:?}");
+            usage()
+        }
+    };
+    let dt = t.elapsed();
+    if args.normalize {
+        if g.is_directed() {
+            eprintln!("--normalize is for undirected graphs; ignoring");
+        } else {
+            normalize_undirected(&mut scores);
+        }
+    }
+    let nm = g.num_vertices() as f64 * g.num_edges() as f64;
+    println!(
+        "{} finished in {dt:.2?} ({:.1} MTEPS by the paper's n·m/t metric)",
+        args.algo,
+        nm / dt.as_secs_f64() / 1e6
+    );
+
+    let mut ranked: Vec<(usize, f64)> = scores.iter().copied().enumerate().collect();
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
+    println!("top {} vertices by betweenness:", args.top.min(ranked.len()));
+    for &(v, s) in ranked.iter().take(args.top) {
+        println!("  {v:>8}  {s:>16.2}");
+    }
+}
+
+fn rank_edges(g: &apgre_graph::Graph, top: usize) {
+    let t = Instant::now();
+    let scores = apgre_bc::edge::edge_bc(g);
+    println!("edge betweenness finished in {:.2?}", t.elapsed());
+    if g.is_directed() {
+        let csr = g.csr();
+        let mut ranked: Vec<((u32, u32), f64)> =
+            csr.edges().zip(scores.iter().copied()).collect();
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
+        println!("top {} arcs by betweenness:", top.min(ranked.len()));
+        for ((u, v), s) in ranked.into_iter().take(top) {
+            println!("  {u:>7} -> {v:<7} {s:>14.2}");
+        }
+    } else {
+        let mut ranked = apgre_bc::edge::undirected_edge_scores(g, &scores);
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
+        println!("top {} edges by betweenness:", top.min(ranked.len()));
+        for ((u, v), s) in ranked.into_iter().take(top) {
+            println!("  {u:>7} -- {v:<7} {s:>14.2}");
+        }
+    }
+}

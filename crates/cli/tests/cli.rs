@@ -1,0 +1,68 @@
+//! End-to-end tests of the `bc-tool` binary.
+
+use std::process::Command;
+
+fn bc_tool() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_bc-tool"))
+}
+
+#[test]
+fn runs_on_builtin_workload_with_stats() {
+    let out = bc_tool()
+        .args(["workload:usa-road-ny-like:tiny", "--stats", "--top", "3"])
+        .output()
+        .expect("spawn bc-tool");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("decomposition"));
+    assert!(stdout.contains("Brandes redundancy"));
+    assert!(stdout.contains("top 3 vertices"));
+}
+
+#[test]
+fn serial_and_apgre_agree_on_top_vertex() {
+    let top1 = |algo: &str| -> String {
+        let out = bc_tool()
+            .args(["workload:email-enron-like:tiny", "--algo", algo, "--top", "1"])
+            .output()
+            .expect("spawn");
+        assert!(out.status.success(), "{algo}: {}", String::from_utf8_lossy(&out.stderr));
+        String::from_utf8_lossy(&out.stdout).lines().last().unwrap_or_default().to_string()
+    };
+    assert_eq!(top1("serial"), top1("apgre"));
+}
+
+#[test]
+fn reads_edge_list_file() {
+    let dir = std::env::temp_dir().join("apgre-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("tiny.txt");
+    std::fs::write(&path, "# tiny\n0 1\n1 2\n2 3\n").unwrap();
+    let out = bc_tool().args([path.to_str().unwrap(), "--algo", "serial"]).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("4 vertices"), "{stdout}");
+}
+
+#[test]
+fn edge_mode_ranks_edges() {
+    let out = bc_tool()
+        .args(["workload:dblp-like:tiny", "--algo", "edge", "--top", "2"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("top 2 arcs") || stdout.contains("top 2 edges"), "{stdout}");
+}
+
+#[test]
+fn rejects_unknown_algorithm() {
+    let out = bc_tool().args(["workload:dblp-like:tiny", "--algo", "bogus"]).output().unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn rejects_missing_file() {
+    let out = bc_tool().args(["/nonexistent/graph.txt"]).output().unwrap();
+    assert!(!out.status.success());
+}

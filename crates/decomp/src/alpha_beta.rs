@@ -1,0 +1,233 @@
+//! `α` / `β` computation per boundary articulation point (paper §3.1 and §4
+//! step 2).
+//!
+//! For a boundary articulation point `a` of sub-graph `SGi`:
+//!
+//! * `α_SGi(a)` — "the number of vertices which `a` can reach without passing
+//!   through `SGi` in `G`" — size of the common sub-DAG hanging off `a`,
+//! * `β_SGi(a)` — "the number of vertices which can reach `a` without passing
+//!   through `SGi`" — the number of source DAGs that share the sub-DAG rooted
+//!   at `a` inside `SGi`.
+//!
+//! The paper computes both with per-articulation-point (reverse) BFS. We keep
+//! that method — it is the only correct one for directed graphs, where the
+//! hanging regions are only *partially* reachable — and add an `O(V + E)`
+//! fast path for undirected graphs: in an undirected graph every vertex of a
+//! hanging region both reaches and is reached from `a`, so `α = β =` the
+//! block-cut-tree branch weight (see [`crate::block_cut_tree`]).
+
+use crate::bcc::BccResult;
+use crate::block_cut_tree::BlockCutTree;
+use crate::partition::Decomposition;
+use crate::subgraph::SubGraph;
+use apgre_graph::traversal::reachable_count;
+use apgre_graph::{Graph, VertexId};
+use rayon::prelude::*;
+
+/// Strategy for computing `α`/`β`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AlphaBetaMethod {
+    /// Block-cut-tree fast path for undirected graphs, blocked BFS for
+    /// directed ones.
+    Auto,
+    /// Always the paper's blocked-BFS method (one forward and one reverse
+    /// BFS per boundary articulation point).
+    BlockedBfs,
+    /// Always the block-cut-tree fast path.
+    ///
+    /// # Panics
+    /// `fill` panics if the graph is directed (the tree path over-counts
+    /// unreachable vertices there).
+    BlockCutTree,
+}
+
+/// Fills `alpha`/`beta` of every sub-graph in `decomp`.
+pub(crate) fn fill(
+    g: &Graph,
+    decomp: &mut Decomposition,
+    _bcc: &BccResult,
+    bct: &BlockCutTree,
+    method: AlphaBetaMethod,
+) {
+    let use_tree = match method {
+        AlphaBetaMethod::Auto => !g.is_directed(),
+        AlphaBetaMethod::BlockedBfs => false,
+        AlphaBetaMethod::BlockCutTree => {
+            assert!(
+                !g.is_directed(),
+                "block-cut-tree α/β is only valid for undirected graphs"
+            );
+            true
+        }
+    };
+    if use_tree {
+        fill_via_tree(decomp, bct);
+    } else {
+        for i in 0..decomp.subgraphs.len() {
+            let (alpha, beta) = blocked_bfs_alpha_beta(g, &decomp.subgraphs[i]);
+            decomp.subgraphs[i].alpha = alpha;
+            decomp.subgraphs[i].beta = beta;
+        }
+    }
+}
+
+/// Tree fast path: `α_SGi(a) = Σ` branch weights of `a`'s block-cut-tree
+/// branches whose BCC lies outside `SGi`; `β = α` (undirected reachability is
+/// symmetric).
+fn fill_via_tree(decomp: &mut Decomposition, bct: &BlockCutTree) {
+    let rooted = bct.rooted();
+    let subgraph_of_bcc = &decomp.subgraph_of_bcc;
+    for sg in &mut decomp.subgraphs {
+        for &l in &sg.boundary {
+            let v = sg.globals[l as usize];
+            let ai = bct.art_index[v as usize];
+            debug_assert_ne!(ai, u32::MAX);
+            let mut a = 0u64;
+            for &b in &bct.art_bccs[ai as usize] {
+                if subgraph_of_bcc[b as usize] != sg.id as u32 {
+                    a += rooted.branch_weight(v, b);
+                }
+            }
+            sg.alpha[l as usize] = a;
+            sg.beta[l as usize] = a;
+        }
+    }
+}
+
+/// The paper's method: for each boundary articulation point of `sg`, a
+/// forward BFS (for `α`) and a reverse BFS (for `β`) over the **global**
+/// graph, blocked at the sub-graph's other vertices. Boundary points are
+/// processed in parallel. Exposed publicly for the ablation experiment and
+/// the cross-check tests.
+pub fn blocked_bfs_alpha_beta(g: &Graph, sg: &SubGraph) -> (Vec<u64>, Vec<u64>) {
+    let n = g.num_vertices();
+    let ln = sg.num_vertices();
+    let mut member = vec![false; n];
+    for &v in &sg.globals {
+        member[v as usize] = true;
+    }
+    let member = &member;
+    let results: Vec<(u32, u64, u64)> = sg
+        .boundary
+        .par_iter()
+        .map(|&l| {
+            let a = sg.globals[l as usize];
+            let alpha = reachable_count(g.csr(), a, |v: VertexId| member[v as usize]);
+            let beta = reachable_count(g.rev_csr(), a, |v: VertexId| member[v as usize]);
+            (l, alpha, beta)
+        })
+        .collect();
+    let mut alpha = vec![0u64; ln];
+    let mut beta = vec![0u64; ln];
+    for (l, a, b) in results {
+        alpha[l as usize] = a;
+        beta[l as usize] = b;
+    }
+    (alpha, beta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::{decompose, PartitionOptions};
+    use apgre_graph::generators;
+
+    fn opts(threshold: usize, method: AlphaBetaMethod) -> PartitionOptions {
+        PartitionOptions { merge_threshold: threshold, alpha_beta: method, ..Default::default() }
+    }
+
+    #[test]
+    fn tree_and_bfs_agree_on_undirected() {
+        for seed in 0..6 {
+            let g = generators::whiskered_community(&generators::WhiskeredCommunityParams {
+                core_vertices: 50,
+                core_attach: 2,
+                community_count: 5,
+                community_size: 9,
+                community_density: 1.6,
+                whiskers: 20,
+                seed,
+            });
+            let tree = decompose(&g, &opts(8, AlphaBetaMethod::BlockCutTree));
+            let bfs = decompose(&g, &opts(8, AlphaBetaMethod::BlockedBfs));
+            assert_eq!(tree.num_subgraphs(), bfs.num_subgraphs());
+            for (a, b) in tree.subgraphs.iter().zip(&bfs.subgraphs) {
+                assert_eq!(a.alpha, b.alpha, "α mismatch in SG{} seed {seed}", a.id);
+                assert_eq!(a.beta, b.beta, "β mismatch in SG{} seed {seed}", a.id);
+            }
+        }
+    }
+
+    #[test]
+    fn alpha_partitions_the_component_undirected() {
+        // |SGi| + Σ α(a) = component size, for every sub-graph of a connected
+        // undirected graph.
+        let g = generators::whiskered_community(&generators::WhiskeredCommunityParams {
+            core_vertices: 60,
+            core_attach: 3,
+            community_count: 6,
+            community_size: 10,
+            community_density: 2.0,
+            whiskers: 30,
+            seed: 4,
+        });
+        let n = g.num_vertices() as u64;
+        let d = decompose(&g, &PartitionOptions::default());
+        for sg in &d.subgraphs {
+            let covered = sg.num_vertices() as u64 + sg.alpha.iter().sum::<u64>();
+            assert_eq!(covered, n, "SG{}", sg.id);
+        }
+    }
+
+    #[test]
+    fn directed_alpha_beta_respect_orientation() {
+        // 0 -> 1 -> 2 and 2 -> 3 -> 4, with 1 -> 0 and 3 -> 2 back-edges
+        // absent: from the boundary art point 2, α toward {3,4} is 2, β from
+        // {0,1} is 2, while α toward {0,1} is 0 (unreachable).
+        let g = apgre_graph::Graph::directed_from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let d = decompose(&g, &opts(1, AlphaBetaMethod::BlockedBfs));
+        // threshold 1: nothing merges except forced rules; vertex 2 is a
+        // boundary point of whichever sub-graphs it lands in.
+        let mut seen_any = false;
+        for sg in &d.subgraphs {
+            if let Some(l) = sg.local_of(2) {
+                if sg.is_boundary[l as usize] {
+                    seen_any = true;
+                    let a = sg.alpha[l as usize];
+                    let b = sg.beta[l as usize];
+                    // From 2: reachable outside-of-SG vertices are a subset of
+                    // {3,4}; reaching 2: subset of {0,1}.
+                    assert!(a <= 2 && b <= 2);
+                }
+            }
+        }
+        assert!(seen_any, "vertex 2 should be a boundary point somewhere");
+    }
+
+    #[test]
+    fn star_alpha_beta() {
+        // Star K_{1,5} with threshold 1: leaves hang as whisker-merged K2
+        // BCCs off the top BCC... the whole star merges into one sub-graph,
+        // so there are no boundary points at all.
+        let g = generators::star(5);
+        let d = decompose(&g, &PartitionOptions::default());
+        assert_eq!(d.num_subgraphs(), 1);
+        assert!(d.subgraphs[0].boundary.is_empty());
+    }
+
+    #[test]
+    fn lollipop_boundary_alpha() {
+        // K_8 clique + path of 40: the clique is the top BCC; the path edges
+        // merge into chunks of `threshold`; every junction articulation point
+        // gets α = vertices beyond it.
+        let g = generators::lollipop(8, 40);
+        let d = decompose(&g, &opts(10, AlphaBetaMethod::Auto));
+        assert!(d.num_subgraphs() >= 2, "{} sub-graphs", d.num_subgraphs());
+        d.validate(&g).unwrap();
+        let n = g.num_vertices() as u64;
+        for sg in &d.subgraphs {
+            let covered = sg.num_vertices() as u64 + sg.alpha.iter().sum::<u64>();
+            assert_eq!(covered, n, "SG{}", sg.id);
+        }
+    }
+}

@@ -1,0 +1,267 @@
+//! The block-cut tree: biconnected components attached at articulation
+//! points (paper §3.1, property 3: "any connected graph decomposes into a
+//! tree of biconnected components").
+//!
+//! The tree is bipartite — BCC nodes alternate with articulation-point nodes.
+//! Rooting it and computing subtree vertex weights gives an `O(V + E)` way to
+//! answer "how many vertices hang off articulation point `a` away from a set
+//! of BCCs", which is exactly the undirected `α`/`β` query (see
+//! [`crate::alpha_beta`]).
+
+use crate::bcc::BccResult;
+use apgre_graph::VertexId;
+
+const NIL: u32 = u32::MAX;
+
+/// The bipartite block-cut structure derived from a [`BccResult`].
+#[derive(Clone, Debug)]
+pub struct BlockCutTree {
+    /// Per-BCC: global ids of the articulation vertices it contains.
+    pub bcc_arts: Vec<Vec<VertexId>>,
+    /// Dense articulation index per vertex (`u32::MAX` for non-articulation
+    /// vertices).
+    pub art_index: Vec<u32>,
+    /// Global vertex id per dense articulation index.
+    pub art_vertices: Vec<VertexId>,
+    /// Per dense articulation index: the BCC ids containing that vertex.
+    pub art_bccs: Vec<Vec<u32>>,
+    /// Per-BCC: number of **non-articulation** vertices (its exclusive
+    /// weight in subtree sums; articulation vertices weigh on their own
+    /// nodes).
+    pub bcc_nonart_weight: Vec<u64>,
+}
+
+impl BlockCutTree {
+    /// Builds the tree from a BCC decomposition.
+    pub fn build(bcc: &BccResult) -> Self {
+        let n = bcc.is_articulation.len();
+        let mut art_index = vec![NIL; n];
+        let mut art_vertices = Vec::new();
+        for v in 0..n {
+            if bcc.is_articulation[v] {
+                art_index[v] = art_vertices.len() as u32;
+                art_vertices.push(v as VertexId);
+            }
+        }
+        let mut bcc_arts = vec![Vec::new(); bcc.count()];
+        let mut art_bccs = vec![Vec::new(); art_vertices.len()];
+        let mut bcc_nonart_weight = vec![0u64; bcc.count()];
+        for (b, verts) in bcc.bcc_vertices.iter().enumerate() {
+            for &v in verts {
+                let ai = art_index[v as usize];
+                if ai == NIL {
+                    bcc_nonart_weight[b] += 1;
+                } else {
+                    bcc_arts[b].push(v);
+                    art_bccs[ai as usize].push(b as u32);
+                }
+            }
+        }
+        BlockCutTree { bcc_arts, art_index, art_vertices, art_bccs, bcc_nonart_weight }
+    }
+
+    /// Number of BCC nodes.
+    pub fn num_bccs(&self) -> usize {
+        self.bcc_arts.len()
+    }
+
+    /// Number of articulation nodes.
+    pub fn num_arts(&self) -> usize {
+        self.art_vertices.len()
+    }
+
+    /// Node id of BCC `b` in the bipartite tree.
+    #[inline]
+    fn bcc_node(&self, b: u32) -> u32 {
+        b
+    }
+
+    /// Node id of dense articulation index `a` in the bipartite tree.
+    #[inline]
+    fn art_node(&self, a: u32) -> u32 {
+        self.num_bccs() as u32 + a
+    }
+
+    /// Roots every tree component and computes subtree weights.
+    pub fn rooted(&self) -> RootedBlockCutTree<'_> {
+        let nb = self.num_bccs();
+        let na = self.num_arts();
+        let total_nodes = nb + na;
+        let mut parent = vec![NIL; total_nodes];
+        let mut comp_of = vec![NIL; total_nodes];
+        let mut order: Vec<u32> = Vec::with_capacity(total_nodes);
+        let mut comp_total: Vec<u64> = Vec::new();
+        let mut subtree = vec![0u64; total_nodes];
+        for node in 0..total_nodes {
+            subtree[node] = self.node_weight(node as u32);
+        }
+        let mut visited = vec![false; total_nodes];
+        for start in 0..total_nodes as u32 {
+            if visited[start as usize] {
+                continue;
+            }
+            let comp = comp_total.len() as u32;
+            comp_total.push(0);
+            // BFS over the bipartite tree.
+            let mut queue = std::collections::VecDeque::new();
+            visited[start as usize] = true;
+            comp_of[start as usize] = comp;
+            queue.push_back(start);
+            while let Some(node) = queue.pop_front() {
+                order.push(node);
+                comp_total[comp as usize] += self.node_weight(node);
+                for nb_node in self.node_neighbors(node) {
+                    if !visited[nb_node as usize] {
+                        visited[nb_node as usize] = true;
+                        comp_of[nb_node as usize] = comp;
+                        parent[nb_node as usize] = node;
+                        queue.push_back(nb_node);
+                    }
+                }
+            }
+        }
+        // Accumulate subtree weights bottom-up (reverse BFS order).
+        for &node in order.iter().rev() {
+            let p = parent[node as usize];
+            if p != NIL {
+                subtree[p as usize] += subtree[node as usize];
+            }
+        }
+        RootedBlockCutTree { tree: self, parent, subtree, comp_of, comp_total }
+    }
+
+    fn node_weight(&self, node: u32) -> u64 {
+        let nb = self.num_bccs() as u32;
+        if node < nb {
+            self.bcc_nonart_weight[node as usize]
+        } else {
+            1
+        }
+    }
+
+    pub(crate) fn node_neighbors(&self, node: u32) -> Vec<u32> {
+        let nb = self.num_bccs() as u32;
+        if node < nb {
+            self.bcc_arts[node as usize]
+                .iter()
+                .map(|&v| self.art_node(self.art_index[v as usize]))
+                .collect()
+        } else {
+            let a = (node - nb) as usize;
+            self.art_bccs[a].iter().map(|&b| self.bcc_node(b)).collect()
+        }
+    }
+}
+
+/// A rooted view of the block-cut tree with subtree vertex weights.
+pub struct RootedBlockCutTree<'a> {
+    tree: &'a BlockCutTree,
+    parent: Vec<u32>,
+    subtree: Vec<u64>,
+    comp_of: Vec<u32>,
+    comp_total: Vec<u64>,
+}
+
+impl RootedBlockCutTree<'_> {
+    /// Number of graph vertices hanging off articulation vertex `art`
+    /// (global id) through BCC `b`, **excluding `art` itself**: the weight of
+    /// the tree branch incident to `art`'s node in the direction of `b`'s
+    /// node.
+    pub fn branch_weight(&self, art: VertexId, b: u32) -> u64 {
+        let ai = self.tree.art_index[art as usize];
+        assert_ne!(ai, NIL, "vertex {art} is not an articulation point");
+        let a_node = self.tree.art_node(ai);
+        let b_node = self.tree.bcc_node(b);
+        if self.parent[b_node as usize] == a_node {
+            self.subtree[b_node as usize]
+        } else {
+            debug_assert_eq!(
+                self.parent[a_node as usize],
+                b_node,
+                "BCC {b} is not adjacent to articulation vertex {art}"
+            );
+            self.comp_total[self.comp_of[a_node as usize] as usize] - self.subtree[a_node as usize]
+        }
+    }
+
+    /// Total graph-vertex weight of the tree component containing BCC `b`.
+    pub fn component_weight_of_bcc(&self, b: u32) -> u64 {
+        self.comp_total[self.comp_of[b as usize] as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bcc::biconnected_components;
+    use apgre_graph::generators;
+    use apgre_graph::Graph;
+
+    #[test]
+    fn path_tree_structure() {
+        // 0-1-2-3: BCCs {01},{12},{23}; arts {1,2}.
+        let g = generators::path(4);
+        let bcc = biconnected_components(&g);
+        let t = BlockCutTree::build(&bcc);
+        assert_eq!(t.num_bccs(), 3);
+        assert_eq!(t.num_arts(), 2);
+        let rooted = t.rooted();
+        // From art 1 through the BCC containing edge (0,1): 1 vertex (just 0).
+        let b01 = bcc.bcc_of_edge(0, 1);
+        let b12 = bcc.bcc_of_edge(1, 2);
+        assert_eq!(rooted.branch_weight(1, b01), 1);
+        // From art 1 through BCC {1,2}: vertices {2, 3} = 2.
+        assert_eq!(rooted.branch_weight(1, b12), 2);
+        let b23 = bcc.bcc_of_edge(2, 3);
+        assert_eq!(rooted.branch_weight(2, b23), 1);
+        assert_eq!(rooted.branch_weight(2, b12), 2);
+        assert_eq!(rooted.component_weight_of_bcc(b01), 4);
+    }
+
+    #[test]
+    fn branch_weights_sum_to_component_minus_art() {
+        let g = generators::whiskered_community(&generators::WhiskeredCommunityParams {
+            core_vertices: 40,
+            core_attach: 2,
+            community_count: 4,
+            community_size: 8,
+            community_density: 1.5,
+            whiskers: 15,
+            seed: 9,
+        });
+        let bcc = biconnected_components(&g);
+        let t = BlockCutTree::build(&bcc);
+        let rooted = t.rooted();
+        for (ai, &art) in t.art_vertices.iter().enumerate() {
+            let total: u64 = t.art_bccs[ai].iter().map(|&b| rooted.branch_weight(art, b)).sum();
+            let comp_total = rooted.component_weight_of_bcc(t.art_bccs[ai][0]);
+            assert_eq!(total, comp_total - 1, "art vertex {art}");
+        }
+    }
+
+    #[test]
+    fn two_components() {
+        let g = Graph::undirected_from_edges(7, &[(0, 1), (1, 2), (4, 5), (5, 6)]);
+        let bcc = biconnected_components(&g);
+        let t = BlockCutTree::build(&bcc);
+        let rooted = t.rooted();
+        let b01 = bcc.bcc_of_edge(0, 1);
+        let b45 = bcc.bcc_of_edge(4, 5);
+        assert_eq!(rooted.component_weight_of_bcc(b01), 3);
+        assert_eq!(rooted.component_weight_of_bcc(b45), 3);
+        assert_eq!(rooted.branch_weight(1, b01), 1);
+        assert_eq!(rooted.branch_weight(5, b45), 1);
+    }
+
+    #[test]
+    fn star_center_branches() {
+        let g = generators::star(5);
+        let bcc = biconnected_components(&g);
+        let t = BlockCutTree::build(&bcc);
+        let rooted = t.rooted();
+        for leaf in 1..=5u32 {
+            let b = bcc.bcc_of_edge(0, leaf);
+            assert_eq!(rooted.branch_weight(0, b), 1);
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Slow reference implementations used as oracles in tests and in the
+//! redundancy analyzer. Everything here is `O(V·(V+E))` or worse — never use
+//! on experiment-sized graphs.
+
+use apgre_graph::connectivity::connected_components;
+use apgre_graph::{Graph, VertexId};
+use std::collections::VecDeque;
+
+/// Articulation points by definition: `v` is an articulation point iff
+/// removing it increases the number of connected components among the
+/// remaining vertices. `O(V·(V+E))`.
+pub fn naive_articulation_points(g: &Graph) -> Vec<bool> {
+    assert!(!g.is_directed());
+    let n = g.num_vertices();
+    let base = connected_components(g).count();
+    let mut result = vec![false; n];
+    let mut visited = vec![false; n];
+    let mut queue = VecDeque::new();
+    for v in 0..n as VertexId {
+        if g.out_degree(v) == 0 {
+            continue;
+        }
+        visited.fill(false);
+        visited[v as usize] = true; // pretend removed
+        let mut comps = 0usize;
+        for start in 0..n as VertexId {
+            if visited[start as usize] {
+                continue;
+            }
+            comps += 1;
+            visited[start as usize] = true;
+            queue.push_back(start);
+            while let Some(u) = queue.pop_front() {
+                for &w in g.out_neighbors(u) {
+                    if !visited[w as usize] {
+                        visited[w as usize] = true;
+                        queue.push_back(w);
+                    }
+                }
+            }
+        }
+        // Removing non-isolated v: components go from `base` to
+        // `base - 1 + k` where k is the number of pieces v's component
+        // splits into; articulation iff k >= 2.
+        result[v as usize] = comps > base;
+    }
+    result
+}
+
+/// Definitional betweenness centrality from the σ matrix:
+/// `BC(v) = Σ_{s≠v≠t} σ_st(v)/σ_st` with
+/// `σ_st(v) = σ_sv·σ_vt` when `d(s,v) + d(v,t) = d(s,t)` (paper §3.1
+/// property 2). All-pairs BFS, `O(V²)` memory — a test oracle independent of
+/// Brandes' accumulation trick.
+pub fn naive_bc(g: &Graph) -> Vec<f64> {
+    let n = g.num_vertices();
+    let csr = g.csr();
+    let mut dist = vec![vec![u32::MAX; n]; n];
+    let mut sigma = vec![vec![0f64; n]; n];
+    let mut queue = VecDeque::new();
+    for s in 0..n {
+        dist[s][s] = 0;
+        sigma[s][s] = 1.0;
+        queue.push_back(s as VertexId);
+        while let Some(u) = queue.pop_front() {
+            let du = dist[s][u as usize];
+            for &v in csr.neighbors(u) {
+                if dist[s][v as usize] == u32::MAX {
+                    dist[s][v as usize] = du + 1;
+                    queue.push_back(v);
+                }
+                if dist[s][v as usize] == du + 1 {
+                    sigma[s][v as usize] += sigma[s][u as usize];
+                }
+            }
+        }
+    }
+    let mut bc = vec![0f64; n];
+    for s in 0..n {
+        for t in 0..n {
+            if s == t || sigma[s][t] == 0.0 {
+                continue;
+            }
+            for v in 0..n {
+                if v == s || v == t {
+                    continue;
+                }
+                if dist[s][v] != u32::MAX
+                    && dist[v][t] != u32::MAX
+                    && dist[s][v] + dist[v][t] == dist[s][t]
+                {
+                    bc[v] += sigma[s][v] * sigma[v][t] / sigma[s][t];
+                }
+            }
+        }
+    }
+    bc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apgre_graph::generators;
+
+    #[test]
+    fn naive_art_on_path() {
+        let g = generators::path(4);
+        assert_eq!(naive_articulation_points(&g), vec![false, true, true, false]);
+    }
+
+    #[test]
+    fn naive_art_isolated_vertex_is_not_articulation() {
+        let g = Graph::undirected_from_edges(3, &[(0, 1)]);
+        assert_eq!(naive_articulation_points(&g), vec![false, false, false]);
+    }
+
+    #[test]
+    fn naive_bc_path_closed_form() {
+        // Path 0-1-2-3: BC(1) = BC(2) = 2·2 = 4 directional (pairs (0,2),(0,3) through 1, ×2 directions).
+        let g = generators::path(4);
+        let bc = naive_bc(&g);
+        assert_eq!(bc, vec![0.0, 4.0, 4.0, 0.0]);
+    }
+
+    #[test]
+    fn naive_bc_star_closed_form() {
+        // Star K_{1,4}: centre carries all k(k-1) ordered leaf pairs.
+        let g = generators::star(4);
+        let bc = naive_bc(&g);
+        assert_eq!(bc[0], 12.0);
+        assert!(bc[1..].iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn naive_bc_cycle_even() {
+        // Cycle of 6: by symmetry all vertices equal; for C6 each vertex has
+        // BC = 2·( (1) + (0.5+0.5) ) = ... verified value: pairs at distance 2
+        // have 1 path through the middle vertex; distance-3 pairs have 2 paths.
+        let g = generators::cycle(6);
+        let bc = naive_bc(&g);
+        for v in 1..6 {
+            assert!((bc[v] - bc[0]).abs() < 1e-12);
+        }
+        assert!(bc[0] > 0.0);
+    }
+
+    #[test]
+    fn naive_bc_directed_asymmetry() {
+        let g = Graph::directed_from_edges(3, &[(0, 1), (1, 2)]);
+        let bc = naive_bc(&g);
+        assert_eq!(bc, vec![0.0, 1.0, 0.0]);
+    }
+}

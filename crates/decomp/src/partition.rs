@@ -1,0 +1,653 @@
+//! Graph partition through articulation points — the paper's Algorithm 1
+//! (`GRAPHPARTITION`).
+//!
+//! The graph's biconnected components form a tree (per connected component).
+//! Starting from the largest BCC (`topBCC`), a DFS over that tree merges
+//! small BCCs into their parents — "effectively recognize common sub-DAGs,
+//! merge small adjacent sub-graphs for large granularity, and minimize the
+//! amount of articulation points" — and every surviving merged group becomes
+//! one [`SubGraph`] with its own local CSR, boundary articulation set
+//! `A_sgi`, root set `R_sgi` and whisker counts `γ_SGi`.
+//!
+//! Deviation from the paper as printed: the paper runs one DFS from the
+//! global `topBCC` and sweeps all BCCs it never reached (other connected
+//! components) into a single leftover sub-graph (Algorithm 1 lines 26–32).
+//! We instead run the same procedure **per connected component**, which is
+//! strictly more faithful to the algorithm's intent (the leftover sub-graph
+//! would silently forgo redundancy elimination in its components) and makes
+//! the decomposition exact on disconnected inputs.
+
+use crate::alpha_beta::{self, AlphaBetaMethod};
+use crate::bcc::{biconnected_components, BccResult};
+use crate::block_cut_tree::BlockCutTree;
+use crate::subgraph::SubGraph;
+use apgre_graph::{Graph, VertexId};
+
+const NIL: u32 = u32::MAX;
+
+/// Options for [`decompose`].
+#[derive(Clone, Debug)]
+pub struct PartitionOptions {
+    /// BCCs with fewer accumulated vertices than this merge into their
+    /// parent BCC (the paper's `THRESHOLD`). Higher values mean fewer, larger
+    /// sub-graphs.
+    pub merge_threshold: usize,
+    /// How `α`/`β` are computed.
+    pub alpha_beta: AlphaBetaMethod,
+    /// Collapse every connected component into a single sub-graph (disables
+    /// the partial-redundancy elimination entirely while keeping the whisker
+    /// folding). Used by the γ-vs-partial ablation.
+    pub merge_all: bool,
+}
+
+impl Default for PartitionOptions {
+    fn default() -> Self {
+        PartitionOptions {
+            merge_threshold: 32,
+            alpha_beta: AlphaBetaMethod::Auto,
+            merge_all: false,
+        }
+    }
+}
+
+/// Wall-clock timings of the decomposition phases (Figure 8's first two
+/// bars: graph partition and α/β counting).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DecompTimings {
+    /// BCC finding + merging + sub-graph construction (Algorithm 1).
+    pub partition: std::time::Duration,
+    /// α/β counting (§4 step 2).
+    pub alpha_beta: std::time::Duration,
+}
+
+/// The decomposed graph: sub-graphs connected through articulation points.
+#[derive(Clone, Debug)]
+pub struct Decomposition {
+    /// Vertex count of the parent graph.
+    pub num_vertices: usize,
+    /// Global articulation flags (of the undirected structure).
+    pub is_articulation: Vec<bool>,
+    /// The sub-graphs, in creation order.
+    pub subgraphs: Vec<SubGraph>,
+    /// Index of the largest sub-graph (the paper's "top sub-graph").
+    pub top_subgraph: usize,
+    /// Sub-graph id owning each BCC.
+    pub subgraph_of_bcc: Vec<u32>,
+    /// Number of biconnected components found.
+    pub num_bccs: usize,
+    /// Phase timings.
+    pub timings: DecompTimings,
+}
+
+impl Decomposition {
+    /// Total number of sub-graphs (`#SG` in Table 4).
+    pub fn num_subgraphs(&self) -> usize {
+        self.subgraphs.len()
+    }
+
+    /// Sub-graphs sorted by vertex count, descending (Table 4 reports the
+    /// top three).
+    pub fn subgraphs_by_size(&self) -> Vec<&SubGraph> {
+        let mut v: Vec<&SubGraph> = self.subgraphs.iter().collect();
+        v.sort_by_key(|sg| std::cmp::Reverse((sg.num_vertices(), sg.num_edges())));
+        v
+    }
+
+    /// Reverts the total-redundancy optimization: every whisker becomes its
+    /// own root again and all `γ` counts drop to zero. The BC kernels then
+    /// sweep every vertex, isolating the partial-redundancy elimination —
+    /// the other half of the γ-vs-partial ablation.
+    pub fn unfold_whiskers(&mut self) {
+        for sg in &mut self.subgraphs {
+            sg.gamma.fill(0);
+            sg.is_whisker.fill(false);
+            sg.roots = (0..sg.num_vertices() as u32).collect();
+        }
+    }
+
+    /// Structural invariant check used by tests; returns a description of the
+    /// first violation.
+    pub fn validate(&self, g: &Graph) -> Result<(), String> {
+        let n = g.num_vertices();
+        // 1. Edges are partitioned: every edge in exactly one sub-graph.
+        let total: usize = self.subgraphs.iter().map(|sg| sg.num_edges()).sum();
+        if total != g.num_edges() {
+            return Err(format!("edge partition: {} local vs {} global", total, g.num_edges()));
+        }
+        // 2. Vertex coverage: non-isolated vertices in >= 1 sub-graph;
+        //    non-articulation vertices in exactly one.
+        let mut membership = vec![0u32; n];
+        for sg in &self.subgraphs {
+            for &v in &sg.globals {
+                membership[v as usize] += 1;
+            }
+        }
+        for v in 0..n {
+            let deg = g.out_degree(v as VertexId) + g.in_degree(v as VertexId);
+            if deg > 0 && membership[v] == 0 {
+                return Err(format!("vertex {v} uncovered"));
+            }
+            if !self.is_articulation[v] && membership[v] > 1 {
+                return Err(format!("non-articulation vertex {v} in {} sub-graphs", membership[v]));
+            }
+        }
+        for sg in &self.subgraphs {
+            // 3. Boundary points are articulation points present elsewhere.
+            for &b in &sg.boundary {
+                let gv = sg.global_of(b);
+                if !self.is_articulation[gv as usize] {
+                    return Err(format!("boundary {gv} of SG{} is not an articulation point", sg.id));
+                }
+                if membership[gv as usize] < 2 {
+                    return Err(format!("boundary {gv} of SG{} is in only one sub-graph", sg.id));
+                }
+            }
+            // 4. Roots ∪ whiskers partition the local vertex set.
+            let whiskers = sg.is_whisker.iter().filter(|&&w| w).count();
+            if whiskers + sg.roots.len() != sg.num_vertices() {
+                return Err(format!("SG{}: roots+whiskers != vertices", sg.id));
+            }
+            // 5. γ mass equals the whisker count.
+            let gamma_sum: u64 = sg.gamma.iter().map(|&x| x as u64).sum();
+            if gamma_sum != whiskers as u64 {
+                return Err(format!("SG{}: γ sum {} != whiskers {}", sg.id, gamma_sum, whiskers));
+            }
+            // 6. α/β only on boundary points.
+            for l in 0..sg.num_vertices() {
+                if !sg.is_boundary[l] && (sg.alpha[l] != 0 || sg.beta[l] != 0) {
+                    return Err(format!("SG{}: α/β set on non-boundary local {l}", sg.id));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Decomposes `g` into sub-graphs connected by articulation points and fills
+/// `α`, `β`, `γ`, and the root sets (paper Algorithm 1 + §4 step 2).
+pub fn decompose(g: &Graph, opts: &PartitionOptions) -> Decomposition {
+    let t0 = std::time::Instant::now();
+    let und = g.to_undirected();
+    let bcc = biconnected_components(&und);
+    let bct = BlockCutTree::build(&bcc);
+    let groups = if opts.merge_all {
+        merge_all_per_component(&bct)
+    } else {
+        merge_bccs(&bcc, &bct, opts.merge_threshold as u64)
+    };
+
+    let num_bccs = bcc.count();
+    let mut subgraph_of_bcc = vec![NIL; num_bccs];
+    for (gi, group) in groups.iter().enumerate() {
+        for &b in group {
+            subgraph_of_bcc[b as usize] = gi as u32;
+        }
+    }
+    debug_assert!(subgraph_of_bcc.iter().all(|&x| x != NIL));
+
+    let subgraphs = build_subgraphs(g, &bcc, &bct, &groups, &subgraph_of_bcc);
+    let top_subgraph = subgraphs
+        .iter()
+        .enumerate()
+        .max_by_key(|(i, sg)| (sg.num_vertices(), usize::MAX - i))
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+
+    let partition_time = t0.elapsed();
+    let mut decomp = Decomposition {
+        num_vertices: g.num_vertices(),
+        is_articulation: bcc.is_articulation.clone(),
+        subgraphs,
+        top_subgraph,
+        subgraph_of_bcc,
+        num_bccs,
+        timings: DecompTimings::default(),
+    };
+    let t1 = std::time::Instant::now();
+    alpha_beta::fill(g, &mut decomp, &bcc, &bct, opts.alpha_beta);
+    decomp.timings = DecompTimings { partition: partition_time, alpha_beta: t1.elapsed() };
+    decomp
+}
+
+/// One group per connected component (every BCC of a component collapsed
+/// together): no boundary articulation points survive, so the BC kernel
+/// degrades to whisker-folded Brandes. Ablation support.
+fn merge_all_per_component(bct: &BlockCutTree) -> Vec<Vec<u32>> {
+    let nb = bct.num_bccs();
+    let total_nodes = nb + bct.num_arts();
+    let mut visited = vec![false; total_nodes];
+    let mut groups = Vec::new();
+    for start in 0..nb as u32 {
+        if visited[start as usize] {
+            continue;
+        }
+        let mut group = Vec::new();
+        let mut queue = std::collections::VecDeque::new();
+        visited[start as usize] = true;
+        queue.push_back(start);
+        while let Some(node) = queue.pop_front() {
+            if (node as usize) < nb {
+                group.push(node);
+            }
+            for nxt in bct.node_neighbors(node) {
+                if !visited[nxt as usize] {
+                    visited[nxt as usize] = true;
+                    queue.push_back(nxt);
+                }
+            }
+        }
+        groups.push(group);
+    }
+    groups
+}
+
+/// DFS over the block-cut tree, merging small BCCs into their parents
+/// (Algorithm 1 lines 4–24), per connected component, starting from each
+/// component's largest BCC.
+fn merge_bccs(bcc: &BccResult, bct: &BlockCutTree, threshold: u64) -> Vec<Vec<u32>> {
+    let nb = bct.num_bccs();
+    let total_nodes = nb + bct.num_arts();
+    let mut visited = vec![false; total_nodes];
+    let mut comp_scratch: Vec<u32> = Vec::new();
+    let mut vset: Vec<Vec<u32>> = (0..nb as u32).map(|b| vec![b]).collect();
+    let mut size: Vec<u64> = bcc.bcc_vertices.iter().map(|v| v.len() as u64).collect();
+    let mut groups: Vec<Vec<u32>> = Vec::new();
+
+    struct Frame {
+        node: u32,
+        parent: u32,
+        nbrs: Vec<u32>,
+        idx: usize,
+    }
+
+    for start in 0..nb as u32 {
+        if visited[start as usize] {
+            continue;
+        }
+        // Collect this tree component's BCC nodes to find its topBCC.
+        comp_scratch.clear();
+        let mut queue = std::collections::VecDeque::new();
+        visited[start as usize] = true;
+        queue.push_back(start);
+        while let Some(node) = queue.pop_front() {
+            if (node as usize) < nb {
+                comp_scratch.push(node);
+            }
+            for nxt in bct.node_neighbors(node) {
+                if !visited[nxt as usize] {
+                    visited[nxt as usize] = true;
+                    queue.push_back(nxt);
+                }
+            }
+        }
+        let top_bcc = *comp_scratch
+            .iter()
+            .max_by_key(|&&b| (bcc.bcc_vertices[b as usize].len(), u32::MAX - b))
+            .expect("component without BCCs");
+
+        // Post-order DFS from topBCC with the paper's merge rules.
+        let mut in_dfs = std::collections::HashSet::new();
+        let mut stack: Vec<Frame> = Vec::new();
+        in_dfs.insert(top_bcc);
+        stack.push(Frame { node: top_bcc, parent: NIL, nbrs: bct.node_neighbors(top_bcc), idx: 0 });
+        while let Some(top) = stack.last_mut() {
+            if top.idx < top.nbrs.len() {
+                let nxt = top.nbrs[top.idx];
+                top.idx += 1;
+                if nxt == top.parent || in_dfs.contains(&nxt) {
+                    continue;
+                }
+                in_dfs.insert(nxt);
+                let node = top.node;
+                stack.push(Frame { node: nxt, parent: node, nbrs: bct.node_neighbors(nxt), idx: 0 });
+            } else {
+                let frame = stack.pop().expect("stack non-empty");
+                if (frame.node as usize) >= nb {
+                    continue; // articulation node: nothing to merge
+                }
+                let b = frame.node;
+                if b == top_bcc {
+                    groups.push(std::mem::take(&mut vset[b as usize]));
+                    continue;
+                }
+                // Grandparent BCC through the parent articulation node.
+                let art_frame = stack.last().expect("BCC below root must have an articulation parent");
+                debug_assert!(art_frame.node as usize >= nb);
+                let prev = art_frame.parent;
+                debug_assert!((prev as usize) < nb);
+                let curr_size = size[b as usize];
+                // Algorithm 1's two merge rules: below-threshold groups fold
+                // into a non-top parent; only trivial (<= 2 vertex) groups
+                // fold into the top BCC itself.
+                let merge = if prev != top_bcc { curr_size < threshold } else { curr_size <= 2 };
+                if merge {
+                    let moved = std::mem::take(&mut vset[b as usize]);
+                    vset[prev as usize].extend(moved);
+                    size[prev as usize] += curr_size;
+                } else {
+                    groups.push(std::mem::take(&mut vset[b as usize]));
+                }
+            }
+        }
+    }
+    groups
+}
+
+/// `BUILDSUBGRAPH`: local CSRs, boundary sets, whiskers, γ, roots.
+fn build_subgraphs(
+    g: &Graph,
+    bcc: &BccResult,
+    bct: &BlockCutTree,
+    groups: &[Vec<u32>],
+    subgraph_of_bcc: &[u32],
+) -> Vec<SubGraph> {
+    let n = g.num_vertices();
+    let nsg = groups.len();
+
+    // Vertex sets (sorted global ids per sub-graph).
+    let mut sg_globals: Vec<Vec<VertexId>> = vec![Vec::new(); nsg];
+    let mut stamp = vec![NIL; n];
+    for (gi, group) in groups.iter().enumerate() {
+        for &b in group {
+            for &v in &bcc.bcc_vertices[b as usize] {
+                if stamp[v as usize] != gi as u32 {
+                    stamp[v as usize] = gi as u32;
+                    sg_globals[gi].push(v);
+                }
+            }
+        }
+        sg_globals[gi].sort_unstable();
+    }
+
+    // Edge assignment: each edge's BCC owns it (paper §3.1 property 4).
+    let mut sg_edges: Vec<Vec<(VertexId, VertexId)>> = vec![Vec::new(); nsg];
+    if g.is_directed() {
+        for (u, v) in g.arcs() {
+            if u == v {
+                continue; // self-loops never lie on shortest paths
+            }
+            let b = bcc.bcc_of_edge(u, v);
+            sg_edges[subgraph_of_bcc[b as usize] as usize].push((u, v));
+        }
+    } else {
+        for (u, v) in g.undirected_edges() {
+            let b = bcc.bcc_of_edge(u, v);
+            sg_edges[subgraph_of_bcc[b as usize] as usize].push((u, v));
+        }
+    }
+
+    let mut local_of = vec![NIL; n];
+    let mut subgraphs = Vec::with_capacity(nsg);
+    for gi in 0..nsg {
+        let globals = std::mem::take(&mut sg_globals[gi]);
+        let ln = globals.len();
+        for (l, &v) in globals.iter().enumerate() {
+            local_of[v as usize] = l as u32;
+        }
+        let local_edges: Vec<(VertexId, VertexId)> = sg_edges[gi]
+            .iter()
+            .map(|&(u, v)| (local_of[u as usize], local_of[v as usize]))
+            .collect();
+        let graph = if g.is_directed() {
+            Graph::directed_from_edges(ln, &local_edges)
+        } else {
+            Graph::undirected_from_edges(ln, &local_edges)
+        };
+
+        // Boundary articulation points: articulation points of G whose
+        // incident BCCs span more than this sub-graph.
+        let mut is_boundary = vec![false; ln];
+        let mut boundary = Vec::new();
+        for (l, &v) in globals.iter().enumerate() {
+            let ai = bct.art_index[v as usize];
+            if ai == NIL {
+                continue;
+            }
+            let crosses = bct.art_bccs[ai as usize]
+                .iter()
+                .any(|&b| subgraph_of_bcc[b as usize] != gi as u32);
+            if crosses {
+                is_boundary[l] = true;
+                boundary.push(l as u32);
+            }
+        }
+
+        // Whiskers and γ (the paper's total redundancy): a non-boundary
+        // vertex with undirected degree 1 (or, when directed, in-degree 0
+        // and out-degree 1). Non-boundary vertices have all their global
+        // edges inside this sub-graph, so local degrees are global degrees.
+        let mut is_whisker = vec![false; ln];
+        let mut gamma = vec![0u32; ln];
+        for l in 0..ln as u32 {
+            if is_boundary[l as usize] {
+                continue;
+            }
+            let qualifies = if g.is_directed() {
+                graph.in_degree(l) == 0 && graph.out_degree(l) == 1
+            } else {
+                graph.out_degree(l) == 1
+            };
+            if !qualifies {
+                continue;
+            }
+            let host = graph.out_neighbors(l)[0];
+            // Isolated-edge special case (undirected K2): both endpoints
+            // qualify; keep the lower id as the root.
+            if !g.is_directed()
+                && !is_boundary[host as usize]
+                && graph.out_degree(host) == 1
+                && l < host
+            {
+                continue;
+            }
+            is_whisker[l as usize] = true;
+            gamma[host as usize] += 1;
+        }
+        let roots: Vec<u32> = (0..ln as u32).filter(|&l| !is_whisker[l as usize]).collect();
+
+        subgraphs.push(SubGraph {
+            id: gi,
+            globals,
+            graph,
+            is_boundary,
+            boundary,
+            alpha: vec![0; ln],
+            beta: vec![0; ln],
+            gamma,
+            is_whisker,
+            roots,
+        });
+        for &v in &subgraphs[gi].globals {
+            local_of[v as usize] = NIL;
+        }
+    }
+    subgraphs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apgre_graph::generators;
+
+    fn fig3_undirected() -> Graph {
+        Graph::undirected_from_edges(
+            13,
+            &[
+                (0, 2), (1, 2), (2, 4), (2, 5), (4, 5), (4, 3), (5, 3), (5, 6),
+                (4, 6), (3, 6), (3, 10), (3, 12), (10, 12), (3, 11), (10, 11),
+                (6, 7), (6, 8), (7, 9), (8, 9),
+            ],
+        )
+    }
+
+    #[test]
+    fn figure3_decomposition_three_subgraphs() {
+        // With a threshold that keeps the {3,10,12} triangle and {6,7,8,9}
+        // diamond separate, the paper's example decomposes into SG1..SG3
+        // with articulation points 3 and 6 on the boundaries; 2's whiskers
+        // {0,1} merge into the middle sub-graph.
+        let g = fig3_undirected();
+        let d = decompose(
+            &g,
+            &PartitionOptions { merge_threshold: 3, ..Default::default() },
+        );
+        d.validate(&g).unwrap();
+        assert_eq!(d.num_subgraphs(), 3, "{:?}", d.subgraphs.iter().map(|s| s.globals.clone()).collect::<Vec<_>>());
+        // Global articulation points: 2, 3, 6.
+        let arts: Vec<u32> = (0..13)
+            .filter(|&v| d.is_articulation[v as usize])
+            .collect();
+        assert_eq!(arts, vec![2, 3, 6]);
+        // The middle sub-graph contains {0,1,2,3,4,5,6} and has boundary {3,6}.
+        let middle = d
+            .subgraphs
+            .iter()
+            .find(|sg| sg.contains(4) && sg.contains(5))
+            .unwrap();
+        assert_eq!(middle.globals, vec![0, 1, 2, 3, 4, 5, 6]);
+        let bounds: Vec<u32> = middle.boundary.iter().map(|&l| middle.global_of(l)).collect();
+        assert_eq!(bounds, vec![3, 6]);
+        // Whiskers 0, 1 fold into γ(2) = 2 and leave the root set.
+        let l2 = middle.local_of(2).unwrap();
+        assert_eq!(middle.gamma[l2 as usize], 2);
+        assert!(middle.is_whisker[middle.local_of(0).unwrap() as usize]);
+        assert!(middle.is_whisker[middle.local_of(1).unwrap() as usize]);
+        assert_eq!(middle.roots.len(), 5);
+        // α/β of the boundary points: beyond 3 lies {10,11,12} (α=3); beyond
+        // 6 lies {7,8,9} (α=3). β equals α in undirected graphs.
+        let l3 = middle.local_of(3).unwrap() as usize;
+        let l6 = middle.local_of(6).unwrap() as usize;
+        assert_eq!(middle.alpha[l3], 3);
+        assert_eq!(middle.beta[l3], 3);
+        assert_eq!(middle.alpha[l6], 3);
+        assert_eq!(middle.beta[l6], 3);
+        // The blob sub-graph {3,10,11,12}: boundary 3 with α = 9 vertices
+        // beyond (everything else).
+        let tri = d.subgraphs.iter().find(|sg| sg.contains(10)).unwrap();
+        assert_eq!(tri.globals, vec![3, 10, 11, 12]);
+        let t3 = tri.local_of(3).unwrap() as usize;
+        assert_eq!(tri.alpha[t3], 9);
+        // The diamond sub-graph {6,7,8,9}: boundary 6 with α = 9.
+        let dia = d.subgraphs.iter().find(|sg| sg.contains(9)).unwrap();
+        assert_eq!(dia.globals, vec![6, 7, 8, 9]);
+        let d6 = dia.local_of(6).unwrap() as usize;
+        assert_eq!(dia.alpha[d6], 9);
+    }
+
+    #[test]
+    fn large_threshold_merges_everything() {
+        let g = fig3_undirected();
+        let d = decompose(&g, &PartitionOptions { merge_threshold: 100, ..Default::default() });
+        d.validate(&g).unwrap();
+        // Children of the top BCC merge into it only when they have <= 2
+        // vertices (Algorithm 1 line 21), whatever the threshold: the two
+        // whisker edges fold into the top sub-graph, while the {3,10,11,12}
+        // blob and the {6,7,8,9} diamond stay separate.
+        assert_eq!(d.num_subgraphs(), 3);
+        let top = &d.subgraphs[d.top_subgraph];
+        // Whiskers 0 and 1 still fold.
+        assert_eq!(top.gamma.iter().map(|&x| x as u64).sum::<u64>(), 2);
+    }
+
+    #[test]
+    fn one_big_bcc_degrades_to_single_subgraph() {
+        let g = generators::complete(12);
+        let d = decompose(&g, &PartitionOptions::default());
+        d.validate(&g).unwrap();
+        assert_eq!(d.num_subgraphs(), 1);
+        assert!(d.subgraphs[0].boundary.is_empty());
+        assert_eq!(d.subgraphs[0].roots.len(), 12);
+    }
+
+    #[test]
+    fn disconnected_graph_per_component() {
+        let a = generators::lollipop(5, 10);
+        let b = generators::cycle(6);
+        let g = generators::disjoint_union(&[&a, &b]);
+        let d = decompose(&g, &PartitionOptions { merge_threshold: 4, ..Default::default() });
+        d.validate(&g).unwrap();
+        assert!(d.num_subgraphs() >= 3);
+        // The cycle is untouched and whole.
+        let cyc = d.subgraphs.iter().find(|sg| sg.contains(15)).unwrap();
+        assert_eq!(cyc.num_vertices(), 6);
+        assert!(cyc.boundary.is_empty());
+    }
+
+    #[test]
+    fn directed_graph_partition_validates() {
+        let core = generators::rmat_directed(6, 4, 5);
+        let g = generators::attach_directed_whiskers(&core, 30, 0.3, 6);
+        let d = decompose(&g, &PartitionOptions::default());
+        d.validate(&g).unwrap();
+        // Source whiskers fold into γ somewhere.
+        let total_gamma: u64 = d
+            .subgraphs
+            .iter()
+            .flat_map(|sg| sg.gamma.iter())
+            .map(|&x| x as u64)
+            .sum();
+        assert!(total_gamma > 0);
+    }
+
+    #[test]
+    fn k2_component_keeps_one_root() {
+        let g = Graph::undirected_from_edges(2, &[(0, 1)]);
+        let d = decompose(&g, &PartitionOptions::default());
+        d.validate(&g).unwrap();
+        assert_eq!(d.num_subgraphs(), 1);
+        let sg = &d.subgraphs[0];
+        assert_eq!(sg.roots, vec![0]);
+        assert!(sg.is_whisker[1]);
+        assert_eq!(sg.gamma[0], 1);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::undirected_from_edges(0, &[]);
+        let d = decompose(&g, &PartitionOptions::default());
+        assert_eq!(d.num_subgraphs(), 0);
+        d.validate(&g).unwrap();
+    }
+
+    #[test]
+    fn isolated_vertices_do_not_form_subgraphs() {
+        let g = Graph::undirected_from_edges(5, &[(0, 1)]);
+        let d = decompose(&g, &PartitionOptions::default());
+        d.validate(&g).unwrap();
+        assert_eq!(d.num_subgraphs(), 1);
+    }
+
+    #[test]
+    fn edge_partition_on_random_graphs() {
+        for seed in 0..8 {
+            let g = generators::gnm_undirected(80, 110, seed);
+            let d = decompose(&g, &PartitionOptions { merge_threshold: 6, ..Default::default() });
+            d.validate(&g).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+        for seed in 0..8 {
+            let g = generators::gnm_directed(80, 150, seed);
+            let d = decompose(&g, &PartitionOptions { merge_threshold: 6, ..Default::default() });
+            d.validate(&g).unwrap_or_else(|e| panic!("directed seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn table4_style_accounting() {
+        let g = generators::whiskered_community(&generators::WhiskeredCommunityParams {
+            core_vertices: 120,
+            core_attach: 3,
+            community_count: 10,
+            community_size: 12,
+            community_density: 1.8,
+            whiskers: 60,
+            seed: 13,
+        });
+        let d = decompose(&g, &PartitionOptions { merge_threshold: 8, ..Default::default() });
+        d.validate(&g).unwrap();
+        let by_size = d.subgraphs_by_size();
+        assert!(by_size[0].num_vertices() >= by_size.last().unwrap().num_vertices());
+        assert_eq!(by_size[0].id, d.subgraphs[d.top_subgraph].id);
+        // The BA core dominates: the top sub-graph holds most core vertices.
+        assert!(by_size[0].num_vertices() * 2 > 120, "top SG too small: {}", by_size[0].num_vertices());
+    }
+}

@@ -1,0 +1,72 @@
+//! The per-sub-graph state the APGRE kernel consumes.
+
+use apgre_graph::{Graph, VertexId};
+
+/// One sub-graph of the paper's decomposed graph `SGi(V, E, A)`
+/// (Definition 1), together with the articulation-point quantities of §3.1:
+///
+/// * `α(a)` — vertices reachable from `a` **outside** this sub-graph
+///   (size of the common sub-DAG hanging off `a`, excluding `a`),
+/// * `β(a)` — vertices outside this sub-graph that can **reach** `a`
+///   (number of source DAGs sharing the sub-DAG rooted at `a`),
+/// * `γ(v)` — whisker neighbours of `v` removed from the root set `R`
+///   (total redundancy),
+///
+/// all expressed in **local** vertex ids (`0..globals.len()`); `globals`
+/// maps back to the parent graph.
+#[derive(Clone, Debug)]
+pub struct SubGraph {
+    /// Index of this sub-graph within the decomposition.
+    pub id: usize,
+    /// Local → global vertex id map (sorted ascending, so local order is
+    /// deterministic).
+    pub globals: Vec<VertexId>,
+    /// Local graph over the edges assigned to this sub-graph. Directedness
+    /// matches the parent graph.
+    pub graph: Graph,
+    /// Per-local-vertex: is this a boundary articulation point (`∈ A_sgi`)?
+    pub is_boundary: Vec<bool>,
+    /// Local ids of the boundary articulation points (`A_sgi`).
+    pub boundary: Vec<u32>,
+    /// `α` per local vertex (non-zero only for boundary points).
+    pub alpha: Vec<u64>,
+    /// `β` per local vertex (non-zero only for boundary points).
+    pub beta: Vec<u64>,
+    /// `γ` per local vertex: number of whisker neighbours folded into this
+    /// vertex's root contribution.
+    pub gamma: Vec<u32>,
+    /// Per-local-vertex: was this vertex removed from `R` as a whisker?
+    pub is_whisker: Vec<bool>,
+    /// The root set `R_sgi`: local ids that get their own BFS.
+    pub roots: Vec<u32>,
+}
+
+impl SubGraph {
+    /// Vertices in this sub-graph (articulation points are counted in every
+    /// sub-graph they border, matching the paper's Table 4 accounting).
+    pub fn num_vertices(&self) -> usize {
+        self.globals.len()
+    }
+
+    /// Edges assigned to this sub-graph.
+    pub fn num_edges(&self) -> usize {
+        self.graph.num_edges()
+    }
+
+    /// Global id of local vertex `l`.
+    #[inline]
+    pub fn global_of(&self, l: u32) -> VertexId {
+        self.globals[l as usize]
+    }
+
+    /// Local id of global vertex `v`, if present (binary search over the
+    /// sorted `globals` list).
+    pub fn local_of(&self, v: VertexId) -> Option<u32> {
+        self.globals.binary_search(&v).ok().map(|i| i as u32)
+    }
+
+    /// Whether global vertex `v` belongs to this sub-graph.
+    pub fn contains(&self, v: VertexId) -> bool {
+        self.globals.binary_search(&v).is_ok()
+    }
+}

@@ -1,0 +1,121 @@
+//! Connected components (undirected) and weakly-connected components
+//! (directed, via the symmetrized structure).
+
+use crate::graph::Graph;
+use crate::VertexId;
+use std::collections::VecDeque;
+
+/// Component labelling: `comp[v]` is the 0-based component id of `v`;
+/// components are numbered in order of their smallest vertex.
+#[derive(Clone, Debug)]
+pub struct Components {
+    /// Per-vertex component id.
+    pub comp: Vec<u32>,
+    /// Vertex count per component.
+    pub sizes: Vec<usize>,
+}
+
+impl Components {
+    /// Number of components.
+    pub fn count(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Id of the largest component (ties broken by lower id).
+    pub fn largest(&self) -> u32 {
+        self.sizes
+            .iter()
+            .enumerate()
+            .max_by_key(|&(i, &s)| (s, usize::MAX - i))
+            .map(|(i, _)| i as u32)
+            .unwrap_or(0)
+    }
+
+    /// Vertices of component `c`.
+    pub fn members(&self, c: u32) -> Vec<VertexId> {
+        self.comp
+            .iter()
+            .enumerate()
+            .filter(|&(_, &cc)| cc == c)
+            .map(|(v, _)| v as VertexId)
+            .collect()
+    }
+}
+
+/// Connected components of the undirected structure of `g` (weakly-connected
+/// components when `g` is directed). BFS-based, `O(V + E)`.
+pub fn connected_components(g: &Graph) -> Components {
+    let n = g.num_vertices();
+    let mut comp = vec![u32::MAX; n];
+    let mut sizes = Vec::new();
+    let mut queue = VecDeque::new();
+    for start in 0..n as VertexId {
+        if comp[start as usize] != u32::MAX {
+            continue;
+        }
+        let id = sizes.len() as u32;
+        let mut size = 0usize;
+        comp[start as usize] = id;
+        queue.push_back(start);
+        while let Some(u) = queue.pop_front() {
+            size += 1;
+            for &v in g.out_neighbors(u).iter().chain(g.in_neighbors(u)) {
+                if comp[v as usize] == u32::MAX {
+                    comp[v as usize] = id;
+                    queue.push_back(v);
+                }
+            }
+        }
+        sizes.push(size);
+    }
+    Components { comp, sizes }
+}
+
+/// True iff the undirected structure of `g` is connected (empty and
+/// single-vertex graphs count as connected).
+pub fn is_connected(g: &Graph) -> bool {
+    g.num_vertices() <= 1 || connected_components(g).count() == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Graph;
+
+    #[test]
+    fn two_components() {
+        let g = Graph::undirected_from_edges(5, &[(0, 1), (2, 3)]);
+        let c = connected_components(&g);
+        assert_eq!(c.count(), 3); // {0,1}, {2,3}, {4}
+        assert_eq!(c.comp[0], c.comp[1]);
+        assert_eq!(c.comp[2], c.comp[3]);
+        assert_ne!(c.comp[0], c.comp[2]);
+        assert_eq!(c.sizes, vec![2, 2, 1]);
+    }
+
+    #[test]
+    fn weakly_connected_directed() {
+        // 0 -> 1, 2 -> 1 : weakly one component even though not strongly.
+        let g = Graph::directed_from_edges(3, &[(0, 1), (2, 1)]);
+        let c = connected_components(&g);
+        assert_eq!(c.count(), 1);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn largest_and_members() {
+        let g = Graph::undirected_from_edges(6, &[(0, 1), (1, 2), (3, 4)]);
+        let c = connected_components(&g);
+        assert_eq!(c.largest(), 0);
+        assert_eq!(c.members(0), vec![0, 1, 2]);
+        assert_eq!(c.members(1), vec![3, 4]);
+        assert_eq!(c.members(2), vec![5]);
+    }
+
+    #[test]
+    fn empty_and_singleton_connected() {
+        assert!(is_connected(&Graph::undirected_from_edges(0, &[])));
+        assert!(is_connected(&Graph::undirected_from_edges(1, &[])));
+        assert!(!is_connected(&Graph::undirected_from_edges(2, &[])));
+    }
+}

@@ -1,0 +1,206 @@
+//! Compressed-sparse-row adjacency.
+//!
+//! The layout is the classic two-array CSR: `offsets[v]..offsets[v + 1]`
+//! indexes into `targets`, giving the out-neighbours of `v`. Neighbour lists
+//! are sorted, which makes equality testing, binary-searched edge queries, and
+//! deterministic traversal order cheap.
+
+use crate::VertexId;
+
+/// Compressed-sparse-row adjacency structure.
+///
+/// Construction is via [`Csr::from_edges`] (counting sort, `O(V + E)`); the
+/// structure is immutable afterwards, which is what lets traversals share it
+/// freely across rayon workers without synchronization.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Csr {
+    offsets: Vec<usize>,
+    targets: Vec<VertexId>,
+}
+
+impl Csr {
+    /// Builds a CSR from an edge list over `n` vertices.
+    ///
+    /// Edges are grouped by source with a counting sort and each neighbour
+    /// list is then sorted. Duplicate edges are preserved (de-duplication is
+    /// the builder's job, see [`crate::GraphBuilder`]).
+    ///
+    /// # Panics
+    /// Panics if any endpoint is `>= n`.
+    pub fn from_edges(n: usize, edges: &[(VertexId, VertexId)]) -> Self {
+        let mut counts = vec![0usize; n + 1];
+        for &(u, _) in edges {
+            assert!((u as usize) < n, "edge source {u} out of range (n = {n})");
+            counts[u as usize + 1] += 1;
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let offsets = counts;
+        let mut cursor = offsets.clone();
+        let mut targets = vec![0 as VertexId; edges.len()];
+        for &(u, v) in edges {
+            assert!((v as usize) < n, "edge target {v} out of range (n = {n})");
+            targets[cursor[u as usize]] = v;
+            cursor[u as usize] += 1;
+        }
+        for v in 0..n {
+            targets[offsets[v]..offsets[v + 1]].sort_unstable();
+        }
+        Csr { offsets, targets }
+    }
+
+    /// An empty graph on `n` vertices.
+    pub fn empty(n: usize) -> Self {
+        Csr { offsets: vec![0; n + 1], targets: Vec::new() }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of (directed) edges stored.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Out-neighbours of `v`, sorted ascending.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        let v = v as usize;
+        &self.targets[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        let v = v as usize;
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// Whether the edge `u -> v` is present (binary search).
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Iterator over all edges `(u, v)` in source-major order.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        (0..self.num_vertices() as VertexId)
+            .flat_map(move |u| self.neighbors(u).iter().map(move |&v| (u, v)))
+    }
+
+    /// The transpose (reverse) of this CSR: edge `u -> v` becomes `v -> u`.
+    pub fn transpose(&self) -> Csr {
+        let n = self.num_vertices();
+        let mut rev_edges = Vec::with_capacity(self.num_edges());
+        for (u, v) in self.edges() {
+            rev_edges.push((v, u));
+        }
+        Csr::from_edges(n, &rev_edges)
+    }
+
+    /// Raw offsets slice (length `n + 1`); used by cache-sensitive kernels.
+    #[inline]
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// Raw targets slice; used by cache-sensitive kernels.
+    #[inline]
+    pub fn targets(&self) -> &[VertexId] {
+        &self.targets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Csr {
+        // 0 -> {1, 2}, 1 -> {3}, 2 -> {3}
+        Csr::from_edges(4, &[(0, 2), (0, 1), (1, 3), (2, 3)])
+    }
+
+    #[test]
+    fn from_edges_sorts_neighbors() {
+        let g = diamond();
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(1), &[3]);
+        assert_eq!(g.neighbors(2), &[3]);
+        assert_eq!(g.neighbors(3), &[] as &[VertexId]);
+    }
+
+    #[test]
+    fn counts_match() {
+        let g = diamond();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(3), 0);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Csr::empty(3);
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.neighbors(1), &[] as &[VertexId]);
+    }
+
+    #[test]
+    fn zero_vertex_graph() {
+        let g = Csr::from_edges(0, &[]);
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn has_edge_queries() {
+        let g = diamond();
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(0, 2));
+        assert!(!g.has_edge(1, 0));
+        assert!(!g.has_edge(3, 3));
+    }
+
+    #[test]
+    fn edges_iterator_round_trips() {
+        let g = diamond();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let rebuilt = Csr::from_edges(4, &edges);
+        assert_eq!(rebuilt, g);
+    }
+
+    #[test]
+    fn transpose_reverses_edges() {
+        let g = diamond();
+        let t = g.transpose();
+        assert_eq!(t.neighbors(3), &[1, 2]);
+        assert_eq!(t.neighbors(1), &[0]);
+        assert_eq!(t.neighbors(0), &[] as &[VertexId]);
+        assert_eq!(t.transpose(), g);
+    }
+
+    #[test]
+    fn duplicate_edges_preserved() {
+        let g = Csr::from_edges(2, &[(0, 1), (0, 1)]);
+        assert_eq!(g.neighbors(0), &[1, 1]);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_source_panics() {
+        Csr::from_edges(2, &[(2, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_target_panics() {
+        Csr::from_edges(2, &[(0, 2)]);
+    }
+}

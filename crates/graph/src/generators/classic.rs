@@ -1,0 +1,182 @@
+//! Deterministic graph shapes with known structure, used both as substrates
+//! (grids ≈ road networks) and as closed-form BC oracles in tests.
+
+use crate::graph::Graph;
+use crate::VertexId;
+
+/// Path graph `0 - 1 - … - (n-1)`.
+pub fn path(n: usize) -> Graph {
+    let edges: Vec<_> = (1..n as VertexId).map(|v| (v - 1, v)).collect();
+    Graph::undirected_from_edges(n, &edges)
+}
+
+/// Cycle graph on `n ≥ 3` vertices.
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "cycle needs at least 3 vertices");
+    let mut edges: Vec<_> = (1..n as VertexId).map(|v| (v - 1, v)).collect();
+    edges.push((n as VertexId - 1, 0));
+    Graph::undirected_from_edges(n, &edges)
+}
+
+/// Star `K_{1,k}`: vertex 0 is the centre, vertices `1..=k` are leaves.
+/// Every leaf is a whisker and the centre is the only articulation point —
+/// the minimal example of the paper's *total redundancy*.
+pub fn star(k: usize) -> Graph {
+    let edges: Vec<_> = (1..=k as VertexId).map(|v| (0, v)).collect();
+    Graph::undirected_from_edges(k + 1, &edges)
+}
+
+/// Complete graph `K_n` — one big biconnected component, zero articulation
+/// points: the worst case for APGRE (no redundancy to eliminate).
+pub fn complete(n: usize) -> Graph {
+    let mut edges = Vec::with_capacity(n * (n - 1) / 2);
+    for u in 0..n as VertexId {
+        for v in (u + 1)..n as VertexId {
+            edges.push((u, v));
+        }
+    }
+    Graph::undirected_from_edges(n, &edges)
+}
+
+/// `rows × cols` 4-neighbour lattice — the road-network stand-in (road graphs
+/// in Table 1 have near-uniform low degree and large diameter).
+pub fn grid2d(rows: usize, cols: usize) -> Graph {
+    let id = |r: usize, c: usize| (r * cols + c) as VertexId;
+    let mut edges = Vec::with_capacity(2 * rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                edges.push((id(r, c), id(r, c + 1)));
+            }
+            if r + 1 < rows {
+                edges.push((id(r, c), id(r + 1, c)));
+            }
+        }
+    }
+    Graph::undirected_from_edges(rows * cols, &edges)
+}
+
+/// A lattice with every `drop_period`-th edge removed (deterministically).
+/// Removing lattice edges creates corridors and dead-ends: articulation
+/// points and small hanging regions, matching the ~5–23% redundancy the
+/// paper measures on USA road graphs (Figure 7).
+pub fn grid2d_perforated(rows: usize, cols: usize, drop_period: usize) -> Graph {
+    assert!(drop_period >= 2, "drop_period < 2 would disconnect whole rows");
+    let full = grid2d(rows, cols);
+    let edges: Vec<_> = full
+        .undirected_edges()
+        .enumerate()
+        .filter(|(i, _)| i % drop_period != 0)
+        .map(|(_, e)| e)
+        .collect();
+    Graph::undirected_from_edges(rows * cols, &edges)
+}
+
+/// Complete binary tree with `n` vertices (every non-leaf vertex is an
+/// articulation point; BC has a closed form used in tests).
+pub fn binary_tree(n: usize) -> Graph {
+    let mut edges = Vec::with_capacity(n.saturating_sub(1));
+    for v in 1..n as VertexId {
+        edges.push(((v - 1) / 2, v));
+    }
+    Graph::undirected_from_edges(n, &edges)
+}
+
+/// Lollipop graph: a clique `K_m` (vertices `0..m`) joined by an edge to a
+/// path of `n` vertices (`m..m+n`). The clique/path junction is the classic
+/// articulation-point stress shape: the path side is a chain of common
+/// sub-DAGs.
+pub fn lollipop(m: usize, n: usize) -> Graph {
+    assert!(m >= 1);
+    let mut edges = Vec::new();
+    for u in 0..m as VertexId {
+        for v in (u + 1)..m as VertexId {
+            edges.push((u, v));
+        }
+    }
+    let mut prev = (m - 1) as VertexId;
+    for v in m as VertexId..(m + n) as VertexId {
+        edges.push((prev, v));
+        prev = v;
+    }
+    Graph::undirected_from_edges(m + n, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connectivity::is_connected;
+
+    #[test]
+    fn path_shape() {
+        let g = path(5);
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.out_degree(0), 1);
+        assert_eq!(g.out_degree(2), 2);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn cycle_shape() {
+        let g = cycle(6);
+        assert_eq!(g.num_edges(), 6);
+        for v in g.vertices() {
+            assert_eq!(g.out_degree(v), 2);
+        }
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(7);
+        assert_eq!(g.num_vertices(), 8);
+        assert_eq!(g.out_degree(0), 7);
+        assert_eq!(g.out_degree(3), 1);
+    }
+
+    #[test]
+    fn complete_shape() {
+        let g = complete(6);
+        assert_eq!(g.num_edges(), 15);
+        for v in g.vertices() {
+            assert_eq!(g.out_degree(v), 5);
+        }
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid2d(4, 5);
+        assert_eq!(g.num_vertices(), 20);
+        // edges: rows*(cols-1) + (rows-1)*cols = 4*4 + 3*5 = 31
+        assert_eq!(g.num_edges(), 31);
+        assert!(is_connected(&g));
+        assert_eq!(g.out_degree(0), 2); // corner
+    }
+
+    #[test]
+    fn perforated_grid_drops_edges_but_keeps_vertices() {
+        let g = grid2d_perforated(8, 8, 5);
+        let full = grid2d(8, 8);
+        assert_eq!(g.num_vertices(), full.num_vertices());
+        assert!(g.num_edges() < full.num_edges());
+    }
+
+    #[test]
+    fn binary_tree_shape() {
+        let g = binary_tree(7);
+        assert_eq!(g.num_edges(), 6);
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.out_degree(1), 3);
+        assert_eq!(g.out_degree(6), 1);
+    }
+
+    #[test]
+    fn lollipop_shape() {
+        let g = lollipop(4, 3);
+        assert_eq!(g.num_vertices(), 7);
+        assert_eq!(g.num_edges(), 6 + 3);
+        assert!(is_connected(&g));
+        assert_eq!(g.out_degree(3), 4); // junction clique vertex
+        assert_eq!(g.out_degree(6), 1); // path end
+    }
+}

@@ -1,0 +1,305 @@
+//! Composite generators: the articulation-rich structures APGRE exploits.
+//!
+//! Real-world graphs in the paper's Table 1 share three structural features:
+//! a big biconnected core (the "top sub-graph" of Table 4 holds 13–88% of the
+//! vertices), many small communities hanging off the core through articulation
+//! points, and a heavy fringe of degree-1 "whisker" vertices (up to 71% total
+//! redundancy in Figure 7). The combinators here let the workload crate dial
+//! each feature in independently.
+
+use crate::graph::Graph;
+use crate::VertexId;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Disjoint union of graphs (vertex ids of the `i`-th graph are offset by the
+/// total size of its predecessors). Directedness must match across inputs.
+pub fn disjoint_union(parts: &[&Graph]) -> Graph {
+    assert!(!parts.is_empty());
+    let directed = parts[0].is_directed();
+    assert!(
+        parts.iter().all(|g| g.is_directed() == directed),
+        "cannot union directed with undirected graphs"
+    );
+    let mut edges = Vec::new();
+    let mut offset: VertexId = 0;
+    for g in parts {
+        if directed {
+            edges.extend(g.arcs().map(|(u, v)| (u + offset, v + offset)));
+        } else {
+            edges.extend(g.undirected_edges().map(|(u, v)| (u + offset, v + offset)));
+        }
+        offset += g.num_vertices() as VertexId;
+    }
+    if directed {
+        Graph::directed_from_edges(offset as usize, &edges)
+    } else {
+        Graph::undirected_from_edges(offset as usize, &edges)
+    }
+}
+
+/// Attaches `count` degree-1 whisker vertices to an undirected graph. Hosts
+/// are chosen degree-proportionally when `preferential` (matching the
+/// power-law observation that whiskers cluster on hubs) or uniformly
+/// otherwise. New vertices get ids `n..n+count`.
+pub fn attach_whiskers(g: &Graph, count: usize, preferential: bool, seed: u64) -> Graph {
+    assert!(!g.is_directed(), "use attach_directed_whiskers for directed graphs");
+    assert!(g.num_vertices() > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = g.num_vertices();
+    let hosts = host_sampler(g, preferential);
+    let mut edges: Vec<_> = g.undirected_edges().collect();
+    for i in 0..count {
+        let host = hosts[rng.gen_range(0..hosts.len())];
+        edges.push((host, (n + i) as VertexId));
+    }
+    Graph::undirected_from_edges(n + count, &edges)
+}
+
+/// Attaches directed whiskers: each new vertex `u` gets in-degree 0 and a
+/// single out-edge `u -> host` (the paper's total-redundancy pattern for
+/// directed graphs: "no incoming edges and a single outgoing edge"), plus —
+/// when `sink_fraction > 0` — a share of sink whiskers (`host -> u`) so the
+/// reverse structure is exercised too.
+pub fn attach_directed_whiskers(
+    g: &Graph,
+    count: usize,
+    sink_fraction: f64,
+    seed: u64,
+) -> Graph {
+    assert!(g.is_directed(), "use attach_whiskers for undirected graphs");
+    assert!(g.num_vertices() > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = g.num_vertices();
+    let hosts = host_sampler(g, true);
+    let mut edges: Vec<_> = g.arcs().collect();
+    for i in 0..count {
+        let host = hosts[rng.gen_range(0..hosts.len())];
+        let w = (n + i) as VertexId;
+        if rng.gen_bool(sink_fraction) {
+            edges.push((host, w));
+        } else {
+            edges.push((w, host));
+        }
+    }
+    Graph::directed_from_edges(n + count, &edges)
+}
+
+fn host_sampler(g: &Graph, preferential: bool) -> Vec<VertexId> {
+    if preferential {
+        let mut hosts = Vec::with_capacity(g.num_arcs().max(g.num_vertices()));
+        for v in g.vertices() {
+            for _ in 0..g.out_degree(v).max(1) {
+                hosts.push(v);
+            }
+        }
+        hosts
+    } else {
+        g.vertices().collect()
+    }
+}
+
+/// A community to stitch onto a core graph.
+#[derive(Clone, Debug)]
+pub struct CommunitySpec {
+    /// Vertices in the community.
+    pub size: usize,
+    /// Target undirected intra-community edges.
+    pub edges: usize,
+}
+
+/// Stitches `communities` onto `core` with single bridge edges: one vertex of
+/// each community is connected to one core vertex. Both bridge endpoints
+/// become articulation points; each community becomes (at least) one separate
+/// sub-graph in the paper's decomposition. Undirected.
+pub fn bridge_communities(core: &Graph, communities: &[CommunitySpec], seed: u64) -> Graph {
+    assert!(!core.is_directed());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges: Vec<_> = core.undirected_edges().collect();
+    let mut next = core.num_vertices() as VertexId;
+    for spec in communities {
+        assert!(spec.size >= 1);
+        let base = next;
+        // Spanning tree first so the community is connected…
+        for v in 1..spec.size as VertexId {
+            let parent = rng.gen_range(0..v);
+            edges.push((base + parent, base + v));
+        }
+        // …then extra random internal edges up to the target count.
+        let extra = spec.edges.saturating_sub(spec.size.saturating_sub(1));
+        for _ in 0..extra {
+            if spec.size < 2 {
+                break;
+            }
+            let u = rng.gen_range(0..spec.size as VertexId);
+            let mut v = rng.gen_range(0..spec.size as VertexId);
+            while v == u {
+                v = rng.gen_range(0..spec.size as VertexId);
+            }
+            edges.push((base + u, base + v));
+        }
+        // Bridge to the core.
+        let core_host = rng.gen_range(0..core.num_vertices() as VertexId);
+        let comm_host = base + rng.gen_range(0..spec.size as VertexId);
+        edges.push((core_host, comm_host));
+        next += spec.size as VertexId;
+    }
+    Graph::undirected_from_edges(next as usize, &edges)
+}
+
+/// Relabels vertices with a seeded random permutation. Structure-preserving;
+/// used to ensure no algorithm accidentally depends on generator id order.
+pub fn shuffle_labels(g: &Graph, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = g.num_vertices();
+    let mut perm: Vec<VertexId> = (0..n as VertexId).collect();
+    perm.shuffle(&mut rng);
+    if g.is_directed() {
+        let edges: Vec<_> = g
+            .arcs()
+            .map(|(u, v)| (perm[u as usize], perm[v as usize]))
+            .collect();
+        Graph::directed_from_edges(n, &edges)
+    } else {
+        let edges: Vec<_> = g
+            .undirected_edges()
+            .map(|(u, v)| (perm[u as usize], perm[v as usize]))
+            .collect();
+        Graph::undirected_from_edges(n, &edges)
+    }
+}
+
+/// Parameters for [`whiskered_community`], the workload crate's main
+/// synthesis primitive.
+#[derive(Clone, Debug)]
+pub struct WhiskeredCommunityParams {
+    /// Vertices in the power-law core (Barabási–Albert).
+    pub core_vertices: usize,
+    /// BA attachment parameter (edges per new core vertex).
+    pub core_attach: usize,
+    /// Number of hanging communities.
+    pub community_count: usize,
+    /// Vertices per community (average; actual sizes vary ±50%).
+    pub community_size: usize,
+    /// Average intra-community edges per vertex.
+    pub community_density: f64,
+    /// Degree-1 whisker vertices to attach at the end.
+    pub whiskers: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Builds the canonical APGRE-favourable workload: a power-law biconnected
+/// core + bridged communities + whiskers. Undirected and connected.
+pub fn whiskered_community(p: &WhiskeredCommunityParams) -> Graph {
+    let mut rng = StdRng::seed_from_u64(p.seed ^ 0x9e37_79b9_7f4a_7c15);
+    let core = super::barabasi_albert(p.core_vertices, p.core_attach, p.seed);
+    let specs: Vec<CommunitySpec> = (0..p.community_count)
+        .map(|_| {
+            let lo = (p.community_size / 2).max(1);
+            let hi = (p.community_size * 3 / 2).max(lo + 1);
+            let size = rng.gen_range(lo..hi);
+            let edges = ((size as f64) * p.community_density).round() as usize;
+            CommunitySpec { size, edges }
+        })
+        .collect();
+    let with_comms = bridge_communities(&core, &specs, p.seed.wrapping_add(1));
+    attach_whiskers(&with_comms, p.whiskers, true, p.seed.wrapping_add(2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connectivity::{connected_components, is_connected};
+    use crate::generators::{complete, cycle};
+
+    #[test]
+    fn union_offsets_ids() {
+        let g = disjoint_union(&[&cycle(3), &cycle(4)]);
+        assert_eq!(g.num_vertices(), 7);
+        assert_eq!(g.num_edges(), 7);
+        assert_eq!(connected_components(&g).count(), 2);
+    }
+
+    #[test]
+    fn whiskers_have_degree_one() {
+        let base = complete(5);
+        let g = attach_whiskers(&base, 10, true, 3);
+        assert_eq!(g.num_vertices(), 15);
+        assert_eq!(g.num_edges(), 10 + 10);
+        for w in 5..15 {
+            assert_eq!(g.out_degree(w), 1, "whisker {w}");
+        }
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn directed_whiskers_shape() {
+        let base = Graph::directed_from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let g = attach_directed_whiskers(&base, 8, 0.0, 5);
+        assert_eq!(g.num_vertices(), 12);
+        for w in 4..12 {
+            assert_eq!(g.in_degree(w), 0, "whisker {w}");
+            assert_eq!(g.out_degree(w), 1, "whisker {w}");
+        }
+        let g2 = attach_directed_whiskers(&base, 8, 1.0, 5);
+        for w in 4..12 {
+            assert_eq!(g2.out_degree(w), 0, "sink whisker {w}");
+            assert_eq!(g2.in_degree(w), 1, "sink whisker {w}");
+        }
+    }
+
+    #[test]
+    fn bridged_communities_connected() {
+        let core = complete(8);
+        let g = bridge_communities(
+            &core,
+            &[
+                CommunitySpec { size: 6, edges: 9 },
+                CommunitySpec { size: 4, edges: 5 },
+            ],
+            7,
+        );
+        assert_eq!(g.num_vertices(), 18);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn shuffle_preserves_structure() {
+        let g = whiskered_community(&WhiskeredCommunityParams {
+            core_vertices: 40,
+            core_attach: 2,
+            community_count: 3,
+            community_size: 8,
+            community_density: 1.5,
+            whiskers: 12,
+            seed: 1,
+        });
+        let s = shuffle_labels(&g, 99);
+        assert_eq!(s.num_vertices(), g.num_vertices());
+        assert_eq!(s.num_edges(), g.num_edges());
+        let mut da: Vec<_> = g.vertices().map(|v| g.out_degree(v)).collect();
+        let mut db: Vec<_> = s.vertices().map(|v| s.out_degree(v)).collect();
+        da.sort_unstable();
+        db.sort_unstable();
+        assert_eq!(da, db);
+    }
+
+    #[test]
+    fn whiskered_community_connected_and_deterministic() {
+        let p = WhiskeredCommunityParams {
+            core_vertices: 50,
+            core_attach: 3,
+            community_count: 4,
+            community_size: 10,
+            community_density: 2.0,
+            whiskers: 20,
+            seed: 42,
+        };
+        let a = whiskered_community(&p);
+        let b = whiskered_community(&p);
+        assert!(is_connected(&a));
+        assert_eq!(a.csr(), b.csr());
+    }
+}

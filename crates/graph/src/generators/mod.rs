@@ -1,0 +1,30 @@
+//! Deterministic synthetic graph families.
+//!
+//! Everything here is seeded: the same call always returns the same graph, so
+//! experiments and property tests are reproducible. The families cover the
+//! structural axes the paper's evaluation spans:
+//!
+//! * power-law, articulation-rich social/web-like graphs
+//!   ([`barabasi_albert`], [`rmat_directed`], [`whiskered_community`]),
+//! * low-degree, large-diameter road-like graphs ([`grid2d`],
+//!   [`grid2d_perforated`]),
+//! * shapes with closed-form BC used as test oracles ([`path`], [`cycle`],
+//!   [`star`], [`complete`], [`binary_tree`], [`lollipop`]).
+
+mod classic;
+mod composite;
+mod random;
+mod small_world;
+
+pub use classic::{
+    binary_tree, complete, cycle, grid2d, grid2d_perforated, lollipop, path, star,
+};
+pub use composite::{
+    attach_directed_whiskers, attach_whiskers, bridge_communities, disjoint_union,
+    shuffle_labels, whiskered_community, CommunitySpec, WhiskeredCommunityParams,
+};
+pub use random::{
+    barabasi_albert, erdos_renyi_directed, erdos_renyi_undirected, gnm_directed,
+    gnm_undirected, random_tree, rmat_directed, rmat_undirected,
+};
+pub use small_world::{planted_block_of, planted_partition, watts_strogatz};

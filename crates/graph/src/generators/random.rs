@@ -1,0 +1,242 @@
+//! Seeded random graph families.
+
+use crate::graph::Graph;
+use crate::GraphBuilder;
+use crate::VertexId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Erdős–Rényi `G(n, p)`, undirected. `O(n²)` — intended for test-sized
+/// graphs; use [`gnm_undirected`] for larger instances.
+pub fn erdos_renyi_undirected(n: usize, p: f64, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::undirected().with_num_vertices(n);
+    for u in 0..n as VertexId {
+        for v in (u + 1)..n as VertexId {
+            if rng.gen_bool(p) {
+                b.push_edge(u, v);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Erdős–Rényi `G(n, p)`, directed (independent coin per ordered pair).
+pub fn erdos_renyi_directed(n: usize, p: f64, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::directed().with_num_vertices(n);
+    for u in 0..n as VertexId {
+        for v in 0..n as VertexId {
+            if u != v && rng.gen_bool(p) {
+                b.push_edge(u, v);
+            }
+        }
+    }
+    b.build()
+}
+
+/// `G(n, m)` with `m` undirected edges sampled uniformly (with rejection of
+/// self-loops; duplicates are dropped by the builder so the edge count can be
+/// slightly below `m` on dense requests).
+pub fn gnm_undirected(n: usize, m: usize, seed: u64) -> Graph {
+    assert!(n >= 2 || m == 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::undirected().with_num_vertices(n);
+    for _ in 0..m {
+        let u = rng.gen_range(0..n as VertexId);
+        let mut v = rng.gen_range(0..n as VertexId);
+        while v == u {
+            v = rng.gen_range(0..n as VertexId);
+        }
+        b.push_edge(u, v);
+    }
+    b.build()
+}
+
+/// `G(n, m)` with `m` directed arcs sampled uniformly.
+pub fn gnm_directed(n: usize, m: usize, seed: u64) -> Graph {
+    assert!(n >= 2 || m == 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::directed().with_num_vertices(n);
+    for _ in 0..m {
+        let u = rng.gen_range(0..n as VertexId);
+        let mut v = rng.gen_range(0..n as VertexId);
+        while v == u {
+            v = rng.gen_range(0..n as VertexId);
+        }
+        b.push_edge(u, v);
+    }
+    b.build()
+}
+
+/// Uniform random recursive tree: vertex `v` attaches to a uniform vertex in
+/// `0..v`. Trees are *all* articulation points — the extreme APGRE-favourable
+/// case.
+pub fn random_tree(n: usize, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(n.saturating_sub(1));
+    for v in 1..n as VertexId {
+        edges.push((rng.gen_range(0..v), v));
+    }
+    Graph::undirected_from_edges(n, &edges)
+}
+
+/// Barabási–Albert preferential attachment: `n` vertices, each new vertex
+/// attaching `m_attach` edges to existing vertices with probability
+/// proportional to degree. Produces the power-law degree distribution the
+/// paper observes in real-world graphs (§2.2) — a heavy-tailed core plus many
+/// degree-`m_attach` fringe vertices.
+pub fn barabasi_albert(n: usize, m_attach: usize, seed: u64) -> Graph {
+    assert!(m_attach >= 1);
+    assert!(n > m_attach, "need n > m_attach");
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Repeated-endpoint list: each edge endpoint appears once, so uniform
+    // sampling from it is degree-proportional.
+    let mut endpoints: Vec<VertexId> = Vec::with_capacity(2 * n * m_attach);
+    let mut b = GraphBuilder::undirected().with_num_vertices(n);
+    // Seed clique over the first m_attach + 1 vertices.
+    for u in 0..=(m_attach as VertexId) {
+        for v in (u + 1)..=(m_attach as VertexId) {
+            b.push_edge(u, v);
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+    for v in (m_attach as VertexId + 1)..n as VertexId {
+        let mut chosen = Vec::with_capacity(m_attach);
+        while chosen.len() < m_attach {
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            if t != v && !chosen.contains(&t) {
+                chosen.push(t);
+            }
+        }
+        for &t in &chosen {
+            b.push_edge(v, t);
+            endpoints.push(v);
+            endpoints.push(t);
+        }
+    }
+    b.build()
+}
+
+/// R-MAT recursive-quadrant generator (Chakrabarti et al.), the standard
+/// web-graph model. `n = 2^scale` vertices, `n * edge_factor` arcs,
+/// quadrant probabilities `(a, b, c)` with `d = 1 - a - b - c`.
+pub fn rmat_directed(scale: u32, edge_factor: usize, seed: u64) -> Graph {
+    rmat_with_probs(scale, edge_factor, seed, 0.57, 0.19, 0.19, true)
+}
+
+/// Undirected R-MAT (arcs symmetrized).
+pub fn rmat_undirected(scale: u32, edge_factor: usize, seed: u64) -> Graph {
+    rmat_with_probs(scale, edge_factor, seed, 0.57, 0.19, 0.19, false)
+}
+
+fn rmat_with_probs(
+    scale: u32,
+    edge_factor: usize,
+    seed: u64,
+    a: f64,
+    b: f64,
+    c: f64,
+    directed: bool,
+) -> Graph {
+    let n = 1usize << scale;
+    let m = n * edge_factor;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = if directed {
+        GraphBuilder::directed().with_num_vertices(n)
+    } else {
+        GraphBuilder::undirected().with_num_vertices(n)
+    };
+    for _ in 0..m {
+        let (mut u, mut v) = (0usize, 0usize);
+        for _ in 0..scale {
+            u <<= 1;
+            v <<= 1;
+            let r: f64 = rng.gen();
+            if r < a {
+                // top-left: nothing to add
+            } else if r < a + b {
+                v |= 1;
+            } else if r < a + b + c {
+                u |= 1;
+            } else {
+                u |= 1;
+                v |= 1;
+            }
+        }
+        if u != v {
+            builder.push_edge(u as VertexId, v as VertexId);
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn er_deterministic_per_seed() {
+        let a = erdos_renyi_undirected(60, 0.1, 9);
+        let b = erdos_renyi_undirected(60, 0.1, 9);
+        let c = erdos_renyi_undirected(60, 0.1, 10);
+        assert_eq!(a.num_edges(), b.num_edges());
+        assert_eq!(a.csr(), b.csr());
+        assert_ne!(a.csr(), c.csr());
+    }
+
+    #[test]
+    fn er_edge_count_plausible() {
+        let g = erdos_renyi_undirected(100, 0.1, 1);
+        let expect = (100.0f64 * 99.0 / 2.0) * 0.1;
+        let got = g.num_edges() as f64;
+        assert!((got - expect).abs() < expect * 0.5, "got {got}, expect ≈{expect}");
+    }
+
+    #[test]
+    fn gnm_edge_count_close() {
+        let g = gnm_undirected(500, 1000, 2);
+        assert!(g.num_edges() > 950 && g.num_edges() <= 1000);
+        let g = gnm_directed(500, 1000, 2);
+        assert!(g.num_edges() > 950 && g.num_edges() <= 1000);
+        assert!(g.is_directed());
+    }
+
+    #[test]
+    fn tree_has_n_minus_1_edges_and_connected() {
+        let g = random_tree(200, 5);
+        assert_eq!(g.num_edges(), 199);
+        assert!(crate::connectivity::is_connected(&g));
+    }
+
+    #[test]
+    fn ba_degree_sum_and_connectivity() {
+        let g = barabasi_albert(300, 3, 11);
+        assert!(crate::connectivity::is_connected(&g));
+        // Each of the n - m - 1 later vertices adds m edges to the seed clique's m(m+1)/2.
+        let expected = 3 * (300 - 3 - 1) + 3 * 4 / 2;
+        assert_eq!(g.num_edges(), expected);
+        // Power-law-ish: the max degree should dwarf the median degree.
+        let max_deg = g.vertices().map(|v| g.out_degree(v)).max().unwrap();
+        assert!(max_deg > 20, "max degree {max_deg} too flat for BA");
+    }
+
+    #[test]
+    fn rmat_sizes() {
+        let g = rmat_directed(8, 4, 3);
+        assert_eq!(g.num_vertices(), 256);
+        assert!(g.num_edges() > 700, "dedup'd arcs: {}", g.num_edges());
+        assert!(g.is_directed());
+        let u = rmat_undirected(8, 4, 3);
+        assert!(!u.is_directed());
+    }
+
+    #[test]
+    fn rmat_is_skewed() {
+        let g = rmat_directed(9, 8, 7);
+        let max_out = g.vertices().map(|v| g.out_degree(v)).max().unwrap();
+        let avg = g.num_edges() as f64 / g.num_vertices() as f64;
+        assert!((max_out as f64) > 4.0 * avg, "max {max_out} vs avg {avg}");
+    }
+}

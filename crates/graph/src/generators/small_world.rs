@@ -1,0 +1,120 @@
+//! Small-world and planted-community models: Watts–Strogatz rings and the
+//! planted-partition stochastic block model. Both complement the BA/R-MAT
+//! families: WS gives high clustering with low diameter (email/collaboration
+//! texture), SBM gives ground-truth communities for the Girvan–Newman
+//! example and for stress-testing the partition heuristics on graphs whose
+//! communities are *not* articulation-separated.
+
+use crate::graph::Graph;
+use crate::GraphBuilder;
+use crate::VertexId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Watts–Strogatz: a ring of `n` vertices, each wired to its `k` nearest
+/// neighbours (`k` even), each edge rewired with probability `p`.
+pub fn watts_strogatz(n: usize, k: usize, p: f64, seed: u64) -> Graph {
+    assert!(k >= 2 && k.is_multiple_of(2), "k must be even and >= 2");
+    assert!(n > k, "need n > k");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::undirected().with_num_vertices(n);
+    for u in 0..n {
+        for j in 1..=(k / 2) {
+            let v = (u + j) % n;
+            if rng.gen_bool(p) {
+                // Rewire: keep u, pick a random non-self target.
+                let mut t = rng.gen_range(0..n);
+                while t == u {
+                    t = rng.gen_range(0..n);
+                }
+                b.push_edge(u as VertexId, t as VertexId);
+            } else {
+                b.push_edge(u as VertexId, v as VertexId);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Planted-partition SBM: `communities` blocks of `block_size` vertices;
+/// each intra-block pair is an edge with probability `p_in`, each
+/// inter-block pair with probability `p_out`. `O((n·communities·block)²)`
+/// pair scan — analysis-sized graphs.
+pub fn planted_partition(
+    communities: usize,
+    block_size: usize,
+    p_in: f64,
+    p_out: f64,
+    seed: u64,
+) -> Graph {
+    let n = communities * block_size;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::undirected().with_num_vertices(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let p = if u / block_size == v / block_size { p_in } else { p_out };
+            if rng.gen_bool(p) {
+                b.push_edge(u as VertexId, v as VertexId);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Ground-truth block label of vertex `v` in a [`planted_partition`] graph.
+pub fn planted_block_of(v: VertexId, block_size: usize) -> u32 {
+    v / block_size as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connectivity::is_connected;
+
+    #[test]
+    fn ws_no_rewire_is_ring_lattice() {
+        let g = watts_strogatz(20, 4, 0.0, 1);
+        assert_eq!(g.num_edges(), 40);
+        for v in g.vertices() {
+            assert_eq!(g.out_degree(v), 4, "vertex {v}");
+        }
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn ws_rewiring_changes_structure_but_keeps_edge_budget() {
+        let a = watts_strogatz(60, 4, 0.0, 2);
+        let b = watts_strogatz(60, 4, 0.3, 2);
+        assert_ne!(a.csr(), b.csr());
+        // Rewiring can only lose edges to dedup collisions.
+        assert!(b.num_edges() <= a.num_edges());
+        assert!(b.num_edges() > a.num_edges() * 9 / 10);
+    }
+
+    #[test]
+    fn ws_deterministic() {
+        assert_eq!(watts_strogatz(40, 6, 0.2, 9).csr(), watts_strogatz(40, 6, 0.2, 9).csr());
+    }
+
+    #[test]
+    fn sbm_blocks_are_denser_inside() {
+        let g = planted_partition(4, 25, 0.3, 0.01, 7);
+        let mut intra = 0usize;
+        let mut inter = 0usize;
+        for (u, v) in g.undirected_edges() {
+            if u / 25 == v / 25 {
+                intra += 1;
+            } else {
+                inter += 1;
+            }
+        }
+        assert!(intra > inter * 3, "intra {intra} vs inter {inter}");
+    }
+
+    #[test]
+    fn block_labels() {
+        assert_eq!(planted_block_of(0, 10), 0);
+        assert_eq!(planted_block_of(9, 10), 0);
+        assert_eq!(planted_block_of(10, 10), 1);
+    }
+}

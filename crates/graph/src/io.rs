@@ -1,0 +1,361 @@
+//! Graph readers and writers.
+//!
+//! Two formats cover the paper's sources: SNAP-style whitespace edge lists
+//! (`# comment` lines, one `u v` pair per line — what snap.stanford.edu
+//! ships) and the DIMACS shortest-path challenge format (`c` comments,
+//! `p sp <n> <m>` header, `a <u> <v> <w>` arcs, 1-based ids — what the USA
+//! road graphs use).
+
+use crate::graph::Graph;
+use crate::GraphBuilder;
+use crate::VertexId;
+use std::fmt;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Errors from graph parsing.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Malformed content with a line number and message.
+    Parse { line: usize, message: String },
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "i/o error: {e}"),
+            IoError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+fn parse_err(line: usize, message: impl Into<String>) -> IoError {
+    IoError::Parse { line, message: message.into() }
+}
+
+/// Reads a SNAP-style edge list: `#`-prefixed comments, one `u v` pair per
+/// non-empty line, 0-based ids. `directed` selects the graph kind.
+pub fn read_edge_list<R: Read>(reader: R, directed: bool) -> Result<Graph, IoError> {
+    let mut builder = if directed { GraphBuilder::directed() } else { GraphBuilder::undirected() };
+    let buf = BufReader::new(reader);
+    for (idx, line) in buf.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let u: VertexId = it
+            .next()
+            .ok_or_else(|| parse_err(idx + 1, "missing source"))?
+            .parse()
+            .map_err(|e| parse_err(idx + 1, format!("bad source: {e}")))?;
+        let v: VertexId = it
+            .next()
+            .ok_or_else(|| parse_err(idx + 1, "missing target"))?
+            .parse()
+            .map_err(|e| parse_err(idx + 1, format!("bad target: {e}")))?;
+        builder.push_edge(u, v);
+    }
+    Ok(builder.build())
+}
+
+/// Reads an edge list from a file path.
+pub fn read_edge_list_file(path: impl AsRef<Path>, directed: bool) -> Result<Graph, IoError> {
+    let f = std::fs::File::open(path)?;
+    read_edge_list(f, directed)
+}
+
+/// Writes a SNAP-style edge list (arcs for directed graphs, one line per
+/// undirected edge otherwise).
+pub fn write_edge_list<W: Write>(g: &Graph, mut w: W) -> std::io::Result<()> {
+    writeln!(w, "# {} vertices, {} edges, directed={}", g.num_vertices(), g.num_edges(), g.is_directed())?;
+    if g.is_directed() {
+        for (u, v) in g.arcs() {
+            writeln!(w, "{u} {v}")?;
+        }
+    } else {
+        for (u, v) in g.undirected_edges() {
+            writeln!(w, "{u} {v}")?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads the DIMACS shortest-path challenge format. Arc weights are ignored
+/// (the paper's algorithms are unweighted); ids are converted from 1-based to
+/// 0-based. DIMACS road graphs list both arc directions, so reading them as
+/// undirected (`directed = false`) collapses the pairs.
+pub fn read_dimacs<R: Read>(reader: R, directed: bool) -> Result<Graph, IoError> {
+    let buf = BufReader::new(reader);
+    let mut declared_n: Option<usize> = None;
+    let mut builder = if directed { GraphBuilder::directed() } else { GraphBuilder::undirected() };
+    for (idx, line) in buf.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("p ") {
+            let mut it = rest.split_whitespace();
+            let kind = it.next().ok_or_else(|| parse_err(idx + 1, "missing problem kind"))?;
+            if kind != "sp" {
+                return Err(parse_err(idx + 1, format!("unsupported problem kind {kind:?}")));
+            }
+            let n: usize = it
+                .next()
+                .ok_or_else(|| parse_err(idx + 1, "missing vertex count"))?
+                .parse()
+                .map_err(|e| parse_err(idx + 1, format!("bad vertex count: {e}")))?;
+            declared_n = Some(n);
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("a ") {
+            let mut it = rest.split_whitespace();
+            let u: VertexId = it
+                .next()
+                .ok_or_else(|| parse_err(idx + 1, "missing source"))?
+                .parse()
+                .map_err(|e| parse_err(idx + 1, format!("bad source: {e}")))?;
+            let v: VertexId = it
+                .next()
+                .ok_or_else(|| parse_err(idx + 1, "missing target"))?
+                .parse()
+                .map_err(|e| parse_err(idx + 1, format!("bad target: {e}")))?;
+            if u == 0 || v == 0 {
+                return Err(parse_err(idx + 1, "DIMACS ids are 1-based; found 0"));
+            }
+            builder.push_edge(u - 1, v - 1);
+            continue;
+        }
+        return Err(parse_err(idx + 1, format!("unrecognized line {line:?}")));
+    }
+    if let Some(n) = declared_n {
+        builder = builder.with_num_vertices(n);
+    }
+    Ok(builder.build())
+}
+
+/// Reads the METIS graph format: a header `n m [fmt]` followed by one line
+/// per vertex (1-based ids) listing its neighbours; every undirected edge
+/// appears on both endpoint lines. Weight-format flags other than `0` are
+/// rejected (this reproduction's METIS use is unweighted).
+pub fn read_metis<R: Read>(reader: R) -> Result<Graph, IoError> {
+    let buf = BufReader::new(reader);
+    let mut lines = buf.lines().enumerate();
+    let (header_idx, header) = loop {
+        match lines.next() {
+            None => return Err(parse_err(0, "empty METIS file")),
+            Some((i, line)) => {
+                let line = line?;
+                let t = line.trim().to_string();
+                if !t.is_empty() && !t.starts_with('%') {
+                    break (i, t);
+                }
+            }
+        }
+    };
+    let mut it = header.split_whitespace();
+    let n: usize = it
+        .next()
+        .ok_or_else(|| parse_err(header_idx + 1, "missing vertex count"))?
+        .parse()
+        .map_err(|e| parse_err(header_idx + 1, format!("bad vertex count: {e}")))?;
+    let m: usize = it
+        .next()
+        .ok_or_else(|| parse_err(header_idx + 1, "missing edge count"))?
+        .parse()
+        .map_err(|e| parse_err(header_idx + 1, format!("bad edge count: {e}")))?;
+    if let Some(fmt) = it.next() {
+        if fmt != "0" && fmt != "00" && fmt != "000" {
+            return Err(parse_err(header_idx + 1, format!("unsupported METIS fmt {fmt:?}")));
+        }
+    }
+    let mut builder = GraphBuilder::undirected().with_num_vertices(n);
+    let mut vertex = 0usize;
+    for (idx, line) in lines {
+        let line = line?;
+        let t = line.trim();
+        if t.starts_with('%') {
+            continue;
+        }
+        if vertex >= n {
+            if t.is_empty() {
+                continue;
+            }
+            return Err(parse_err(idx + 1, "more vertex lines than the header declared"));
+        }
+        for tok in t.split_whitespace() {
+            let nb: usize = tok
+                .parse()
+                .map_err(|e| parse_err(idx + 1, format!("bad neighbour: {e}")))?;
+            if nb == 0 || nb > n {
+                return Err(parse_err(idx + 1, format!("neighbour {nb} out of range 1..={n}")));
+            }
+            builder.push_edge(vertex as VertexId, (nb - 1) as VertexId);
+        }
+        vertex += 1;
+    }
+    if vertex != n {
+        return Err(parse_err(0, format!("expected {n} vertex lines, found {vertex}")));
+    }
+    let g = builder.build();
+    if g.num_edges() != m {
+        return Err(parse_err(
+            0,
+            format!("header declares {m} edges, adjacency lists yield {}", g.num_edges()),
+        ));
+    }
+    Ok(g)
+}
+
+/// Writes METIS format (undirected only).
+///
+/// # Panics
+/// Panics on directed graphs.
+pub fn write_metis<W: Write>(g: &Graph, mut w: W) -> std::io::Result<()> {
+    assert!(!g.is_directed(), "METIS is an undirected format");
+    writeln!(w, "{} {}", g.num_vertices(), g.num_edges())?;
+    for v in g.vertices() {
+        let line: Vec<String> = g.out_neighbors(v).iter().map(|&u| (u + 1).to_string()).collect();
+        writeln!(w, "{}", line.join(" "))?;
+    }
+    Ok(())
+}
+
+/// Writes DIMACS format (all arcs with weight 1).
+pub fn write_dimacs<W: Write>(g: &Graph, mut w: W) -> std::io::Result<()> {
+    writeln!(w, "c generated by apgre-graph")?;
+    writeln!(w, "p sp {} {}", g.num_vertices(), g.num_arcs())?;
+    for (u, v) in g.arcs() {
+        writeln!(w, "a {} {} 1", u + 1, v + 1)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_list_round_trip_undirected() {
+        let g = crate::generators::grid2d(3, 3);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(&buf[..], false).unwrap();
+        assert_eq!(g.csr(), g2.csr());
+    }
+
+    #[test]
+    fn edge_list_round_trip_directed() {
+        let g = crate::generators::gnm_directed(40, 120, 8);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(&buf[..], true).unwrap();
+        assert_eq!(g.csr(), g2.csr());
+        assert!(g2.is_directed());
+    }
+
+    #[test]
+    fn edge_list_skips_comments_and_blank_lines() {
+        let text = "# snap header\n\n0 1\n% matrix-market style comment\n1 2\n";
+        let g = read_edge_list(text.as_bytes(), false).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn edge_list_reports_bad_line() {
+        let text = "0 1\nnot numbers\n";
+        let err = read_edge_list(text.as_bytes(), false).unwrap_err();
+        match err {
+            IoError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dimacs_round_trip() {
+        let g = crate::generators::grid2d(4, 4);
+        let mut buf = Vec::new();
+        write_dimacs(&g, &mut buf).unwrap();
+        let g2 = read_dimacs(&buf[..], false).unwrap();
+        assert_eq!(g.csr(), g2.csr());
+    }
+
+    #[test]
+    fn dimacs_pads_isolated_vertices_from_header() {
+        let text = "c road\np sp 5 1\na 1 2 7\n";
+        let g = read_dimacs(text.as_bytes(), false).unwrap();
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn dimacs_rejects_zero_id() {
+        let text = "p sp 2 1\na 0 1 1\n";
+        assert!(read_dimacs(text.as_bytes(), false).is_err());
+    }
+
+    #[test]
+    fn dimacs_rejects_unknown_line() {
+        let text = "p sp 2 1\nq whatever\n";
+        assert!(read_dimacs(text.as_bytes(), false).is_err());
+    }
+
+    #[test]
+    fn metis_round_trip() {
+        let g = crate::generators::lollipop(5, 4);
+        let mut buf = Vec::new();
+        write_metis(&g, &mut buf).unwrap();
+        let g2 = read_metis(&buf[..]).unwrap();
+        assert_eq!(g.csr(), g2.csr());
+    }
+
+    #[test]
+    fn metis_parses_reference_example() {
+        // The classic 7-vertex example from the METIS manual.
+        let text = "7 11\n5 3 2\n1 3 4\n5 4 2 1\n2 3 6 7\n1 3 6\n5 4 7\n6 4\n";
+        let g = read_metis(text.as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 7);
+        assert_eq!(g.num_edges(), 11);
+        assert!(g.csr().has_edge(0, 4)); // vertex 1 - vertex 5, 0-based
+    }
+
+    #[test]
+    fn metis_rejects_edge_count_mismatch() {
+        let text = "3 5\n2\n1 3\n2\n";
+        assert!(read_metis(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn metis_rejects_out_of_range_neighbor() {
+        let text = "2 1\n2\n3\n";
+        assert!(read_metis(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn metis_skips_comment_lines() {
+        let text = "% a comment\n2 1\n2\n1\n";
+        let g = read_metis(text.as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn metis_isolated_vertices_allowed() {
+        let text = "3 1\n2\n1\n\n";
+        let g = read_metis(text.as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.out_degree(2), 0);
+    }
+}

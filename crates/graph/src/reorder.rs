@@ -1,0 +1,174 @@
+//! Vertex reordering for cache locality.
+//!
+//! The paper's related work (§6, Cong & Makarychev IPDPS'11) improves BC by
+//! "appropriate re-layout of the graph nodes". This module provides the two
+//! standard relabelings — degree-descending order (hubs first, so the hot
+//! CSR rows share cache lines) and BFS order (neighbours get nearby ids) —
+//! as structure-preserving permutations, plus the machinery to map scores
+//! back to the original ids.
+//!
+//! Reordering commutes with everything in this workspace (BC, decomposition,
+//! α/β) because all of it is label-independent; the tests pin that down.
+
+use crate::graph::Graph;
+use crate::VertexId;
+use std::collections::VecDeque;
+
+/// A vertex relabeling: `new_of[v]` is the new id of original vertex `v`.
+#[derive(Clone, Debug)]
+pub struct Permutation {
+    /// original id → new id
+    pub new_of: Vec<VertexId>,
+    /// new id → original id
+    pub old_of: Vec<VertexId>,
+}
+
+impl Permutation {
+    fn from_order(order: Vec<VertexId>) -> Self {
+        let mut new_of = vec![0 as VertexId; order.len()];
+        for (new_id, &old) in order.iter().enumerate() {
+            new_of[old as usize] = new_id as VertexId;
+        }
+        Permutation { new_of, old_of: order }
+    }
+
+    /// Applies the permutation to a graph.
+    pub fn apply(&self, g: &Graph) -> Graph {
+        let n = g.num_vertices();
+        assert_eq!(n, self.new_of.len());
+        if g.is_directed() {
+            let edges: Vec<_> = g
+                .arcs()
+                .map(|(u, v)| (self.new_of[u as usize], self.new_of[v as usize]))
+                .collect();
+            Graph::directed_from_edges(n, &edges)
+        } else {
+            let edges: Vec<_> = g
+                .undirected_edges()
+                .map(|(u, v)| (self.new_of[u as usize], self.new_of[v as usize]))
+                .collect();
+            Graph::undirected_from_edges(n, &edges)
+        }
+    }
+
+    /// Maps per-vertex values computed on the reordered graph back to the
+    /// original vertex ids.
+    pub fn unpermute<T: Copy + Default>(&self, values: &[T]) -> Vec<T> {
+        assert_eq!(values.len(), self.old_of.len());
+        let mut out = vec![T::default(); values.len()];
+        for (new_id, &old) in self.old_of.iter().enumerate() {
+            out[old as usize] = values[new_id];
+        }
+        out
+    }
+}
+
+/// Degree-descending relabeling: the highest-(out-)degree vertex becomes 0.
+/// Ties break by original id, so the permutation is deterministic.
+pub fn degree_order(g: &Graph) -> Permutation {
+    let mut order: Vec<VertexId> = g.vertices().collect();
+    order.sort_by_key(|&v| (std::cmp::Reverse(g.out_degree(v)), v));
+    Permutation::from_order(order)
+}
+
+/// BFS relabeling from `src` (unreached vertices keep relative order after
+/// the reached ones): neighbours receive nearby ids, the classic locality
+/// layout for level-synchronous traversals.
+pub fn bfs_order(g: &Graph, src: VertexId) -> Permutation {
+    let n = g.num_vertices();
+    let mut seen = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    let mut queue = VecDeque::new();
+    if n > 0 {
+        seen[src as usize] = true;
+        queue.push_back(src);
+        while let Some(u) = queue.pop_front() {
+            order.push(u);
+            for &v in g.out_neighbors(u) {
+                if !seen[v as usize] {
+                    seen[v as usize] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+    for v in 0..n as VertexId {
+        if !seen[v as usize] {
+            order.push(v);
+        }
+    }
+    Permutation::from_order(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn degree_order_puts_hub_first() {
+        let g = generators::star(6);
+        let p = degree_order(&g);
+        assert_eq!(p.new_of[0], 0, "the hub keeps id 0");
+        let rg = p.apply(&g);
+        assert_eq!(rg.out_degree(0), 6);
+    }
+
+    #[test]
+    fn permutation_roundtrip() {
+        let g = generators::gnm_undirected(50, 90, 5);
+        let p = degree_order(&g);
+        for v in 0..50u32 {
+            assert_eq!(p.old_of[p.new_of[v as usize] as usize], v);
+        }
+        let values: Vec<f64> = (0..50).map(|v| v as f64).collect();
+        // values indexed by NEW id where new id i holds old_of[i] as value:
+        let permuted: Vec<f64> = p.old_of.iter().map(|&o| o as f64).collect();
+        assert_eq!(p.unpermute(&permuted), values);
+    }
+
+    #[test]
+    fn reorder_preserves_structure() {
+        let g = generators::lollipop(6, 10);
+        for p in [degree_order(&g), bfs_order(&g, 3)] {
+            let rg = p.apply(&g);
+            assert_eq!(rg.num_vertices(), g.num_vertices());
+            assert_eq!(rg.num_edges(), g.num_edges());
+            let mut da: Vec<_> = g.vertices().map(|v| g.out_degree(v)).collect();
+            let mut db: Vec<_> = rg.vertices().map(|v| rg.out_degree(v)).collect();
+            da.sort_unstable();
+            db.sort_unstable();
+            assert_eq!(da, db);
+        }
+    }
+
+    #[test]
+    fn bfs_order_is_contiguous_from_source() {
+        let g = generators::path(6);
+        let p = bfs_order(&g, 0);
+        // A path BFS from 0 visits in id order already.
+        assert_eq!(p.old_of, vec![0, 1, 2, 3, 4, 5]);
+        let p = bfs_order(&g, 5);
+        assert_eq!(p.old_of, vec![5, 4, 3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn directed_reorder() {
+        let g = generators::gnm_directed(30, 80, 9);
+        let p = degree_order(&g);
+        let rg = p.apply(&g);
+        assert!(rg.is_directed());
+        assert_eq!(rg.num_edges(), g.num_edges());
+        // spot-check one arc maps correctly
+        let (u, v) = g.arcs().next().unwrap();
+        assert!(rg.csr().has_edge(p.new_of[u as usize], p.new_of[v as usize]));
+    }
+
+    #[test]
+    fn unreached_vertices_appended() {
+        let g = Graph::undirected_from_edges(5, &[(0, 1)]);
+        let p = bfs_order(&g, 0);
+        assert_eq!(&p.old_of[..2], &[0, 1]);
+        assert_eq!(&p.old_of[2..], &[2, 3, 4]);
+    }
+}

@@ -1,0 +1,223 @@
+//! Sequential breadth-first search.
+
+use crate::csr::Csr;
+use crate::{VertexId, UNREACHED};
+use std::collections::VecDeque;
+
+/// BFS distances from `src` over `csr`. `UNREACHED` marks unreachable
+/// vertices. Allocates the distance vector; use [`bfs_distances_into`] in
+/// loops that can reuse a workspace.
+pub fn bfs_distances(csr: &Csr, src: VertexId) -> Vec<u32> {
+    let mut dist = vec![UNREACHED; csr.num_vertices()];
+    bfs_distances_into(csr, src, &mut dist);
+    dist
+}
+
+/// BFS into a caller-owned distance array (must be length `n`; it is reset to
+/// `UNREACHED` first). Returns the number of vertices reached, including
+/// `src`.
+pub fn bfs_distances_into(csr: &Csr, src: VertexId, dist: &mut [u32]) -> usize {
+    assert_eq!(dist.len(), csr.num_vertices());
+    dist.fill(UNREACHED);
+    let mut queue = VecDeque::new();
+    dist[src as usize] = 0;
+    queue.push_back(src);
+    let mut reached = 1usize;
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize];
+        for &v in csr.neighbors(u) {
+            if dist[v as usize] == UNREACHED {
+                dist[v as usize] = du + 1;
+                reached += 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    reached
+}
+
+/// Vertices reachable from `src` (including `src`), minus the vertices for
+/// which `blocked` returns true — blocked vertices are neither visited nor
+/// expanded. `src` itself is always expanded but **not** counted.
+///
+/// This is exactly the primitive the paper's α/β computation needs: "the
+/// number of vertices which `a` can reach without passing through `SGi`"
+/// (§4, step 2).
+pub fn reachable_count(
+    csr: &Csr,
+    src: VertexId,
+    mut blocked: impl FnMut(VertexId) -> bool,
+) -> u64 {
+    let n = csr.num_vertices();
+    let mut visited = vec![false; n];
+    let mut queue = VecDeque::new();
+    visited[src as usize] = true;
+    queue.push_back(src);
+    let mut count = 0u64;
+    while let Some(u) = queue.pop_front() {
+        for &v in csr.neighbors(u) {
+            if !visited[v as usize] && !blocked(v) {
+                visited[v as usize] = true;
+                count += 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    count
+}
+
+/// BFS that records vertices level by level: `levels[d]` holds every vertex
+/// at distance `d` from `src`, in discovery order.
+pub fn bfs_levels(csr: &Csr, src: VertexId) -> Vec<Vec<VertexId>> {
+    let mut dist = vec![UNREACHED; csr.num_vertices()];
+    let mut levels: Vec<Vec<VertexId>> = vec![vec![src]];
+    dist[src as usize] = 0;
+    let mut d = 0u32;
+    loop {
+        let mut next = Vec::new();
+        for &u in &levels[d as usize] {
+            for &v in csr.neighbors(u) {
+                if dist[v as usize] == UNREACHED {
+                    dist[v as usize] = d + 1;
+                    next.push(v);
+                }
+            }
+        }
+        if next.is_empty() {
+            break;
+        }
+        levels.push(next);
+        d += 1;
+    }
+    levels
+}
+
+/// A BFS shortest-path tree/DAG summary: distances and shortest-path counts.
+/// This is the forward phase of Brandes' algorithm packaged for reuse in
+/// tests and the redundancy analyzer.
+#[derive(Clone, Debug)]
+pub struct BfsTree {
+    /// Distance from the root (`UNREACHED` if unreachable).
+    pub dist: Vec<u32>,
+    /// Number of shortest paths from the root (σ in the paper).
+    pub sigma: Vec<u64>,
+    /// Vertices in non-decreasing distance order (root first).
+    pub order: Vec<VertexId>,
+}
+
+impl BfsTree {
+    /// Builds the shortest-path DAG summary rooted at `src`.
+    pub fn build(csr: &Csr, src: VertexId) -> BfsTree {
+        let n = csr.num_vertices();
+        let mut dist = vec![UNREACHED; n];
+        let mut sigma = vec![0u64; n];
+        let mut order = Vec::new();
+        let mut queue = VecDeque::new();
+        dist[src as usize] = 0;
+        sigma[src as usize] = 1;
+        queue.push_back(src);
+        while let Some(u) = queue.pop_front() {
+            order.push(u);
+            let du = dist[u as usize];
+            for &v in csr.neighbors(u) {
+                if dist[v as usize] == UNREACHED {
+                    dist[v as usize] = du + 1;
+                    queue.push_back(v);
+                }
+                if dist[v as usize] == du + 1 {
+                    sigma[v as usize] += sigma[u as usize];
+                }
+            }
+        }
+        BfsTree { dist, sigma, order }
+    }
+
+    /// Number of vertices reached (including the root).
+    pub fn reached(&self) -> usize {
+        self.order.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Graph;
+
+    fn path5() -> Csr {
+        Graph::undirected_from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]).csr().clone()
+    }
+
+    #[test]
+    fn path_distances() {
+        let g = path5();
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d, vec![0, 1, 2, 3, 4]);
+        let d = bfs_distances(&g, 2);
+        assert_eq!(d, vec![2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn unreachable_marked() {
+        let g = Graph::undirected_from_edges(4, &[(0, 1), (2, 3)]);
+        let d = bfs_distances(g.csr(), 0);
+        assert_eq!(d[0], 0);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], UNREACHED);
+        assert_eq!(d[3], UNREACHED);
+    }
+
+    #[test]
+    fn into_reuses_and_counts() {
+        let g = path5();
+        let mut dist = vec![0; 5];
+        let reached = bfs_distances_into(&g, 4, &mut dist);
+        assert_eq!(reached, 5);
+        assert_eq!(dist, vec![4, 3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn directed_respects_orientation() {
+        let g = Graph::directed_from_edges(3, &[(0, 1), (1, 2)]);
+        assert_eq!(bfs_distances(g.csr(), 0), vec![0, 1, 2]);
+        assert_eq!(bfs_distances(g.csr(), 2), vec![UNREACHED, UNREACHED, 0]);
+        assert_eq!(bfs_distances(g.rev_csr(), 2), vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn reachable_count_with_block() {
+        // 0 - 1 - 2 - 3; block 2 => from 0 reach {1}
+        let g = path5();
+        let c = reachable_count(&g, 0, |v| v == 2);
+        assert_eq!(c, 1);
+        let c = reachable_count(&g, 0, |_| false);
+        assert_eq!(c, 4);
+    }
+
+    #[test]
+    fn levels_partition_by_distance() {
+        let g = Graph::undirected_from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let levels = bfs_levels(g.csr(), 0);
+        assert_eq!(levels.len(), 3);
+        assert_eq!(levels[0], vec![0]);
+        assert_eq!(levels[1], vec![1, 2]);
+        assert_eq!(levels[2], vec![3]);
+    }
+
+    #[test]
+    fn sigma_counts_shortest_paths() {
+        // diamond: two shortest paths 0->3
+        let g = Graph::undirected_from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let t = BfsTree::build(g.csr(), 0);
+        assert_eq!(t.sigma, vec![1, 1, 1, 2]);
+        assert_eq!(t.reached(), 4);
+    }
+
+    #[test]
+    fn sigma_on_k4_like() {
+        // 0 connected to 1,2,3; 1-2, 2-3: sigma(0->3) via (0,3)? no edge 0-3.
+        let g = Graph::undirected_from_edges(4, &[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]);
+        let t = BfsTree::build(g.csr(), 0);
+        assert_eq!(t.dist, vec![0, 1, 1, 2]);
+        assert_eq!(t.sigma[3], 2);
+    }
+}

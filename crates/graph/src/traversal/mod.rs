@@ -1,0 +1,10 @@
+//! Breadth-first traversals: sequential, level-synchronous parallel, and
+//! direction-optimizing (top-down / bottom-up hybrid).
+
+mod bfs;
+mod direction_optimizing;
+mod parallel;
+
+pub use bfs::{bfs_distances, bfs_distances_into, bfs_levels, reachable_count, BfsTree};
+pub use direction_optimizing::{hybrid_bfs_distances, HybridPolicy};
+pub use parallel::{parallel_bfs_distances, parallel_reachable_count};

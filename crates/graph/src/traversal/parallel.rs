@@ -1,0 +1,111 @@
+//! Level-synchronous parallel BFS.
+//!
+//! The frontier expansion races to claim vertices with a relaxed
+//! compare-exchange on an atomic distance array — the winning thread (and
+//! only it) pushes the vertex into the next frontier, so the frontier never
+//! holds duplicates. This is the classic shared-memory level-synchronous
+//! scheme the paper's Algorithm 2 (phase 1) uses, lifted onto rayon.
+
+use crate::csr::Csr;
+use crate::{VertexId, UNREACHED};
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Parallel BFS distances from `src`. Semantically identical to
+/// [`crate::traversal::bfs_distances`]; used when single traversals are large
+/// enough to justify fork-join overhead (the α/β counting step runs one BFS
+/// per articulation point and prefers the parallel-over-points axis instead).
+pub fn parallel_bfs_distances(csr: &Csr, src: VertexId) -> Vec<u32> {
+    let n = csr.num_vertices();
+    let dist: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNREACHED)).collect();
+    dist[src as usize].store(0, Ordering::Relaxed);
+    let mut frontier = vec![src];
+    let mut level = 0u32;
+    while !frontier.is_empty() {
+        let next_level = level + 1;
+        frontier = frontier
+            .par_iter()
+            .flat_map_iter(|&u| {
+                csr.neighbors(u).iter().copied().filter(|&v| {
+                    dist[v as usize]
+                        .compare_exchange(UNREACHED, next_level, Ordering::Relaxed, Ordering::Relaxed)
+                        .is_ok()
+                })
+            })
+            .collect();
+        level = next_level;
+    }
+    dist.into_iter().map(AtomicU32::into_inner).collect()
+}
+
+/// Parallel variant of [`crate::traversal::reachable_count`]: number of
+/// vertices reachable from `src` (excluding `src`), never visiting vertices
+/// for which `blocked` is true.
+pub fn parallel_reachable_count(
+    csr: &Csr,
+    src: VertexId,
+    blocked: impl Fn(VertexId) -> bool + Sync,
+) -> u64 {
+    let n = csr.num_vertices();
+    let visited: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+    visited[src as usize].store(1, Ordering::Relaxed);
+    let mut frontier = vec![src];
+    let mut count = 0u64;
+    while !frontier.is_empty() {
+        frontier = frontier
+            .par_iter()
+            .flat_map_iter(|&u| {
+                csr.neighbors(u).iter().copied().filter(|&v| {
+                    !blocked(v)
+                        && visited[v as usize]
+                            .compare_exchange(0, 1, Ordering::Relaxed, Ordering::Relaxed)
+                            .is_ok()
+                })
+            })
+            .collect();
+        count += frontier.len() as u64;
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::{bfs_distances, reachable_count};
+    use crate::Graph;
+
+    #[test]
+    fn matches_sequential_on_grid() {
+        let g = crate::generators::grid2d(13, 7);
+        let seq = bfs_distances(g.csr(), 0);
+        let par = parallel_bfs_distances(g.csr(), 0);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn matches_sequential_on_directed() {
+        let g = Graph::directed_from_edges(6, &[(0, 1), (1, 2), (2, 3), (0, 4), (5, 0)]);
+        for s in 0..6 {
+            assert_eq!(bfs_distances(g.csr(), s), parallel_bfs_distances(g.csr(), s), "src {s}");
+        }
+    }
+
+    #[test]
+    fn reachable_counts_agree() {
+        let g = crate::generators::grid2d(9, 9);
+        for s in [0u32, 40, 80] {
+            let blocked = |v: VertexId| v % 7 == 3;
+            assert_eq!(
+                reachable_count(g.csr(), s, blocked),
+                parallel_reachable_count(g.csr(), s, blocked)
+            );
+        }
+    }
+
+    #[test]
+    fn singleton_graph() {
+        let g = Graph::undirected_from_edges(1, &[]);
+        assert_eq!(parallel_bfs_distances(g.csr(), 0), vec![0]);
+        assert_eq!(parallel_reachable_count(g.csr(), 0, |_| false), 0);
+    }
+}

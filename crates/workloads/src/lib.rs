@@ -1,0 +1,236 @@
+//! Deterministic synthetic workloads standing in for the paper's evaluation
+//! graphs (Table 1), plus the worked-example graphs of Figures 2 and 3.
+//!
+//! The original datasets (SNAP, DIMACS, web crawls) are not redistributable
+//! inside this repository and this environment has no network access, so each
+//! Table-1 graph gets a generated analogue that reproduces the *structural
+//! features APGRE's performance depends on* — power-law core size, whisker
+//! (degree-1) fraction, community structure hanging off articulation points,
+//! directedness — at a scale that runs on one machine. DESIGN.md §5 documents
+//! the substitution; `EXPERIMENTS.md` reports paper-vs-measured shapes.
+//!
+//! Every builder is seeded and pure: the same `(name, scale)` always returns
+//! the same graph.
+
+pub mod paper_examples;
+mod road;
+mod social;
+
+use apgre_graph::Graph;
+
+/// Workload size class.
+///
+/// * `Tiny` — hundreds of vertices; integration tests.
+/// * `Small` — thousands of vertices; the default experiment scale (a full
+///   Table-2 sweep across 7 algorithms finishes in minutes on one core).
+/// * `Medium` — tens of thousands of vertices; APGRE-focused runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// ~300–800 vertices.
+    Tiny,
+    /// ~3k–8k vertices.
+    Small,
+    /// ~15k–40k vertices.
+    Medium,
+}
+
+/// One Table-1 stand-in.
+pub struct WorkloadSpec {
+    /// Short name (matches the paper's graph name, lower-cased, `-like`).
+    pub name: &'static str,
+    /// What the original graph is and which structural knobs we reproduce.
+    pub description: &'static str,
+    /// Directedness (paper Table 1's "Directed" column).
+    pub directed: bool,
+    /// Original size from Table 1: (vertices, edges).
+    pub paper_size: (usize, usize),
+    /// The paper's APGRE-vs-serial speedup for this graph (Table 2,
+    /// `serial / APGRE`), used by EXPERIMENTS.md for shape comparison.
+    pub paper_speedup_vs_serial: f64,
+    /// Builder.
+    pub build: fn(Scale) -> Graph,
+}
+
+impl WorkloadSpec {
+    /// Builds the graph at the given scale.
+    pub fn graph(&self, scale: Scale) -> Graph {
+        (self.build)(scale)
+    }
+}
+
+/// The twelve Table-1 stand-ins, in the paper's row order.
+pub fn registry() -> Vec<WorkloadSpec> {
+    vec![
+        WorkloadSpec {
+            name: "email-enron-like",
+            description: "Enron email network: undirected power-law core, moderate whisker fringe (31% total redundancy in Fig. 7), top sub-graph ≈56% of vertices",
+            directed: false,
+            paper_size: (36_692, 367_662),
+            paper_speedup_vs_serial: 130.0 / 46.0,
+            build: social::email_enron_like,
+        },
+        WorkloadSpec {
+            name: "email-euall-like",
+            description: "European research institution email: directed, dominated by send-only accounts (71% total redundancy), tiny top sub-graph (≈14% of vertices)",
+            directed: true,
+            paper_size: (265_214, 420_045),
+            paper_speedup_vs_serial: 1826.0 / 53.0,
+            build: social::email_euall_like,
+        },
+        WorkloadSpec {
+            name: "slashdot-like",
+            description: "Slashdot Zoo: directed social graph, big biconnected core (top sub-graph ≈70% of vertices), mostly partial redundancy (35%), no whiskers",
+            directed: true,
+            paper_size: (77_360, 905_468),
+            paper_speedup_vs_serial: 846.0 / 246.0,
+            build: social::slashdot_like,
+        },
+        WorkloadSpec {
+            name: "douban-like",
+            description: "DouBan social network: directed, heavy follower fringe (67% total redundancy), top sub-graph ≈34% of vertices",
+            directed: true,
+            paper_size: (154_908, 654_188),
+            paper_speedup_vs_serial: 1993.0 / 182.0,
+            build: social::douban_like,
+        },
+        WorkloadSpec {
+            name: "wikitalk-like",
+            description: "Wikipedia talk pages: directed, extreme fringe — 80% partial redundancy from common sub-DAGs, top sub-graph ≈26% of vertices",
+            directed: true,
+            paper_size: (2_394_385, 5_021_410),
+            paper_speedup_vs_serial: 90_496.0 / 4_931.0,
+            build: social::wikitalk_like,
+        },
+        WorkloadSpec {
+            name: "dblp-like",
+            description: "DBLP collaboration: two large cores bridged by articulation points (top 46% / second 31% of vertices), 49% partial redundancy",
+            directed: true,
+            paper_size: (326_186, 1_615_400),
+            paper_speedup_vs_serial: 8_015.0 / 988.0,
+            build: social::dblp_like,
+        },
+        WorkloadSpec {
+            name: "youtube-like",
+            description: "YouTube friendships: undirected, huge whisker fringe (53% total redundancy), top sub-graph ≈46% of vertices",
+            directed: false,
+            paper_size: (1_134_890, 5_975_248),
+            paper_speedup_vs_serial: 219_925.0 / 19_258.0,
+            build: social::youtube_like,
+        },
+        WorkloadSpec {
+            name: "notredame-like",
+            description: "Notre Dame web graph: directed, page clusters hanging off hub pages (64% partial redundancy), top sub-graph ≈43% of vertices",
+            directed: true,
+            paper_size: (325_729, 1_497_134),
+            paper_speedup_vs_serial: 1_198.0 / 291.0,
+            build: social::notredame_like,
+        },
+        WorkloadSpec {
+            name: "web-berkstan-like",
+            description: "Berkeley–Stanford web crawl: directed, dense core (top sub-graph ≈72% of vertices, 88% of edges), modest redundancy",
+            directed: true,
+            paper_size: (685_230, 7_600_595),
+            paper_speedup_vs_serial: 31_099.0 / 7_929.0,
+            build: social::berkstan_like,
+        },
+        WorkloadSpec {
+            name: "web-google-like",
+            description: "Google web graph: directed, dominant core (top sub-graph ≈76% of vertices), mixed partial/total redundancy",
+            directed: true,
+            paper_size: (875_713, 5_105_039),
+            paper_speedup_vs_serial: 69_744.0 / 11_883.0,
+            build: social::google_like,
+        },
+        WorkloadSpec {
+            name: "usa-road-ny-like",
+            description: "New York road network: undirected near-planar grid, almost no power law, small redundancy (5% partial + 16% total) — APGRE's worst case",
+            directed: false,
+            paper_size: (264_346, 733_846),
+            paper_speedup_vs_serial: 6_788.0 / 4_213.0,
+            build: road::road_ny_like,
+        },
+        WorkloadSpec {
+            name: "usa-road-bay-like",
+            description: "SF Bay Area road network: undirected grid with more dead-end corridors (13% partial + 23% total redundancy)",
+            directed: false,
+            paper_size: (321_270, 800_172),
+            paper_speedup_vs_serial: 10_450.0 / 4_951.0,
+            build: road::road_bay_like,
+        },
+    ]
+}
+
+/// Looks up a stand-in by name.
+pub fn get(name: &str) -> Option<WorkloadSpec> {
+    registry().into_iter().find(|w| w.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apgre_graph::stats::graph_stats;
+
+    #[test]
+    fn registry_has_twelve_rows_like_table1() {
+        let r = registry();
+        assert_eq!(r.len(), 12);
+        let names: Vec<_> = r.iter().map(|w| w.name).collect();
+        assert!(names.contains(&"email-enron-like"));
+        assert!(names.contains(&"usa-road-bay-like"));
+    }
+
+    #[test]
+    fn all_workloads_build_at_tiny_scale() {
+        for w in registry() {
+            let g = w.graph(Scale::Tiny);
+            assert!(g.num_vertices() >= 200, "{}: {} vertices", w.name, g.num_vertices());
+            assert!(g.num_edges() > g.num_vertices() / 2, "{}", w.name);
+            assert_eq!(g.is_directed(), w.directed, "{}", w.name);
+        }
+    }
+
+    #[test]
+    fn workloads_are_deterministic() {
+        for w in registry() {
+            let a = w.graph(Scale::Tiny);
+            let b = w.graph(Scale::Tiny);
+            assert_eq!(a.csr(), b.csr(), "{}", w.name);
+        }
+    }
+
+    #[test]
+    fn scales_are_ordered() {
+        for w in registry().into_iter().take(3) {
+            let t = w.graph(Scale::Tiny).num_vertices();
+            let s = w.graph(Scale::Small).num_vertices();
+            assert!(t < s, "{}: tiny {t} !< small {s}", w.name);
+        }
+    }
+
+    #[test]
+    fn whisker_heavy_workloads_have_whiskers() {
+        for name in ["email-euall-like", "douban-like", "youtube-like"] {
+            let w = get(name).unwrap();
+            let g = w.graph(Scale::Tiny);
+            let s = graph_stats(&g);
+            assert!(
+                s.whisker_vertices as f64 > 0.3 * s.vertices as f64,
+                "{name}: {} whiskers of {}",
+                s.whisker_vertices,
+                s.vertices
+            );
+        }
+    }
+
+    #[test]
+    fn slashdot_like_has_few_whiskers() {
+        let g = get("slashdot-like").unwrap().graph(Scale::Tiny);
+        let s = graph_stats(&g);
+        assert!((s.whisker_vertices as f64) < 0.1 * s.vertices as f64);
+    }
+
+    #[test]
+    fn get_unknown_is_none() {
+        assert!(get("no-such-graph").is_none());
+    }
+}

@@ -1,0 +1,76 @@
+//! Road-network stand-ins (the last two rows of Table 1).
+//!
+//! Road graphs are the anti-social-network: near-planar, max degree ~4, huge
+//! diameter, no power law. Redundancy is small but not zero — dead-end roads
+//! are whiskers, and cul-de-sac neighbourhoods hang off single junctions.
+//! The paper measures 5%/16% (NY) and 13%/23% (BAY) partial/total redundancy
+//! (Figure 7); a perforated grid with a whisker fringe reproduces both knobs.
+
+use crate::Scale;
+use apgre_graph::generators::{attach_whiskers, bridge_communities, grid2d_perforated, CommunitySpec};
+use apgre_graph::Graph;
+
+fn dims(scale: Scale, aspect: f64) -> (usize, usize) {
+    let n = match scale {
+        Scale::Tiny => 450,
+        Scale::Small => 4_500,
+        Scale::Medium => 22_000,
+    } as f64;
+    let rows = (n / aspect).sqrt().round() as usize;
+    let cols = (n as usize).div_ceil(rows);
+    (rows, cols)
+}
+
+/// New York-like: tight grid (Manhattan!), every 9th edge removed, a few
+/// cul-de-sac neighbourhoods (5% partial redundancy in Fig. 7), 16% whisker
+/// fringe.
+pub(crate) fn road_ny_like(scale: Scale) -> Graph {
+    let (r, c) = dims(scale, 1.0);
+    let g = grid2d_perforated(r, c, 9);
+    let g = cul_de_sacs(&g, r * c * 5 / 100, 0x202);
+    attach_whiskers(&g, r * c * 16 / 100, false, 0x201)
+}
+
+/// Bay Area-like: elongated grid (the bay!), every 5th edge removed (more
+/// corridors and bridges), more cul-de-sacs (13% partial redundancy), 23%
+/// whisker fringe.
+pub(crate) fn road_bay_like(scale: Scale) -> Graph {
+    let (r, c) = dims(scale, 2.5);
+    let g = grid2d_perforated(r, c, 5);
+    let g = cul_de_sacs(&g, r * c * 13 / 100, 0xBA2);
+    attach_whiskers(&g, r * c * 23 / 100, false, 0xBA1)
+}
+
+/// Attaches small dead-end neighbourhoods (short loops of roads reachable
+/// through a single junction) totalling ~`budget` vertices.
+fn cul_de_sacs(g: &Graph, budget: usize, seed: u64) -> Graph {
+    let specs: Vec<CommunitySpec> = (0..budget / 8)
+        .map(|_| CommunitySpec { size: 8, edges: 9 })
+        .collect();
+    bridge_communities(g, &specs, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apgre_graph::stats::graph_stats;
+
+    #[test]
+    fn road_graphs_are_low_degree() {
+        for g in [road_ny_like(Scale::Tiny), road_bay_like(Scale::Tiny)] {
+            let s = graph_stats(&g);
+            assert!(s.max_degree <= 4 + 8, "max degree {}", s.max_degree); // grid + whisker hosts
+            assert!(s.avg_degree < 4.5);
+        }
+    }
+
+    #[test]
+    fn bay_has_more_whiskers_than_ny() {
+        let ny = graph_stats(&road_ny_like(Scale::Tiny));
+        let bay = graph_stats(&road_bay_like(Scale::Tiny));
+        assert!(
+            bay.whisker_vertices as f64 / bay.vertices as f64
+                > ny.whisker_vertices as f64 / ny.vertices as f64
+        );
+    }
+}

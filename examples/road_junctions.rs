@@ -1,0 +1,67 @@
+//! Road-network critical-junction analysis (the paper's transportation-
+//! network motivation, §1 [4]): rank junctions of a road-like graph by
+//! betweenness — the classic proxy for congestion-critical intersections —
+//! and compare all the shared-memory algorithms on the paper's hardest
+//! input class (road graphs have the least redundancy, Figure 7).
+//!
+//! ```sh
+//! cargo run --release --example road_junctions
+//! ```
+
+use apgre::prelude::*;
+use apgre::workloads::{get, Scale};
+use std::time::Instant;
+
+fn main() {
+    let spec = get("usa-road-ny-like").expect("workload registered");
+    let g = spec.graph(Scale::Tiny);
+    println!("workload: {} — {} vertices, {} edges\n", spec.name, g.num_vertices(), g.num_edges());
+
+    // Run every algorithm of the paper's Table 2 on this graph.
+    let algorithms: Vec<(&str, Box<dyn Fn(&Graph) -> Vec<f64>>)> = vec![
+        ("serial", Box::new(bc_serial)),
+        ("preds", Box::new(bc_preds)),
+        ("succs", Box::new(bc_succs)),
+        ("lockSyncFree", Box::new(bc_lock_free)),
+        ("async(coarse)", Box::new(bc_coarse)),
+        ("hybrid", Box::new(bc_hybrid)),
+        ("APGRE", Box::new(bc_apgre)),
+    ];
+    let mut reference: Option<Vec<f64>> = None;
+    println!("{:<14} {:>12}  max|Δ| vs serial", "algorithm", "time");
+    for (name, f) in &algorithms {
+        let t = Instant::now();
+        let scores = f(&g);
+        let dt = t.elapsed();
+        let err = match &reference {
+            None => {
+                reference = Some(scores.clone());
+                0.0
+            }
+            Some(r) => scores
+                .iter()
+                .zip(r)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f64, f64::max),
+        };
+        println!("{name:<14} {dt:>12.2?}  {err:.2e}");
+    }
+
+    // Critical junctions: highest-BC non-whisker vertices.
+    let scores = reference.unwrap();
+    let mut ranked: Vec<(usize, f64)> = scores.iter().copied().enumerate().collect();
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
+    println!("\ntop 5 critical junctions:");
+    for &(v, s) in ranked.iter().take(5) {
+        println!("  junction {v:>6}: BC {s:>12.1}, degree {}", g.out_degree(v as u32));
+    }
+
+    // Betweenness concentration: road networks spread load far more evenly
+    // than social networks — compare the share of the top 1%.
+    let total: f64 = scores.iter().sum();
+    let top1pct: f64 = ranked.iter().take(scores.len() / 100 + 1).map(|&(_, s)| s).sum();
+    println!(
+        "\ntop 1% of junctions carry {:.1}% of total betweenness",
+        100.0 * top1pct / total
+    );
+}

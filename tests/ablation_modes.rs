@@ -1,0 +1,69 @@
+//! The ablation decomposition modes (merge-all, unfolded whiskers) must stay
+//! exact: they disable an *optimization*, never correctness.
+
+use apgre::prelude::*;
+use apgre::workloads::{registry, Scale};
+
+fn assert_close(ctx: &str, got: &[f64], want: &[f64]) {
+    assert_eq!(got.len(), want.len(), "{ctx}");
+    for i in 0..want.len() {
+        assert!(
+            (got[i] - want[i]).abs() <= 1e-6 * (1.0 + want[i].abs()),
+            "{ctx}: vertex {i}: {} vs {}",
+            got[i],
+            want[i]
+        );
+    }
+}
+
+fn variants(g: &Graph, ctx: &str) {
+    let want = bc_serial(g);
+    for (merge_all, unfold) in [(true, false), (false, true), (true, true)] {
+        let popts = PartitionOptions { merge_all, ..Default::default() };
+        let mut d = decompose(g, &popts);
+        if unfold {
+            d.unfold_whiskers();
+        }
+        d.validate(g).unwrap_or_else(|e| panic!("{ctx} merge_all={merge_all} unfold={unfold}: {e}"));
+        let (got, report) =
+            apgre::bc::apgre::bc_from_decomposition(g, &d, &ApgreOptions::default());
+        assert_close(&format!("{ctx} merge_all={merge_all} unfold={unfold}"), &got, &want);
+        if unfold {
+            assert_eq!(report.total_whiskers, 0);
+            assert_eq!(report.total_roots, d.subgraphs.iter().map(|s| s.num_vertices()).sum::<usize>());
+        }
+        if merge_all {
+            // One sub-graph per connected component with edges.
+            let comps = apgre::graph::connectivity::connected_components(g);
+            let nonempty = (0..comps.count())
+                .filter(|&c| {
+                    comps.members(c as u32).iter().any(|&v| g.out_degree(v) + g.in_degree(v) > 0)
+                })
+                .count();
+            assert_eq!(report.num_subgraphs, nonempty, "{ctx}");
+        }
+    }
+}
+
+#[test]
+fn ablation_modes_stay_exact_on_workloads() {
+    for spec in registry().into_iter().step_by(2) {
+        let g = spec.graph(Scale::Tiny);
+        variants(&g, spec.name);
+    }
+}
+
+#[test]
+fn ablation_modes_on_worked_example() {
+    variants(&apgre::workloads::paper_examples::paper_fig3(), "fig3");
+}
+
+#[test]
+fn merge_all_has_no_boundary_points() {
+    let g = registry()[0].graph(Scale::Tiny);
+    let d = decompose(&g, &PartitionOptions { merge_all: true, ..Default::default() });
+    for sg in &d.subgraphs {
+        assert!(sg.boundary.is_empty(), "SG{}", sg.id);
+        assert!(sg.alpha.iter().all(|&a| a == 0));
+    }
+}

@@ -1,0 +1,73 @@
+//! Cross-crate equivalence: every algorithm must produce serial Brandes'
+//! scores on every Table-1 workload stand-in.
+
+use apgre::prelude::*;
+use apgre::workloads::{registry, Scale};
+
+fn assert_close(name: &str, got: &[f64], want: &[f64]) {
+    assert_eq!(got.len(), want.len(), "{name}: length");
+    for i in 0..want.len() {
+        let (x, y) = (got[i], want[i]);
+        assert!(
+            (x - y).abs() <= 1e-6 * (1.0 + x.abs().max(y.abs())),
+            "{name}: vertex {i}: got {x}, want {y}"
+        );
+    }
+}
+
+#[test]
+fn all_algorithms_match_serial_on_all_workloads() {
+    for spec in registry() {
+        let g = spec.graph(Scale::Tiny);
+        let want = bc_serial(&g);
+        let algos: Vec<(&str, Box<dyn Fn(&Graph) -> Vec<f64>>)> = vec![
+            ("preds", Box::new(bc_preds)),
+            ("succs", Box::new(bc_succs)),
+            ("lockSyncFree", Box::new(bc_lock_free)),
+            ("coarse", Box::new(bc_coarse)),
+            ("hybrid", Box::new(bc_hybrid)),
+            ("apgre", Box::new(bc_apgre)),
+        ];
+        for (name, f) in algos {
+            assert_close(&format!("{}/{}", spec.name, name), &f(&g), &want);
+        }
+    }
+}
+
+#[test]
+fn apgre_matches_across_thresholds_on_workloads() {
+    for spec in registry().into_iter().step_by(3) {
+        let g = spec.graph(Scale::Tiny);
+        let want = bc_serial(&g);
+        for threshold in [1, 8, 64] {
+            let opts = ApgreOptions {
+                partition: PartitionOptions { merge_threshold: threshold, ..Default::default() },
+                ..Default::default()
+            };
+            let (got, report) = bc_apgre_with(&g, &opts);
+            assert_close(&format!("{}@t{threshold}", spec.name), &got, &want);
+            assert!(report.num_subgraphs >= 1);
+        }
+    }
+}
+
+#[test]
+fn decompositions_validate_on_all_workloads() {
+    for spec in registry() {
+        let g = spec.graph(Scale::Tiny);
+        let d = decompose(&g, &PartitionOptions::default());
+        d.validate(&g).unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+    }
+}
+
+#[test]
+fn redundancy_fractions_are_sane_on_all_workloads() {
+    for spec in registry() {
+        let g = spec.graph(Scale::Tiny);
+        let d = decompose(&g, &PartitionOptions::default());
+        let r = apgre::bc::redundancy::analyze(&g, &d);
+        let total = r.total_fraction() + r.partial_fraction() + r.essential_fraction();
+        assert!((total - 1.0).abs() < 1e-9, "{}: fractions sum to {total}", spec.name);
+        assert!(r.essential_fraction() > 0.0, "{}", spec.name);
+    }
+}

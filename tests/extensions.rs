@@ -1,0 +1,103 @@
+//! Integration tests for the extension modules (weighted, edge, approx,
+//! memo) across the workload registry.
+
+use apgre::bc::approx::{bc_approx_apgre, spearman_rank_correlation};
+use apgre::bc::edge::{edge_bc, undirected_edge_scores};
+use apgre::bc::memo::MemoizedBc;
+use apgre::bc::weighted::{bc_weighted_apgre, bc_weighted_serial};
+use apgre::graph::WeightedGraph;
+use apgre::prelude::*;
+use apgre::workloads::{registry, Scale};
+
+#[test]
+fn weighted_apgre_matches_weighted_serial_on_workloads() {
+    for spec in registry().into_iter().step_by(4) {
+        let g = spec.graph(Scale::Tiny);
+        let wg = WeightedGraph::random_weights(g, 8, 77);
+        let want = bc_weighted_serial(&wg);
+        let got = bc_weighted_apgre(&wg);
+        for (i, (a, b)) in got.iter().zip(&want).enumerate() {
+            assert!(
+                (a - b).abs() <= 1e-6 * (1.0 + b.abs()),
+                "{} vertex {i}: {a} vs {b}",
+                spec.name
+            );
+        }
+    }
+}
+
+#[test]
+fn unit_weighted_apgre_equals_unweighted_apgre() {
+    let g = registry()[0].graph(Scale::Tiny);
+    let wg = WeightedGraph::unit(g.clone());
+    let a = bc_weighted_apgre(&wg);
+    let b = bc_apgre(&g);
+    for (x, y) in a.iter().zip(&b) {
+        assert!((x - y).abs() <= 1e-7 * (1.0 + y.abs()));
+    }
+}
+
+#[test]
+fn edge_bc_total_mass_invariant_on_workloads() {
+    // Σ EBC(e) = Σ_{s,t reachable} d(s,t) on every workload family.
+    for spec in registry().into_iter().step_by(5) {
+        let g = spec.graph(Scale::Tiny);
+        let scores = edge_bc(&g);
+        let total: f64 = scores.iter().sum();
+        let mut dist_sum = 0f64;
+        for s in g.vertices() {
+            let d = apgre::graph::traversal::bfs_distances(g.csr(), s);
+            for v in g.vertices() {
+                if v != s && d[v as usize] != apgre::graph::UNREACHED {
+                    dist_sum += d[v as usize] as f64;
+                }
+            }
+        }
+        assert!(
+            (total - dist_sum).abs() < 1e-6 * (1.0 + dist_sum),
+            "{}: {total} vs {dist_sum}",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn undirected_edge_scores_are_complete() {
+    let g = registry()[0].graph(Scale::Tiny); // email-enron-like, undirected
+    let scores = edge_bc(&g);
+    let per_edge = undirected_edge_scores(&g, &scores);
+    assert_eq!(per_edge.len(), g.num_edges());
+    let arc_total: f64 = scores.iter().sum();
+    let edge_total: f64 = per_edge.iter().map(|(_, s)| s).sum();
+    assert!((arc_total - edge_total).abs() < 1e-6 * (1.0 + arc_total));
+}
+
+#[test]
+fn approx_apgre_quality_on_workloads() {
+    for name in ["youtube-like", "wikitalk-like"] {
+        let g = apgre::workloads::get(name).unwrap().graph(Scale::Tiny);
+        let exact = bc_serial(&g);
+        let est = bc_approx_apgre(&g, 0.5, 11, &ApgreOptions::default());
+        let rho = spearman_rank_correlation(&exact, &est);
+        assert!(rho > 0.8, "{name}: spearman {rho}");
+    }
+}
+
+#[test]
+fn memo_survives_workload_sequence() {
+    // Feed several distinct graphs through one cache: results stay exact and
+    // repeated graphs are pure hits.
+    let mut memo = MemoizedBc::new(PartitionOptions::default());
+    let graphs: Vec<Graph> =
+        registry().into_iter().step_by(6).map(|s| s.graph(Scale::Tiny)).collect();
+    let mut firsts = Vec::new();
+    for g in &graphs {
+        firsts.push(memo.compute(g));
+    }
+    let misses_after_first_pass = memo.misses;
+    for (g, first) in graphs.iter().zip(&firsts) {
+        let again = memo.compute(g);
+        assert_eq!(&again, first);
+    }
+    assert_eq!(memo.misses, misses_after_first_pass, "second pass must be all hits");
+}

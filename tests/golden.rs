@@ -1,0 +1,71 @@
+//! Golden regression tests: BC score checksums for fixed-seed workloads.
+//!
+//! Guards against silent behavioural drift anywhere in the pipeline
+//! (generator RNG usage, CSR ordering, kernel formulas): if any of these
+//! change, the checksum changes and the recorded experiments become
+//! incomparable. Run with `APGRE_PRINT_GOLDEN=1` to print fresh values after
+//! an *intentional* change, and update both the constants and `results/`.
+
+use apgre::prelude::*;
+use apgre::workloads::{get, Scale};
+
+/// Order-stable checksum of a score vector: scores are rounded to 1e-6 to
+/// stay robust to summation-order noise, then FNV-folded.
+fn checksum(scores: &[f64]) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &s in scores {
+        let q = (s * 1e6).round() as i64 as u64;
+        for b in q.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+    }
+    h
+}
+
+fn check(name: &str, expected: u64) {
+    let g = get(name).unwrap().graph(Scale::Tiny);
+    let scores = bc_apgre(&g);
+    let got = checksum(&scores);
+    if std::env::var("APGRE_PRINT_GOLDEN").is_ok() {
+        println!("(\"{name}\", 0x{got:016x}),");
+        return;
+    }
+    assert_eq!(
+        got, expected,
+        "{name}: BC checksum drifted (0x{got:016x} vs 0x{expected:016x}) — \
+         if intentional, re-record with APGRE_PRINT_GOLDEN=1"
+    );
+    // And the checksum must match serial Brandes' checksum too.
+    let serial = checksum(&bc_serial(&g));
+    assert_eq!(got, serial, "{name}: apgre and serial diverge at 1e-6 rounding");
+}
+
+#[test]
+fn golden_email_enron_like() {
+    check("email-enron-like", GOLDEN[0].1);
+}
+
+#[test]
+fn golden_wikitalk_like() {
+    check("wikitalk-like", GOLDEN[1].1);
+}
+
+#[test]
+fn golden_youtube_like() {
+    check("youtube-like", GOLDEN[2].1);
+}
+
+#[test]
+fn golden_road_ny_like() {
+    check("usa-road-ny-like", GOLDEN[3].1);
+}
+
+/// Recorded with `APGRE_PRINT_GOLDEN=1 cargo test --test golden -- --nocapture`.
+const GOLDEN: &[(&str, u64)] = &[
+    ("email-enron-like", 0x184cdfb4f1134e54),
+    ("wikitalk-like", 0x7483da41d44f85cf),
+    ("youtube-like", 0xf51985e8172bc809),
+    ("usa-road-ny-like", 0xf23a9914765a7c65),
+];

@@ -1,0 +1,59 @@
+//! BC and the decomposition are label-independent: any vertex relabeling
+//! must permute the scores and nothing else. This pins the reorder module
+//! *and* catches any accidental id-order dependence in the algorithms.
+
+use apgre::graph::reorder::{bfs_order, degree_order};
+use apgre::prelude::*;
+use apgre::workloads::{registry, Scale};
+
+fn assert_close(ctx: &str, got: &[f64], want: &[f64]) {
+    assert_eq!(got.len(), want.len(), "{ctx}");
+    for i in 0..want.len() {
+        assert!(
+            (got[i] - want[i]).abs() <= 1e-6 * (1.0 + want[i].abs()),
+            "{ctx}: vertex {i}: {} vs {}",
+            got[i],
+            want[i]
+        );
+    }
+}
+
+#[test]
+fn apgre_commutes_with_reordering() {
+    for spec in registry().into_iter().step_by(3) {
+        let g = spec.graph(Scale::Tiny);
+        let base = bc_apgre(&g);
+        for (kind, p) in [("degree", degree_order(&g)), ("bfs", bfs_order(&g, 0))] {
+            let rg = p.apply(&g);
+            let scores = p.unpermute(&bc_apgre(&rg));
+            assert_close(&format!("{}:{kind}", spec.name), &scores, &base);
+        }
+    }
+}
+
+#[test]
+fn decomposition_shape_is_label_independent() {
+    let g = registry()[0].graph(Scale::Tiny);
+    let d0 = decompose(&g, &PartitionOptions::default());
+    let p = degree_order(&g);
+    let d1 = decompose(&p.apply(&g), &PartitionOptions::default());
+    assert_eq!(d0.num_bccs, d1.num_bccs);
+    assert_eq!(
+        d0.is_articulation.iter().filter(|&&a| a).count(),
+        d1.is_articulation.iter().filter(|&&a| a).count()
+    );
+    let mut s0: Vec<usize> = d0.subgraphs.iter().map(|s| s.num_vertices()).collect();
+    let mut s1: Vec<usize> = d1.subgraphs.iter().map(|s| s.num_vertices()).collect();
+    s0.sort_unstable();
+    s1.sort_unstable();
+    assert_eq!(s0, s1);
+}
+
+#[test]
+fn serial_brandes_commutes_with_reordering() {
+    let g = registry()[4].graph(Scale::Tiny); // wikitalk-like, directed
+    let base = bc_serial(&g);
+    let p = bfs_order(&g, 0);
+    let scores = p.unpermute(&bc_serial(&p.apply(&g)));
+    assert_close("wikitalk-reorder", &scores, &base);
+}

@@ -1,0 +1,130 @@
+//! Robustness: dirty inputs and degenerate shapes must not break any
+//! algorithm — and APGRE must stay exact on all of them.
+
+use apgre::prelude::*;
+
+fn assert_close(ctx: &str, got: &[f64], want: &[f64]) {
+    assert_eq!(got.len(), want.len(), "{ctx}");
+    for i in 0..want.len() {
+        assert!(
+            (got[i] - want[i]).abs() <= 1e-7 * (1.0 + want[i].abs()),
+            "{ctx}: vertex {i}: {} vs {}",
+            got[i],
+            want[i]
+        );
+    }
+}
+
+fn check_all(ctx: &str, g: &Graph) {
+    let want = bc_serial(g);
+    assert_close(&format!("{ctx}/apgre"), &bc_apgre(g), &want);
+    assert_close(&format!("{ctx}/succs"), &bc_succs(g), &want);
+    assert_close(&format!("{ctx}/hybrid"), &bc_hybrid(g), &want);
+}
+
+#[test]
+fn self_loops_are_ignored() {
+    // Builder keeps self-loops when asked; they never lie on shortest paths.
+    let g = GraphBuilder::directed()
+        .keep_self_loops()
+        .extend_edges([(0, 0), (0, 1), (1, 1), (1, 2), (2, 0), (2, 2)])
+        .build();
+    let no_loops = GraphBuilder::directed().extend_edges([(0, 1), (1, 2), (2, 0)]).build();
+    let with = bc_apgre(&g);
+    let without = bc_apgre(&no_loops);
+    assert_close("self-loops", &with, &without);
+    check_all("self-loops", &g);
+}
+
+#[test]
+fn duplicate_directed_arcs_count_multiplicities_consistently() {
+    // σ counts paths with edge multiplicity; APGRE must agree with Brandes
+    // on what that means.
+    let g = Graph::directed_from_edges(4, &[(0, 1), (0, 1), (1, 2), (1, 3), (2, 3)]);
+    check_all("dup-arcs", &g);
+}
+
+#[test]
+fn single_vertex_and_empty() {
+    check_all("empty", &Graph::undirected_from_edges(0, &[]));
+    check_all("singleton", &Graph::undirected_from_edges(1, &[]));
+    check_all("two-isolated", &Graph::undirected_from_edges(2, &[]));
+}
+
+#[test]
+fn isolated_edge_and_k2_forest() {
+    check_all("k2", &Graph::undirected_from_edges(2, &[(0, 1)]));
+    check_all("k2-forest", &Graph::undirected_from_edges(6, &[(0, 1), (2, 3), (4, 5)]));
+}
+
+#[test]
+fn whisker_only_shapes() {
+    check_all("star", &apgre::graph::generators::star(30));
+    // Double star: two hubs joined by an edge, whiskers on both.
+    let mut edges = vec![(0u32, 1u32)];
+    for i in 0..10 {
+        edges.push((0, 2 + i));
+        edges.push((1, 12 + i));
+    }
+    check_all("double-star", &Graph::undirected_from_edges(22, &edges));
+}
+
+#[test]
+fn directed_zero_reachability_sources() {
+    // Sinks everywhere: many sources reach nothing.
+    let g = Graph::directed_from_edges(6, &[(0, 5), (1, 5), (2, 5), (3, 5), (4, 5)]);
+    check_all("all-sinks", &g);
+    // A source that reaches everything, everything else reaches nothing.
+    let g = Graph::directed_from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+    check_all("one-source", &g);
+}
+
+#[test]
+fn long_path_no_stack_overflow() {
+    // 50k-vertex path: recursive Tarjan would blow the stack; ours must not.
+    let g = apgre::graph::generators::path(50_000);
+    let d = decompose(&g, &PartitionOptions::default());
+    d.validate(&g).unwrap();
+    assert!(d.is_articulation[25_000]);
+    // And the whole BC pipeline still works on a (smaller) path.
+    let g = apgre::graph::generators::path(2_000);
+    let bc = bc_apgre(&g);
+    let mid = 1_000usize;
+    assert_eq!(bc[mid], 2.0 * (mid as f64) * (999.0));
+}
+
+#[test]
+fn two_cliques_sharing_a_vertex() {
+    // The minimal partial-redundancy shape from the paper's introduction.
+    let mut edges = Vec::new();
+    for u in 0..8u32 {
+        for v in (u + 1)..8 {
+            edges.push((u, v));
+        }
+    }
+    for u in 7..15u32 {
+        for v in (u + 1)..15 {
+            edges.push((u, v));
+        }
+    }
+    let g = Graph::undirected_from_edges(15, &edges);
+    let d = decompose(&g, &PartitionOptions { merge_threshold: 4, ..Default::default() });
+    assert_eq!(d.num_subgraphs(), 2);
+    assert!(d.is_articulation[7]);
+    check_all("two-cliques", &g);
+    // Vertex 7 carries all 7×7×2 cross pairs.
+    let bc = bc_apgre(&g);
+    assert_eq!(bc[7], 98.0);
+}
+
+#[test]
+fn mixed_component_zoo() {
+    let parts = apgre::graph::generators::disjoint_union(&[
+        &apgre::graph::generators::complete(6),
+        &apgre::graph::generators::star(8),
+        &apgre::graph::generators::path(12),
+        &apgre::graph::generators::cycle(7),
+        &apgre::graph::generators::lollipop(4, 6),
+    ]);
+    check_all("component-zoo", &parts);
+}
