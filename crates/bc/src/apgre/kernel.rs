@@ -27,12 +27,12 @@
 //! `δ^init_i2o` term at the root that Algorithm 2's `i != s` guard drops.
 //! Both corrections are pinned by the `apgre ≡ brandes` property tests.
 
+use crate::sync::{AtomicU32, Ordering};
 use crate::util::{atomic_f64_vec, into_f64_vec, AtomicF64, Levels};
 use apgre_decomp::SubGraph;
 use apgre_graph::{VertexId, UNREACHED};
 use rayon::prelude::*;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU32, Ordering};
 
 /// Sequential workspace for one sub-graph.
 pub(crate) struct SgWorkspace {
@@ -262,6 +262,8 @@ pub(crate) fn bc_in_subgraph_par(sg: &SubGraph, bc_local: &mut [f64]) -> u64 {
             d += 1;
         }
         ws.levels.starts.push(ws.levels.order.len());
+        #[cfg(feature = "invariants")]
+        crate::util::check_levels(&ws.levels, &ws.dist, &ws.sigma, s);
 
         // Phase 2: backward sweep, one level at a time, single writer per
         // vertex; δ of deeper levels is final thanks to the fork-join
@@ -301,9 +303,7 @@ pub(crate) fn bc_in_subgraph_par(sg: &SubGraph, bc_local: &mut [f64]) -> u64 {
                 d_o2o[vu].store(o2o);
                 let cell = &bc_ref[vu];
                 if v != s {
-                    cell.store(
-                        cell.load() + (1.0 + gamma_s) * (i2i + i2o) + beta_s * i2i + o2o,
-                    );
+                    cell.store(cell.load() + (1.0 + gamma_s) * (i2i + i2o) + beta_s * i2i + o2o);
                 } else if gamma_s > 0.0 {
                     let alpha_s = if s_boundary { sg.alpha[vu] as f64 } else { 0.0 };
                     let whisker_self = if directed { 0.0 } else { 1.0 };

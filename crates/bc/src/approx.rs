@@ -248,9 +248,8 @@ mod tests {
         let rho = spearman_rank_correlation(&exact, &approx);
         assert!(rho > 0.9, "spearman {rho}");
         // Top vertex must agree.
-        let argmax = |xs: &[f64]| {
-            xs.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0
-        };
+        let argmax =
+            |xs: &[f64]| xs.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
         assert_eq!(argmax(&exact), argmax(&approx));
     }
 

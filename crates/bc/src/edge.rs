@@ -111,10 +111,8 @@ pub fn girvan_newman(g: &Graph, target_communities: usize) -> Vec<u32> {
         }
         let scores = edge_bc(&current);
         let ranked = undirected_edge_scores(&current, &scores);
-        let ((u, v), _) = *ranked
-            .iter()
-            .max_by(|a, b| a.1.total_cmp(&b.1))
-            .expect("non-empty edge list");
+        let ((u, v), _) =
+            *ranked.iter().max_by(|a, b| a.1.total_cmp(&b.1)).expect("non-empty edge list");
         edges.retain(|&e| e != (u, v));
     }
 }

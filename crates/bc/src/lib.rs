@@ -24,6 +24,14 @@
 //! | `async`          | [`parallel::bc_coarse`]               | coarse-grained source-parallel (stand-in, see DESIGN.md §5) |
 //! | `hybrid`         | [`parallel::bc_hybrid`]               | direction-optimizing BFS forward phase |
 //! | **APGRE**        | [`apgre::bc_apgre`]                   | articulation-point redundancy elimination, two-level parallelism |
+//!
+//! All atomics used by the kernels come from the [`sync`] facade, which
+//! swaps in model-checked atomics under `--cfg loom`; `cargo xtask lint`
+//! enforces this. Building with `--features invariants` turns on runtime
+//! validation of the level structure and the decomposition's conservation
+//! laws.
+
+#![forbid(unsafe_code)]
 
 pub mod apgre;
 pub mod approx;
@@ -32,6 +40,7 @@ pub mod edge;
 pub mod memo;
 pub mod parallel;
 pub mod redundancy;
+pub mod sync;
 pub mod util;
 pub mod weighted;
 
@@ -61,9 +70,7 @@ pub fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
 /// absolute/relative epsilon.
 pub fn scores_close(a: &[f64], b: &[f64], eps: f64) -> bool {
     a.len() == b.len()
-        && a.iter()
-            .zip(b)
-            .all(|(x, y)| (x - y).abs() <= eps + eps * x.abs().max(y.abs()))
+        && a.iter().zip(b).all(|(x, y)| (x - y).abs() <= eps + eps * x.abs().max(y.abs()))
 }
 
 #[cfg(test)]

@@ -178,7 +178,9 @@ mod tests {
         let sg = d
             .subgraphs
             .iter()
-            .find(|sg| sg.id != d.subgraphs[d.top_subgraph].id && sg.num_edges() >= sg.num_vertices())
+            .find(|sg| {
+                sg.id != d.subgraphs[d.top_subgraph].id && sg.num_edges() >= sg.num_vertices()
+            })
             .expect("a cyclic community exists");
         // remove one internal edge that keeps the community connected: add a
         // parallel-ish chord instead of deleting, to keep it simple —

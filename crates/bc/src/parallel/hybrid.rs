@@ -9,10 +9,10 @@
 //! The backward phase is the successor scan shared with `succs`.
 
 use super::{backward_succ, ParWs, PAR_GRAIN};
+use crate::sync::{protocol, Ordering};
 use crate::util::{atomic_f64_vec, into_f64_vec};
 use apgre_graph::{Graph, VertexId, UNREACHED};
 use rayon::prelude::*;
-use std::sync::atomic::Ordering;
 
 /// Direction-switch policy, mirroring `HybridPolicy` of the graph crate.
 #[derive(Clone, Copy, Debug)]
@@ -61,12 +61,15 @@ pub fn bc_hybrid_with(g: &Graph, policy: BcHybridPolicy) -> Vec<f64> {
             let sigma = &ws.sigma;
             if !bottom_up {
                 let frontier_edges: usize = frontier.iter().map(|&u| fwd.degree(u)).sum();
+                // Saturating: `usize::MAX` is a legal "switch immediately"
+                // policy and must not overflow the comparison.
                 if policy.alpha > 0
-                    && frontier_edges * policy.alpha > total_edges.saturating_sub(visited_edges) + 1
+                    && frontier_edges.saturating_mul(policy.alpha)
+                        > total_edges.saturating_sub(visited_edges) + 1
                 {
                     bottom_up = true;
                 }
-            } else if policy.beta > 0 && frontier.len() * policy.beta < n {
+            } else if policy.beta > 0 && frontier.len().saturating_mul(policy.beta) < n {
                 bottom_up = false;
             }
             let next: Vec<VertexId> = if bottom_up {
@@ -94,23 +97,20 @@ pub fn bc_hybrid_with(g: &Graph, policy: BcHybridPolicy) -> Vec<f64> {
                     })
                     .collect()
             } else {
-                // Top-down push with CAS discovery and atomic σ adds.
+                // Top-down push: the shared CAS-discovery + σ-push protocol
+                // (model-checked in `crate::sync::protocol`).
                 let expand = |&u: &VertexId, next: &mut Vec<VertexId>| {
                     let su = sigma[u as usize].load();
                     for &v in fwd.neighbors(u) {
-                        if dist[v as usize]
-                            .compare_exchange(
-                                UNREACHED,
-                                d + 1,
-                                Ordering::Relaxed,
-                                Ordering::Relaxed,
-                            )
-                            .is_ok()
-                        {
+                        if protocol::discover_and_push(
+                            dist,
+                            sigma,
+                            v as usize,
+                            d + 1,
+                            UNREACHED,
+                            su,
+                        ) {
                             next.push(v);
-                        }
-                        if dist[v as usize].load(Ordering::Relaxed) == d + 1 {
-                            sigma[v as usize].fetch_add(su);
                         }
                     }
                 };
@@ -140,6 +140,8 @@ pub fn bc_hybrid_with(g: &Graph, policy: BcHybridPolicy) -> Vec<f64> {
             d += 1;
         }
         ws.levels.starts.push(ws.levels.order.len());
+        #[cfg(feature = "invariants")]
+        crate::util::check_levels(&ws.levels, &ws.dist, &ws.sigma, s);
         backward_succ(fwd, s, &ws, &bc);
         ws.reset_touched();
     }

@@ -5,10 +5,10 @@
 //! kernel trades the `succs` pull passes for contended atomics.
 
 use super::{ParWs, PAR_GRAIN};
+use crate::sync::{protocol, Ordering};
 use crate::util::{atomic_f64_vec, into_f64_vec};
 use apgre_graph::{Graph, VertexId, UNREACHED};
 use rayon::prelude::*;
-use std::sync::atomic::Ordering;
 
 /// Fine-grained level-synchronous BC, lock-free push accumulation.
 pub fn bc_lock_free(g: &Graph) -> Vec<f64> {
@@ -33,17 +33,13 @@ pub fn bc_lock_free(g: &Graph) -> Vec<f64> {
             }
             let dist = &ws.dist;
             let sigma = &ws.sigma;
+            // The CAS-claim → σ-push window here is the protocol the loom
+            // tests explore exhaustively (see `crate::sync::protocol`).
             let expand = |&u: &VertexId, next: &mut Vec<VertexId>| {
                 let su = sigma[u as usize].load();
                 for &v in fwd.neighbors(u) {
-                    if dist[v as usize]
-                        .compare_exchange(UNREACHED, d + 1, Ordering::Relaxed, Ordering::Relaxed)
-                        .is_ok()
-                    {
+                    if protocol::discover_and_push(dist, sigma, v as usize, d + 1, UNREACHED, su) {
                         next.push(v);
-                    }
-                    if dist[v as usize].load(Ordering::Relaxed) == d + 1 {
-                        sigma[v as usize].fetch_add(su);
                     }
                 }
             };
@@ -71,6 +67,8 @@ pub fn bc_lock_free(g: &Graph) -> Vec<f64> {
             d += 1;
         }
         ws.levels.starts.push(ws.levels.order.len());
+        #[cfg(feature = "invariants")]
+        crate::util::check_levels(&ws.levels, &ws.dist, &ws.sigma, s);
 
         // Backward: push δ contributions to in-neighbours one level up.
         let dist = &ws.dist;
@@ -82,9 +80,7 @@ pub fn bc_lock_free(g: &Graph) -> Vec<f64> {
             let body = |&w: &VertexId| {
                 let coeff = (1.0 + delta[w as usize].load()) / sigma[w as usize].load();
                 for &v in rev.neighbors(w) {
-                    if dist[v as usize].load(Ordering::Relaxed) == dw - 1 {
-                        delta[v as usize].fetch_add(sigma[v as usize].load() * coeff);
-                    }
+                    protocol::push_dependency(dist, sigma, delta, v as usize, dw - 1, coeff);
                 }
             };
             if level.len() < PAR_GRAIN {
@@ -92,7 +88,14 @@ pub fn bc_lock_free(g: &Graph) -> Vec<f64> {
             } else {
                 level.par_iter().for_each(body);
             }
-            // δ of this level is now final; fold it into the scores.
+            // δ of this level is now final; fold it into the scores. Audit
+            // note: this Relaxed load/store pair is sound without a
+            // Release/Acquire edge because (a) the δ values it reads were
+            // published by the `for_each` join right above (rayon's join is
+            // the release/acquire edge — see `crate::sync` §2), and (b) each
+            // `bc[w]` has a single writer here: `w` ranges over one level,
+            // levels are disjoint (checked by `--features invariants`), and
+            // the source loop is sequential.
             let bc = &bc;
             let score = |&w: &VertexId| {
                 if w != s {

@@ -33,10 +33,10 @@ pub use lock_free::bc_lock_free;
 pub use preds::bc_preds;
 pub use succs::bc_succs;
 
+use crate::sync::{AtomicU32, Ordering};
 use crate::util::{atomic_f64_vec, AtomicF64, Levels};
 use apgre_graph::{Csr, VertexId, UNREACHED};
 use rayon::prelude::*;
-use std::sync::atomic::{AtomicU32, Ordering};
 
 /// Below this many vertices a level is processed sequentially.
 pub(crate) const PAR_GRAIN: usize = 256;
@@ -68,7 +68,6 @@ impl ParWs {
         }
         self.levels.clear();
     }
-
 }
 
 /// Level-synchronous forward phase with **pull-based σ**: the next frontier
@@ -141,6 +140,8 @@ pub(crate) fn forward_pull(fwd: &Csr, rev: &Csr, s: VertexId, ws: &mut ParWs) {
     // `starts` currently ends at the last non-empty level's start; close it.
     ws.levels.starts.push(ws.levels.order.len());
     dedup_trailing_start(&mut ws.levels);
+    #[cfg(feature = "invariants")]
+    crate::util::check_levels(&ws.levels, &ws.dist, &ws.sigma, s);
 }
 
 fn dedup_trailing_start(levels: &mut Levels) {
@@ -223,7 +224,12 @@ pub(crate) mod test_support {
         ));
         v.push((
             "dir-whiskers".into(),
-            generators::attach_directed_whiskers(&generators::rmat_directed(6, 5, 29), 40, 0.25, 31),
+            generators::attach_directed_whiskers(
+                &generators::rmat_directed(6, 5, 29),
+                40,
+                0.25,
+                31,
+            ),
         ));
         v
     }

@@ -7,11 +7,11 @@
 //! paper's Table 2 shows the same ordering.
 
 use super::{ParWs, PAR_GRAIN};
+use crate::sync::Ordering;
 use crate::util::{atomic_f64_vec, into_f64_vec};
 use apgre_graph::{Graph, VertexId, UNREACHED};
 use parking_lot::Mutex;
 use rayon::prelude::*;
-use std::sync::atomic::Ordering;
 
 /// Fine-grained level-synchronous BC with predecessor lists and locks.
 pub fn bc_preds(g: &Graph) -> Vec<f64> {
@@ -75,6 +75,8 @@ pub fn bc_preds(g: &Graph) -> Vec<f64> {
             d += 1;
         }
         ws.levels.starts.push(ws.levels.order.len());
+        #[cfg(feature = "invariants")]
+        crate::util::check_levels(&ws.levels, &ws.dist, &ws.sigma, s);
 
         // Backward: for each vertex (deepest level first) push
         // σ_v/σ_w · (1 + δ_w) to every predecessor v.

@@ -112,11 +112,7 @@ fn analyze_undirected(
     RedundancyBreakdown { total_work, total_redundant, partial_redundant }
 }
 
-fn analyze_directed(
-    g: &Graph,
-    decomp: &Decomposition,
-    is_whisker: &[bool],
-) -> RedundancyBreakdown {
+fn analyze_directed(g: &Graph, decomp: &Decomposition, is_whisker: &[bool]) -> RedundancyBreakdown {
     let n = g.num_vertices();
     let csr = g.csr();
     // Brandes per-source work: 2 × Σ out-degrees of the reachable set.

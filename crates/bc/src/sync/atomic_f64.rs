@@ -1,0 +1,111 @@
+//! `AtomicF64`: an `f64` in an `AtomicU64` via bit casting, defined once by
+//! macro and instantiated over both the real and the model-checked `u64`
+//! atomic — so the CAS loop the kernels run is byte-for-byte the loop the
+//! model checker explores.
+
+macro_rules! define_atomic_f64 {
+    ($(#[$meta:meta])* $name:ident, $au64:ty) => {
+        $(#[$meta])*
+        #[derive(Debug, Default)]
+        pub struct $name($au64);
+
+        #[allow(clippy::disallowed_methods)] // the facade is the one sanctioned home of raw u64 atomics
+        impl $name {
+            /// New cell holding `v`.
+            #[inline]
+            pub fn new(v: f64) -> Self {
+                Self(<$au64>::new(v.to_bits()))
+            }
+
+            /// Relaxed load.
+            #[inline]
+            #[must_use]
+            pub fn load(&self) -> f64 {
+                f64::from_bits(self.0.load($crate::sync::Ordering::Relaxed))
+            }
+
+            /// Relaxed store.
+            #[inline]
+            pub fn store(&self, v: f64) {
+                self.0.store(v.to_bits(), $crate::sync::Ordering::Relaxed);
+            }
+
+            /// Contended add via a compare-exchange loop (the only contended
+            /// operation the "lock-free" baselines need). Returns the value
+            /// **before** the add, matching the standard atomic contract.
+            #[inline]
+            pub fn fetch_add(&self, v: f64) -> f64 {
+                let mut cur = self.0.load($crate::sync::Ordering::Relaxed);
+                loop {
+                    let next = (f64::from_bits(cur) + v).to_bits();
+                    match self.0.compare_exchange_weak(
+                        cur,
+                        next,
+                        $crate::sync::Ordering::Relaxed,
+                        $crate::sync::Ordering::Relaxed,
+                    ) {
+                        Ok(prev) => return f64::from_bits(prev),
+                        Err(actual) => cur = actual,
+                    }
+                }
+            }
+
+            /// Unwraps the cell.
+            #[inline]
+            #[must_use]
+            pub fn into_inner(self) -> f64 {
+                f64::from_bits(self.0.into_inner())
+            }
+        }
+
+        impl $crate::sync::protocol::AccumCell for $name {
+            #[inline]
+            fn load_relaxed(&self) -> f64 {
+                self.load()
+            }
+
+            #[inline]
+            fn add_relaxed(&self, v: f64) -> f64 {
+                self.fetch_add(v)
+            }
+        }
+    };
+}
+
+#[cfg(not(loom))]
+define_atomic_f64!(
+    /// An `f64` stored in an `AtomicU64` via bit casting.
+    ///
+    /// All operations are `Relaxed`: the level-synchronous kernels get their
+    /// cross-level happens-before edges from rayon's fork-join barriers (see
+    /// [`crate::sync`] module docs), and `fetch_add`'s CAS loop needs no
+    /// ordering of its own because it only publishes the bit-level sum.
+    AtomicF64,
+    core::sync::atomic::AtomicU64
+);
+
+#[cfg(loom)]
+define_atomic_f64!(
+    /// An `f64` stored in a model-checked `AtomicU64` (`--cfg loom` build:
+    /// every kernel runs on model atomics).
+    AtomicF64,
+    crate::sync::model::AtomicU64
+);
+
+define_atomic_f64!(
+    /// The model-checked instantiation of [`AtomicF64`], always available so
+    /// plain `cargo test` can explore the CAS loop exhaustively without the
+    /// `--cfg loom` build (see `tests/loom_atomic_f64.rs`).
+    ModelAtomicF64,
+    crate::sync::model::AtomicU64
+);
+
+/// A zeroed vector of atomic `f64`s.
+pub fn atomic_f64_vec(n: usize) -> Vec<AtomicF64> {
+    (0..n).map(|_| AtomicF64::new(0.0)).collect()
+}
+
+/// Unwraps a vector of atomic `f64`s.
+pub fn into_f64_vec(v: Vec<AtomicF64>) -> Vec<f64> {
+    v.into_iter().map(AtomicF64::into_inner).collect()
+}

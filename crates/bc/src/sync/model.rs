@@ -1,0 +1,624 @@
+//! A miniature stateless model checker for the kernels' atomics protocols.
+//!
+//! This is the engine behind the repo's loom-style tests: it reruns a closure
+//! under **every** interleaving of its threads' atomic operations and fails if
+//! any schedule panics. The exploration is CHESS-style — each run follows a
+//! recorded schedule prefix, context switches happen exactly at the model
+//! atomics' operations, and depth-first search over the per-step choice of
+//! runnable thread enumerates the full schedule space.
+//!
+//! Scope and honesty:
+//!
+//! * Exploration is **exhaustive under sequential consistency**. That is the
+//!   right tool for the bugs that actually threaten these kernels — lost
+//!   `compare_exchange` publications, double discovery, σ accumulated before
+//!   a distance is claimed — which are all *logic* races between atomic
+//!   operations. It does **not** enumerate the weak-memory reorderings that
+//!   `Ordering::Relaxed` additionally permits; the argument for why the
+//!   kernels tolerate those (rayon's fork-join barriers publish everything
+//!   between levels) lives in [`crate::sync`]'s module docs, and swapping in
+//!   the real `loom` crate under `--cfg loom` remains the upgrade path.
+//! * No partial-order reduction: schedule counts are multinomial in the
+//!   number of operations, so keep modelled protocols miniaturized (two or
+//!   three threads, a handful of operations each — exactly the shape of the
+//!   CAS-publish window being verified).
+//!
+//! Outside [`check`]/[`explore`] the model atomics degrade to plain `SeqCst`
+//! std atomics, so code instantiated with them still behaves correctly in
+//! ordinary tests.
+//!
+//! ```
+//! use apgre_bc::sync::model;
+//! use std::sync::Arc;
+//!
+//! let report = model::check(|| {
+//!     let x = Arc::new(model::AtomicU32::new(0));
+//!     let handles: Vec<_> = (0..2)
+//!         .map(|_| {
+//!             let x = Arc::clone(&x);
+//!             model::thread::spawn(move || {
+//!                 let _ = x.fetch_add(1, model::Ordering::Relaxed);
+//!             })
+//!         })
+//!         .collect();
+//!     for h in handles {
+//!         h.join();
+//!     }
+//!     assert_eq!(x.load(model::Ordering::Relaxed), 2);
+//! });
+//! assert!(report.schedules >= 2, "both orders explored");
+//! ```
+
+// The facade is the one sanctioned home of raw u64 atomics (clippy.toml
+// bans them elsewhere); the model atomics pass through to std under SeqCst.
+#![allow(clippy::disallowed_methods)]
+
+use std::cell::RefCell;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic as std_atomic;
+use std::sync::{Arc, Condvar, Mutex};
+
+pub use std::sync::atomic::Ordering;
+
+/// Hard cap on explored schedules: exceeding it aborts the check with a
+/// panic telling you to miniaturize the protocol further.
+pub const MAX_SCHEDULES: usize = 1 << 20;
+/// Hard cap on scheduling decisions within one run (livelock guard).
+const MAX_STEPS: usize = 1 << 16;
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Status {
+    /// At a scheduling point, waiting to be granted the floor.
+    Ready,
+    /// Holds the floor: executing between two scheduling points.
+    Running,
+    /// Waiting for thread `.0` to finish (a `join`).
+    Blocked(usize),
+    Finished,
+}
+
+struct SchedState {
+    status: Vec<Status>,
+    /// Thread currently granted the floor; `None` while the scheduler picks.
+    turn: Option<usize>,
+    /// DFS replay prefix for this run.
+    prefix: Vec<usize>,
+    /// Choice actually taken at each decision so far.
+    choices: Vec<usize>,
+    /// Number of ready threads at each decision (DFS branching factor).
+    counts: Vec<usize>,
+    violation: Option<String>,
+    /// Set on violation/deadlock: wakes every parked thread for teardown.
+    aborted: bool,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+struct ExecInner {
+    m: Mutex<SchedState>,
+    cv: Condvar,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<ExecInner>, usize)>> = const { RefCell::new(None) };
+}
+
+fn current() -> Option<(Arc<ExecInner>, usize)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// Sentinel unwind payload used to tear managed threads down after an abort;
+/// never reported as a violation.
+struct AbortUnwind;
+
+impl ExecInner {
+    fn new(prefix: Vec<usize>) -> Self {
+        ExecInner {
+            m: Mutex::new(SchedState {
+                status: Vec::new(),
+                turn: None,
+                prefix,
+                choices: Vec::new(),
+                counts: Vec::new(),
+                violation: None,
+                aborted: false,
+                handles: Vec::new(),
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn register_thread(&self) -> usize {
+        let mut st = self.m.lock().unwrap();
+        st.status.push(Status::Ready);
+        st.status.len() - 1
+    }
+
+    /// Releases the floor with `new_status` and parks until granted again.
+    /// Every model atomic operation passes through here, making it the
+    /// context-switch point of the exploration.
+    fn yield_and_wait(&self, tid: usize, new_status: Status) {
+        let mut st = self.m.lock().unwrap();
+        // Only a `Running` thread holds the floor. At a start event the
+        // thread arrives `Ready`; if the scheduler already granted it the
+        // floor, the grant must be *consumed* by the wait loop below, not
+        // handed back (releasing it would add a timing-dependent extra
+        // scheduling decision and break deterministic replay).
+        let held = st.status[tid] == Status::Running;
+        st.status[tid] = new_status;
+        if held && st.turn == Some(tid) {
+            st.turn = None;
+        }
+        self.cv.notify_all();
+        loop {
+            if st.aborted {
+                drop(st);
+                panic::resume_unwind(Box::new(AbortUnwind));
+            }
+            if st.turn == Some(tid) {
+                st.status[tid] = Status::Running;
+                return;
+            }
+            st = self.cv.wait(st).unwrap();
+        }
+    }
+
+    fn finish(&self, tid: usize, violation: Option<String>) {
+        let mut st = self.m.lock().unwrap();
+        st.status[tid] = Status::Finished;
+        if st.turn == Some(tid) {
+            st.turn = None;
+        }
+        if let Some(v) = violation {
+            if st.violation.is_none() {
+                st.violation = Some(v);
+            }
+            st.aborted = true;
+        }
+        self.cv.notify_all();
+    }
+
+    /// Drives one run to completion on the calling thread; returns
+    /// `(choices, counts, violation)`.
+    fn scheduler(&self) -> (Vec<usize>, Vec<usize>, Option<String>) {
+        let mut st = self.m.lock().unwrap();
+        loop {
+            while st.turn.is_some() && !st.aborted {
+                st = self.cv.wait(st).unwrap();
+            }
+            if st.aborted {
+                break;
+            }
+            // Joins resolve once their target finishes.
+            for i in 0..st.status.len() {
+                if let Status::Blocked(t) = st.status[i] {
+                    if st.status[t] == Status::Finished {
+                        st.status[i] = Status::Ready;
+                    }
+                }
+            }
+            let ready: Vec<usize> =
+                (0..st.status.len()).filter(|&i| st.status[i] == Status::Ready).collect();
+            if ready.is_empty() {
+                if st.status.iter().all(|&s| s == Status::Finished) {
+                    break;
+                }
+                if st.status.iter().any(|&s| s == Status::Running) {
+                    // A thread holds the floor but hasn't yielded yet (it is
+                    // between the status flip and our wakeup); wait for it.
+                    st = self.cv.wait(st).unwrap();
+                    continue;
+                }
+                st.violation =
+                    Some(format!("deadlock: no runnable thread (status {:?})", st.status));
+                st.aborted = true;
+                self.cv.notify_all();
+                break;
+            }
+            if st.choices.len() >= MAX_STEPS {
+                st.violation = Some(format!(
+                    "livelock: more than {MAX_STEPS} scheduling decisions in one run"
+                ));
+                st.aborted = true;
+                self.cv.notify_all();
+                break;
+            }
+            let i = st.choices.len();
+            let c = if i < st.prefix.len() { st.prefix[i] } else { 0 };
+            assert!(
+                c < ready.len(),
+                "nondeterministic replay: decision {i} had {} ready threads, prefix chose {c} \
+                 (does the checked closure depend on anything but model atomics?)",
+                ready.len()
+            );
+            st.counts.push(ready.len());
+            st.choices.push(c);
+            st.turn = Some(ready[c]);
+            self.cv.notify_all();
+        }
+        let handles = std::mem::take(&mut st.handles);
+        let out = (st.choices.clone(), st.counts.clone(), st.violation.clone());
+        drop(st);
+        for h in handles {
+            let _ = h.join();
+        }
+        out
+    }
+}
+
+fn payload_to_string(p: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "thread panicked with a non-string payload".to_string()
+    }
+}
+
+/// Launches a managed OS thread running `body` as model thread `tid`.
+fn spawn_managed<T, F>(
+    exec: &Arc<ExecInner>,
+    tid: usize,
+    slot: Arc<Mutex<Option<T>>>,
+    body: F,
+) -> std::thread::JoinHandle<()>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    let e2 = Arc::clone(exec);
+    std::thread::Builder::new()
+        .name(format!("model-{tid}"))
+        .spawn(move || {
+            CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(&e2), tid)));
+            let result = panic::catch_unwind(AssertUnwindSafe(|| {
+                // Start event: even a thread with no atomic operations holds
+                // the floor for its whole body, keeping runs deterministic.
+                e2.yield_and_wait(tid, Status::Ready);
+                body()
+            }));
+            CURRENT.with(|c| *c.borrow_mut() = None);
+            match result {
+                Ok(v) => {
+                    *slot.lock().unwrap() = Some(v);
+                    e2.finish(tid, None);
+                }
+                Err(p) => {
+                    if p.downcast_ref::<AbortUnwind>().is_some() {
+                        e2.finish(tid, None);
+                    } else {
+                        e2.finish(tid, Some(payload_to_string(p)));
+                    }
+                }
+            }
+        })
+        .expect("failed to spawn model thread")
+}
+
+/// Model-managed threads: the [`std::thread`] mirror used inside a check.
+pub mod thread {
+    use super::*;
+
+    /// Handle to a thread spawned with [`spawn`]; [`join`](JoinHandle::join)
+    /// blocks the model thread until the target finishes.
+    pub struct JoinHandle<T> {
+        tid: usize,
+        slot: Arc<Mutex<Option<T>>>,
+    }
+
+    /// Spawns a model thread. Must be called from inside [`super::check`].
+    pub fn spawn<T, F>(f: F) -> JoinHandle<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let (exec, me) = current().expect("model::thread::spawn called outside model::check");
+        // Spawning is itself a scheduling point of the parent.
+        exec.yield_and_wait(me, Status::Ready);
+        let tid = exec.register_thread();
+        let slot = Arc::new(Mutex::new(None));
+        let h = spawn_managed(&exec, tid, Arc::clone(&slot), f);
+        exec.m.lock().unwrap().handles.push(h);
+        JoinHandle { tid, slot }
+    }
+
+    impl<T> JoinHandle<T> {
+        /// Parks the calling model thread until the target finishes, then
+        /// returns its result.
+        pub fn join(self) -> T {
+            let (exec, me) = current().expect("join called outside model::check");
+            exec.yield_and_wait(me, Status::Blocked(self.tid));
+            let v = self.slot.lock().unwrap().take();
+            v.expect("joined model thread produced no value")
+        }
+    }
+}
+
+/// One finished exploration: how many schedules ran, and the first violation
+/// found (if any).
+#[derive(Debug)]
+pub struct Exploration {
+    /// Number of complete schedules executed.
+    pub schedules: usize,
+    /// First violating schedule, if the property failed.
+    pub violation: Option<Violation>,
+}
+
+/// A schedule that violated the checked property.
+#[derive(Debug)]
+pub struct Violation {
+    /// The per-decision choices reproducing the failure.
+    pub schedule: Vec<usize>,
+    /// The panic message of the failing thread.
+    pub message: String,
+}
+
+fn next_prefix(choices: &[usize], counts: &[usize]) -> Option<Vec<usize>> {
+    let mut i = choices.len();
+    while i > 0 {
+        i -= 1;
+        if choices[i] + 1 < counts[i] {
+            let mut p = choices[..i].to_vec();
+            p.push(choices[i] + 1);
+            return Some(p);
+        }
+    }
+    None
+}
+
+fn run_once(
+    f: Arc<dyn Fn() + Send + Sync>,
+    prefix: Vec<usize>,
+) -> (Vec<usize>, Vec<usize>, Option<String>) {
+    let exec = Arc::new(ExecInner::new(prefix));
+    let tid = exec.register_thread();
+    debug_assert_eq!(tid, 0);
+    let slot = Arc::new(Mutex::new(None::<()>));
+    let h = spawn_managed(&exec, tid, slot, move || f());
+    exec.m.lock().unwrap().handles.push(h);
+    exec.scheduler()
+}
+
+/// Explores every interleaving of `f`'s model-atomic operations; returns the
+/// outcome without panicking (use [`check`] for the asserting form).
+pub fn explore<F>(f: F) -> Exploration
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    assert!(current().is_none(), "model::explore cannot be nested inside model::check");
+    let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+    let mut prefix: Vec<usize> = Vec::new();
+    let mut schedules = 0usize;
+    loop {
+        let (choices, counts, violation) = run_once(Arc::clone(&f), prefix);
+        schedules += 1;
+        if let Some(message) = violation {
+            return Exploration {
+                schedules,
+                violation: Some(Violation { schedule: choices, message }),
+            };
+        }
+        assert!(
+            schedules <= MAX_SCHEDULES,
+            "model checking exceeded {MAX_SCHEDULES} schedules; miniaturize the protocol"
+        );
+        match next_prefix(&choices, &counts) {
+            Some(p) => prefix = p,
+            None => break,
+        }
+    }
+    Exploration { schedules, violation: None }
+}
+
+/// Exhaustively explores `f` and panics (with a reproducing schedule) if any
+/// interleaving panics. Returns exploration statistics on success.
+pub fn check<F>(f: F) -> Exploration
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let report = explore(f);
+    if let Some(v) = &report.violation {
+        panic!(
+            "model check failed on schedule {} of {} explored\nschedule (per-step ready-thread index): {:?}\ncause: {}",
+            report.schedules, report.schedules, v.schedule, v.message
+        );
+    }
+    report
+}
+
+macro_rules! model_atomic {
+    ($(#[$meta:meta])* $name:ident, $raw:ty, $prim:ty) => {
+        $(#[$meta])*
+        #[derive(Debug, Default)]
+        pub struct $name($raw);
+
+        impl $name {
+            /// New cell holding `v`.
+            pub fn new(v: $prim) -> Self {
+                Self(<$raw>::new(v))
+            }
+
+            /// Registers a scheduling point if a check is running.
+            #[inline]
+            fn point(&self) {
+                if let Some((exec, tid)) = current() {
+                    exec.yield_and_wait(tid, Status::Ready);
+                }
+            }
+
+            /// Load (a scheduling point; SC under the model).
+            pub fn load(&self, _order: Ordering) -> $prim {
+                self.point();
+                self.0.load(std_atomic::Ordering::SeqCst)
+            }
+
+            /// Store (a scheduling point; SC under the model).
+            pub fn store(&self, v: $prim, _order: Ordering) {
+                self.point();
+                self.0.store(v, std_atomic::Ordering::SeqCst)
+            }
+
+            /// Compare-exchange (a scheduling point; SC under the model).
+            pub fn compare_exchange(
+                &self,
+                current: $prim,
+                new: $prim,
+                _success: Ordering,
+                _failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                self.point();
+                self.0.compare_exchange(
+                    current,
+                    new,
+                    std_atomic::Ordering::SeqCst,
+                    std_atomic::Ordering::SeqCst,
+                )
+            }
+
+            /// Like [`Self::compare_exchange`]; the model never fails
+            /// spuriously, keeping the schedule space finite.
+            pub fn compare_exchange_weak(
+                &self,
+                current: $prim,
+                new: $prim,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                self.compare_exchange(current, new, success, failure)
+            }
+
+            /// Fetch-add (a scheduling point; SC under the model).
+            pub fn fetch_add(&self, v: $prim, _order: Ordering) -> $prim {
+                self.point();
+                self.0.fetch_add(v, std_atomic::Ordering::SeqCst)
+            }
+
+            /// Unwraps the cell.
+            pub fn into_inner(self) -> $prim {
+                self.0.into_inner()
+            }
+        }
+    };
+}
+
+model_atomic!(
+    /// Model-checked mirror of [`std::sync::atomic::AtomicU32`]: every
+    /// operation is a scheduling point while a check runs, and a plain
+    /// `SeqCst` atomic otherwise.
+    AtomicU32,
+    std_atomic::AtomicU32,
+    u32
+);
+model_atomic!(
+    /// Model-checked mirror of [`std::sync::atomic::AtomicU64`] (see
+    /// [`AtomicU32`]).
+    AtomicU64,
+    std_atomic::AtomicU64,
+    u64
+);
+
+impl crate::sync::protocol::DistCell for AtomicU32 {
+    fn load_relaxed(&self) -> u32 {
+        self.load(Ordering::Relaxed)
+    }
+
+    fn try_claim(&self, unclaimed: u32, d: u32) -> bool {
+        self.compare_exchange(unclaimed, d, Ordering::Relaxed, Ordering::Relaxed).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passthrough_outside_check() {
+        let a = AtomicU32::new(7);
+        assert_eq!(a.load(Ordering::Relaxed), 7);
+        a.store(9, Ordering::Relaxed);
+        assert_eq!(a.fetch_add(1, Ordering::Relaxed), 9);
+        assert_eq!(a.into_inner(), 10);
+    }
+
+    #[test]
+    fn single_thread_single_schedule() {
+        let report = check(|| {
+            let a = AtomicU64::new(0);
+            a.store(3, Ordering::Relaxed);
+            assert_eq!(a.load(Ordering::Relaxed), 3);
+        });
+        assert_eq!(report.schedules, 1, "no concurrency, no branching");
+    }
+
+    #[test]
+    fn two_increments_never_lose_updates() {
+        let report = check(|| {
+            let x = Arc::new(AtomicU32::new(0));
+            let hs: Vec<_> = (0..2)
+                .map(|_| {
+                    let x = Arc::clone(&x);
+                    thread::spawn(move || {
+                        let _ = x.fetch_add(1, Ordering::Relaxed);
+                    })
+                })
+                .collect();
+            for h in hs {
+                h.join();
+            }
+            assert_eq!(x.load(Ordering::Relaxed), 2);
+        });
+        assert!(report.schedules >= 2, "explored {} schedules", report.schedules);
+    }
+
+    #[test]
+    fn finds_the_classic_load_store_race() {
+        // Non-atomic read-modify-write built from a load and a store: the
+        // checker must find the interleaving that loses an update.
+        let report = explore(|| {
+            let x = Arc::new(AtomicU32::new(0));
+            let hs: Vec<_> = (0..2)
+                .map(|_| {
+                    let x = Arc::clone(&x);
+                    thread::spawn(move || {
+                        let v = x.load(Ordering::Relaxed);
+                        x.store(v + 1, Ordering::Relaxed);
+                    })
+                })
+                .collect();
+            for h in hs {
+                h.join();
+            }
+            assert_eq!(x.load(Ordering::Relaxed), 2, "lost update");
+        });
+        let v = report.violation.expect("the lost-update schedule must be found");
+        assert!(v.message.contains("lost update"), "message: {}", v.message);
+    }
+
+    #[test]
+    fn join_returns_value() {
+        check(|| {
+            let h = thread::spawn(|| 41u32 + 1);
+            assert_eq!(h.join(), 42);
+        });
+    }
+
+    #[test]
+    fn three_threads_explore_all_orders() {
+        // 3 threads, one store each to distinct cells: 3! = 6 interleavings
+        // of the stores (plus start/finish bookkeeping decisions that do not
+        // branch). The checker must count at least the 6.
+        let report = check(|| {
+            let cells = Arc::new([AtomicU32::new(0), AtomicU32::new(0), AtomicU32::new(0)]);
+            let hs: Vec<_> = (0..3)
+                .map(|i| {
+                    let cells = Arc::clone(&cells);
+                    thread::spawn(move || cells[i].store(1, Ordering::Relaxed))
+                })
+                .collect();
+            for h in hs {
+                h.join();
+            }
+        });
+        assert!(report.schedules >= 6, "explored {} schedules", report.schedules);
+    }
+}

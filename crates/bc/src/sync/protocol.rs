@@ -1,0 +1,117 @@
+//! The lock-free kernels' shared publish protocols, factored out so the
+//! *production* code path is the one the model checker explores.
+//!
+//! Both `bc_lock_free` and `bc_hybrid`'s top-down phase discover the next
+//! frontier with the same two-step protocol per edge `(u, v)`:
+//!
+//! 1. `dist[v].compare_exchange(UNREACHED, d + 1)` — at most one thread
+//!    claims `v` for level `d + 1` (the winner enqueues it),
+//! 2. `if dist[v] == d + 1 { sigma[v] += sigma[u] }` — **every** thread whose
+//!    source `u` sits at level `d` contributes its σ, winner or not.
+//!
+//! The race window between the two steps is the protocol's crux: a loser's
+//! load in step 2 must observe the winner's claim (it does — the loser's own
+//! failed CAS already returned the written value, and under any
+//! sequentially-consistent interleaving the subsequent load can only see
+//! `d + 1`), and no contribution may be dropped or doubled however the
+//! `fetch_add`s interleave. `tests/loom_publish.rs` explores exactly this
+//! window exhaustively via [`crate::sync::model`]; a deliberately misordered
+//! variant ([`discover_and_push_buggy`]) is kept as a negative control the
+//! checker must reject.
+//!
+//! The functions are generic over [`DistCell`]/[`AccumCell`] so the same code
+//! is instantiated with std atomics in the kernels and with model atomics in
+//! the exhaustive tests (and, under `--cfg loom`, the kernels themselves are
+//! instantiated with model atomics through the [`crate::sync`] facade).
+
+/// A distance slot supporting the claim protocol (`AtomicU32`-shaped).
+pub trait DistCell {
+    /// Relaxed load of the level.
+    fn load_relaxed(&self) -> u32;
+    /// One-shot claim: CAS from `unclaimed` to `d`; `true` iff this caller
+    /// won.
+    fn try_claim(&self, unclaimed: u32, d: u32) -> bool;
+}
+
+/// An accumulation slot supporting contended adds (`AtomicF64`-shaped).
+pub trait AccumCell {
+    /// Relaxed load of the accumulated value.
+    fn load_relaxed(&self) -> f64;
+    /// Contended add; returns the previous value.
+    fn add_relaxed(&self, v: f64) -> f64;
+}
+
+impl DistCell for core::sync::atomic::AtomicU32 {
+    #[inline]
+    fn load_relaxed(&self) -> u32 {
+        self.load(core::sync::atomic::Ordering::Relaxed)
+    }
+
+    #[inline]
+    fn try_claim(&self, unclaimed: u32, d: u32) -> bool {
+        self.compare_exchange(
+            unclaimed,
+            d,
+            core::sync::atomic::Ordering::Relaxed,
+            core::sync::atomic::Ordering::Relaxed,
+        )
+        .is_ok()
+    }
+}
+
+/// Forward-phase frontier discovery with σ push (the `lockSyncFree` /
+/// top-down-hybrid protocol): claims `v` for level `next_d` and pushes `su`
+/// into `sigma[v]` iff `v` lands on that level. Returns `true` iff this call
+/// won the claim (the caller then owns enqueueing `v`).
+#[inline]
+pub fn discover_and_push<D: DistCell, A: AccumCell>(
+    dist: &[D],
+    sigma: &[A],
+    v: usize,
+    next_d: u32,
+    unclaimed: u32,
+    su: f64,
+) -> bool {
+    let fresh = dist[v].try_claim(unclaimed, next_d);
+    if dist[v].load_relaxed() == next_d {
+        sigma[v].add_relaxed(su);
+    }
+    fresh
+}
+
+/// Backward-phase dependency push: adds `sigma[v] * coeff` into `delta[v]`
+/// iff `v` sits one level up (`upper`). The δ mirror of the σ protocol.
+#[inline]
+pub fn push_dependency<D: DistCell, A: AccumCell>(
+    dist: &[D],
+    sigma: &[A],
+    delta: &[A],
+    v: usize,
+    upper: u32,
+    coeff: f64,
+) {
+    if dist[v].load_relaxed() == upper {
+        delta[v].add_relaxed(sigma[v].load_relaxed() * coeff);
+    }
+}
+
+/// Deliberately broken discovery — reads the level *before* attempting the
+/// claim, so the winning thread never observes its own claim and drops its σ
+/// contribution. Never called by a kernel — it exists as the negative
+/// control: the model checker must find the interleaving where σ goes
+/// missing (see `tests/loom_publish.rs`).
+pub fn discover_and_push_buggy<D: DistCell, A: AccumCell>(
+    dist: &[D],
+    sigma: &[A],
+    v: usize,
+    next_d: u32,
+    unclaimed: u32,
+    su: f64,
+) -> bool {
+    let level_before = dist[v].load_relaxed();
+    let fresh = dist[v].try_claim(unclaimed, next_d);
+    if level_before == next_d {
+        sigma[v].add_relaxed(su);
+    }
+    fresh
+}

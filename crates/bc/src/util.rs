@@ -1,68 +1,12 @@
-//! Shared utilities for the parallel kernels: atomic `f64` cells and
-//! level-structure helpers.
+//! Shared utilities for the parallel kernels: level-structure helpers and
+//! (re-exported from [`crate::sync`]) the atomic `f64` cell.
 //!
-//! The level-synchronous kernels rely on rayon's fork-join barriers for
-//! cross-level visibility, so all atomic operations here use `Relaxed`
-//! ordering — the `par_iter` joins establish the happens-before edges between
-//! levels, and within a level each cell has a single writer (except the
-//! explicitly contended [`AtomicF64::fetch_add`] used by the push-style
-//! baselines).
+//! The atomic types themselves live behind the [`crate::sync`] facade so the
+//! kernels can be built against model-checked atomics under `--cfg loom`;
+//! the re-exports here keep the historical `crate::util::AtomicF64` paths
+//! working.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-
-/// An `f64` stored in an `AtomicU64` via bit casting.
-#[derive(Debug, Default)]
-pub struct AtomicF64(AtomicU64);
-
-impl AtomicF64 {
-    /// New cell holding `v`.
-    #[inline]
-    pub fn new(v: f64) -> Self {
-        AtomicF64(AtomicU64::new(v.to_bits()))
-    }
-
-    /// Relaxed load.
-    #[inline]
-    pub fn load(&self) -> f64 {
-        f64::from_bits(self.0.load(Ordering::Relaxed))
-    }
-
-    /// Relaxed store.
-    #[inline]
-    pub fn store(&self, v: f64) {
-        self.0.store(v.to_bits(), Ordering::Relaxed);
-    }
-
-    /// Contended add via a compare-exchange loop (the only operation the
-    /// "lock-free" baselines need).
-    #[inline]
-    pub fn fetch_add(&self, v: f64) {
-        let mut cur = self.0.load(Ordering::Relaxed);
-        loop {
-            let next = (f64::from_bits(cur) + v).to_bits();
-            match self.0.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
-                Ok(_) => return,
-                Err(actual) => cur = actual,
-            }
-        }
-    }
-
-    /// Unwraps the cell.
-    #[inline]
-    pub fn into_inner(self) -> f64 {
-        f64::from_bits(self.0.into_inner())
-    }
-}
-
-/// A zeroed vector of atomic `f64`s.
-pub fn atomic_f64_vec(n: usize) -> Vec<AtomicF64> {
-    (0..n).map(|_| AtomicF64::new(0.0)).collect()
-}
-
-/// Unwraps a vector of atomic `f64`s.
-pub fn into_f64_vec(v: Vec<AtomicF64>) -> Vec<f64> {
-    v.into_iter().map(AtomicF64::into_inner).collect()
-}
+pub use crate::sync::{atomic_f64_vec, into_f64_vec, AtomicF64};
 
 /// Vertices of one BFS, grouped by level: `order[starts[d]..starts[d+1]]`
 /// holds the vertices at distance `d` from the root. The backward sweeps of
@@ -98,6 +42,52 @@ impl Levels {
     }
 }
 
+/// Runtime invariant check (`--features invariants`) run after every forward
+/// phase: validates the level structure underpinning the kernels'
+/// single-writer discipline.
+///
+/// Asserts that `starts` is monotone and closed over `order`, that every
+/// reached vertex appears in exactly one level with `dist[v]` equal to that
+/// level, that the source sits alone at level 0 with σ = 1, and that every
+/// reached vertex has σ ≥ 1 (each shortest path counted at least once).
+/// Violations would mean two levels could write the same σ/δ cell
+/// concurrently — exactly the discipline the Relaxed-ordering argument in
+/// [`crate::sync`] depends on.
+#[cfg(feature = "invariants")]
+pub fn check_levels(
+    levels: &Levels,
+    dist: &[crate::sync::AtomicU32],
+    sigma: &[AtomicF64],
+    source: u32,
+) {
+    use crate::sync::Ordering;
+    assert!(
+        levels.starts.first() == Some(&0) && levels.starts.last() == Some(&levels.order.len()),
+        "levels.starts must span order: {:?} over {} vertices",
+        levels.starts,
+        levels.order.len()
+    );
+    assert!(
+        levels.starts.windows(2).all(|w| w[0] <= w[1]),
+        "levels.starts must be monotone: {:?}",
+        levels.starts
+    );
+    if levels.reached() > 0 {
+        assert_eq!(levels.level(0), &[source], "source must sit alone at level 0");
+        assert_eq!(sigma[source as usize].load(), 1.0, "σ(source) must be 1");
+    }
+    let mut seen = std::collections::HashSet::with_capacity(levels.reached());
+    for d in 0..levels.num_levels() {
+        for &v in levels.level(d) {
+            assert!(seen.insert(v), "vertex {v} appears in more than one level");
+            let dv = dist[v as usize].load(Ordering::Relaxed);
+            assert_eq!(dv, d as u32, "vertex {v} sits at level {d} but dist says {dv}");
+            let sv = sigma[v as usize].load();
+            assert!(sv >= 1.0, "reached vertex {v} has σ = {sv} < 1");
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -107,7 +97,7 @@ mod tests {
         let a = AtomicF64::new(1.5);
         assert_eq!(a.load(), 1.5);
         a.store(2.0);
-        a.fetch_add(0.25);
+        assert_eq!(a.fetch_add(0.25), 2.0);
         assert_eq!(a.load(), 2.25);
         assert_eq!(a.into_inner(), 2.25);
     }
@@ -116,7 +106,9 @@ mod tests {
     fn concurrent_fetch_add_sums() {
         use rayon::prelude::*;
         let a = AtomicF64::new(0.0);
-        (0..1000).into_par_iter().for_each(|_| a.fetch_add(1.0));
+        (0..1000).into_par_iter().for_each(|_| {
+            let _ = a.fetch_add(1.0);
+        });
         assert_eq!(a.load(), 1000.0);
     }
 
@@ -128,5 +120,31 @@ mod tests {
         assert_eq!(l.level(1), &[1, 2]);
         assert_eq!(l.level(2), &[3]);
         assert_eq!(l.reached(), 4);
+    }
+
+    #[cfg(feature = "invariants")]
+    #[test]
+    fn check_levels_accepts_a_valid_structure() {
+        use crate::sync::AtomicU32;
+        let l = Levels { order: vec![2, 0, 1], starts: vec![0, 1, 3] };
+        let dist: Vec<AtomicU32> = vec![AtomicU32::new(1), AtomicU32::new(1), AtomicU32::new(0)];
+        let sigma = atomic_f64_vec(3);
+        sigma[0].store(1.0);
+        sigma[1].store(2.0);
+        sigma[2].store(1.0);
+        check_levels(&l, &dist, &sigma, 2);
+    }
+
+    #[cfg(feature = "invariants")]
+    #[test]
+    #[should_panic(expected = "dist says")]
+    fn check_levels_rejects_a_mislevelled_vertex() {
+        use crate::sync::AtomicU32;
+        let l = Levels { order: vec![2, 0], starts: vec![0, 1, 2] };
+        let dist: Vec<AtomicU32> = vec![AtomicU32::new(7), AtomicU32::new(0), AtomicU32::new(0)];
+        let sigma = atomic_f64_vec(3);
+        sigma[2].store(1.0);
+        sigma[0].store(1.0);
+        check_levels(&l, &dist, &sigma, 2);
     }
 }

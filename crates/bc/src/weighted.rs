@@ -36,8 +36,8 @@ pub fn bc_weighted_serial(wg: &WeightedGraph) -> Vec<f64> {
             let mut acc = 0.0;
             for (i, &w) in targets.iter().enumerate() {
                 if dag.dist[w as usize] == dag.dist[v as usize] + ws[i] as u64 {
-                    acc += dag.sigma[v as usize] / dag.sigma[w as usize]
-                        * (1.0 + delta[w as usize]);
+                    acc +=
+                        dag.sigma[v as usize] / dag.sigma[w as usize] * (1.0 + delta[w as usize]);
                 }
             }
             delta[v as usize] = acc;
@@ -143,8 +143,7 @@ fn weighted_subgraph_bc(sg: &SubGraph, weights: &[u32]) -> Vec<f64> {
             let boundary_v = sg.is_boundary[vu] && v != s;
             let mut i2i = 0.0;
             let mut i2o = if boundary_v { sg.alpha[vu] as f64 } else { 0.0 };
-            let mut o2o =
-                if s_boundary && boundary_v { beta_s * sg.alpha[vu] as f64 } else { 0.0 };
+            let mut o2o = if s_boundary && boundary_v { beta_s * sg.alpha[vu] as f64 } else { 0.0 };
             let lo = csr.offsets()[vu];
             let hi = csr.offsets()[vu + 1];
             for (i, &w) in csr.targets()[lo..hi].iter().enumerate() {

@@ -1,0 +1,143 @@
+//! Exhaustive interleaving checks for the CAS-publish protocol of
+//! `bc_lock_free` / `bc_hybrid` — the `dist` claim → `sigma` push window.
+//!
+//! The functions under test are the *production* protocol
+//! (`apgre_bc::sync::protocol`), generic over the atomic cells, instantiated
+//! here with model-checked atomics. The miniaturized scenario is the exact
+//! shape of the race in the kernels: several frontier vertices at level `d`
+//! share an out-neighbour `v`, each thread runs `discover_and_push` for its
+//! edge, and afterwards `v` must sit at level `d + 1` with σ equal to the
+//! *sum* of all parents' σ — one winner, zero lost contributions.
+
+use apgre_bc::sync::model::{self, AtomicU32};
+use apgre_bc::sync::protocol::{discover_and_push, discover_and_push_buggy, push_dependency};
+use apgre_bc::sync::ModelAtomicF64;
+use std::sync::Arc;
+
+const UNREACHED: u32 = u32::MAX;
+
+struct Cells {
+    dist: Vec<AtomicU32>,
+    sigma: Vec<ModelAtomicF64>,
+}
+
+impl Cells {
+    /// One shared target vertex 0, unreached, with σ = 0.
+    fn fresh_target() -> Arc<Cells> {
+        Arc::new(Cells {
+            dist: vec![AtomicU32::new(UNREACHED)],
+            sigma: vec![ModelAtomicF64::new(0.0)],
+        })
+    }
+}
+
+#[test]
+fn two_parents_one_winner_no_lost_sigma() {
+    let report = model::check(|| {
+        let c = Cells::fresh_target();
+        let hs: Vec<_> = [1.0f64, 2.0]
+            .into_iter()
+            .map(|su| {
+                let c = Arc::clone(&c);
+                model::thread::spawn(move || {
+                    discover_and_push(&c.dist, &c.sigma, 0, 1, UNREACHED, su)
+                })
+            })
+            .collect();
+        let wins: Vec<bool> = hs.into_iter().map(|h| h.join()).collect();
+        assert_eq!(
+            wins.iter().filter(|&&w| w).count(),
+            1,
+            "exactly one thread must win the claim: {wins:?}"
+        );
+        assert_eq!(c.dist[0].load(model::Ordering::Relaxed), 1, "v must land on level 1");
+        assert_eq!(c.sigma[0].load(), 3.0, "a σ contribution was lost in the race window");
+    });
+    assert!(report.schedules >= 6, "explored {} schedules", report.schedules);
+}
+
+// Deliberately no 3-parent discover_and_push check here: at ~5 scheduling
+// points per thread the schedule space is multinomially explosive (minutes
+// of wall clock without partial-order reduction — see ROADMAP open items).
+// Three-way RMW contention is covered exhaustively on the cheaper CAS loop
+// in `loom_atomic_f64.rs`; the claim window itself only needs two threads.
+
+#[test]
+fn racing_different_levels_claim_is_first_come() {
+    // A claimed vertex must keep its first level: a straggler claiming for a
+    // deeper level neither re-levels it nor pushes σ.
+    model::check(|| {
+        let c = Cells::fresh_target();
+        let c1 = Arc::clone(&c);
+        let h1 = model::thread::spawn(move || {
+            discover_and_push(&c1.dist, &c1.sigma, 0, 1, UNREACHED, 1.0)
+        });
+        let c2 = Arc::clone(&c);
+        let h2 = model::thread::spawn(move || {
+            discover_and_push(&c2.dist, &c2.sigma, 0, 2, UNREACHED, 8.0)
+        });
+        let (w1, w2) = (h1.join(), h2.join());
+        assert!(w1 ^ w2, "exactly one claim succeeds");
+        let d = c.dist[0].load(model::Ordering::Relaxed);
+        let s = c.sigma[0].load();
+        if w1 {
+            assert_eq!((d, s), (1, 1.0), "level-1 claim won");
+        } else {
+            assert_eq!((d, s), (2, 8.0), "level-2 claim won");
+        }
+    });
+}
+
+#[test]
+fn backward_delta_push_sums_exactly() {
+    // Two successors at level dw push δ into the same predecessor (level
+    // dw - 1) concurrently — the δ mirror of the σ window.
+    model::check(|| {
+        let c = Arc::new(Cells {
+            dist: vec![AtomicU32::new(0)],
+            sigma: vec![ModelAtomicF64::new(2.0)],
+        });
+        let delta = Arc::new(vec![ModelAtomicF64::new(0.0)]);
+        let hs: Vec<_> = [0.5f64, 0.25]
+            .into_iter()
+            .map(|coeff| {
+                let c = Arc::clone(&c);
+                let delta = Arc::clone(&delta);
+                model::thread::spawn(move || {
+                    push_dependency(&c.dist, &c.sigma, &delta, 0, 0, coeff);
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join();
+        }
+        // δ += σ·coeff from both successors: 2·0.5 + 2·0.25.
+        assert_eq!(delta[0].load(), 1.5);
+    });
+}
+
+#[test]
+fn misordered_publish_is_caught() {
+    // Negative control: the variant that reads the level *before* claiming
+    // drops the winner's σ contribution. The checker must find a schedule
+    // where the total is wrong — on this protocol, every schedule is wrong,
+    // so the very first one already fails.
+    let report = model::explore(|| {
+        let c = Cells::fresh_target();
+        let hs: Vec<_> = [1.0f64, 2.0]
+            .into_iter()
+            .map(|su| {
+                let c = Arc::clone(&c);
+                model::thread::spawn(move || {
+                    discover_and_push_buggy(&c.dist, &c.sigma, 0, 1, UNREACHED, su)
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join();
+        }
+        assert_eq!(c.sigma[0].load(), 3.0, "sigma dropped");
+    });
+    let v = report.violation.expect("the dropped-σ schedule must be found");
+    assert!(v.message.contains("sigma dropped"), "unexpected message: {}", v.message);
+}

@@ -34,18 +34,11 @@ fn bench_decomposition(c: &mut Criterion) {
     // Threshold sweep on one representative graph.
     let g = get("email-enron-like").unwrap().graph(Scale::Small);
     for threshold in [1usize, 32, 1024] {
-        group.bench_with_input(
-            BenchmarkId::new("threshold", threshold),
-            &g,
-            |b, g| {
-                b.iter(|| {
-                    decompose(
-                        g,
-                        &PartitionOptions { merge_threshold: threshold, ..Default::default() },
-                    )
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("threshold", threshold), &g, |b, g| {
+            b.iter(|| {
+                decompose(g, &PartitionOptions { merge_threshold: threshold, ..Default::default() })
+            })
+        });
     }
     group.finish();
 }

@@ -19,9 +19,7 @@ fn bench_extensions(c: &mut Criterion) {
     let wg = WeightedGraph::random_weights(g.clone(), 8, 1);
     group.bench_function("weighted-serial", |b| b.iter(|| bc_weighted_serial(&wg)));
     group.bench_function("weighted-apgre", |b| b.iter(|| bc_weighted_apgre(&wg)));
-    group.bench_function("approx-10pct", |b| {
-        b.iter(|| bc_approx(&g, g.num_vertices() / 10, 3))
-    });
+    group.bench_function("approx-10pct", |b| b.iter(|| bc_approx(&g, g.num_vertices() / 10, 3)));
     group.bench_function("memo-warm", |b| {
         let mut memo = MemoizedBc::new(PartitionOptions::default());
         let _ = memo.compute(&g);

@@ -14,11 +14,9 @@ fn bench_table2(c: &mut Criterion) {
     for spec in registry() {
         let g = spec.graph(Scale::Tiny);
         for &algo in ALGORITHMS {
-            group.bench_with_input(
-                BenchmarkId::new(algo, spec.name),
-                &g,
-                |b, g| b.iter(|| run_algorithm(algo, g)),
-            );
+            group.bench_with_input(BenchmarkId::new(algo, spec.name), &g, |b, g| {
+                b.iter(|| run_algorithm(algo, g))
+            });
         }
     }
     group.finish();

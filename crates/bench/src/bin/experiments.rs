@@ -148,9 +148,18 @@ fn scale_name(s: Scale) -> &'static str {
 // ---------------------------------------------------------------- Table 1
 
 fn table1(opts: &Opts, json: &mut serde_json::Map<String, serde_json::Value>) {
-    println!("\n=== Table 1: graph inventory (stand-ins at scale {}) ===\n", scale_name(opts.scale));
+    println!(
+        "\n=== Table 1: graph inventory (stand-ins at scale {}) ===\n",
+        scale_name(opts.scale)
+    );
     let mut t = Table::new(&[
-        "Graph", "Directed", "paper #V", "paper #E", "ours #V", "ours #E", "whiskers%",
+        "Graph",
+        "Directed",
+        "paper #V",
+        "paper #E",
+        "ours #V",
+        "ours #E",
+        "whiskers%",
     ]);
     let mut rows = Vec::new();
     for spec in registry() {
@@ -189,9 +198,21 @@ fn measure_all(opts: &Opts) -> Vec<GraphMeasurement> {
         .collect()
 }
 
-fn table2(measurements: &[GraphMeasurement], json: &mut serde_json::Map<String, serde_json::Value>) {
+fn table2(
+    measurements: &[GraphMeasurement],
+    json: &mut serde_json::Map<String, serde_json::Value>,
+) {
     println!("\n=== Table 2: execution time ===\n");
-    let mut t = Table::new(&["Graph", "serial", "APGRE", "preds", "succs", "lockSyncFree", "async", "hybrid"]);
+    let mut t = Table::new(&[
+        "Graph",
+        "serial",
+        "APGRE",
+        "preds",
+        "succs",
+        "lockSyncFree",
+        "async",
+        "hybrid",
+    ]);
     for m in measurements {
         let mut row = vec![m.graph.clone()];
         for &a in ALGORITHMS {
@@ -201,7 +222,8 @@ fn table2(measurements: &[GraphMeasurement], json: &mut serde_json::Map<String, 
     }
     let mut avg_row = vec!["avg speedup vs serial".to_string()];
     for &a in ALGORITHMS {
-        let speedups: Vec<f64> = measurements.iter().filter_map(|m| m.speedup_vs_serial(a)).collect();
+        let speedups: Vec<f64> =
+            measurements.iter().filter_map(|m| m.speedup_vs_serial(a)).collect();
         let avg = speedups.iter().sum::<f64>() / speedups.len().max(1) as f64;
         avg_row.push(format!("{avg:.2}x"));
     }
@@ -217,9 +239,21 @@ fn table2(measurements: &[GraphMeasurement], json: &mut serde_json::Map<String, 
     println!("\n(worst |score - serial| across all runs: {worst:.2e})");
 }
 
-fn table3(measurements: &[GraphMeasurement], json: &mut serde_json::Map<String, serde_json::Value>) {
+fn table3(
+    measurements: &[GraphMeasurement],
+    json: &mut serde_json::Map<String, serde_json::Value>,
+) {
     println!("\n=== Table 3: search rate (MTEPS = n·m/t / 1e6) ===\n");
-    let mut t = Table::new(&["Graph", "serial", "APGRE", "preds", "succs", "lockSyncFree", "async", "hybrid"]);
+    let mut t = Table::new(&[
+        "Graph",
+        "serial",
+        "APGRE",
+        "preds",
+        "succs",
+        "lockSyncFree",
+        "async",
+        "hybrid",
+    ]);
     for m in measurements {
         let mut row = vec![m.graph.clone()];
         for &a in ALGORITHMS {
@@ -234,7 +268,16 @@ fn table3(measurements: &[GraphMeasurement], json: &mut serde_json::Map<String, 
 
 fn fig6(measurements: &[GraphMeasurement], json: &mut serde_json::Map<String, serde_json::Value>) {
     println!("\n=== Figure 6: speedup on this machine relative to serial ===\n");
-    let mut t = Table::new(&["Graph", "APGRE", "preds", "succs", "lockSyncFree", "async", "hybrid", "paper APGRE"]);
+    let mut t = Table::new(&[
+        "Graph",
+        "APGRE",
+        "preds",
+        "succs",
+        "lockSyncFree",
+        "async",
+        "hybrid",
+        "paper APGRE",
+    ]);
     let mut rows = Vec::new();
     for (m, spec) in measurements.iter().zip(registry()) {
         let mut row = vec![m.graph.clone()];
@@ -259,7 +302,8 @@ fn fig6(measurements: &[GraphMeasurement], json: &mut serde_json::Map<String, se
 fn table4(opts: &Opts, json: &mut serde_json::Map<String, serde_json::Value>) {
     println!("\n=== Table 4: sub-graph sizes (scale {}) ===\n", scale_name(opts.scale));
     let mut t = Table::new(&[
-        "Graph", "#SG", "top #V", "top #E", "V/G.V", "E/G.E", "2nd #V", "2nd #E", "3rd #V", "3rd #E",
+        "Graph", "#SG", "top #V", "top #E", "V/G.V", "E/G.E", "2nd #V", "2nd #E", "3rd #V",
+        "3rd #E",
     ]);
     let mut rows = Vec::new();
     for spec in registry() {
@@ -356,17 +400,23 @@ fn fig3(json: &mut serde_json::Map<String, serde_json::Value>) {
     }
     let (bc, _) = bc_apgre_with(&g, &ApgreOptions::default());
     let serial = apgre_bc::brandes::bc_serial(&g);
-    let max_err =
-        bc.iter().zip(&serial).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
+    let max_err = bc.iter().zip(&serial).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
     println!("APGRE == Brandes on the example: max error {max_err:.1e}");
-    json.insert("fig3".into(), json!({"articulation_points": arts, "subgraphs": d.num_subgraphs(), "max_err": max_err}));
+    json.insert(
+        "fig3".into(),
+        json!({"articulation_points": arts, "subgraphs": d.num_subgraphs(), "max_err": max_err}),
+    );
 }
 
 // ---------------------------------------------------------------- Figure 7
 
 fn fig7(opts: &Opts, json: &mut serde_json::Map<String, serde_json::Value>) {
-    println!("\n=== Figure 7: breakdown of BC computation (scale {}) ===\n", scale_name(opts.scale));
-    let mut t = Table::new(&["Graph", "partial", "total", "essential", "paper partial", "paper total"]);
+    println!(
+        "\n=== Figure 7: breakdown of BC computation (scale {}) ===\n",
+        scale_name(opts.scale)
+    );
+    let mut t =
+        Table::new(&["Graph", "partial", "total", "essential", "paper partial", "paper total"]);
     // The paper's bars, eyeballed from Figure 7 (±few %), for shape
     // comparison in EXPERIMENTS.md.
     let paper: &[(&str, f64, f64)] = &[
@@ -388,7 +438,11 @@ fn fig7(opts: &Opts, json: &mut serde_json::Map<String, serde_json::Value>) {
         let g = spec.graph(opts.scale);
         let d = decompose(&g, &PartitionOptions::default());
         let r = redundancy::analyze(&g, &d);
-        let p = paper.iter().find(|&&(n, _, _)| n == spec.name).copied().unwrap_or((spec.name, 0.0, 0.0));
+        let p = paper
+            .iter()
+            .find(|&&(n, _, _)| n == spec.name)
+            .copied()
+            .unwrap_or((spec.name, 0.0, 0.0));
         t.row(vec![
             spec.name.into(),
             format!("{:.1}%", 100.0 * r.partial_fraction()),
@@ -410,10 +464,12 @@ fn fig7(opts: &Opts, json: &mut serde_json::Map<String, serde_json::Value>) {
 // ---------------------------------------------------------------- Figure 8
 
 fn fig8(opts: &Opts, json: &mut serde_json::Map<String, serde_json::Value>) {
-    println!("\n=== Figure 8: APGRE execution-time breakdown (scale {}) ===\n", scale_name(opts.scale));
-    let mut t = Table::new(&[
-        "Graph", "partition", "α/β", "top-SG BC", "other BC", "extra (part+αβ)",
-    ]);
+    println!(
+        "\n=== Figure 8: APGRE execution-time breakdown (scale {}) ===\n",
+        scale_name(opts.scale)
+    );
+    let mut t =
+        Table::new(&["Graph", "partition", "α/β", "top-SG BC", "other BC", "extra (part+αβ)"]);
     let mut rows = Vec::new();
     for spec in registry() {
         let g = spec.graph(opts.scale);
@@ -446,14 +502,18 @@ fn fig8(opts: &Opts, json: &mut serde_json::Map<String, serde_json::Value>) {
 // ------------------------------------------------------------- Figures 9/10
 
 fn fig9(opts: &Opts, json: &mut serde_json::Map<String, serde_json::Value>) {
-    println!("\n=== Figure 9: thread scaling of all algorithms on dblp-like (scale {}) ===\n", scale_name(opts.scale));
+    println!(
+        "\n=== Figure 9: thread scaling of all algorithms on dblp-like (scale {}) ===\n",
+        scale_name(opts.scale)
+    );
     let g = apgre_workloads::get("dblp-like").unwrap().graph(opts.scale);
     println!("dblp-like: {} vertices, {} edges", g.num_vertices(), g.num_edges());
     let (serial_ref, serial_t) = time(|| apgre_bc::brandes::bc_serial(&g));
     let _ = serial_ref;
     println!("serial baseline: {}", fmt_secs(serial_t.as_secs_f64()));
     let thread_counts = [1usize, 2, 4, 6, 8, 12];
-    let mut t = Table::new(&["threads", "APGRE", "preds", "succs", "lockSyncFree", "async", "hybrid"]);
+    let mut t =
+        Table::new(&["threads", "APGRE", "preds", "succs", "lockSyncFree", "async", "hybrid"]);
     let mut rows = Vec::new();
     for &tc in &thread_counts {
         let mut row = vec![tc.to_string()];
@@ -474,7 +534,10 @@ fn fig9(opts: &Opts, json: &mut serde_json::Map<String, serde_json::Value>) {
 }
 
 fn fig10(opts: &Opts, json: &mut serde_json::Map<String, serde_json::Value>) {
-    println!("\n=== Figure 10: APGRE thread scaling to 32 threads (scale {}) ===\n", scale_name(opts.scale));
+    println!(
+        "\n=== Figure 10: APGRE thread scaling to 32 threads (scale {}) ===\n",
+        scale_name(opts.scale)
+    );
     let g = apgre_workloads::get("web-google-like").unwrap().graph(opts.scale);
     println!("web-google-like: {} vertices, {} edges", g.num_vertices(), g.num_edges());
     let (_, serial_t) = time(|| apgre_bc::brandes::bc_serial(&g));
@@ -525,7 +588,10 @@ fn ablation_threshold(opts: &Opts, json: &mut serde_json::Map<String, serde_json
 }
 
 fn ablation_alphabeta(opts: &Opts, json: &mut serde_json::Map<String, serde_json::Value>) {
-    println!("\n=== Ablation A2: α/β block-cut-tree fast path vs blocked BFS (scale {}) ===\n", scale_name(opts.scale));
+    println!(
+        "\n=== Ablation A2: α/β block-cut-tree fast path vs blocked BFS (scale {}) ===\n",
+        scale_name(opts.scale)
+    );
     let mut t = Table::new(&["Graph", "tree α/β", "blocked-BFS α/β", "ratio"]);
     let mut rows = Vec::new();
     for name in ["email-enron-like", "youtube-like", "usa-road-bay-like"] {
@@ -533,7 +599,10 @@ fn ablation_alphabeta(opts: &Opts, json: &mut serde_json::Map<String, serde_json
         let (d1, t_tree) = time(|| {
             decompose(
                 &g,
-                &PartitionOptions { alpha_beta: AlphaBetaMethod::BlockCutTree, ..Default::default() },
+                &PartitionOptions {
+                    alpha_beta: AlphaBetaMethod::BlockCutTree,
+                    ..Default::default()
+                },
             )
         });
         let (d2, t_bfs) = time(|| {
@@ -553,7 +622,9 @@ fn ablation_alphabeta(opts: &Opts, json: &mut serde_json::Map<String, serde_json
             fmt_secs(t_bfs.as_secs_f64()),
             format!("{:.1}x", t_bfs.as_secs_f64() / t_tree.as_secs_f64()),
         ]);
-        rows.push(json!({"graph": name, "tree_s": t_tree.as_secs_f64(), "bfs_s": t_bfs.as_secs_f64()}));
+        rows.push(
+            json!({"graph": name, "tree_s": t_tree.as_secs_f64(), "bfs_s": t_bfs.as_secs_f64()}),
+        );
     }
     print!("{}", t.render());
     println!("\n(timings include the shared partition work; both methods verified equal)");
@@ -565,9 +636,13 @@ fn ablation_alphabeta(opts: &Opts, json: &mut serde_json::Map<String, serde_json
 /// partial-only (decomposition kept, whiskers unfolded), and neither
 /// (the kernel degraded all the way back to Brandes).
 fn ablation_gamma(opts: &Opts, json: &mut serde_json::Map<String, serde_json::Value>) {
-    println!("\n=== Ablation A3: total (γ) vs partial redundancy elimination (scale {}) ===\n", scale_name(opts.scale));
+    println!(
+        "\n=== Ablation A3: total (γ) vs partial redundancy elimination (scale {}) ===\n",
+        scale_name(opts.scale)
+    );
     let mut rows = Vec::new();
-    let mut t = Table::new(&["Graph", "full APGRE", "γ-only", "partial-only", "neither", "serial Brandes"]);
+    let mut t =
+        Table::new(&["Graph", "full APGRE", "γ-only", "partial-only", "neither", "serial Brandes"]);
     for name in ["email-euall-like", "youtube-like", "notredame-like", "usa-road-bay-like"] {
         let g = apgre_workloads::get(name).unwrap().graph(opts.scale);
         let (reference, serial_t) = time(|| apgre_bc::brandes::bc_serial(&g));
@@ -578,15 +653,14 @@ fn ablation_gamma(opts: &Opts, json: &mut serde_json::Map<String, serde_json::Va
             if unfold {
                 d.unfold_whiskers();
             }
-            let ((scores, _), dt) = time(|| {
-                apgre_bc::apgre::bc_from_decomposition(&g, &d, &ApgreOptions::default())
-            });
-            let err = scores
-                .iter()
-                .zip(&reference)
-                .map(|(a, b)| (a - b).abs())
-                .fold(0.0f64, f64::max);
-            assert!(err < 1e-5 * (1.0 + reference.iter().cloned().fold(0.0, f64::max)), "{name}: err {err}");
+            let ((scores, _), dt) =
+                time(|| apgre_bc::apgre::bc_from_decomposition(&g, &d, &ApgreOptions::default()));
+            let err =
+                scores.iter().zip(&reference).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
+            assert!(
+                err < 1e-5 * (1.0 + reference.iter().cloned().fold(0.0, f64::max)),
+                "{name}: err {err}"
+            );
             dt.as_secs_f64()
         };
         let full = run_variant(false, false);

@@ -44,11 +44,7 @@ pub fn mteps(vertices: usize, edges: usize, t: Duration) -> f64 {
 
 /// Runs `f` inside a dedicated rayon pool of `threads` workers.
 pub fn with_threads<R: Send>(threads: usize, f: impl FnOnce() -> R + Send) -> R {
-    rayon::ThreadPoolBuilder::new()
-        .num_threads(threads)
-        .build()
-        .expect("thread pool")
-        .install(f)
+    rayon::ThreadPoolBuilder::new().num_threads(threads).build().expect("thread pool").install(f)
 }
 
 /// One algorithm's measurement on one graph.
@@ -105,11 +101,8 @@ pub fn measure_graph(name: &str, g: &Graph, algos: &[&str]) -> GraphMeasurement 
         } else {
             time(|| run_algorithm(algo, g))
         };
-        let max_abs_err = scores
-            .iter()
-            .zip(&reference)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0f64, f64::max);
+        let max_abs_err =
+            scores.iter().zip(&reference).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
         out.algos.push(AlgoMeasurement {
             algo: algo.to_string(),
             seconds: t.as_secs_f64(),

@@ -48,11 +48,7 @@ fn usage() -> ! {
          [--algo serial|preds|succs|lockfree|coarse|hybrid|apgre] [--directed] \
          [--top K] [--threshold N] [--threads T] [--stats] [--normalize]\n\
          workloads: {}",
-        apgre_workloads::registry()
-            .iter()
-            .map(|w| w.name)
-            .collect::<Vec<_>>()
-            .join(", ")
+        apgre_workloads::registry().iter().map(|w| w.name).collect::<Vec<_>>().join(", ")
     );
     exit(2)
 }
@@ -72,12 +68,10 @@ fn parse_args() -> Args {
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         let mut next_usize = |flag: &str| -> usize {
-            it.next()
-                .and_then(|v| v.parse().ok())
-                .unwrap_or_else(|| {
-                    eprintln!("{flag} needs a number");
-                    usage()
-                })
+            it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                eprintln!("{flag} needs a number");
+                usage()
+            })
         };
         match a.as_str() {
             "--algo" => args.algo = it.next().unwrap_or_else(|| usage()),
@@ -144,13 +138,10 @@ fn load_graph(args: &Args) -> Graph {
 fn main() {
     let args = parse_args();
     if let Some(t) = args.threads {
-        rayon::ThreadPoolBuilder::new()
-            .num_threads(t)
-            .build_global()
-            .unwrap_or_else(|e| {
-                eprintln!("thread pool: {e}");
-                exit(1)
-            });
+        rayon::ThreadPoolBuilder::new().num_threads(t).build_global().unwrap_or_else(|e| {
+            eprintln!("thread pool: {e}");
+            exit(1)
+        });
     }
     let g = load_graph(&args);
     println!(
@@ -160,18 +151,14 @@ fn main() {
         g.is_directed()
     );
 
-    let partition =
-        PartitionOptions { merge_threshold: args.threshold, ..Default::default() };
+    let partition = PartitionOptions { merge_threshold: args.threshold, ..Default::default() };
     if args.stats {
         let t = Instant::now();
         let d = decompose(&g, &partition);
         let dt = t.elapsed();
         let arts = d.is_articulation.iter().filter(|&&a| a).count();
-        let whiskers: usize = d
-            .subgraphs
-            .iter()
-            .map(|sg| sg.is_whisker.iter().filter(|&&w| w).count())
-            .sum();
+        let whiskers: usize =
+            d.subgraphs.iter().map(|sg| sg.is_whisker.iter().filter(|&&w| w).count()).sum();
         println!("decomposition ({dt:.2?}):");
         println!(
             "  {} BCCs -> {} sub-graphs, {} articulation points, {} whiskers",
@@ -263,8 +250,7 @@ fn rank_edges(g: &apgre_graph::Graph, top: usize) {
     println!("edge betweenness finished in {:.2?}", t.elapsed());
     if g.is_directed() {
         let csr = g.csr();
-        let mut ranked: Vec<((u32, u32), f64)> =
-            csr.edges().zip(scores.iter().copied()).collect();
+        let mut ranked: Vec<((u32, u32), f64)> = csr.edges().zip(scores.iter().copied()).collect();
         ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
         println!("top {} arcs by betweenness:", top.min(ranked.len()));
         for ((u, v), s) in ranked.into_iter().take(top) {

@@ -53,10 +53,7 @@ pub(crate) fn fill(
         AlphaBetaMethod::Auto => !g.is_directed(),
         AlphaBetaMethod::BlockedBfs => false,
         AlphaBetaMethod::BlockCutTree => {
-            assert!(
-                !g.is_directed(),
-                "block-cut-tree α/β is only valid for undirected graphs"
-            );
+            assert!(!g.is_directed(), "block-cut-tree α/β is only valid for undirected graphs");
             true
         }
     };

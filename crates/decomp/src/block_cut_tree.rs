@@ -176,8 +176,7 @@ impl RootedBlockCutTree<'_> {
             self.subtree[b_node as usize]
         } else {
             debug_assert_eq!(
-                self.parent[a_node as usize],
-                b_node,
+                self.parent[a_node as usize], b_node,
                 "BCC {b} is not adjacent to articulation vertex {art}"
             );
             self.comp_total[self.comp_of[a_node as usize] as usize] - self.subtree[a_node as usize]

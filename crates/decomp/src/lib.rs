@@ -19,15 +19,20 @@
 //! The entry point is [`decompose`], which runs steps 1–4 and returns a
 //! [`Decomposition`].
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod alpha_beta;
 pub mod bcc;
 pub mod block_cut_tree;
+#[cfg(feature = "invariants")]
+pub mod invariants;
 pub mod naive;
 pub mod partition;
 pub mod subgraph;
 
+pub use alpha_beta::AlphaBetaMethod;
 pub use bcc::{biconnected_components, BccResult};
 pub use block_cut_tree::BlockCutTree;
-pub use alpha_beta::AlphaBetaMethod;
 pub use partition::{decompose, DecompTimings, Decomposition, PartitionOptions};
 pub use subgraph::SubGraph;

@@ -136,7 +136,10 @@ impl Decomposition {
             for &b in &sg.boundary {
                 let gv = sg.global_of(b);
                 if !self.is_articulation[gv as usize] {
-                    return Err(format!("boundary {gv} of SG{} is not an articulation point", sg.id));
+                    return Err(format!(
+                        "boundary {gv} of SG{} is not an articulation point",
+                        sg.id
+                    ));
                 }
                 if membership[gv as usize] < 2 {
                     return Err(format!("boundary {gv} of SG{} is in only one sub-graph", sg.id));
@@ -206,6 +209,8 @@ pub fn decompose(g: &Graph, opts: &PartitionOptions) -> Decomposition {
     let t1 = std::time::Instant::now();
     alpha_beta::fill(g, &mut decomp, &bcc, &bct, opts.alpha_beta);
     decomp.timings = DecompTimings { partition: partition_time, alpha_beta: t1.elapsed() };
+    #[cfg(feature = "invariants")]
+    crate::invariants::check_decomposition(g, &decomp);
     decomp
 }
 
@@ -299,7 +304,12 @@ fn merge_bccs(bcc: &BccResult, bct: &BlockCutTree, threshold: u64) -> Vec<Vec<u3
                 }
                 in_dfs.insert(nxt);
                 let node = top.node;
-                stack.push(Frame { node: nxt, parent: node, nbrs: bct.node_neighbors(nxt), idx: 0 });
+                stack.push(Frame {
+                    node: nxt,
+                    parent: node,
+                    nbrs: bct.node_neighbors(nxt),
+                    idx: 0,
+                });
             } else {
                 let frame = stack.pop().expect("stack non-empty");
                 if (frame.node as usize) >= nb {
@@ -311,7 +321,8 @@ fn merge_bccs(bcc: &BccResult, bct: &BlockCutTree, threshold: u64) -> Vec<Vec<u3
                     continue;
                 }
                 // Grandparent BCC through the parent articulation node.
-                let art_frame = stack.last().expect("BCC below root must have an articulation parent");
+                let art_frame =
+                    stack.last().expect("BCC below root must have an articulation parent");
                 debug_assert!(art_frame.node as usize >= nb);
                 let prev = art_frame.parent;
                 debug_assert!((prev as usize) < nb);
@@ -403,9 +414,8 @@ fn build_subgraphs(
             if ai == NIL {
                 continue;
             }
-            let crosses = bct.art_bccs[ai as usize]
-                .iter()
-                .any(|&b| subgraph_of_bcc[b as usize] != gi as u32);
+            let crosses =
+                bct.art_bccs[ai as usize].iter().any(|&b| subgraph_of_bcc[b as usize] != gi as u32);
             if crosses {
                 is_boundary[l] = true;
                 boundary.push(l as u32);
@@ -473,9 +483,25 @@ mod tests {
         Graph::undirected_from_edges(
             13,
             &[
-                (0, 2), (1, 2), (2, 4), (2, 5), (4, 5), (4, 3), (5, 3), (5, 6),
-                (4, 6), (3, 6), (3, 10), (3, 12), (10, 12), (3, 11), (10, 11),
-                (6, 7), (6, 8), (7, 9), (8, 9),
+                (0, 2),
+                (1, 2),
+                (2, 4),
+                (2, 5),
+                (4, 5),
+                (4, 3),
+                (5, 3),
+                (5, 6),
+                (4, 6),
+                (3, 6),
+                (3, 10),
+                (3, 12),
+                (10, 12),
+                (3, 11),
+                (10, 11),
+                (6, 7),
+                (6, 8),
+                (7, 9),
+                (8, 9),
             ],
         )
     }
@@ -487,23 +513,19 @@ mod tests {
         // with articulation points 3 and 6 on the boundaries; 2's whiskers
         // {0,1} merge into the middle sub-graph.
         let g = fig3_undirected();
-        let d = decompose(
-            &g,
-            &PartitionOptions { merge_threshold: 3, ..Default::default() },
-        );
+        let d = decompose(&g, &PartitionOptions { merge_threshold: 3, ..Default::default() });
         d.validate(&g).unwrap();
-        assert_eq!(d.num_subgraphs(), 3, "{:?}", d.subgraphs.iter().map(|s| s.globals.clone()).collect::<Vec<_>>());
+        assert_eq!(
+            d.num_subgraphs(),
+            3,
+            "{:?}",
+            d.subgraphs.iter().map(|s| s.globals.clone()).collect::<Vec<_>>()
+        );
         // Global articulation points: 2, 3, 6.
-        let arts: Vec<u32> = (0..13)
-            .filter(|&v| d.is_articulation[v as usize])
-            .collect();
+        let arts: Vec<u32> = (0..13).filter(|&v| d.is_articulation[v as usize]).collect();
         assert_eq!(arts, vec![2, 3, 6]);
         // The middle sub-graph contains {0,1,2,3,4,5,6} and has boundary {3,6}.
-        let middle = d
-            .subgraphs
-            .iter()
-            .find(|sg| sg.contains(4) && sg.contains(5))
-            .unwrap();
+        let middle = d.subgraphs.iter().find(|sg| sg.contains(4) && sg.contains(5)).unwrap();
         assert_eq!(middle.globals, vec![0, 1, 2, 3, 4, 5, 6]);
         let bounds: Vec<u32> = middle.boundary.iter().map(|&l| middle.global_of(l)).collect();
         assert_eq!(bounds, vec![3, 6]);
@@ -580,12 +602,8 @@ mod tests {
         let d = decompose(&g, &PartitionOptions::default());
         d.validate(&g).unwrap();
         // Source whiskers fold into γ somewhere.
-        let total_gamma: u64 = d
-            .subgraphs
-            .iter()
-            .flat_map(|sg| sg.gamma.iter())
-            .map(|&x| x as u64)
-            .sum();
+        let total_gamma: u64 =
+            d.subgraphs.iter().flat_map(|sg| sg.gamma.iter()).map(|&x| x as u64).sum();
         assert!(total_gamma > 0);
     }
 
@@ -648,6 +666,10 @@ mod tests {
         assert!(by_size[0].num_vertices() >= by_size.last().unwrap().num_vertices());
         assert_eq!(by_size[0].id, d.subgraphs[d.top_subgraph].id);
         // The BA core dominates: the top sub-graph holds most core vertices.
-        assert!(by_size[0].num_vertices() * 2 > 120, "top SG too small: {}", by_size[0].num_vertices());
+        assert!(
+            by_size[0].num_vertices() * 2 > 120,
+            "top SG too small: {}",
+            by_size[0].num_vertices()
+        );
     }
 }

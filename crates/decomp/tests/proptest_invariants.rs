@@ -1,0 +1,136 @@
+//! Property tests for the decomposition's conservation laws (the
+//! `invariants`-feature checks, pinned here so they also run in default
+//! builds): per-articulation-point α against an independent blocked BFS,
+//! the Σα component-coverage law, and a naive γ/whisker recount.
+
+use apgre_decomp::alpha_beta::blocked_bfs_alpha_beta;
+use apgre_decomp::{decompose, PartitionOptions};
+use apgre_graph::connectivity::connected_components;
+use apgre_graph::{generators, Graph};
+use proptest::prelude::*;
+
+fn edges_strategy(n_max: u32, m_max: usize) -> impl Strategy<Value = (u32, Vec<(u32, u32)>)> {
+    (2..n_max).prop_flat_map(move |n| {
+        let edge = (0..n, 0..n);
+        (Just(n), proptest::collection::vec(edge, 0..m_max))
+    })
+}
+
+/// γ recount from the sub-graph structure alone; mirrors nothing of the
+/// partition bookkeeping (only `is_whisker` and the local CSR).
+fn naive_gamma(sg: &apgre_decomp::SubGraph, directed: bool) -> Vec<u32> {
+    let ln = sg.num_vertices();
+    let mut recount = vec![0u32; ln];
+    for l in 0..ln as u32 {
+        if !sg.is_whisker[l as usize] {
+            continue;
+        }
+        assert!(!sg.is_boundary[l as usize], "boundary vertex {l} marked whisker");
+        if directed {
+            assert_eq!(sg.graph.in_degree(l), 0, "directed whisker {l} has in-edges");
+        }
+        assert_eq!(sg.graph.out_degree(l), 1, "whisker {l} out-degree");
+        let host = sg.graph.out_neighbors(l)[0];
+        assert!(!sg.is_whisker[host as usize], "whisker {l} hangs off a whisker");
+        recount[host as usize] += 1;
+    }
+    recount
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// Per-articulation-point α/β: the undirected block-cut-tree fast path
+    /// must agree with an independent blocked BFS from each boundary point,
+    /// and Σα must complete the sub-graph to its whole component.
+    #[test]
+    fn alpha_conservation_undirected(
+        (n, edges) in edges_strategy(56, 130),
+        threshold in 0usize..16,
+    ) {
+        let g = Graph::undirected_from_edges(n as usize, &edges);
+        let d = decompose(&g, &PartitionOptions { merge_threshold: threshold, ..Default::default() });
+        d.validate(&g).unwrap();
+        let comps = connected_components(&g);
+        for sg in &d.subgraphs {
+            // Independent per-point recount via blocked BFS on the global
+            // graph (the paper's definition, executed directly).
+            let (alpha, beta) = blocked_bfs_alpha_beta(&g, sg);
+            prop_assert_eq!(&sg.alpha, &alpha, "SG{} α vs blocked BFS", sg.id);
+            prop_assert_eq!(&sg.beta, &beta, "SG{} β vs blocked BFS", sg.id);
+            // Conservation: the sub-graph plus the regions hanging off its
+            // boundary points partition the connected component.
+            let comp = comps.comp[sg.globals[0] as usize];
+            let comp_size = comps.sizes[comp as usize] as u64;
+            let covered = sg.num_vertices() as u64 + sg.alpha.iter().sum::<u64>();
+            prop_assert_eq!(covered, comp_size, "SG{} coverage", sg.id);
+        }
+    }
+
+    /// Directed graphs: hanging regions are only partially reachable, so α/β
+    /// are bounded by the outside-vertex count and must still match the
+    /// blocked-BFS definition.
+    #[test]
+    fn alpha_bounded_directed(
+        (n, edges) in edges_strategy(44, 140),
+        threshold in 0usize..12,
+    ) {
+        let g = Graph::directed_from_edges(
+            n as usize,
+            &edges.iter().copied().filter(|&(u, v)| u != v).collect::<Vec<_>>(),
+        );
+        let d = decompose(&g, &PartitionOptions { merge_threshold: threshold, ..Default::default() });
+        d.validate(&g).unwrap();
+        let comps = connected_components(&g);
+        for sg in &d.subgraphs {
+            let (alpha, beta) = blocked_bfs_alpha_beta(&g, sg);
+            prop_assert_eq!(&sg.alpha, &alpha, "SG{} α", sg.id);
+            prop_assert_eq!(&sg.beta, &beta, "SG{} β", sg.id);
+            let comp = comps.comp[sg.globals[0] as usize];
+            let outside = comps.sizes[comp as usize] as u64 - sg.num_vertices() as u64;
+            prop_assert!(sg.alpha.iter().sum::<u64>() <= outside, "SG{} Σα", sg.id);
+            prop_assert!(sg.beta.iter().sum::<u64>() <= outside, "SG{} Σβ", sg.id);
+        }
+    }
+
+    /// γ mass: every sub-graph's γ vector matches a naive recount of whisker
+    /// hosts, and the total γ mass equals the whisker count.
+    #[test]
+    fn gamma_matches_naive_recount(
+        (n, edges) in edges_strategy(56, 120),
+        threshold in 0usize..16,
+        directed in proptest::bool::ANY,
+    ) {
+        let g = if directed {
+            Graph::directed_from_edges(
+                n as usize,
+                &edges.iter().copied().filter(|&(u, v)| u != v).collect::<Vec<_>>(),
+            )
+        } else {
+            Graph::undirected_from_edges(n as usize, &edges)
+        };
+        let d = decompose(&g, &PartitionOptions { merge_threshold: threshold, ..Default::default() });
+        for sg in &d.subgraphs {
+            let recount = naive_gamma(sg, directed);
+            prop_assert_eq!(&recount, &sg.gamma, "SG{} γ recount", sg.id);
+            let whiskers = sg.is_whisker.iter().filter(|&&w| w).count() as u64;
+            prop_assert_eq!(sg.gamma.iter().map(|&x| x as u64).sum::<u64>(), whiskers);
+        }
+    }
+
+    /// Whisker-heavy generators: trees maximize articulation structure, so
+    /// run the conservation laws where they bite hardest.
+    #[test]
+    fn conservation_on_trees(n in 3usize..64, seed in 0u64..4000, threshold in 0usize..10) {
+        let g = generators::random_tree(n, seed);
+        let d = decompose(&g, &PartitionOptions { merge_threshold: threshold, ..Default::default() });
+        d.validate(&g).unwrap();
+        let nv = g.num_vertices() as u64;
+        for sg in &d.subgraphs {
+            let covered = sg.num_vertices() as u64 + sg.alpha.iter().sum::<u64>();
+            prop_assert_eq!(covered, nv, "SG{}", sg.id);
+            let recount = naive_gamma(sg, false);
+            prop_assert_eq!(&recount, &sg.gamma, "SG{} γ", sg.id);
+        }
+    }
+}

@@ -133,11 +133,7 @@ mod tests {
 
     #[test]
     fn dedup_directed() {
-        let g = GraphBuilder::directed()
-            .add_edge(0, 1)
-            .add_edge(0, 1)
-            .add_edge(1, 0)
-            .build();
+        let g = GraphBuilder::directed().add_edge(0, 1).add_edge(0, 1).add_edge(1, 0).build();
         assert_eq!(g.num_edges(), 2);
     }
 
@@ -149,11 +145,7 @@ mod tests {
 
     #[test]
     fn self_loops_kept_when_asked_directed() {
-        let g = GraphBuilder::directed()
-            .keep_self_loops()
-            .add_edge(0, 0)
-            .add_edge(0, 1)
-            .build();
+        let g = GraphBuilder::directed().keep_self_loops().add_edge(0, 0).add_edge(0, 1).build();
         assert_eq!(g.num_edges(), 2);
         assert_eq!(g.out_neighbors(0), &[0, 1]);
     }
@@ -174,11 +166,7 @@ mod tests {
 
     #[test]
     fn keep_duplicates_undirected() {
-        let g = GraphBuilder::undirected()
-            .keep_duplicates()
-            .add_edge(0, 1)
-            .add_edge(0, 1)
-            .build();
+        let g = GraphBuilder::undirected().keep_duplicates().add_edge(0, 1).add_edge(0, 1).build();
         assert_eq!(g.num_arcs(), 4);
     }
 }

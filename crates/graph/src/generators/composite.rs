@@ -62,12 +62,7 @@ pub fn attach_whiskers(g: &Graph, count: usize, preferential: bool, seed: u64) -
 /// directed graphs: "no incoming edges and a single outgoing edge"), plus —
 /// when `sink_fraction > 0` — a share of sink whiskers (`host -> u`) so the
 /// reverse structure is exercised too.
-pub fn attach_directed_whiskers(
-    g: &Graph,
-    count: usize,
-    sink_fraction: f64,
-    seed: u64,
-) -> Graph {
+pub fn attach_directed_whiskers(g: &Graph, count: usize, sink_fraction: f64, seed: u64) -> Graph {
     assert!(g.is_directed(), "use attach_whiskers for undirected graphs");
     assert!(g.num_vertices() > 0);
     let mut rng = StdRng::seed_from_u64(seed);
@@ -156,16 +151,11 @@ pub fn shuffle_labels(g: &Graph, seed: u64) -> Graph {
     let mut perm: Vec<VertexId> = (0..n as VertexId).collect();
     perm.shuffle(&mut rng);
     if g.is_directed() {
-        let edges: Vec<_> = g
-            .arcs()
-            .map(|(u, v)| (perm[u as usize], perm[v as usize]))
-            .collect();
+        let edges: Vec<_> = g.arcs().map(|(u, v)| (perm[u as usize], perm[v as usize])).collect();
         Graph::directed_from_edges(n, &edges)
     } else {
-        let edges: Vec<_> = g
-            .undirected_edges()
-            .map(|(u, v)| (perm[u as usize], perm[v as usize]))
-            .collect();
+        let edges: Vec<_> =
+            g.undirected_edges().map(|(u, v)| (perm[u as usize], perm[v as usize])).collect();
         Graph::undirected_from_edges(n, &edges)
     }
 }
@@ -255,10 +245,7 @@ mod tests {
         let core = complete(8);
         let g = bridge_communities(
             &core,
-            &[
-                CommunitySpec { size: 6, edges: 9 },
-                CommunitySpec { size: 4, edges: 5 },
-            ],
+            &[CommunitySpec { size: 6, edges: 9 }, CommunitySpec { size: 4, edges: 5 }],
             7,
         );
         assert_eq!(g.num_vertices(), 18);

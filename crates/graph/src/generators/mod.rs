@@ -16,15 +16,13 @@ mod composite;
 mod random;
 mod small_world;
 
-pub use classic::{
-    binary_tree, complete, cycle, grid2d, grid2d_perforated, lollipop, path, star,
-};
+pub use classic::{binary_tree, complete, cycle, grid2d, grid2d_perforated, lollipop, path, star};
 pub use composite::{
-    attach_directed_whiskers, attach_whiskers, bridge_communities, disjoint_union,
-    shuffle_labels, whiskered_community, CommunitySpec, WhiskeredCommunityParams,
+    attach_directed_whiskers, attach_whiskers, bridge_communities, disjoint_union, shuffle_labels,
+    whiskered_community, CommunitySpec, WhiskeredCommunityParams,
 };
 pub use random::{
-    barabasi_albert, erdos_renyi_directed, erdos_renyi_undirected, gnm_directed,
-    gnm_undirected, random_tree, rmat_directed, rmat_undirected,
+    barabasi_albert, erdos_renyi_directed, erdos_renyi_undirected, gnm_directed, gnm_undirected,
+    random_tree, rmat_directed, rmat_undirected,
 };
 pub use small_world::{planted_block_of, planted_partition, watts_strogatz};

@@ -66,7 +66,10 @@ impl Graph {
         {
             if fwd.num_vertices() <= 4096 {
                 for (u, v) in fwd.edges() {
-                    debug_assert!(fwd.has_edge(v, u), "CSR not symmetric: {u}->{v} present, {v}->{u} missing");
+                    debug_assert!(
+                        fwd.has_edge(v, u),
+                        "CSR not symmetric: {u}->{v} present, {v}->{u} missing"
+                    );
                 }
             }
         }

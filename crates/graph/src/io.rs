@@ -79,7 +79,13 @@ pub fn read_edge_list_file(path: impl AsRef<Path>, directed: bool) -> Result<Gra
 /// Writes a SNAP-style edge list (arcs for directed graphs, one line per
 /// undirected edge otherwise).
 pub fn write_edge_list<W: Write>(g: &Graph, mut w: W) -> std::io::Result<()> {
-    writeln!(w, "# {} vertices, {} edges, directed={}", g.num_vertices(), g.num_edges(), g.is_directed())?;
+    writeln!(
+        w,
+        "# {} vertices, {} edges, directed={}",
+        g.num_vertices(),
+        g.num_edges(),
+        g.is_directed()
+    )?;
     if g.is_directed() {
         for (u, v) in g.arcs() {
             writeln!(w, "{u} {v}")?;
@@ -196,9 +202,8 @@ pub fn read_metis<R: Read>(reader: R) -> Result<Graph, IoError> {
             return Err(parse_err(idx + 1, "more vertex lines than the header declared"));
         }
         for tok in t.split_whitespace() {
-            let nb: usize = tok
-                .parse()
-                .map_err(|e| parse_err(idx + 1, format!("bad neighbour: {e}")))?;
+            let nb: usize =
+                tok.parse().map_err(|e| parse_err(idx + 1, format!("bad neighbour: {e}")))?;
             if nb == 0 || nb > n {
                 return Err(parse_err(idx + 1, format!("neighbour {nb} out of range 1..={n}")));
             }

@@ -19,6 +19,9 @@
 //! below the 4-billion-vertex mark and the narrower id type halves the memory
 //! traffic of every traversal (see the CSR layout notes in `csr`).
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod builder;
 pub mod connectivity;
 pub mod csr;

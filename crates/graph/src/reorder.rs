@@ -37,10 +37,8 @@ impl Permutation {
         let n = g.num_vertices();
         assert_eq!(n, self.new_of.len());
         if g.is_directed() {
-            let edges: Vec<_> = g
-                .arcs()
-                .map(|(u, v)| (self.new_of[u as usize], self.new_of[v as usize]))
-                .collect();
+            let edges: Vec<_> =
+                g.arcs().map(|(u, v)| (self.new_of[u as usize], self.new_of[v as usize])).collect();
             Graph::directed_from_edges(n, &edges)
         } else {
             let edges: Vec<_> = g

@@ -33,11 +33,7 @@ pub fn graph_stats(g: &Graph) -> GraphStats {
     for v in g.vertices() {
         let d = g.out_degree(v);
         max_degree = max_degree.max(d);
-        let is_whisker = if g.is_directed() {
-            g.in_degree(v) == 0 && d == 1
-        } else {
-            d == 1
-        };
+        let is_whisker = if g.is_directed() { g.in_degree(v) == 0 && d == 1 } else { d == 1 };
         if is_whisker {
             whiskers += 1;
         }

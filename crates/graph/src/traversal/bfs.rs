@@ -43,11 +43,7 @@ pub fn bfs_distances_into(csr: &Csr, src: VertexId, dist: &mut [u32]) -> usize {
 /// This is exactly the primitive the paper's α/β computation needs: "the
 /// number of vertices which `a` can reach without passing through `SGi`"
 /// (§4, step 2).
-pub fn reachable_count(
-    csr: &Csr,
-    src: VertexId,
-    mut blocked: impl FnMut(VertexId) -> bool,
-) -> u64 {
+pub fn reachable_count(csr: &Csr, src: VertexId, mut blocked: impl FnMut(VertexId) -> bool) -> u64 {
     let n = csr.num_vertices();
     let mut visited = vec![false; n];
     let mut queue = VecDeque::new();

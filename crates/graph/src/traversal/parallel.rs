@@ -28,7 +28,12 @@ pub fn parallel_bfs_distances(csr: &Csr, src: VertexId) -> Vec<u32> {
             .flat_map_iter(|&u| {
                 csr.neighbors(u).iter().copied().filter(|&v| {
                     dist[v as usize]
-                        .compare_exchange(UNREACHED, next_level, Ordering::Relaxed, Ordering::Relaxed)
+                        .compare_exchange(
+                            UNREACHED,
+                            next_level,
+                            Ordering::Relaxed,
+                            Ordering::Relaxed,
+                        )
                         .is_ok()
                 })
             })

@@ -223,8 +223,7 @@ mod tests {
             let dag = dijkstra_sssp(g.csr(), wg.fwd_weights(), s);
             let bfs = bfs_distances(g.csr(), s);
             for v in 0..60 {
-                let want =
-                    if bfs[v] == UNREACHED { WUNREACHED } else { bfs[v] as u64 };
+                let want = if bfs[v] == UNREACHED { WUNREACHED } else { bfs[v] as u64 };
                 assert_eq!(dag.dist[v], want, "src {s} v {v}");
             }
         }

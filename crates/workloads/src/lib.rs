@@ -12,6 +12,8 @@
 //! Every builder is seeded and pure: the same `(name, scale)` always returns
 //! the same graph.
 
+#![forbid(unsafe_code)]
+
 pub mod paper_examples;
 mod road;
 mod social;

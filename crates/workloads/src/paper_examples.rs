@@ -90,8 +90,7 @@ mod tests {
     #[test]
     fn fig3_articulation_points() {
         let d = decompose(&paper_fig3(), &PartitionOptions::default());
-        let arts: Vec<u32> =
-            (0..13).filter(|&v| d.is_articulation[v as usize]).collect();
+        let arts: Vec<u32> = (0..13).filter(|&v| d.is_articulation[v as usize]).collect();
         assert_eq!(arts, vec![2, 3, 6]);
     }
 
@@ -100,27 +99,22 @@ mod tests {
         let g = paper_fig3();
         // blue SD6: from 6, within {middle ∪ blob}: {2,5,3,4,12,10}
         let dist = apgre_graph::traversal::bfs_distances(g.csr(), 6);
-        let reached: Vec<u32> = (0..13)
-            .filter(|&v| v != 6 && dist[v as usize] != apgre_graph::UNREACHED)
-            .collect();
+        let reached: Vec<u32> =
+            (0..13).filter(|&v| v != 6 && dist[v as usize] != apgre_graph::UNREACHED).collect();
         assert_eq!(reached, vec![2, 3, 4, 5, 7, 8, 9, 10, 12]); // blue ∪ brown
-        // vertex 11 appears in no DAG except its own.
+                                                                // vertex 11 appears in no DAG except its own.
         assert_eq!(g.in_degree(11), 0);
         // green SD3 ∪ pink SD3: from 3 reaches everything except 0, 1, 11.
         let dist = apgre_graph::traversal::bfs_distances(g.csr(), 3);
-        let reached: Vec<u32> = (0..13)
-            .filter(|&v| v != 3 && dist[v as usize] != apgre_graph::UNREACHED)
-            .collect();
+        let reached: Vec<u32> =
+            (0..13).filter(|&v| v != 3 && dist[v as usize] != apgre_graph::UNREACHED).collect();
         assert_eq!(reached, vec![2, 4, 5, 6, 7, 8, 9, 10, 12]);
     }
 
     #[test]
     fn fig3_gamma_and_alpha_beta() {
         let g = paper_fig3();
-        let d = decompose(
-            &g,
-            &PartitionOptions { merge_threshold: 3, ..Default::default() },
-        );
+        let d = decompose(&g, &PartitionOptions { merge_threshold: 3, ..Default::default() });
         d.validate(&g).unwrap();
         assert_eq!(d.num_subgraphs(), 3);
         let middle = d.subgraphs.iter().find(|sg| sg.contains(4)).unwrap();
@@ -143,12 +137,7 @@ mod tests {
         let want = bc_serial(&g);
         let got = bc_apgre(&g);
         for v in 0..13 {
-            assert!(
-                (got[v] - want[v]).abs() < 1e-9,
-                "vertex {v}: {} vs {}",
-                got[v],
-                want[v]
-            );
+            assert!((got[v] - want[v]).abs() < 1e-9, "vertex {v}: {} vs {}", got[v], want[v]);
         }
     }
 

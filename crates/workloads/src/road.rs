@@ -7,7 +7,9 @@
 //! (Figure 7); a perforated grid with a whisker fringe reproduces both knobs.
 
 use crate::Scale;
-use apgre_graph::generators::{attach_whiskers, bridge_communities, grid2d_perforated, CommunitySpec};
+use apgre_graph::generators::{
+    attach_whiskers, bridge_communities, grid2d_perforated, CommunitySpec,
+};
 use apgre_graph::Graph;
 
 fn dims(scale: Scale, aspect: f64) -> (usize, usize) {
@@ -44,9 +46,8 @@ pub(crate) fn road_bay_like(scale: Scale) -> Graph {
 /// Attaches small dead-end neighbourhoods (short loops of roads reachable
 /// through a single junction) totalling ~`budget` vertices.
 fn cul_de_sacs(g: &Graph, budget: usize, seed: u64) -> Graph {
-    let specs: Vec<CommunitySpec> = (0..budget / 8)
-        .map(|_| CommunitySpec { size: 8, edges: 9 })
-        .collect();
+    let specs: Vec<CommunitySpec> =
+        (0..budget / 8).map(|_| CommunitySpec { size: 8, edges: 9 }).collect();
     bridge_communities(g, &specs, seed)
 }
 

@@ -12,8 +12,7 @@
 
 use crate::Scale;
 use apgre_graph::generators::{
-    attach_directed_whiskers, attach_whiskers, barabasi_albert, bridge_communities,
-    CommunitySpec,
+    attach_directed_whiskers, attach_whiskers, barabasi_albert, bridge_communities, CommunitySpec,
 };
 use apgre_graph::{Graph, VertexId};
 use rand::rngs::StdRng;
@@ -65,10 +64,7 @@ fn skeleton(n: usize, mix: &SocialMix) -> Graph {
             let lo = (comm_size / 2).max(1);
             let hi = (comm_size * 3 / 2).max(lo + 1);
             let size = rng.gen_range(lo..hi);
-            CommunitySpec {
-                size,
-                edges: ((size as f64) * mix.community_density).round() as usize,
-            }
+            CommunitySpec { size, edges: ((size as f64) * mix.community_density).round() as usize }
         })
         .collect();
     bridge_communities(&core, &specs, mix.seed.wrapping_add(1))
@@ -201,10 +197,7 @@ pub(crate) fn dblp_like(scale: Scale) -> Graph {
     let mut edges: Vec<(VertexId, VertexId)> = core1.undirected_edges().collect();
     edges.extend(core2.undirected_edges().map(|(u, v)| (u + off, v + off)));
     edges.push((0, off)); // the single bridge: both endpoints articulate
-    let merged = Graph::undirected_from_edges(
-        core1.num_vertices() + core2.num_vertices(),
-        &edges,
-    );
+    let merged = Graph::undirected_from_edges(core1.num_vertices() + core2.num_vertices(), &edges);
     let mut rng = StdRng::seed_from_u64(seed + 2);
     let comm_count = (n as f64 * 0.15) as usize / 10;
     let specs: Vec<CommunitySpec> = (0..comm_count.max(1))

@@ -1,0 +1,216 @@
+//! A minimal Rust source scrubber for the lint pass.
+//!
+//! [`scrub`] blanks out the *contents* of comments, string literals, and char
+//! literals while preserving every newline, so rules can pattern-match the
+//! remaining code text with line numbers intact and without tripping on
+//! `// mentions of std::sync::atomic in prose` or string payloads. This is a
+//! lexer, not a parser: it understands nesting block comments, raw/byte
+//! strings with `#` fences, escapes, and the char-literal/lifetime ambiguity,
+//! which is all the rules need.
+
+/// Returns `src` with comment and literal contents replaced by spaces
+/// (newlines kept). Code outside literals is byte-identical.
+pub fn scrub(src: &str) -> String {
+    let b = src.as_bytes();
+    let mut out = Vec::with_capacity(b.len());
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] {
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                while i < b.len() && b[i] != b'\n' {
+                    out.push(b' ');
+                    i += 1;
+                }
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                let mut depth = 0usize;
+                while i < b.len() {
+                    if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        out.extend_from_slice(b"  ");
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        out.extend_from_slice(b"  ");
+                        i += 2;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else {
+                        out.push(blank(b[i]));
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => {
+                out.push(b'"');
+                i += 1;
+                scrub_string(b, &mut i, &mut out, 0);
+            }
+            c @ (b'r' | b'b') if !prev_is_ident(b, i) => {
+                if let Some((hashes, start)) = raw_string_prefix(b, i) {
+                    for _ in i..start {
+                        out.push(b' ');
+                    }
+                    out.push(b'"');
+                    i = start + 1;
+                    scrub_string(b, &mut i, &mut out, hashes);
+                } else if c == b'b' && b.get(i + 1) == Some(&b'"') {
+                    out.extend_from_slice(b" \"");
+                    i += 2;
+                    scrub_string(b, &mut i, &mut out, 0);
+                } else if c == b'b' && b.get(i + 1) == Some(&b'\'') {
+                    out.extend_from_slice(b" '");
+                    i += 2;
+                    scrub_char(b, &mut i, &mut out);
+                } else {
+                    out.push(c);
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                // Char literal or lifetime? `'\…'` and `'x'` are literals; a
+                // non-ASCII byte after the quote means a multibyte char
+                // literal. Anything else (`'a>`, `'static`) is a lifetime and
+                // only the quote itself is consumed.
+                if b.get(i + 1) == Some(&b'\\')
+                    || b.get(i + 2) == Some(&b'\'')
+                    || b.get(i + 1).is_some_and(|c| !c.is_ascii())
+                {
+                    out.push(b'\'');
+                    i += 1;
+                    scrub_char(b, &mut i, &mut out);
+                } else {
+                    out.push(b'\'');
+                    i += 1;
+                }
+            }
+            c => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    // Only ASCII substitutions were made; code bytes are copied verbatim.
+    String::from_utf8(out).expect("scrub preserves UTF-8 validity")
+}
+
+fn blank(c: u8) -> u8 {
+    if c == b'\n' {
+        b'\n'
+    } else {
+        b' '
+    }
+}
+
+fn prev_is_ident(b: &[u8], i: usize) -> bool {
+    i > 0 && (b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_')
+}
+
+/// If `b[i..]` starts a raw (byte) string (`r"`, `r#"`, `br##"` …), returns
+/// `(hash_count, index_of_opening_quote)`.
+fn raw_string_prefix(b: &[u8], i: usize) -> Option<(usize, usize)> {
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    if b.get(j) != Some(&b'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0;
+    while b.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    (b.get(j) == Some(&b'"')).then_some((hashes, j))
+}
+
+/// Blanks a string body starting just past the opening quote; `hashes` is the
+/// raw-string fence width (0 = normal string with escapes).
+fn scrub_string(b: &[u8], i: &mut usize, out: &mut Vec<u8>, hashes: usize) {
+    while *i < b.len() {
+        if hashes == 0 && b[*i] == b'\\' {
+            out.push(b' ');
+            *i += 1;
+            if *i < b.len() {
+                out.push(blank(b[*i]));
+                *i += 1;
+            }
+        } else if b[*i] == b'"' && (0..hashes).all(|k| b.get(*i + 1 + k) == Some(&b'#')) {
+            out.push(b'"');
+            *i += 1;
+            for _ in 0..hashes {
+                out.push(b' ');
+                *i += 1;
+            }
+            return;
+        } else {
+            out.push(blank(b[*i]));
+            *i += 1;
+        }
+    }
+}
+
+/// Blanks a char-literal body starting just past the opening quote.
+fn scrub_char(b: &[u8], i: &mut usize, out: &mut Vec<u8>) {
+    while *i < b.len() {
+        if b[*i] == b'\\' {
+            out.push(b' ');
+            *i += 1;
+            if *i < b.len() {
+                out.push(b' ');
+                *i += 1;
+            }
+        } else if b[*i] == b'\'' {
+            out.push(b'\'');
+            *i += 1;
+            return;
+        } else {
+            out.push(blank(b[*i]));
+            *i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::scrub;
+
+    #[test]
+    fn line_comments_are_blanked_and_lines_preserved() {
+        let s = scrub("let x = 1; // std::sync::atomic\nlet y = 2;\n");
+        assert!(!s.contains("atomic"));
+        assert!(s.contains("let x = 1;"));
+        assert_eq!(s.matches('\n').count(), 2);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let s = scrub("a /* one /* two */ SeqCst */ b");
+        assert!(!s.contains("SeqCst"));
+        assert!(s.starts_with('a') && s.ends_with('b'));
+    }
+
+    #[test]
+    fn strings_and_raw_strings_are_blanked() {
+        let s = scrub(r##"let m = "SeqCst"; let r = r#"AcqRel "quoted""#; code();"##);
+        assert!(!s.contains("SeqCst") && !s.contains("AcqRel"));
+        assert!(s.contains("code();"));
+    }
+
+    #[test]
+    fn escaped_quote_does_not_end_string() {
+        let s = scrub(r#"f("a\"SeqCst"); g();"#);
+        assert!(!s.contains("SeqCst"));
+        assert!(s.contains("g();"));
+    }
+
+    #[test]
+    fn lifetimes_survive_char_literals_do_not() {
+        let s = scrub("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert!(s.contains("<'a>") && s.contains("&'a str"));
+        assert!(!s.contains('x') || !s.contains("'x'"));
+        assert_eq!(s.matches('\n').count(), 0, "escaped newline char must be blanked");
+    }
+}

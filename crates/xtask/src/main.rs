@@ -1,0 +1,135 @@
+//! `cargo xtask` — workspace automation for the APGRE repo.
+//!
+//! Subcommands:
+//!
+//! * `lint`  — the domain lint pass (see [`rules`]): sync-facade discipline,
+//!   memory-ordering creep, unsynchronized parallel accumulation, and
+//!   serial-oracle test coverage for every public BC kernel.
+//! * `check` — `lint` followed by `cargo check --workspace --all-targets`.
+//! * `ci`    — the full local gate: `lint`, `fmt --check`, `clippy -D
+//!   warnings`, default tests, and `--features invariants` tests. Mirrors
+//!   `.github/workflows/ci.yml`.
+//!
+//! The crate is dependency-free on purpose: the lint pass must build and run
+//! even when the registry is unreachable.
+
+#![forbid(unsafe_code)]
+
+mod lexer;
+mod rules;
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, ExitCode};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let root = workspace_root();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(&root),
+        Some("check") => {
+            let code = lint(&root);
+            if code != ExitCode::SUCCESS {
+                return code;
+            }
+            cargo(&root, &["check", "--workspace", "--all-targets"])
+        }
+        Some("ci") => {
+            let code = lint(&root);
+            if code != ExitCode::SUCCESS {
+                return code;
+            }
+            for step in [
+                vec!["fmt", "--all", "--", "--check"],
+                vec!["clippy", "--workspace", "--all-targets", "--", "-D", "warnings"],
+                vec!["test", "--workspace", "--quiet"],
+                vec!["test", "-p", "apgre", "--features", "invariants", "--quiet"],
+            ] {
+                let code = cargo(&root, &step);
+                if code != ExitCode::SUCCESS {
+                    return code;
+                }
+            }
+            eprintln!("xtask ci: all gates passed");
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!("usage: cargo xtask <lint|check|ci>");
+            eprintln!("  lint   run the domain lint pass over the workspace");
+            eprintln!("  check  lint + cargo check --workspace --all-targets");
+            eprintln!("  ci     lint + fmt + clippy + tests (default and --features invariants)");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The workspace root: two levels up from this crate's manifest, with a
+/// current-directory fallback for odd invocation contexts.
+fn workspace_root() -> PathBuf {
+    let from_manifest = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    if from_manifest.join("Cargo.toml").is_file() {
+        return from_manifest;
+    }
+    std::env::current_dir().expect("cannot determine working directory")
+}
+
+fn lint(root: &Path) -> ExitCode {
+    let mut files = Vec::new();
+    collect_rs(root, root, &mut files);
+    files.sort();
+    let loaded: Vec<(PathBuf, String)> = files
+        .into_iter()
+        .filter_map(|p| match std::fs::read_to_string(root.join(&p)) {
+            Ok(src) => Some((p, src)),
+            Err(e) => {
+                // Never skip silently: an unreadable file is unlinted code.
+                eprintln!("xtask lint: warning: skipping {}: {e}", p.display());
+                None
+            }
+        })
+        .collect();
+    let violations = rules::lint_files(&loaded);
+    for v in &violations {
+        eprintln!("{v}");
+    }
+    if violations.is_empty() {
+        eprintln!("xtask lint: {} files clean", loaded.len());
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("xtask lint: {} violation(s)", violations.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// Recursively collects workspace-relative `.rs` paths, skipping build
+/// output, VCS metadata, and hidden directories.
+fn collect_rs(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs(root, &path, out);
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_path_buf());
+            }
+        }
+    }
+}
+
+fn cargo(root: &Path, args: &[&str]) -> ExitCode {
+    eprintln!("xtask: cargo {}", args.join(" "));
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+    match Command::new(cargo).args(args).current_dir(root).status() {
+        Ok(st) if st.success() => ExitCode::SUCCESS,
+        Ok(_) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("xtask: failed to spawn cargo: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

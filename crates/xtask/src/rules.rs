@@ -1,0 +1,420 @@
+//! The domain lint rules for the APGRE workspace.
+//!
+//! All rules operate on [`crate::lexer::scrub`]bed source, so prose in
+//! comments and string payloads never trips them. Paths are matched with `/`
+//! separators relative to the workspace root.
+//!
+//! | rule | what it bans |
+//! |------|--------------|
+//! | `raw-atomic-import` | `std::sync::atomic` / `core::sync::atomic` outside the `apgre-bc` sync facade (plus two grandfathered graph traversals) |
+//! | `ordering-creep` | `SeqCst` / `AcqRel` outside the facade — the kernels' correctness argument is written for `Relaxed` + fork-join edges, stronger orderings hide missing reasoning |
+//! | `naked-par-accum` | `slice[i] += …` inside a `par_iter`-family closure — unsynchronized accumulation into a shared slice; use `AtomicF64::fetch_add` (escape: `lint:allow(par_accum)`) |
+//! | `kernel-missing-serial-test` | a `pub fn bc_*` kernel in `crates/bc` with no test file comparing it against `bc_serial` |
+
+use crate::lexer::scrub;
+use std::fmt;
+use std::path::PathBuf;
+
+/// One lint finding, anchored to a file and 1-based line.
+pub struct Violation {
+    /// Workspace-relative path.
+    pub path: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule slug.
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.path.display(), self.line, self.rule, self.message)
+    }
+}
+
+/// Files whose raw-atomic use is sanctioned: the facade itself (it *is* the
+/// wrapper) and two pre-facade graph traversals, kept until the facade moves
+/// into a crate both sides can depend on (see ROADMAP "Open items").
+const ATOMIC_ALLOWLIST: &[&str] = &[
+    "crates/bc/src/sync/",
+    "crates/graph/src/traversal/parallel.rs",
+    "crates/graph/src/traversal/direction_optimizing.rs",
+];
+
+/// `SeqCst` is additionally allowed only inside the facade: the model
+/// checker's passthrough atomics are deliberately sequentially consistent.
+const ORDERING_ALLOWLIST: &[&str] = &["crates/bc/src/sync/"];
+
+/// Serial-oracle kernels themselves are exempt from rule R4.
+const SERIAL_PREFIX: &str = "bc_serial";
+
+/// Runs every rule over the given `(workspace-relative path, contents)`
+/// pairs and returns all findings, ordered by path then line.
+pub fn lint_files(files: &[(PathBuf, String)]) -> Vec<Violation> {
+    let scrubbed: Vec<(String, String)> =
+        files.iter().map(|(p, src)| (unix_path(p), scrub(src))).collect();
+    let mut out = Vec::new();
+    for ((path, src), (upath, code)) in files.iter().zip(&scrubbed) {
+        if !upath.ends_with(".rs") {
+            continue;
+        }
+        check_raw_atomic_imports(path, upath, code, &mut out);
+        check_ordering_creep(path, upath, code, &mut out);
+        check_par_accumulation(path, src, code, &mut out);
+    }
+    check_kernel_serial_tests(files, &scrubbed, &mut out);
+    out.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    out
+}
+
+fn unix_path(p: &std::path::Path) -> String {
+    p.components().map(|c| c.as_os_str().to_string_lossy()).collect::<Vec<_>>().join("/")
+}
+
+fn allowed(upath: &str, allowlist: &[&str]) -> bool {
+    allowlist.iter().any(|a| {
+        if a.ends_with('/') {
+            upath.contains(a) || upath.starts_with(a.trim_end_matches('/'))
+        } else {
+            upath.ends_with(a)
+        }
+    })
+}
+
+/// R1: the sync facade is the only sanctioned door to raw atomics.
+fn check_raw_atomic_imports(
+    path: &std::path::Path,
+    upath: &str,
+    code: &str,
+    out: &mut Vec<Violation>,
+) {
+    if allowed(upath, ATOMIC_ALLOWLIST) {
+        return;
+    }
+    for (ln, line) in code.lines().enumerate() {
+        if line.contains("std::sync::atomic") || line.contains("core::sync::atomic") {
+            out.push(Violation {
+                path: path.to_path_buf(),
+                line: ln + 1,
+                rule: "raw-atomic-import",
+                message: "raw atomic path outside the sync facade; use \
+                          `crate::sync` (or `apgre_bc::sync`) so `cfg(loom)` \
+                          model checking covers this code"
+                    .into(),
+            });
+        }
+    }
+}
+
+/// R2: the kernels' memory-ordering argument is written for `Relaxed` plus
+/// fork-join edges; `SeqCst`/`AcqRel` creep papers over missing reasoning.
+fn check_ordering_creep(path: &std::path::Path, upath: &str, code: &str, out: &mut Vec<Violation>) {
+    if allowed(upath, ORDERING_ALLOWLIST) {
+        return;
+    }
+    for (ln, line) in code.lines().enumerate() {
+        for ord in ["SeqCst", "AcqRel"] {
+            if word_contains(line, ord) {
+                out.push(Violation {
+                    path: path.to_path_buf(),
+                    line: ln + 1,
+                    rule: "ordering-creep",
+                    message: format!(
+                        "`{ord}` outside the sync facade; the kernels justify \
+                         `Relaxed` (see crates/bc/src/sync/mod.rs) — document \
+                         a new ordering argument there instead of escalating"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+const PAR_ENTRYPOINTS: &[&str] =
+    &["into_par_iter", "par_iter_mut", "par_iter", "par_chunks_mut", "par_chunks", "par_bridge"];
+
+/// R3: `slice[i] += …` inside a parallel-iterator closure is an
+/// unsynchronized read-modify-write on a shared slice.
+fn check_par_accumulation(path: &std::path::Path, src: &str, code: &str, out: &mut Vec<Violation>) {
+    let original: Vec<&str> = src.lines().collect();
+    let mut flagged = Vec::new();
+    for region in par_regions(code) {
+        for (ln, line) in code[region.clone()].lines().enumerate() {
+            let abs = code[..region.start].matches('\n').count() + ln;
+            if flagged.contains(&abs) {
+                continue;
+            }
+            if has_indexed_accum(line)
+                && !original.get(abs).is_some_and(|l| l.contains("lint:allow(par_accum)"))
+            {
+                flagged.push(abs);
+                out.push(Violation {
+                    path: path.to_path_buf(),
+                    line: abs + 1,
+                    rule: "naked-par-accum",
+                    message: "`[..] +=` inside a parallel iterator closure is \
+                              an unsynchronized accumulation; use \
+                              `AtomicF64::fetch_add` (or mark the line \
+                              `lint:allow(par_accum)` with a justification)"
+                        .into(),
+                });
+            }
+        }
+    }
+}
+
+/// Byte ranges of `par_iter`-family call chains: from each entry point to the
+/// close of the first brace block opened after it (the closure body, for the
+/// dominant `.par_iter().for_each(|x| { … })` shape).
+fn par_regions(code: &str) -> Vec<std::ops::Range<usize>> {
+    let mut regions: Vec<std::ops::Range<usize>> = Vec::new();
+    for entry in PAR_ENTRYPOINTS {
+        let mut from = 0;
+        while let Some(off) = code[from..].find(entry) {
+            let start = from + off;
+            from = start + entry.len();
+            if regions.iter().any(|r| r.contains(&start)) {
+                continue;
+            }
+            let bytes = code.as_bytes();
+            let mut depth = 0usize;
+            let mut opened = false;
+            let mut end = code.len();
+            for (k, &c) in bytes.iter().enumerate().skip(start) {
+                match c {
+                    b'{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    b'}' if opened => {
+                        depth -= 1;
+                        if depth == 0 {
+                            end = k + 1;
+                            break;
+                        }
+                    }
+                    // Statement or enclosing block ended before any closure
+                    // brace: a braceless chain like `.par_iter().sum()`.
+                    b';' | b'}' if !opened => {
+                        end = k + 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            regions.push(start..end);
+        }
+    }
+    regions
+}
+
+fn has_indexed_accum(line: &str) -> bool {
+    line.find("+=").is_some_and(|p| line[..p].trim_end().ends_with(']'))
+}
+
+/// R4: every public `bc_*` kernel must be pinned against the serial oracle.
+fn check_kernel_serial_tests(
+    files: &[(PathBuf, String)],
+    scrubbed: &[(String, String)],
+    out: &mut Vec<Violation>,
+) {
+    let mut kernels: Vec<(PathBuf, usize, String)> = Vec::new();
+    for ((path, _), (upath, code)) in files.iter().zip(scrubbed) {
+        if !upath.contains("crates/bc/src") {
+            continue;
+        }
+        for (ln, line) in code.lines().enumerate() {
+            if let Some(name) = pub_bc_fn(line) {
+                if !name.starts_with(SERIAL_PREFIX) {
+                    kernels.push((path.clone(), ln + 1, name));
+                }
+            }
+        }
+    }
+    for (path, line, name) in kernels {
+        let covered = scrubbed.iter().any(|(upath, code)| {
+            let test_bearing = upath.contains("/tests/") || code.contains("#[test]");
+            test_bearing
+                && word_contains(code, &name)
+                && (word_contains(code, "matches_serial") || word_contains(code, SERIAL_PREFIX))
+        });
+        if !covered {
+            out.push(Violation {
+                path,
+                line,
+                rule: "kernel-missing-serial-test",
+                message: format!(
+                    "public kernel `{name}` has no test comparing it against \
+                     the serial oracle (`matches_serial` / `bc_serial`)"
+                ),
+            });
+        }
+    }
+}
+
+/// Extracts `name` from a `pub fn bc_name(` line (scrubbed source).
+fn pub_bc_fn(line: &str) -> Option<String> {
+    let rest = line.trim_start().strip_prefix("pub fn ")?;
+    let name: String =
+        rest.chars().take_while(|c| c.is_ascii_alphanumeric() || *c == '_').collect();
+    name.starts_with("bc_").then_some(name)
+}
+
+/// Substring match with identifier boundaries on both sides.
+fn word_contains(haystack: &str, needle: &str) -> bool {
+    let mut from = 0;
+    while let Some(off) = haystack[from..].find(needle) {
+        let start = from + off;
+        let end = start + needle.len();
+        let pre = haystack[..start].chars().next_back();
+        let post = haystack[end..].chars().next();
+        let is_ident = |c: char| c.is_ascii_alphanumeric() || c == '_';
+        if !pre.is_some_and(is_ident) && !post.is_some_and(is_ident) {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(files: &[(&str, &str)]) -> Vec<Violation> {
+        let owned: Vec<(PathBuf, String)> =
+            files.iter().map(|(p, s)| (PathBuf::from(p), s.to_string())).collect();
+        lint_files(&owned)
+    }
+
+    fn rules(v: &[Violation]) -> Vec<&'static str> {
+        v.iter().map(|x| x.rule).collect()
+    }
+
+    #[test]
+    fn raw_atomic_import_is_flagged_outside_the_facade() {
+        let v = lint(&[(
+            "crates/bc/src/parallel/rogue.rs",
+            "use std::sync::atomic::{AtomicU32, Ordering};\n",
+        )]);
+        assert_eq!(rules(&v), ["raw-atomic-import"]);
+        assert_eq!(v[0].line, 1);
+    }
+
+    #[test]
+    fn facade_and_grandfathered_files_may_use_raw_atomics() {
+        let v = lint(&[
+            ("crates/bc/src/sync/mod.rs", "pub use core::sync::atomic::Ordering;\n"),
+            ("crates/graph/src/traversal/parallel.rs", "use std::sync::atomic::AtomicU32;\n"),
+        ]);
+        assert!(v.is_empty(), "{v:?}", v = rules(&v));
+    }
+
+    #[test]
+    fn atomic_mention_in_comment_or_string_is_ignored() {
+        let v = lint(&[(
+            "crates/bc/src/lib.rs",
+            "// use std::sync::atomic — banned, see facade\nlet m = \"std::sync::atomic\";\n",
+        )]);
+        assert!(v.is_empty(), "{v:?}", v = rules(&v));
+    }
+
+    #[test]
+    fn seqcst_and_acqrel_creep_are_flagged() {
+        let v = lint(&[(
+            "crates/bc/src/parallel/mod.rs",
+            "a.load(Ordering::SeqCst);\nb.store(1, Ordering::AcqRel);\n",
+        )]);
+        assert_eq!(rules(&v), ["ordering-creep", "ordering-creep"]);
+        assert_eq!((v[0].line, v[1].line), (1, 2));
+    }
+
+    #[test]
+    fn seqcst_inside_the_facade_is_allowed() {
+        let v = lint(&[(
+            "crates/bc/src/sync/model.rs",
+            "self.0.load(std_atomic::Ordering::SeqCst);\n",
+        )]);
+        assert!(v.is_empty(), "{v:?}", v = rules(&v));
+    }
+
+    #[test]
+    fn naked_accumulation_inside_par_iter_is_flagged() {
+        let src = "\
+fn score(bc: &mut [f64]) {
+    idx.par_iter().for_each(|&w| {
+        bc[w] += delta[w];
+    });
+}
+";
+        let v = lint(&[("crates/bc/src/parallel/rogue.rs", src)]);
+        assert_eq!(rules(&v), ["naked-par-accum"]);
+        assert_eq!(v[0].line, 3);
+    }
+
+    #[test]
+    fn par_accum_escape_hatch_and_serial_code_are_clean() {
+        let src = "\
+fn ok(bc: &mut [f64]) {
+    for w in 0..n {
+        bc[w] += delta[w];
+    }
+    idx.par_iter().for_each(|&w| {
+        sigma[w].fetch_add(1.0);
+        acc[w] += 1.0; // safe: disjoint per-thread rows; lint:allow(par_accum)
+    });
+}
+";
+        let v = lint(&[("crates/bc/src/parallel/fine.rs", src)]);
+        assert!(v.is_empty(), "{v:?}", v = rules(&v));
+    }
+
+    #[test]
+    fn kernel_without_serial_comparison_test_is_flagged() {
+        let v = lint(&[
+            (
+                "crates/bc/src/parallel/rogue.rs",
+                "pub fn bc_rogue(g: &Graph) -> Vec<f64> { vec![] }\n",
+            ),
+            (
+                "crates/bc/tests/other.rs",
+                "#[test]\nfn unrelated() { bc_lock_free(); matches_serial(); }\n",
+            ),
+        ]);
+        assert_eq!(rules(&v), ["kernel-missing-serial-test"]);
+        assert!(v[0].message.contains("bc_rogue"));
+    }
+
+    #[test]
+    fn kernel_with_matches_serial_coverage_is_clean() {
+        let v = lint(&[
+            (
+                "crates/bc/src/parallel/fine.rs",
+                "pub fn bc_fine(g: &Graph) -> Vec<f64> { vec![] }\n",
+            ),
+            (
+                "crates/bc/tests/kernels.rs",
+                "#[test]\nfn fine_matches() { matches_serial(bc_fine); }\n",
+            ),
+        ]);
+        assert!(v.is_empty(), "{v:?}", v = rules(&v));
+    }
+
+    #[test]
+    fn serial_oracle_itself_is_exempt_and_prefixes_do_not_leak() {
+        let v = lint(&[
+            (
+                "crates/bc/src/serial.rs",
+                "pub fn bc_serial(g: &Graph) -> Vec<f64> { vec![] }\n\
+                 pub fn bc_serial_pred(g: &Graph) -> Vec<f64> { vec![] }\n",
+            ),
+            // `bc_fine_grained` must not be satisfied by a test that only
+            // mentions `bc_fine` — word-boundary matching.
+            ("crates/bc/src/fine.rs", "pub fn bc_fine_grained(g: &Graph) -> Vec<f64> { vec![] }\n"),
+            ("crates/bc/tests/kernels.rs", "#[test]\nfn t() { matches_serial(bc_fine); }\n"),
+        ]);
+        assert_eq!(rules(&v), ["kernel-missing-serial-test"]);
+        assert!(v[0].message.contains("bc_fine_grained"));
+    }
+}

@@ -13,7 +13,11 @@ use std::time::Instant;
 
 fn main() {
     let g = get("email-enron-like").unwrap().graph(Scale::Small);
-    println!("workload: email-enron-like, {} vertices, {} edges\n", g.num_vertices(), g.num_edges());
+    println!(
+        "workload: email-enron-like, {} vertices, {} edges\n",
+        g.num_vertices(),
+        g.num_edges()
+    );
 
     let t = Instant::now();
     let exact = bc_serial(&g);

@@ -40,8 +40,7 @@ fn main() {
     let mut total = 0u64;
     for u in 0..n {
         for v in (u + 1)..n {
-            let same_truth =
-                planted_block_of(u as u32, block) == planted_block_of(v as u32, block);
+            let same_truth = planted_block_of(u as u32, block) == planted_block_of(v as u32, block);
             let same_found = labels[u] == labels[v];
             if same_truth == same_found {
                 agree += 1;

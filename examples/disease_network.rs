@@ -19,21 +19,32 @@ fn main() {
         "  {} vertices, {} edges, max degree {}, avg degree {:.2}",
         stats.vertices, stats.edges, stats.max_degree, stats.avg_degree
     );
-    println!("  degree-1 vertices: {} ({:.0}%)", stats.whisker_vertices,
-        100.0 * stats.whisker_vertices as f64 / stats.vertices as f64);
+    println!(
+        "  degree-1 vertices: {} ({:.0}%)",
+        stats.whisker_vertices,
+        100.0 * stats.whisker_vertices as f64 / stats.vertices as f64
+    );
 
     let decomp = decompose(&g, &PartitionOptions::default());
     let arts = decomp.is_articulation.iter().filter(|&&a| a).count();
     println!("\narticulation structure (the paper's §2.2 observation):");
-    println!("  {} articulation points ({:.0}% of vertices)", arts,
-        100.0 * arts as f64 / stats.vertices as f64);
-    println!("  {} biconnected components -> {} sub-graphs after merging",
-        decomp.num_bccs, decomp.num_subgraphs());
+    println!(
+        "  {} articulation points ({:.0}% of vertices)",
+        arts,
+        100.0 * arts as f64 / stats.vertices as f64
+    );
+    println!(
+        "  {} biconnected components -> {} sub-graphs after merging",
+        decomp.num_bccs,
+        decomp.num_subgraphs()
+    );
     let top = &decomp.subgraphs[decomp.top_subgraph];
-    println!("  top sub-graph: {} vertices ({:.0}%), {} edges",
+    println!(
+        "  top sub-graph: {} vertices ({:.0}%), {} edges",
         top.num_vertices(),
         100.0 * top.num_vertices() as f64 / stats.vertices as f64,
-        top.num_edges());
+        top.num_edges()
+    );
 
     let r = analyze_redundancy(&g, &decomp);
     println!("\nBrandes work breakdown on this graph (cf. Figure 7):");
@@ -48,8 +59,11 @@ fn main() {
         .zip(&reference)
         .map(|(a, b)| (a - b).abs() / (1.0 + b.abs()))
         .fold(0.0f64, f64::max);
-    println!("\nAPGRE: {} roots swept instead of {}, max rel. error {max_err:.1e}",
-        report.total_roots, g.num_vertices());
+    println!(
+        "\nAPGRE: {} roots swept instead of {}, max rel. error {max_err:.1e}",
+        report.total_roots,
+        g.num_vertices()
+    );
 
     let mut ranked: Vec<(usize, f64)> = scores.iter().copied().enumerate().collect();
     ranked.sort_by(|a, b| b.1.total_cmp(&a.1));

@@ -13,11 +13,7 @@ use std::time::Instant;
 
 fn main() {
     let g0 = get("email-enron-like").unwrap().graph(Scale::Small);
-    println!(
-        "base graph: {} vertices, {} edges",
-        g0.num_vertices(),
-        g0.num_edges()
-    );
+    println!("base graph: {} vertices, {} edges", g0.num_vertices(), g0.num_edges());
 
     let mut memo = MemoizedBc::new(PartitionOptions::default());
 

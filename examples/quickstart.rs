@@ -45,11 +45,7 @@ fn main() {
 
     // Exactness check against serial Brandes.
     let reference = bc_serial(&g);
-    let max_err = scores
-        .iter()
-        .zip(&reference)
-        .map(|(a, b)| (a - b).abs())
-        .fold(0.0f64, f64::max);
+    let max_err = scores.iter().zip(&reference).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
     println!("max |apgre - brandes| = {max_err:.2e}");
     assert!(max_err < 1e-9);
 

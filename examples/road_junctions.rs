@@ -38,11 +38,7 @@ fn main() {
                 reference = Some(scores.clone());
                 0.0
             }
-            Some(r) => scores
-                .iter()
-                .zip(r)
-                .map(|(a, b)| (a - b).abs())
-                .fold(0.0f64, f64::max),
+            Some(r) => scores.iter().zip(r).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max),
         };
         println!("{name:<14} {dt:>12.2?}  {err:.2e}");
     }
@@ -60,8 +56,5 @@ fn main() {
     // than social networks — compare the share of the top 1%.
     let total: f64 = scores.iter().sum();
     let top1pct: f64 = ranked.iter().take(scores.len() / 100 + 1).map(|&(_, s)| s).sum();
-    println!(
-        "\ntop 1% of junctions carry {:.1}% of total betweenness",
-        100.0 * top1pct / total
-    );
+    println!("\ntop 1% of junctions carry {:.1}% of total betweenness", 100.0 * top1pct / total);
 }

@@ -19,11 +19,8 @@ fn main() {
 
     // Decomposition first: the redundancy structure.
     let decomp = decompose(&g, &PartitionOptions::default());
-    let whiskers: usize = decomp
-        .subgraphs
-        .iter()
-        .map(|sg| sg.is_whisker.iter().filter(|&&w| w).count())
-        .sum();
+    let whiskers: usize =
+        decomp.subgraphs.iter().map(|sg| sg.is_whisker.iter().filter(|&&w| w).count()).sum();
     let arts = decomp.is_articulation.iter().filter(|&&a| a).count();
     println!(
         "decomposition: {} sub-graphs, {} articulation points, {} whiskers ({:.0}% of vertices)",

@@ -34,6 +34,8 @@
 //! * [`workloads`] — deterministic stand-ins for the paper's 12 evaluation
 //!   graphs ([`apgre_workloads`]).
 
+#![forbid(unsafe_code)]
+
 pub use apgre_bc as bc;
 pub use apgre_decomp as decomp;
 pub use apgre_graph as graph;

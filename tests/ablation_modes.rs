@@ -24,13 +24,17 @@ fn variants(g: &Graph, ctx: &str) {
         if unfold {
             d.unfold_whiskers();
         }
-        d.validate(g).unwrap_or_else(|e| panic!("{ctx} merge_all={merge_all} unfold={unfold}: {e}"));
+        d.validate(g)
+            .unwrap_or_else(|e| panic!("{ctx} merge_all={merge_all} unfold={unfold}: {e}"));
         let (got, report) =
             apgre::bc::apgre::bc_from_decomposition(g, &d, &ApgreOptions::default());
         assert_close(&format!("{ctx} merge_all={merge_all} unfold={unfold}"), &got, &want);
         if unfold {
             assert_eq!(report.total_whiskers, 0);
-            assert_eq!(report.total_roots, d.subgraphs.iter().map(|s| s.num_vertices()).sum::<usize>());
+            assert_eq!(
+                report.total_roots,
+                d.subgraphs.iter().map(|s| s.num_vertices()).sum::<usize>()
+            );
         }
         if merge_all {
             // One sub-graph per connected component with edges.

@@ -35,6 +35,27 @@ fn all_algorithms_match_serial_on_all_workloads() {
 }
 
 #[test]
+fn hybrid_matches_serial_across_switch_policies() {
+    use apgre::bc::parallel::{bc_hybrid_with, BcHybridPolicy};
+    // Extreme policies pin both traversal directions: alpha = 0 never
+    // triggers the bottom-up switch (top-down throughout); alpha = MAX
+    // switches immediately and beta = 0 never switches back.
+    let policies = [
+        BcHybridPolicy::default(),
+        BcHybridPolicy { alpha: 0, beta: usize::MAX },
+        BcHybridPolicy { alpha: usize::MAX, beta: 0 },
+    ];
+    for spec in registry().into_iter().step_by(2) {
+        let g = spec.graph(Scale::Tiny);
+        let want = bc_serial(&g);
+        for (i, &policy) in policies.iter().enumerate() {
+            let got = bc_hybrid_with(&g, policy);
+            assert_close(&format!("{}/hybrid-policy{i}", spec.name), &got, &want);
+        }
+    }
+}
+
+#[test]
 fn apgre_matches_across_thresholds_on_workloads() {
     for spec in registry().into_iter().step_by(3) {
         let g = spec.graph(Scale::Tiny);
