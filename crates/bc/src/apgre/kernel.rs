@@ -1,6 +1,6 @@
-//! The per-sub-graph BC kernel — the paper's Algorithm 2 (`BCinSG`).
+//! The per-sub-graph BC kernels — the paper's Algorithm 2 (`BCinSG`).
 //!
-//! For every root `s ∈ R_sgi` the kernel runs one BFS over the sub-graph's
+//! For every root `s ∈ R_sgi` a kernel runs one BFS over the sub-graph's
 //! local CSR and one backward sweep that accumulates the four dependencies of
 //! §3.1.1 simultaneously:
 //!
@@ -26,16 +26,40 @@
 //! whisker itself from its derived target set, and the `+α(s)` restores the
 //! `δ^init_i2o` term at the root that Algorithm 2's `i != s` guard drops.
 //! Both corrections are pinned by the `apgre ≡ brandes` property tests.
+//!
+//! # Three kernels, one sweep
+//!
+//! The module ships three interchangeable implementations, selected per
+//! sub-graph by [`super::KernelPolicy`] (see DESIGN.md §3.7):
+//!
+//! * [`bc_in_subgraph_seq`] — one thread, plain `f64`, the shared
+//!   [`sweep_root`] loop body;
+//! * [`bc_in_subgraph_root_par`] — coarse-grained **root-parallel**: roots are
+//!   split into fixed chunks, each chunk swept with the *same* sequential
+//!   sweep into a private partial score vector (zero atomics on the hot
+//!   path), and the partials are merged in chunk order — bitwise
+//!   deterministic regardless of scheduling;
+//! * [`bc_in_subgraph_level_sync`] — fine-grained **level-synchronous**: the
+//!   paper's inner level of the two-level parallelization, for the
+//!   few-roots-but-huge sub-graph regime where root supply cannot feed the
+//!   workers.
+//!
+//! Every kernel has a `*_with` variant taking a caller-owned workspace so the
+//! driver's buffer pool can recycle the `O(n)` scratch arrays across
+//! sub-graphs instead of reallocating them per call.
 
 use crate::sync::{AtomicU32, Ordering};
-use crate::util::{atomic_f64_vec, into_f64_vec, AtomicF64, Levels};
+use crate::util::{add_assign_scores, atomic_f64_vec, AtomicF64, Levels};
 use apgre_decomp::SubGraph;
 use apgre_graph::{VertexId, UNREACHED};
 use rayon::prelude::*;
 use std::collections::VecDeque;
 
-/// Sequential workspace for one sub-graph.
-pub(crate) struct SgWorkspace {
+/// Sequential workspace for one sub-graph: the BFS and four-dependency
+/// arrays of Algorithm 2, sized for the sub-graph's vertex count and reset
+/// in `O(reached)` between roots so it can be reused across roots, chunks,
+/// and (via the driver's pool) whole sub-graphs.
+pub struct SgWorkspace {
     dist: Vec<u32>,
     sigma: Vec<f64>,
     d_i2i: Vec<f64>,
@@ -46,6 +70,7 @@ pub(crate) struct SgWorkspace {
 }
 
 impl SgWorkspace {
+    /// Workspace covering sub-graphs of up to `n` vertices.
     pub fn new(n: usize) -> Self {
         SgWorkspace {
             dist: vec![UNREACHED; n],
@@ -55,6 +80,19 @@ impl SgWorkspace {
             d_o2o: vec![0.0; n],
             order: Vec::with_capacity(n),
             queue: VecDeque::new(),
+        }
+    }
+
+    /// Grows the workspace to cover `n` vertices. Cells keep the reset-clean
+    /// invariant (`dist = UNREACHED`, everything else zero), so a pooled
+    /// workspace can serve sub-graphs of any size up to its capacity.
+    pub fn ensure(&mut self, n: usize) {
+        if self.dist.len() < n {
+            self.dist.resize(n, UNREACHED);
+            self.sigma.resize(n, 0.0);
+            self.d_i2i.resize(n, 0.0);
+            self.d_i2o.resize(n, 0.0);
+            self.d_o2o.resize(n, 0.0);
         }
     }
 
@@ -70,95 +108,184 @@ impl SgWorkspace {
     }
 }
 
-/// Sequential Algorithm 2 over one sub-graph. Returns the number of edges
-/// examined (forward + backward scans).
-pub(crate) fn bc_in_subgraph_seq(sg: &SubGraph, bc_local: &mut [f64]) -> u64 {
-    let n = sg.num_vertices();
-    debug_assert_eq!(bc_local.len(), n);
-    let mut ws = SgWorkspace::new(n);
+/// One root's forward BFS plus backward four-dependency sweep — Algorithm 2's
+/// loop body, shared verbatim by the sequential and root-parallel kernels so
+/// they cannot drift apart. Accumulates into `bc_local`, returns the number
+/// of edges examined, and leaves `ws` reset for the next root.
+fn sweep_root(sg: &SubGraph, s: VertexId, ws: &mut SgWorkspace, bc_local: &mut [f64]) -> u64 {
     let csr = sg.graph.csr();
     let directed = sg.graph.is_directed();
     let mut edges = 0u64;
+    // Phase 1: forward BFS (σ and order).
+    ws.dist[s as usize] = 0;
+    ws.sigma[s as usize] = 1.0;
+    ws.order.push(s);
+    ws.queue.push_back(s);
+    while let Some(u) = ws.queue.pop_front() {
+        let du = ws.dist[u as usize];
+        for &v in csr.neighbors(u) {
+            edges += 1;
+            if ws.dist[v as usize] == UNREACHED {
+                ws.dist[v as usize] = du + 1;
+                ws.order.push(v);
+                ws.queue.push_back(v);
+            }
+            if ws.dist[v as usize] == du + 1 {
+                ws.sigma[v as usize] += ws.sigma[u as usize];
+            }
+        }
+    }
+    // Phase 2: backward accumulation of the four dependencies and the
+    // score merge (Equation 7).
+    let s_boundary = sg.is_boundary[s as usize];
+    let beta_s = if s_boundary { sg.beta[s as usize] as f64 } else { 0.0 };
+    let gamma_s = sg.gamma[s as usize] as f64;
+    for idx in (0..ws.order.len()).rev() {
+        let v = ws.order[idx];
+        let vu = v as usize;
+        let dv = ws.dist[vu];
+        let sv = ws.sigma[vu];
+        let boundary_v = sg.is_boundary[vu] && v != s;
+        let mut i2i = 0.0;
+        let mut i2o = if boundary_v { sg.alpha[vu] as f64 } else { 0.0 };
+        let mut o2o = if s_boundary && boundary_v { beta_s * sg.alpha[vu] as f64 } else { 0.0 };
+        for &w in csr.neighbors(v) {
+            edges += 1;
+            if ws.dist[w as usize] == dv + 1 {
+                let c = sv / ws.sigma[w as usize];
+                i2i += c * (1.0 + ws.d_i2i[w as usize]);
+                i2o += c * ws.d_i2o[w as usize];
+                if s_boundary {
+                    o2o += c * ws.d_o2o[w as usize];
+                }
+            }
+        }
+        ws.d_i2i[vu] = i2i;
+        ws.d_i2o[vu] = i2o;
+        ws.d_o2o[vu] = o2o;
+        if v != s {
+            bc_local[vu] += (1.0 + gamma_s) * (i2i + i2o) + beta_s * i2i + o2o;
+        } else if gamma_s > 0.0 {
+            let alpha_s = if s_boundary { sg.alpha[vu] as f64 } else { 0.0 };
+            let whisker_self = if directed { 0.0 } else { 1.0 };
+            bc_local[vu] += gamma_s * ((i2i - whisker_self) + i2o + alpha_s);
+        }
+    }
+    ws.reset_touched();
+    edges
+}
+
+/// Sequential Algorithm 2 over one sub-graph, with a freshly allocated
+/// workspace. Returns the number of edges examined (forward + backward
+/// scans). Pinned against serial Brandes by the zoo equivalence tests.
+pub fn bc_in_subgraph_seq(sg: &SubGraph, bc_local: &mut [f64]) -> u64 {
+    bc_in_subgraph_seq_with(sg, bc_local, &mut SgWorkspace::new(sg.num_vertices()))
+}
+
+/// [`bc_in_subgraph_seq`] with a caller-owned (typically pooled) workspace.
+pub fn bc_in_subgraph_seq_with(sg: &SubGraph, bc_local: &mut [f64], ws: &mut SgWorkspace) -> u64 {
+    let n = sg.num_vertices();
+    debug_assert_eq!(bc_local.len(), n);
+    ws.ensure(n);
+    let mut edges = 0u64;
     for &s in &sg.roots {
-        // Phase 1: forward BFS (σ and order).
-        ws.dist[s as usize] = 0;
-        ws.sigma[s as usize] = 1.0;
-        ws.order.push(s);
-        ws.queue.push_back(s);
-        while let Some(u) = ws.queue.pop_front() {
-            let du = ws.dist[u as usize];
-            for &v in csr.neighbors(u) {
-                edges += 1;
-                if ws.dist[v as usize] == UNREACHED {
-                    ws.dist[v as usize] = du + 1;
-                    ws.order.push(v);
-                    ws.queue.push_back(v);
-                }
-                if ws.dist[v as usize] == du + 1 {
-                    ws.sigma[v as usize] += ws.sigma[u as usize];
-                }
-            }
-        }
-        // Phase 2: backward accumulation of the four dependencies and the
-        // score merge (Equation 7).
-        let s_boundary = sg.is_boundary[s as usize];
-        let beta_s = if s_boundary { sg.beta[s as usize] as f64 } else { 0.0 };
-        let gamma_s = sg.gamma[s as usize] as f64;
-        for idx in (0..ws.order.len()).rev() {
-            let v = ws.order[idx];
-            let vu = v as usize;
-            let dv = ws.dist[vu];
-            let sv = ws.sigma[vu];
-            let boundary_v = sg.is_boundary[vu] && v != s;
-            let mut i2i = 0.0;
-            let mut i2o = if boundary_v { sg.alpha[vu] as f64 } else { 0.0 };
-            let mut o2o = if s_boundary && boundary_v { beta_s * sg.alpha[vu] as f64 } else { 0.0 };
-            for &w in csr.neighbors(v) {
-                edges += 1;
-                if ws.dist[w as usize] == dv + 1 {
-                    let c = sv / ws.sigma[w as usize];
-                    i2i += c * (1.0 + ws.d_i2i[w as usize]);
-                    i2o += c * ws.d_i2o[w as usize];
-                    if s_boundary {
-                        o2o += c * ws.d_o2o[w as usize];
-                    }
-                }
-            }
-            ws.d_i2i[vu] = i2i;
-            ws.d_i2o[vu] = i2o;
-            ws.d_o2o[vu] = o2o;
-            if v != s {
-                bc_local[vu] += (1.0 + gamma_s) * (i2i + i2o) + beta_s * i2i + o2o;
-            } else if gamma_s > 0.0 {
-                let alpha_s = if s_boundary { sg.alpha[vu] as f64 } else { 0.0 };
-                let whisker_self = if directed { 0.0 } else { 1.0 };
-                bc_local[vu] += gamma_s * ((i2i - whisker_self) + i2o + alpha_s);
-            }
-        }
-        ws.reset_touched();
+        edges += sweep_root(sg, s, ws, bc_local);
     }
     edges
 }
 
-/// Parallel workspace: the level-synchronous mirror of [`SgWorkspace`].
-struct SgParWs {
+/// Root-parallel Algorithm 2 — the coarse-grained inner kernel.
+///
+/// `sg.roots` is split into fixed contiguous chunks (boundaries depend only
+/// on `|roots|`, `grain` and the pool's worker count, never on scheduling).
+/// Each worker lazily creates one long-lived [`SgWorkspace`] (`map_init`) and
+/// sweeps whole chunks with the same sequential [`sweep_root`] body the
+/// sequential kernel uses, accumulating into a **private** plain-`f64`
+/// partial score vector — zero atomics, zero CAS traffic, zero per-level
+/// fork-join on the hot path. The per-chunk partials are then reduced into
+/// `bc_local` in chunk order with the shared
+/// [`crate::util::add_assign_scores`] helper, so the floating-point fold
+/// order is fixed and two runs produce bitwise-identical scores.
+///
+/// `grain` is the minimum number of roots per chunk; chunks also target ~4
+/// per worker so stealing can balance uneven sweep costs.
+pub fn bc_in_subgraph_root_par(sg: &SubGraph, bc_local: &mut [f64], grain: usize) -> u64 {
+    let n = sg.num_vertices();
+    debug_assert_eq!(bc_local.len(), n);
+    if sg.roots.is_empty() {
+        return 0;
+    }
+    let threads = rayon::current_num_threads().max(1);
+    // Fixed, deterministic chunking: at least `grain` roots per chunk (one
+    // partial vector is allocated per chunk), at most ~4 chunks per worker.
+    let chunk = sg.roots.len().div_ceil(4 * threads).max(grain.max(1));
+    let partials: Vec<(Vec<f64>, u64)> = sg
+        .roots
+        .par_chunks(chunk)
+        .map_init(
+            || SgWorkspace::new(n),
+            |ws, roots| {
+                let mut part = vec![0.0f64; n];
+                let mut edges = 0u64;
+                for &s in roots {
+                    edges += sweep_root(sg, s, ws, &mut part);
+                }
+                (part, edges)
+            },
+        )
+        .collect();
+    let mut edges = 0u64;
+    for (part, e) in &partials {
+        add_assign_scores(bc_local, part);
+        edges += e;
+    }
+    edges
+}
+
+/// Level-synchronous workspace: the parallel mirror of [`SgWorkspace`], plus
+/// the shared `bc` accumulation mirror (reused across every root of a call
+/// instead of being rebuilt per call) and the back frontier buffer (`next`)
+/// of the double-buffered frontier — `levels.order` holds the settled front,
+/// `next` is refilled in place each level, so frontier expansion allocates
+/// nothing after warm-up.
+pub struct SgParWs {
     dist: Vec<AtomicU32>,
     sigma: Vec<AtomicF64>,
     d_i2i: Vec<AtomicF64>,
     d_i2o: Vec<AtomicF64>,
     d_o2o: Vec<AtomicF64>,
+    bc: Vec<AtomicF64>,
+    next: Vec<VertexId>,
     levels: Levels,
 }
 
 impl SgParWs {
-    fn new(n: usize) -> Self {
+    /// Workspace covering sub-graphs of up to `n` vertices.
+    pub fn new(n: usize) -> Self {
         SgParWs {
             dist: (0..n).map(|_| AtomicU32::new(UNREACHED)).collect(),
             sigma: atomic_f64_vec(n),
             d_i2i: atomic_f64_vec(n),
             d_i2o: atomic_f64_vec(n),
             d_o2o: atomic_f64_vec(n),
+            bc: atomic_f64_vec(n),
+            next: Vec::new(),
             levels: Levels::default(),
+        }
+    }
+
+    /// Grows the workspace to cover `n` vertices (pool reuse across
+    /// sub-graphs of different sizes); existing cells keep the reset-clean
+    /// invariant.
+    pub fn ensure(&mut self, n: usize) {
+        let len = self.dist.len();
+        if len < n {
+            self.dist.extend((len..n).map(|_| AtomicU32::new(UNREACHED)));
+            self.sigma.extend((len..n).map(|_| AtomicF64::new(0.0)));
+            self.d_i2i.extend((len..n).map(|_| AtomicF64::new(0.0)));
+            self.d_i2o.extend((len..n).map(|_| AtomicF64::new(0.0)));
+            self.d_o2o.extend((len..n).map(|_| AtomicF64::new(0.0)));
+            self.bc.extend((len..n).map(|_| AtomicF64::new(0.0)));
         }
     }
 
@@ -174,41 +301,61 @@ impl SgParWs {
     }
 }
 
-/// Below this many vertices a level runs sequentially.
-const PAR_GRAIN: usize = 256;
+/// Level-synchronous parallel Algorithm 2 over one sub-graph, with a freshly
+/// allocated workspace — the paper's fine-grained inner level of the
+/// two-level parallelization. Forward σ is pulled per level (single writer
+/// per cell), the backward sweep scans successors; no locks anywhere,
+/// exactly as in Algorithm 2's successor method. Levels narrower than
+/// `grain` vertices run sequentially to dodge fork-join overhead. Returns
+/// the number of edges examined.
+pub fn bc_in_subgraph_level_sync(sg: &SubGraph, bc_local: &mut [f64], grain: usize) -> u64 {
+    bc_in_subgraph_level_sync_with(sg, bc_local, grain, &mut SgParWs::new(sg.num_vertices()))
+}
 
-/// Level-synchronous parallel Algorithm 2 over one sub-graph — the paper's
-/// fine-grained inner level of the two-level parallelization. Forward σ is
-/// pulled per level (single writer per cell), the backward sweep scans
-/// successors; no locks anywhere, exactly as in Algorithm 2's successor
-/// method. Returns the number of edges examined.
-pub(crate) fn bc_in_subgraph_par(sg: &SubGraph, bc_local: &mut [f64]) -> u64 {
+/// [`bc_in_subgraph_level_sync`] with a caller-owned (typically pooled)
+/// workspace.
+pub fn bc_in_subgraph_level_sync_with(
+    sg: &SubGraph,
+    bc_local: &mut [f64],
+    grain: usize,
+    ws: &mut SgParWs,
+) -> u64 {
     let n = sg.num_vertices();
-    let mut ws = SgParWs::new(n);
-    let bc: Vec<AtomicF64> = bc_local.iter().map(|&x| AtomicF64::new(x)).collect();
+    debug_assert_eq!(bc_local.len(), n);
+    ws.ensure(n);
+    let grain = grain.max(1);
     let csr = sg.graph.csr();
     let rev = sg.graph.rev_csr();
     let directed = sg.graph.is_directed();
     let mut edges = 0u64;
 
+    // Seed the shared bc mirror once per call; it then accumulates across
+    // every root (cells ≥ n are stale pool leftovers and never read).
+    for (cell, &x) in ws.bc.iter().zip(bc_local.iter()) {
+        cell.store(x);
+    }
+
     for &s in &sg.roots {
+        // Split borrows: the frontier is a slice of `levels.order`, the back
+        // buffer `next` refills in place, the atomic arrays are shared.
+        let SgParWs { dist, sigma, d_i2i, d_i2o, d_o2o, bc, next, levels } = &mut *ws;
+        let (dist, sigma) = (&*dist, &*sigma);
+
         // Phase 1: frontier discovery by CAS; σ pulled per level.
-        ws.dist[s as usize].store(0, Ordering::Relaxed);
-        ws.sigma[s as usize].store(1.0);
-        ws.levels.order.push(s);
-        ws.levels.starts.push(0);
+        dist[s as usize].store(0, Ordering::Relaxed);
+        sigma[s as usize].store(1.0);
+        levels.order.push(s);
+        levels.starts.push(0);
         let mut level_start = 0usize;
         let mut d = 0u32;
         loop {
-            let frontier = &ws.levels.order[level_start..];
+            let frontier = &levels.order[level_start..];
             if frontier.is_empty() {
-                ws.levels.starts.pop();
+                levels.starts.pop();
                 break;
             }
-            let dist = &ws.dist;
-            let sigma = &ws.sigma;
-            let next: Vec<VertexId> = if frontier.len() < PAR_GRAIN {
-                let mut next = Vec::new();
+            next.clear();
+            if frontier.len() < grain {
                 for &u in frontier {
                     for &v in csr.neighbors(u) {
                         if dist[v as usize]
@@ -224,24 +371,20 @@ pub(crate) fn bc_in_subgraph_par(sg: &SubGraph, bc_local: &mut [f64]) -> u64 {
                         }
                     }
                 }
-                next
             } else {
-                frontier
-                    .par_iter()
-                    .flat_map_iter(|&u| {
-                        csr.neighbors(u).iter().copied().filter(|&v| {
-                            dist[v as usize]
-                                .compare_exchange(
-                                    UNREACHED,
-                                    d + 1,
-                                    Ordering::Relaxed,
-                                    Ordering::Relaxed,
-                                )
-                                .is_ok()
-                        })
+                next.par_extend(frontier.par_iter().flat_map_iter(|&u| {
+                    csr.neighbors(u).iter().copied().filter(|&v| {
+                        dist[v as usize]
+                            .compare_exchange(
+                                UNREACHED,
+                                d + 1,
+                                Ordering::Relaxed,
+                                Ordering::Relaxed,
+                            )
+                            .is_ok()
                     })
-                    .collect()
-            };
+                }));
+            }
             let pull = |&w: &VertexId| {
                 let mut acc = 0.0;
                 for &u in rev.neighbors(w) {
@@ -251,19 +394,19 @@ pub(crate) fn bc_in_subgraph_par(sg: &SubGraph, bc_local: &mut [f64]) -> u64 {
                 }
                 sigma[w as usize].store(acc);
             };
-            if next.len() < PAR_GRAIN {
+            if next.len() < grain {
                 next.iter().for_each(pull);
             } else {
                 next.par_iter().for_each(pull);
             }
-            level_start = ws.levels.order.len();
-            ws.levels.starts.push(level_start);
-            ws.levels.order.extend_from_slice(&next);
+            level_start = levels.order.len();
+            levels.starts.push(level_start);
+            levels.order.extend_from_slice(next);
             d += 1;
         }
-        ws.levels.starts.push(ws.levels.order.len());
+        levels.starts.push(levels.order.len());
         #[cfg(feature = "invariants")]
-        crate::util::check_levels(&ws.levels, &ws.dist, &ws.sigma, s);
+        crate::util::check_levels(levels, dist, sigma, s);
 
         // Phase 2: backward sweep, one level at a time, single writer per
         // vertex; δ of deeper levels is final thanks to the fork-join
@@ -271,14 +414,9 @@ pub(crate) fn bc_in_subgraph_par(sg: &SubGraph, bc_local: &mut [f64]) -> u64 {
         let s_boundary = sg.is_boundary[s as usize];
         let beta_s = if s_boundary { sg.beta[s as usize] as f64 } else { 0.0 };
         let gamma_s = sg.gamma[s as usize] as f64;
-        let dist = &ws.dist;
-        let sigma = &ws.sigma;
-        let d_i2i = &ws.d_i2i;
-        let d_i2o = &ws.d_i2o;
-        let d_o2o = &ws.d_o2o;
-        let bc_ref = &bc;
-        for dd in (0..ws.levels.num_levels()).rev() {
-            let level = ws.levels.level(dd);
+        let (d_i2i, d_i2o, d_o2o, bc_ref) = (&*d_i2i, &*d_i2o, &*d_o2o, &*bc);
+        for dd in (0..levels.num_levels()).rev() {
+            let level = levels.level(dd);
             let dv = dd as u32;
             let body = |&v: &VertexId| {
                 let vu = v as usize;
@@ -310,7 +448,7 @@ pub(crate) fn bc_in_subgraph_par(sg: &SubGraph, bc_local: &mut [f64]) -> u64 {
                     cell.store(cell.load() + gamma_s * ((i2i - whisker_self) + i2o + alpha_s));
                 }
             };
-            if level.len() < PAR_GRAIN {
+            if level.len() < grain {
                 level.iter().for_each(body);
             } else {
                 level.par_iter().for_each(body);
@@ -321,8 +459,9 @@ pub(crate) fn bc_in_subgraph_par(sg: &SubGraph, bc_local: &mut [f64]) -> u64 {
         edges += 2 * ws.levels.order.iter().map(|&v| csr.degree(v) as u64).sum::<u64>();
         ws.reset_touched();
     }
-    let merged = into_f64_vec(bc);
-    bc_local.copy_from_slice(&merged);
+    for (dst, cell) in bc_local.iter_mut().zip(ws.bc.iter()) {
+        *dst = cell.load();
+    }
     edges
 }
 
@@ -332,9 +471,12 @@ mod tests {
     use apgre_decomp::{decompose, PartitionOptions};
     use apgre_graph::generators;
 
-    /// Sequential and parallel kernels must agree sub-graph by sub-graph.
+    const GRAIN: usize = 256;
+
+    /// All kernels must agree sub-graph by sub-graph, including pooled-
+    /// workspace variants with oversized (recycled) workspaces.
     #[test]
-    fn seq_and_par_kernels_agree() {
+    fn all_kernels_agree() {
         let g = generators::whiskered_community(&generators::WhiskeredCommunityParams {
             core_vertices: 80,
             core_attach: 3,
@@ -345,19 +487,44 @@ mod tests {
             seed: 21,
         });
         let d = decompose(&g, &PartitionOptions { merge_threshold: 8, ..Default::default() });
+        // Deliberately oversized pooled workspaces, shared across sub-graphs.
+        let mut pooled_seq = SgWorkspace::new(4);
+        let mut pooled_par = SgParWs::new(4);
         for sg in &d.subgraphs {
-            let mut seq = vec![0.0; sg.num_vertices()];
-            let mut par = vec![0.0; sg.num_vertices()];
+            let n = sg.num_vertices();
+            let mut seq = vec![0.0; n];
             bc_in_subgraph_seq(sg, &mut seq);
-            bc_in_subgraph_par(sg, &mut par);
-            for l in 0..seq.len() {
-                assert!(
-                    (seq[l] - par[l]).abs() <= 1e-7 * (1.0 + seq[l].abs()),
-                    "SG{} local {l}: {} vs {}",
-                    sg.id,
-                    seq[l],
-                    par[l]
-                );
+            for (name, got) in [
+                ("level_sync", {
+                    let mut v = vec![0.0; n];
+                    bc_in_subgraph_level_sync(sg, &mut v, GRAIN);
+                    v
+                }),
+                ("level_sync_tiny_grain", {
+                    let mut v = vec![0.0; n];
+                    bc_in_subgraph_level_sync_with(sg, &mut v, 1, &mut pooled_par);
+                    v
+                }),
+                ("root_par", {
+                    let mut v = vec![0.0; n];
+                    bc_in_subgraph_root_par(sg, &mut v, 1);
+                    v
+                }),
+                ("seq_pooled", {
+                    let mut v = vec![0.0; n];
+                    bc_in_subgraph_seq_with(sg, &mut v, &mut pooled_seq);
+                    v
+                }),
+            ] {
+                for l in 0..n {
+                    assert!(
+                        (seq[l] - got[l]).abs() <= 1e-7 * (1.0 + seq[l].abs()),
+                        "SG{} {name} local {l}: {} vs {}",
+                        sg.id,
+                        seq[l],
+                        got[l]
+                    );
+                }
             }
         }
     }
@@ -369,11 +536,29 @@ mod tests {
         for sg in &d.subgraphs {
             let mut a = vec![0.0; sg.num_vertices()];
             let mut b = vec![0.0; sg.num_vertices()];
+            let mut c = vec![0.0; sg.num_vertices()];
             let e_seq = bc_in_subgraph_seq(sg, &mut a);
-            let e_par = bc_in_subgraph_par(sg, &mut b);
-            // Connected undirected sub-graph: both kernels touch all local
+            let e_ls = bc_in_subgraph_level_sync(sg, &mut b, GRAIN);
+            let e_rp = bc_in_subgraph_root_par(sg, &mut c, 4);
+            // Connected undirected sub-graph: all kernels touch all local
             // arcs twice per root.
-            assert_eq!(e_seq, e_par, "SG{}", sg.id);
+            assert_eq!(e_seq, e_ls, "SG{}", sg.id);
+            assert_eq!(e_seq, e_rp, "SG{}", sg.id);
+        }
+    }
+
+    /// The root-parallel kernel's fixed chunking + ordered reduction makes it
+    /// bitwise deterministic.
+    #[test]
+    fn root_par_is_bitwise_deterministic() {
+        let g = generators::erdos_renyi_undirected(140, 0.05, 9);
+        let d = decompose(&g, &PartitionOptions::default());
+        for sg in &d.subgraphs {
+            let mut a = vec![0.0; sg.num_vertices()];
+            let mut b = vec![0.0; sg.num_vertices()];
+            bc_in_subgraph_root_par(sg, &mut a, 2);
+            bc_in_subgraph_root_par(sg, &mut b, 2);
+            assert_eq!(a, b, "SG{}", sg.id);
         }
     }
 }

@@ -6,24 +6,140 @@
 //! 1. decompose the graph through articulation points
 //!    ([`apgre_decomp::decompose`] — Algorithm 1 + α/β/γ counting),
 //! 2. for every sub-graph, run the four-dependency kernel
-//!    (the kernel module — Algorithm 2),
+//!    (the [`kernel`] module — Algorithm 2),
 //! 3. merge per-sub-graph scores: an articulation point's BC is the sum of
 //!    its local scores (Equation 8).
 //!
 //! Parallelism is two-level: **coarse-grained asynchronous across
 //! sub-graphs** (a rayon parallel iterator, largest sub-graph first so the
-//! dominant task starts immediately) and **fine-grained level-synchronous
-//! within a sub-graph** (used only above a size threshold; small sub-graphs
-//! run the sequential kernel to avoid fork-join overhead). Both levels share
-//! one rayon pool, so inner parallelism of the top sub-graph soaks up workers
-//! once the small sub-graphs drain — the behaviour §5.4 describes.
+//! dominant task starts immediately) and, within a sub-graph, one of the
+//! [`kernel`] module's implementations, selected per sub-graph by
+//! [`KernelPolicy`] from its root count and size (DESIGN.md §3.7). All
+//! levels share one rayon pool, so inner parallelism of the top sub-graph
+//! soaks up workers once the small sub-graphs drain — the behaviour §5.4
+//! describes.
+//!
+//! The driver threads a [buffer pool](BufferPool) through the sub-graph
+//! loop: per-sub-graph score vectors and both kernel workspaces are checked
+//! out, grown in place if needed, and returned, so steady-state processing
+//! of the long tail of small sub-graphs performs no `O(n)` allocations.
+//! Merging goes through a reorder buffer that scatters finished sub-graphs
+//! in **ascending index order** regardless of completion order — the
+//! floating-point fold order is fixed, keeping whole-run results bitwise
+//! deterministic (and the golden checksums stable).
 
-mod kernel;
+pub mod kernel;
 
 use apgre_decomp::{decompose, Decomposition, PartitionOptions, SubGraph};
 use apgre_graph::Graph;
 use rayon::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// Default scheduling grain: minimum roots per root-parallel chunk and
+/// minimum frontier width before the level-synchronous kernel forks a level.
+pub const DEFAULT_GRAIN: usize = 256;
+
+/// Per-sub-graph kernel scheduling policy (DESIGN.md §3.7).
+///
+/// The three forced variants pin every sub-graph to one kernel; [`Auto`]
+/// picks per sub-graph from the decomposition statistics. Replaces the old
+/// single `inner_parallel_min_vertices` threshold, which could only express
+/// "level-sync above N vertices" and always paid atomic-traffic overhead on
+/// sub-graphs whose abundant roots made coarse parallelism free.
+///
+/// [`Auto`]: KernelPolicy::Auto
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KernelPolicy {
+    /// Always the sequential kernel ([`kernel::bc_in_subgraph_seq_with`]).
+    Seq,
+    /// Always the root-parallel kernel
+    /// ([`kernel::bc_in_subgraph_root_par`]).
+    RootParallel,
+    /// Always the level-synchronous kernel
+    /// ([`kernel::bc_in_subgraph_level_sync_with`]).
+    LevelSync,
+    /// Choose per sub-graph — see [`KernelPolicy::choose`].
+    Auto,
+}
+
+/// The kernel actually dispatched for one sub-graph (the resolution of a
+/// [`KernelPolicy`], reported in [`ApgreReport::kernel_counts`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KernelChoice {
+    /// Sequential sweep.
+    Seq,
+    /// Coarse-grained root-parallel sweep.
+    RootParallel,
+    /// Fine-grained level-synchronous sweep.
+    LevelSync,
+}
+
+impl KernelPolicy {
+    /// Resolves the policy for one sub-graph.
+    ///
+    /// The `Auto` heuristic, in order:
+    ///
+    /// 1. **Too small to parallelize at all** — one worker available, fewer
+    ///    vertices than one grain, or total sweep work (`roots · edges`)
+    ///    under ~8 grain² edge visits: the fork overhead cannot amortize, run
+    ///    [`Seq`](KernelChoice::Seq).
+    /// 2. **Root-rich** — at least two roots per worker: chunked roots feed
+    ///    every worker with whole sequential sweeps, so take the
+    ///    atomic-free coarse kernel
+    ///    ([`RootParallel`](KernelChoice::RootParallel)).
+    /// 3. **Root-starved but big** — few roots over a big vertex set (the
+    ///    paper's top-sub-graph regime): only intra-sweep parallelism can
+    ///    use the machine, take [`LevelSync`](KernelChoice::LevelSync) when
+    ///    there are at least `16 · grain` vertices (with the default grain
+    ///    that is 4096, the old `inner_parallel_min_vertices` default).
+    /// 4. Otherwise sequential.
+    pub fn choose(
+        self,
+        roots: usize,
+        vertices: usize,
+        edges: usize,
+        threads: usize,
+        grain: usize,
+    ) -> KernelChoice {
+        let grain = grain.max(1);
+        match self {
+            KernelPolicy::Seq => KernelChoice::Seq,
+            KernelPolicy::RootParallel => KernelChoice::RootParallel,
+            KernelPolicy::LevelSync => KernelChoice::LevelSync,
+            KernelPolicy::Auto => {
+                let work = roots.saturating_mul(edges.max(1));
+                if threads <= 1 || vertices < grain || work < 8 * grain * grain {
+                    KernelChoice::Seq
+                } else if roots >= 2 * threads {
+                    KernelChoice::RootParallel
+                } else if vertices >= 16 * grain {
+                    KernelChoice::LevelSync
+                } else {
+                    KernelChoice::Seq
+                }
+            }
+        }
+    }
+}
+
+impl std::str::FromStr for KernelPolicy {
+    type Err = String;
+
+    /// Parses the CLI spellings `auto`, `seq`, `rootpar`, `levelsync`.
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "auto" => Ok(KernelPolicy::Auto),
+            "seq" => Ok(KernelPolicy::Seq),
+            "rootpar" | "root-parallel" => Ok(KernelPolicy::RootParallel),
+            "levelsync" | "level-sync" => Ok(KernelPolicy::LevelSync),
+            other => {
+                Err(format!("unknown kernel policy `{other}` (want auto|seq|rootpar|levelsync)"))
+            }
+        }
+    }
+}
 
 /// Options for [`bc_apgre_with`].
 #[derive(Clone, Debug)]
@@ -32,9 +148,12 @@ pub struct ApgreOptions {
     pub partition: PartitionOptions,
     /// Process sub-graphs in parallel (the coarse level).
     pub outer_parallel: bool,
-    /// Sub-graphs with at least this many vertices use the level-synchronous
-    /// parallel kernel; smaller ones run sequentially.
-    pub inner_parallel_min_vertices: usize,
+    /// Per-sub-graph kernel selection.
+    pub kernel: KernelPolicy,
+    /// Scheduling grain: minimum roots per root-parallel chunk, minimum
+    /// frontier/level width before the level-synchronous kernel goes
+    /// parallel, and the unit of the `Auto` size thresholds.
+    pub grain: usize,
 }
 
 impl Default for ApgreOptions {
@@ -42,7 +161,8 @@ impl Default for ApgreOptions {
         ApgreOptions {
             partition: PartitionOptions::default(),
             outer_parallel: true,
-            inner_parallel_min_vertices: 4096,
+            kernel: KernelPolicy::Auto,
+            grain: DEFAULT_GRAIN,
         }
     }
 }
@@ -73,6 +193,16 @@ pub struct ApgreReport {
     pub total_whiskers: usize,
     /// Edges examined across all kernels (forward + backward scans).
     pub edges_traversed: u64,
+    /// The policy the run was configured with.
+    pub kernel_policy: KernelPolicy,
+    /// The scheduling grain the run was configured with.
+    pub grain: usize,
+    /// Kernel dispatched for the largest sub-graph (`None` when the graph is
+    /// empty).
+    pub top_subgraph_kernel: Option<KernelChoice>,
+    /// How many sub-graphs ran each kernel: `(seq, root_parallel,
+    /// level_sync)`.
+    pub kernel_counts: (usize, usize, usize),
 }
 
 /// Runs the sequential sub-graph kernel for the memoization layer
@@ -80,6 +210,130 @@ pub struct ApgreReport {
 /// local score vector.
 pub(crate) fn kernel_for_memo(sg: &SubGraph, bc_local: &mut [f64]) {
     kernel::bc_in_subgraph_seq(sg, bc_local);
+}
+
+/// Reusable per-sub-graph buffers, shared by all workers of the outer
+/// parallel loop. Workers check a buffer out under a short lock, run a whole
+/// kernel on it lock-free, and return it; `ensure`/`resize` grows a recycled
+/// buffer in place when a larger sub-graph draws it. Score vectors come back
+/// through [`Merger::submit`] once their sub-graph has been scattered.
+#[derive(Default)]
+struct BufferPool {
+    seq: Mutex<Vec<kernel::SgWorkspace>>,
+    par: Mutex<Vec<kernel::SgParWs>>,
+    locals: Mutex<Vec<Vec<f64>>>,
+}
+
+impl BufferPool {
+    fn take_local(&self, n: usize) -> Vec<f64> {
+        let mut v = self.locals.lock().unwrap().pop().unwrap_or_default();
+        v.clear();
+        v.resize(n, 0.0);
+        v
+    }
+
+    fn put_local(&self, v: Vec<f64>) {
+        self.locals.lock().unwrap().push(v);
+    }
+
+    fn take_seq(&self, n: usize) -> kernel::SgWorkspace {
+        let mut ws = self.seq.lock().unwrap().pop().unwrap_or_else(|| kernel::SgWorkspace::new(n));
+        ws.ensure(n);
+        ws
+    }
+
+    fn put_seq(&self, ws: kernel::SgWorkspace) {
+        self.seq.lock().unwrap().push(ws);
+    }
+
+    fn take_par(&self, n: usize) -> kernel::SgParWs {
+        let mut ws = self.par.lock().unwrap().pop().unwrap_or_else(|| kernel::SgParWs::new(n));
+        ws.ensure(n);
+        ws
+    }
+
+    fn put_par(&self, ws: kernel::SgParWs) {
+        self.par.lock().unwrap().push(ws);
+    }
+}
+
+/// One finished sub-graph, waiting in the reorder buffer.
+struct SubResult {
+    local: Vec<f64>,
+    edges: u64,
+    time: Duration,
+    choice: KernelChoice,
+}
+
+/// Reorder-buffer merger: sub-graphs finish in completion order (largest
+/// first under the outer parallel loop), but Equation 8's scatter into the
+/// global score vector must happen in **ascending sub-graph index order** so
+/// the floating-point sums fold identically run to run. Results arriving
+/// early park in `pending`; each submit drains the ready prefix and recycles
+/// the drained score vectors into the pool.
+struct Merger<'a> {
+    decomp: &'a Decomposition,
+    state: Mutex<MergeState>,
+}
+
+struct MergeState {
+    bc: Vec<f64>,
+    next_index: usize,
+    pending: BTreeMap<usize, SubResult>,
+    edges_traversed: u64,
+    top_time: Duration,
+    top_choice: Option<KernelChoice>,
+    counts: (usize, usize, usize),
+}
+
+impl<'a> Merger<'a> {
+    fn new(decomp: &'a Decomposition, n: usize) -> Self {
+        Merger {
+            decomp,
+            state: Mutex::new(MergeState {
+                bc: vec![0.0f64; n],
+                next_index: 0,
+                pending: BTreeMap::new(),
+                edges_traversed: 0,
+                top_time: Duration::ZERO,
+                top_choice: None,
+                counts: (0, 0, 0),
+            }),
+        }
+    }
+
+    fn submit(&self, index: usize, result: SubResult, pool: &BufferPool) {
+        let mut st = self.state.lock().unwrap();
+        st.pending.insert(index, result);
+        while let Some(res) = {
+            let next = st.next_index;
+            st.pending.remove(&next)
+        } {
+            let i = st.next_index;
+            let sg = &self.decomp.subgraphs[i];
+            for (l, &score) in res.local.iter().enumerate() {
+                st.bc[sg.globals[l] as usize] += score;
+            }
+            st.edges_traversed += res.edges;
+            match res.choice {
+                KernelChoice::Seq => st.counts.0 += 1,
+                KernelChoice::RootParallel => st.counts.1 += 1,
+                KernelChoice::LevelSync => st.counts.2 += 1,
+            }
+            if i == self.decomp.top_subgraph {
+                st.top_time = res.time;
+                st.top_choice = Some(res.choice);
+            }
+            st.next_index += 1;
+            pool.put_local(res.local);
+        }
+    }
+
+    fn finish(self) -> MergeState {
+        let st = self.state.into_inner().unwrap();
+        debug_assert!(st.pending.is_empty(), "merger drained before every submit");
+        st
+    }
 }
 
 /// APGRE with default options.
@@ -102,44 +356,44 @@ pub fn bc_from_decomposition(
     opts: &ApgreOptions,
 ) -> (Vec<f64>, ApgreReport) {
     let bc_start = Instant::now();
+    let threads = rayon::current_num_threads().max(1);
+    let grain = opts.grain.max(1);
     // Largest-first order: the top sub-graph dominates (Table 4), so it must
     // start immediately.
     let mut order: Vec<usize> = (0..decomp.subgraphs.len()).collect();
     order.sort_by_key(|&i| std::cmp::Reverse(decomp.subgraphs[i].num_vertices()));
 
+    let pool = BufferPool::default();
+    let merger = Merger::new(decomp, g.num_vertices());
     let run_one = |&i: &usize| {
         let sg = &decomp.subgraphs[i];
+        let n = sg.num_vertices();
         let t = Instant::now();
-        let mut local = vec![0.0f64; sg.num_vertices()];
-        let edges = if sg.num_vertices() >= opts.inner_parallel_min_vertices {
-            kernel::bc_in_subgraph_par(sg, &mut local)
-        } else {
-            kernel::bc_in_subgraph_seq(sg, &mut local)
+        let mut local = pool.take_local(n);
+        let choice = opts.kernel.choose(sg.roots.len(), n, sg.num_edges(), threads, grain);
+        let edges = match choice {
+            KernelChoice::Seq => {
+                let mut ws = pool.take_seq(n);
+                let e = kernel::bc_in_subgraph_seq_with(sg, &mut local, &mut ws);
+                pool.put_seq(ws);
+                e
+            }
+            KernelChoice::RootParallel => kernel::bc_in_subgraph_root_par(sg, &mut local, grain),
+            KernelChoice::LevelSync => {
+                let mut ws = pool.take_par(n);
+                let e = kernel::bc_in_subgraph_level_sync_with(sg, &mut local, grain, &mut ws);
+                pool.put_par(ws);
+                e
+            }
         };
-        (i, local, edges, t.elapsed())
+        merger.submit(i, SubResult { local, edges, time: t.elapsed(), choice }, &pool);
     };
-    let results: Vec<(usize, Vec<f64>, u64, Duration)> = if opts.outer_parallel {
-        order.par_iter().map(run_one).collect()
+    if opts.outer_parallel {
+        order.par_iter().for_each(run_one);
     } else {
-        order.iter().map(run_one).collect()
-    };
-
-    // Merge (Equation 8) in sub-graph index order for determinism.
-    let mut merged: Vec<(usize, Vec<f64>, u64, Duration)> = results;
-    merged.sort_by_key(|&(i, ..)| i);
-    let mut bc = vec![0.0f64; g.num_vertices()];
-    let mut edges_traversed = 0u64;
-    let mut top_time = Duration::ZERO;
-    for (i, local, edges, t) in &merged {
-        let sg = &decomp.subgraphs[*i];
-        for (l, &score) in local.iter().enumerate() {
-            bc[sg.globals[l] as usize] += score;
-        }
-        edges_traversed += edges;
-        if *i == decomp.top_subgraph {
-            top_time = *t;
-        }
+        order.iter().for_each(run_one);
     }
+    let merged = merger.finish();
     let bc_time = bc_start.elapsed();
 
     let top = decomp.subgraphs.get(decomp.top_subgraph);
@@ -147,7 +401,7 @@ pub fn bc_from_decomposition(
         partition_time: decomp.timings.partition,
         alpha_beta_time: decomp.timings.alpha_beta,
         bc_time,
-        top_subgraph_bc_time: top_time,
+        top_subgraph_bc_time: merged.top_time,
         num_subgraphs: decomp.num_subgraphs(),
         num_articulation_points: decomp.is_articulation.iter().filter(|&&a| a).count(),
         top_subgraph_vertices: top.map_or(0, |sg| sg.num_vertices()),
@@ -158,9 +412,13 @@ pub fn bc_from_decomposition(
             .iter()
             .map(|sg| sg.is_whisker.iter().filter(|&&w| w).count())
             .sum(),
-        edges_traversed,
+        edges_traversed: merged.edges_traversed,
+        kernel_policy: opts.kernel,
+        grain,
+        top_subgraph_kernel: merged.top_choice,
+        kernel_counts: merged.counts,
     };
-    (bc, report)
+    (merged.bc, report)
 }
 
 #[cfg(test)]
@@ -226,12 +484,37 @@ mod tests {
     }
 
     #[test]
-    fn forced_parallel_inner_matches() {
+    fn forced_level_sync_matches() {
         for (name, g) in zoo() {
             let want = bc_serial(&g);
-            let opts = ApgreOptions { inner_parallel_min_vertices: 0, ..Default::default() };
-            let (got, _) = bc_apgre_with(&g, &opts);
-            assert_close(&format!("{name}+parinner"), &got, &want);
+            let opts =
+                ApgreOptions { kernel: KernelPolicy::LevelSync, grain: 1, ..Default::default() };
+            let (got, report) = bc_apgre_with(&g, &opts);
+            assert_close(&format!("{name}+levelsync"), &got, &want);
+            assert_eq!(report.kernel_counts.2, report.num_subgraphs, "{name}");
+        }
+    }
+
+    #[test]
+    fn forced_root_parallel_matches() {
+        for (name, g) in zoo() {
+            let want = bc_serial(&g);
+            let opts =
+                ApgreOptions { kernel: KernelPolicy::RootParallel, grain: 1, ..Default::default() };
+            let (got, report) = bc_apgre_with(&g, &opts);
+            assert_close(&format!("{name}+rootpar"), &got, &want);
+            assert_eq!(report.kernel_counts.1, report.num_subgraphs, "{name}");
+        }
+    }
+
+    #[test]
+    fn forced_seq_matches() {
+        for (name, g) in zoo() {
+            let want = bc_serial(&g);
+            let opts = ApgreOptions { kernel: KernelPolicy::Seq, ..Default::default() };
+            let (got, report) = bc_apgre_with(&g, &opts);
+            assert_close(&format!("{name}+seq"), &got, &want);
+            assert_eq!(report.kernel_counts.0, report.num_subgraphs, "{name}");
         }
     }
 
@@ -243,6 +526,39 @@ mod tests {
             let (got, _) = bc_apgre_with(&g, &opts);
             assert_close(&format!("{name}+seqouter"), &got, &want);
         }
+    }
+
+    #[test]
+    fn auto_policy_heuristic() {
+        let p = KernelPolicy::Auto;
+        let g = DEFAULT_GRAIN;
+        // One thread: always sequential, whatever the size.
+        assert_eq!(p.choose(10_000, 100_000, 500_000, 1, g), KernelChoice::Seq);
+        // Tiny sub-graph: sequential.
+        assert_eq!(p.choose(10, 12, 30, 8, g), KernelChoice::Seq);
+        // Root-rich and big: root-parallel.
+        assert_eq!(p.choose(10_000, 100_000, 500_000, 8, g), KernelChoice::RootParallel);
+        // Root-starved top sub-graph: level-sync.
+        assert_eq!(p.choose(4, 100_000, 500_000, 8, g), KernelChoice::LevelSync);
+        // Root-starved and mid-sized: not worth forking.
+        assert_eq!(p.choose(4, 2 * g, 500_000, 8, g), KernelChoice::Seq);
+        // Forced policies ignore the statistics.
+        assert_eq!(KernelPolicy::Seq.choose(0, 0, 0, 64, g), KernelChoice::Seq);
+        assert_eq!(KernelPolicy::RootParallel.choose(0, 0, 0, 1, g), KernelChoice::RootParallel);
+        assert_eq!(KernelPolicy::LevelSync.choose(0, 0, 0, 1, g), KernelChoice::LevelSync);
+    }
+
+    #[test]
+    fn kernel_policy_parses() {
+        for (s, want) in [
+            ("auto", KernelPolicy::Auto),
+            ("seq", KernelPolicy::Seq),
+            ("rootpar", KernelPolicy::RootParallel),
+            ("levelsync", KernelPolicy::LevelSync),
+        ] {
+            assert_eq!(s.parse::<KernelPolicy>().unwrap(), want);
+        }
+        assert!("fancy".parse::<KernelPolicy>().is_err());
     }
 
     #[test]
@@ -262,6 +578,11 @@ mod tests {
         assert!(report.total_whiskers >= 40, "whiskers folded: {}", report.total_whiskers);
         assert!(report.total_roots < g.num_vertices());
         assert!(report.edges_traversed > 0);
+        let (s, r, l) = report.kernel_counts;
+        assert_eq!(s + r + l, report.num_subgraphs, "every sub-graph dispatched exactly once");
+        assert!(report.top_subgraph_kernel.is_some());
+        assert_eq!(report.kernel_policy, KernelPolicy::Auto);
+        assert_eq!(report.grain, DEFAULT_GRAIN);
         // Redundancy elimination means strictly less sweep work than
         // Brandes' n·2m·2 on this articulation-rich graph.
         let brandes_edges = (g.num_vertices() as u64) * (g.num_arcs() as u64) * 2;

@@ -32,6 +32,7 @@
 //! laws.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub mod apgre;
 pub mod approx;
@@ -44,7 +45,7 @@ pub mod sync;
 pub mod util;
 pub mod weighted;
 
-pub use apgre::{bc_apgre, bc_apgre_with, ApgreOptions, ApgreReport};
+pub use apgre::{bc_apgre, bc_apgre_with, ApgreOptions, ApgreReport, KernelChoice, KernelPolicy};
 pub use approx::{bc_approx, bc_approx_adaptive, bc_approx_apgre};
 pub use brandes::{bc_serial, bc_serial_preds};
 pub use edge::{edge_bc, girvan_newman};

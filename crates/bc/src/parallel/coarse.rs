@@ -11,6 +11,7 @@
 //! no shared state is contended.
 
 use crate::brandes::{accumulate_source, Workspace};
+use crate::util::add_assign_scores;
 use apgre_graph::{Graph, VertexId};
 use rayon::prelude::*;
 
@@ -37,9 +38,7 @@ pub fn bc_coarse(g: &Graph) -> Vec<f64> {
         .reduce(
             || vec![0.0f64; n],
             |mut a, b| {
-                for (x, y) in a.iter_mut().zip(&b) {
-                    *x += y;
-                }
+                add_assign_scores(&mut a, &b);
                 a
             },
         )

@@ -28,7 +28,7 @@ mod preds;
 mod succs;
 
 pub use coarse::bc_coarse;
-pub use hybrid::bc_hybrid;
+pub use hybrid::{bc_hybrid, bc_hybrid_with, BcHybridPolicy};
 pub use lock_free::bc_lock_free;
 pub use preds::bc_preds;
 pub use succs::bc_succs;

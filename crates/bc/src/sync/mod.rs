@@ -9,8 +9,9 @@
 //! in under the same cfg is a drop-in change, tracked in ROADMAP.md).
 //!
 //! `cargo xtask lint` enforces the facade: raw `std::sync::atomic` imports
-//! outside this module (plus two grandfathered files in `apgre-graph`, which
-//! cannot depend on this crate) are build errors in CI.
+//! outside this module and its `apgre_graph::sync` mirror (that crate sits
+//! below this one in the dependency graph, so it carries its own copy of
+//! the facade) are build errors in CI.
 //!
 //! # The memory-ordering protocol, in one place
 //!

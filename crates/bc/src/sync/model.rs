@@ -202,7 +202,7 @@ impl ExecInner {
                 if st.status.iter().all(|&s| s == Status::Finished) {
                     break;
                 }
-                if st.status.iter().any(|&s| s == Status::Running) {
+                if st.status.contains(&Status::Running) {
                     // A thread holds the floor but hasn't yielded yet (it is
                     // between the status flip and our wakeup); wait for it.
                     st = self.cv.wait(st).unwrap();

@@ -8,6 +8,18 @@
 
 pub use crate::sync::{atomic_f64_vec, into_f64_vec, AtomicF64};
 
+/// Element-wise `acc[i] += part[i]`: the score-vector reduction step shared
+/// by the coarse-grained source-parallel baseline
+/// ([`crate::parallel::bc_coarse`]) and the root-parallel sub-graph kernel
+/// (`apgre::kernel::bc_in_subgraph_root_par`). Kept as one function so every
+/// tree reduction of partial BC vectors folds terms the same way.
+pub fn add_assign_scores(acc: &mut [f64], part: &[f64]) {
+    debug_assert_eq!(acc.len(), part.len());
+    for (x, y) in acc.iter_mut().zip(part) {
+        *x += y;
+    }
+}
+
 /// Vertices of one BFS, grouped by level: `order[starts[d]..starts[d+1]]`
 /// holds the vertices at distance `d` from the root. The backward sweeps of
 /// every level-synchronous kernel iterate this structure in reverse.
@@ -110,6 +122,13 @@ mod tests {
             let _ = a.fetch_add(1.0);
         });
         assert_eq!(a.load(), 1000.0);
+    }
+
+    #[test]
+    fn add_assign_scores_sums_elementwise() {
+        let mut acc = vec![1.0, 2.0, 3.0];
+        add_assign_scores(&mut acc, &[0.5, 0.0, -1.0]);
+        assert_eq!(acc, vec![1.5, 2.0, 2.0]);
     }
 
     #[test]

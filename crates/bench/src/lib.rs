@@ -2,7 +2,7 @@
 //! and JSON result records shared by the `experiments` binary and the
 //! criterion benches.
 
-use apgre_bc::apgre::{bc_apgre_with, ApgreOptions};
+use apgre_bc::apgre::{bc_apgre_with, ApgreOptions, KernelPolicy};
 use apgre_bc::brandes::bc_serial;
 use apgre_bc::parallel::{bc_coarse, bc_hybrid, bc_lock_free, bc_preds, bc_succs};
 use apgre_graph::Graph;
@@ -13,14 +13,25 @@ use std::time::{Duration, Instant};
 pub const ALGORITHMS: &[&str] =
     &["serial", "APGRE", "preds", "succs", "lockSyncFree", "async", "hybrid"];
 
+/// APGRE variants with a pinned inner-kernel policy, for per-kernel
+/// comparisons (the `bench-pr2` experiment); `APGRE` itself runs
+/// `KernelPolicy::Auto`.
+pub const APGRE_KERNEL_VARIANTS: &[&str] = &["APGRE-seq", "APGRE-rootpar", "APGRE-levelsync"];
+
 /// Runs one named algorithm.
 ///
 /// # Panics
-/// Panics on an unknown name — the registry above is the source of truth.
+/// Panics on an unknown name — [`ALGORITHMS`] plus [`APGRE_KERNEL_VARIANTS`]
+/// is the source of truth.
 pub fn run_algorithm(name: &str, g: &Graph) -> Vec<f64> {
+    let apgre_forced =
+        |kernel: KernelPolicy| bc_apgre_with(g, &ApgreOptions { kernel, ..Default::default() }).0;
     match name {
         "serial" => bc_serial(g),
         "APGRE" => bc_apgre_with(g, &ApgreOptions::default()).0,
+        "APGRE-seq" => apgre_forced(KernelPolicy::Seq),
+        "APGRE-rootpar" => apgre_forced(KernelPolicy::RootParallel),
+        "APGRE-levelsync" => apgre_forced(KernelPolicy::LevelSync),
         "preds" => bc_preds(g),
         "succs" => bc_succs(g),
         "lockSyncFree" => bc_lock_free(g),
@@ -195,7 +206,7 @@ mod tests {
     #[test]
     fn run_algorithm_covers_registry() {
         let g = generators::cycle(8);
-        for algo in ALGORITHMS {
+        for algo in ALGORITHMS.iter().chain(APGRE_KERNEL_VARIANTS) {
             let scores = run_algorithm(algo, &g);
             assert_eq!(scores.len(), 8);
         }

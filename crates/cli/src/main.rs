@@ -15,13 +15,18 @@
 //!   --directed              treat the input file as directed
 //!   --top <k>               print the k highest-BC vertices (default 10)
 //!   --threshold <n>         APGRE merge threshold (default 32)
+//!   --kernel <p>            APGRE per-sub-graph kernel policy:
+//!                           auto|seq|rootpar|levelsync (default auto)
+//!   --grain <n>             APGRE scheduling grain: min roots per
+//!                           root-parallel chunk / min level width before
+//!                           the level-sync kernel forks (default 256)
 //!   --threads <t>           rayon thread count (default: all cores)
 //!   --samples <k>           pivot count for --algo approx (default n/10)
 //!   --stats                 print decomposition + redundancy statistics
 //!   --normalize             halve scores (undirected textbook convention)
 //! ```
 
-use apgre_bc::apgre::{bc_apgre_with, ApgreOptions};
+use apgre_bc::apgre::{bc_apgre_with, ApgreOptions, KernelPolicy, DEFAULT_GRAIN};
 use apgre_bc::parallel::{bc_coarse, bc_hybrid, bc_lock_free, bc_preds, bc_succs};
 use apgre_bc::{brandes::bc_serial, normalize_undirected};
 use apgre_decomp::{decompose, PartitionOptions};
@@ -36,6 +41,8 @@ struct Args {
     directed: bool,
     top: usize,
     threshold: usize,
+    kernel: KernelPolicy,
+    grain: usize,
     threads: Option<usize>,
     samples: Option<usize>,
     stats: bool,
@@ -46,7 +53,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: bc-tool <edge-list|file.gr|workload:<name>[:scale]> \
          [--algo serial|preds|succs|lockfree|coarse|hybrid|apgre] [--directed] \
-         [--top K] [--threshold N] [--threads T] [--stats] [--normalize]\n\
+         [--top K] [--threshold N] [--kernel auto|seq|rootpar|levelsync] [--grain N] \
+         [--threads T] [--stats] [--normalize]\n\
          workloads: {}",
         apgre_workloads::registry().iter().map(|w| w.name).collect::<Vec<_>>().join(", ")
     );
@@ -60,6 +68,8 @@ fn parse_args() -> Args {
         directed: false,
         top: 10,
         threshold: 32,
+        kernel: KernelPolicy::Auto,
+        grain: DEFAULT_GRAIN,
         threads: None,
         samples: None,
         stats: false,
@@ -78,6 +88,14 @@ fn parse_args() -> Args {
             "--directed" => args.directed = true,
             "--top" => args.top = next_usize("--top"),
             "--threshold" => args.threshold = next_usize("--threshold"),
+            "--kernel" => {
+                args.kernel =
+                    it.next().unwrap_or_else(|| usage()).parse().unwrap_or_else(|e: String| {
+                        eprintln!("{e}");
+                        usage()
+                    })
+            }
+            "--grain" => args.grain = next_usize("--grain"),
             "--threads" => args.threads = Some(next_usize("--threads")),
             "--samples" => args.samples = Some(next_usize("--samples")),
             "--stats" => args.stats = true,
@@ -204,7 +222,12 @@ fn main() {
         "coarse" | "async" => bc_coarse(&g),
         "hybrid" => bc_hybrid(&g),
         "apgre" => {
-            let opts = ApgreOptions { partition: partition.clone(), ..Default::default() };
+            let opts = ApgreOptions {
+                partition: partition.clone(),
+                kernel: args.kernel,
+                grain: args.grain,
+                ..Default::default()
+            };
             let (scores, report) = bc_apgre_with(&g, &opts);
             println!(
                 "apgre: partition {:.2?}, α/β {:.2?}, bc {:.2?} ({} sub-graphs, {} roots)",
@@ -213,6 +236,15 @@ fn main() {
                 report.bc_time,
                 report.num_subgraphs,
                 report.total_roots
+            );
+            let (seq, rootpar, levelsync) = report.kernel_counts;
+            println!(
+                "apgre kernels ({:?}, grain {}): {seq} seq, {rootpar} root-parallel, \
+                 {levelsync} level-sync; top sub-graph ran {} in {:.2?}",
+                report.kernel_policy,
+                report.grain,
+                report.top_subgraph_kernel.map_or("n/a".to_string(), |k| format!("{k:?}")),
+                report.top_subgraph_bc_time
             );
             scores
         }

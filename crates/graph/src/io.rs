@@ -19,7 +19,12 @@ pub enum IoError {
     /// Underlying I/O failure.
     Io(std::io::Error),
     /// Malformed content with a line number and message.
-    Parse { line: usize, message: String },
+    Parse {
+        /// 1-based line number of the offending input line.
+        line: usize,
+        /// Human-readable description of what failed to parse.
+        message: String,
+    },
 }
 
 impl fmt::Display for IoError {

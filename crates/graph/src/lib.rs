@@ -13,7 +13,9 @@
 //! * [`generators`] — deterministic synthetic graph families (Erdős–Rényi,
 //!   Barabási–Albert, R-MAT, grids, stars, trees, whiskered composites),
 //! * [`io`] — SNAP-style edge lists and DIMACS readers/writers,
-//! * [`stats`] — degree statistics used by the experiment harness.
+//! * [`stats`] — degree statistics used by the experiment harness,
+//! * [`sync`] — the crate's atomics facade (mirror of `apgre_bc::sync`),
+//!   the only sanctioned import path for atomics here.
 //!
 //! Vertex ids are [`VertexId`] (`u32`); graphs in this reproduction are far
 //! below the 4-billion-vertex mark and the narrower id type halves the memory
@@ -30,6 +32,7 @@ pub mod graph;
 pub mod io;
 pub mod reorder;
 pub mod stats;
+pub mod sync;
 pub mod traversal;
 pub mod weighted;
 

@@ -1,0 +1,81 @@
+//! The graph-side synchronization facade: the **only** sanctioned import
+//! path for atomics in this crate — the `apgre-graph` mirror of
+//! `apgre_bc::sync` (this crate sits below `apgre-bc` in the dependency
+//! graph, so it cannot import that facade; the two stay line-for-line
+//! aligned instead).
+//!
+//! `cargo xtask lint` enforces the facade exactly as it does on the BC
+//! side: raw `std::sync::atomic` / `core::sync::atomic` paths outside a
+//! facade module are build errors, and so is any ordering stronger than
+//! `Relaxed`.
+//!
+//! # Why `Relaxed` suffices here
+//!
+//! The traversals built on this facade use two concurrent access shapes,
+//! both covered by the argument written out in `crates/bc/src/sync/mod.rs`:
+//!
+//! 1. **Within a BFS level**: the frontier claim is a single-location
+//!    `compare_exchange` on one `dist`/`visited` cell — RMWs on one location
+//!    always observe the latest value in that location's modification
+//!    order, so exactly one worker wins each claim regardless of ordering.
+//!    The [`EdgeCounter`] is a pure statistics accumulator with no
+//!    cross-thread control dependency.
+//! 2. **Across levels**: every level ends with a rayon join, whose
+//!    release/acquire edge makes all `Relaxed` stores of the level visible
+//!    to every read after the join.
+
+/// Atomics re-exported for facade users. Orderings stronger than
+/// `Relaxed` are linted against (`cargo xtask lint`, rule `ordering-creep`).
+pub use core::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+
+/// A relaxed shared event counter (edges examined, vertices claimed, …).
+///
+/// Owns the one sanctioned `AtomicU64::fetch_add` in this crate: the
+/// clippy `disallowed_methods` ban on raw `u64` RMWs (mirroring the xtask
+/// facade rules) is scoped to this impl, the same way `apgre_bc::sync`
+/// carries the allow for its `AtomicF64`.
+#[derive(Debug, Default)]
+pub struct EdgeCounter(AtomicU64);
+
+impl EdgeCounter {
+    /// A counter starting at `value`.
+    pub fn new(value: u64) -> Self {
+        EdgeCounter(AtomicU64::new(value))
+    }
+
+    /// Adds `n` to the counter (relaxed; statistics only — nothing may
+    /// branch on the intermediate value across threads).
+    #[allow(clippy::disallowed_methods)]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value (relaxed; read after a join for an exact total).
+    pub fn load(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Consumes the counter, returning the final value.
+    pub fn into_inner(self) -> u64 {
+        self.0.into_inner()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_counter_accumulates() {
+        let c = EdgeCounter::new(2);
+        c.add(3);
+        c.add(0);
+        assert_eq!(c.load(), 5);
+        assert_eq!(c.into_inner(), 5);
+    }
+
+    #[test]
+    fn edge_counter_defaults_to_zero() {
+        assert_eq!(EdgeCounter::default().into_inner(), 0);
+    }
+}

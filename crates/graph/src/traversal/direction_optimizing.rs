@@ -8,15 +8,10 @@
 //! graphs), bottom-up examines far fewer edges because each unvisited vertex
 //! stops at its first frontier parent.
 
-// Grandfathered raw-atomic user from before the apgre-bc sync facade existed;
-// also allowlisted by `cargo xtask lint`. Porting the graph traversals onto a
-// shared facade crate is a ROADMAP open item.
-#![allow(clippy::disallowed_methods)]
-
 use crate::csr::Csr;
+use crate::sync::{AtomicU32, EdgeCounter, Ordering};
 use crate::{VertexId, UNREACHED};
 use rayon::prelude::*;
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
 /// Switching thresholds for the hybrid BFS.
 ///
@@ -54,7 +49,7 @@ pub fn hybrid_bfs_distances(
     debug_assert_eq!(n, rev.num_vertices());
     let dist: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNREACHED)).collect();
     dist[src as usize].store(0, Ordering::Relaxed);
-    let edges_examined = AtomicU64::new(0);
+    let edges_examined = EdgeCounter::new(0);
 
     let mut frontier: Vec<VertexId> = vec![src];
     let mut level = 0u32;
@@ -100,7 +95,7 @@ pub fn hybrid_bfs_distances(
                             break;
                         }
                     }
-                    edges_examined.fetch_add(examined, Ordering::Relaxed);
+                    edges_examined.add(examined);
                     found
                 })
                 .sum();
@@ -110,7 +105,7 @@ pub fn hybrid_bfs_distances(
             let next: Vec<VertexId> = frontier
                 .par_iter()
                 .flat_map_iter(|&u| {
-                    edges_examined.fetch_add(fwd.degree(u) as u64, Ordering::Relaxed);
+                    edges_examined.add(fwd.degree(u) as u64);
                     fwd.neighbors(u).iter().copied().filter(|&v| {
                         dist[v as usize]
                             .compare_exchange(

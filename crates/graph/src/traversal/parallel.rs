@@ -7,9 +7,9 @@
 //! scheme the paper's Algorithm 2 (phase 1) uses, lifted onto rayon.
 
 use crate::csr::Csr;
+use crate::sync::{AtomicU32, Ordering};
 use crate::{VertexId, UNREACHED};
 use rayon::prelude::*;
-use std::sync::atomic::{AtomicU32, Ordering};
 
 /// Parallel BFS distances from `src`. Semantically identical to
 /// [`crate::traversal::bfs_distances`]; used when single traversals are large

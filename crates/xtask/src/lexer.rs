@@ -49,9 +49,7 @@ pub fn scrub(src: &str) -> String {
             }
             c @ (b'r' | b'b') if !prev_is_ident(b, i) => {
                 if let Some((hashes, start)) = raw_string_prefix(b, i) {
-                    for _ in i..start {
-                        out.push(b' ');
-                    }
+                    out.extend(std::iter::repeat_n(b' ', start - i));
                     out.push(b'"');
                     i = start + 1;
                     scrub_string(b, &mut i, &mut out, hashes);

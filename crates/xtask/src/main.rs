@@ -101,7 +101,9 @@ fn lint(root: &Path) -> ExitCode {
 }
 
 /// Recursively collects workspace-relative `.rs` paths, skipping build
-/// output, VCS metadata, and hidden directories.
+/// output, VCS metadata, hidden directories, and the vendored offline
+/// stand-in crates (third-party API imitations, exempt from domain rules —
+/// see vendor/README.md).
 fn collect_rs(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) {
     let Ok(entries) = std::fs::read_dir(dir) else { return };
     for entry in entries.flatten() {
@@ -109,7 +111,7 @@ fn collect_rs(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) {
         let name = entry.file_name();
         let name = name.to_string_lossy();
         if path.is_dir() {
-            if name == "target" || name.starts_with('.') {
+            if name == "target" || name.starts_with('.') || (name == "vendor" && dir == root) {
                 continue;
             }
             collect_rs(root, &path, out);

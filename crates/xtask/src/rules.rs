@@ -6,7 +6,7 @@
 //!
 //! | rule | what it bans |
 //! |------|--------------|
-//! | `raw-atomic-import` | `std::sync::atomic` / `core::sync::atomic` outside the `apgre-bc` sync facade (plus two grandfathered graph traversals) |
+//! | `raw-atomic-import` | `std::sync::atomic` / `core::sync::atomic` outside the sync facades (`apgre_bc::sync` and its `apgre_graph::sync` mirror) |
 //! | `ordering-creep` | `SeqCst` / `AcqRel` outside the facade — the kernels' correctness argument is written for `Relaxed` + fork-join edges, stronger orderings hide missing reasoning |
 //! | `naked-par-accum` | `slice[i] += …` inside a `par_iter`-family closure — unsynchronized accumulation into a shared slice; use `AtomicF64::fetch_add` (escape: `lint:allow(par_accum)`) |
 //! | `kernel-missing-serial-test` | a `pub fn bc_*` kernel in `crates/bc` with no test file comparing it against `bc_serial` |
@@ -33,14 +33,11 @@ impl fmt::Display for Violation {
     }
 }
 
-/// Files whose raw-atomic use is sanctioned: the facade itself (it *is* the
-/// wrapper) and two pre-facade graph traversals, kept until the facade moves
-/// into a crate both sides can depend on (see ROADMAP "Open items").
-const ATOMIC_ALLOWLIST: &[&str] = &[
-    "crates/bc/src/sync/",
-    "crates/graph/src/traversal/parallel.rs",
-    "crates/graph/src/traversal/direction_optimizing.rs",
-];
+/// Files whose raw-atomic use is sanctioned: the two facades themselves
+/// (they *are* the wrappers — `apgre-graph` sits below `apgre-bc` in the
+/// dependency graph, so it carries a mirror facade instead of importing the
+/// BC one).
+const ATOMIC_ALLOWLIST: &[&str] = &["crates/bc/src/sync/", "crates/graph/src/sync.rs"];
 
 /// `SeqCst` is additionally allowed only inside the facade: the model
 /// checker's passthrough atomics are deliberately sequentially consistent.
@@ -303,12 +300,24 @@ mod tests {
     }
 
     #[test]
-    fn facade_and_grandfathered_files_may_use_raw_atomics() {
+    fn both_facades_may_use_raw_atomics() {
         let v = lint(&[
             ("crates/bc/src/sync/mod.rs", "pub use core::sync::atomic::Ordering;\n"),
-            ("crates/graph/src/traversal/parallel.rs", "use std::sync::atomic::AtomicU32;\n"),
+            ("crates/graph/src/sync.rs", "pub use core::sync::atomic::AtomicU32;\n"),
         ]);
         assert!(v.is_empty(), "{v:?}", v = rules(&v));
+    }
+
+    #[test]
+    fn graph_traversals_are_no_longer_grandfathered() {
+        let v = lint(&[
+            ("crates/graph/src/traversal/parallel.rs", "use std::sync::atomic::AtomicU32;\n"),
+            (
+                "crates/graph/src/traversal/direction_optimizing.rs",
+                "use std::sync::atomic::AtomicU64;\n",
+            ),
+        ]);
+        assert_eq!(rules(&v), ["raw-atomic-import", "raw-atomic-import"]);
     }
 
     #[test]

@@ -43,7 +43,9 @@ pub use apgre_workloads as workloads;
 
 /// The names most programs need.
 pub mod prelude {
-    pub use apgre_bc::apgre::{bc_apgre, bc_apgre_with, ApgreOptions, ApgreReport};
+    pub use apgre_bc::apgre::{
+        bc_apgre, bc_apgre_with, ApgreOptions, ApgreReport, KernelChoice, KernelPolicy,
+    };
     pub use apgre_bc::approx::bc_approx;
     pub use apgre_bc::brandes::bc_serial;
     pub use apgre_bc::edge::{edge_bc, girvan_newman};

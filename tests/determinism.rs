@@ -16,9 +16,20 @@ fn apgre_is_bitwise_deterministic_across_runs() {
 }
 
 #[test]
-fn apgre_parallel_inner_is_bitwise_deterministic() {
+fn apgre_level_sync_inner_is_bitwise_deterministic() {
     let g = registry()[0].graph(Scale::Tiny);
-    let opts = ApgreOptions { inner_parallel_min_vertices: 0, ..Default::default() };
+    let opts = ApgreOptions { kernel: KernelPolicy::LevelSync, grain: 1, ..Default::default() };
+    let (a, _) = bc_apgre_with(&g, &opts);
+    let (b, _) = bc_apgre_with(&g, &opts);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn apgre_root_parallel_inner_is_bitwise_deterministic() {
+    // The root-parallel kernel merges fixed chunks in chunk order, so it is
+    // bitwise deterministic even though f64 addition is non-associative.
+    let g = registry()[0].graph(Scale::Tiny);
+    let opts = ApgreOptions { kernel: KernelPolicy::RootParallel, grain: 2, ..Default::default() };
     let (a, _) = bc_apgre_with(&g, &opts);
     let (b, _) = bc_apgre_with(&g, &opts);
     assert_eq!(a, b);
@@ -33,13 +44,24 @@ fn succs_is_bitwise_deterministic() {
 #[test]
 fn thread_count_does_not_change_apgre_scores() {
     let g = registry()[2].graph(Scale::Tiny);
-    let run = |threads: usize| {
+    let run = |threads: usize, kernel: KernelPolicy| {
         let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
-        pool.install(|| bc_apgre(&g))
+        pool.install(|| bc_apgre_with(&g, &ApgreOptions { kernel, ..Default::default() }).0)
     };
-    let one = run(1);
-    let four = run(4);
-    assert_eq!(one, four, "single-writer kernels must be schedule-independent");
+    // Forced single-writer kernels are schedule-independent: bitwise equal
+    // across pool sizes.
+    for kernel in [KernelPolicy::Seq, KernelPolicy::LevelSync] {
+        assert_eq!(run(1, kernel), run(4, kernel), "{kernel:?} must be schedule-independent");
+    }
+    // Root-parallel chunk boundaries and the Auto kernel decision are
+    // functions of the worker count by design, so the f64 fold order may
+    // differ between pool sizes; values stay numerically equivalent (and
+    // each pool size on its own is bitwise deterministic, tested above).
+    for kernel in [KernelPolicy::RootParallel, KernelPolicy::Auto] {
+        let one = run(1, kernel);
+        let four = run(4, kernel);
+        assert!(apgre::bc::scores_close(&one, &four, 1e-9), "{kernel:?} diverged across pools");
+    }
 }
 
 #[test]

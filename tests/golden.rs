@@ -62,10 +62,13 @@ fn golden_road_ny_like() {
     check("usa-road-ny-like", GOLDEN[3].1);
 }
 
-/// Recorded with `APGRE_PRINT_GOLDEN=1 cargo test --test golden -- --nocapture`.
+/// Recorded with `APGRE_PRINT_GOLDEN=1 cargo test --test golden -- --nocapture`
+/// against the vendored offline `rand` stand-in (SplitMix64 `StdRng`); the
+/// stream differs from upstream ChaCha12, so these values are tied to the
+/// vendored substrate (see vendor/README.md).
 const GOLDEN: &[(&str, u64)] = &[
-    ("email-enron-like", 0x184cdfb4f1134e54),
-    ("wikitalk-like", 0x7483da41d44f85cf),
-    ("youtube-like", 0xf51985e8172bc809),
-    ("usa-road-ny-like", 0xf23a9914765a7c65),
+    ("email-enron-like", 0xfc39df40ff7cf5c0),
+    ("wikitalk-like", 0x082f776035733551),
+    ("youtube-like", 0xe9cb5216d2debeca),
+    ("usa-road-ny-like", 0xe86a796b1c5962e2),
 ];

@@ -1,0 +1,138 @@
+//! Kernel-policy equivalence: every sub-graph kernel — `bc_in_subgraph_seq`,
+//! `bc_in_subgraph_seq_with`, `bc_in_subgraph_root_par`,
+//! `bc_in_subgraph_level_sync`, `bc_in_subgraph_level_sync_with` — and every
+//! `KernelPolicy` must reproduce serial Brandes (`bc_serial`) on the
+//! Table-1 workload stand-ins, across grains, pool sizes, and pooled
+//! (recycled, oversized) workspaces.
+
+use apgre::bc::apgre::kernel::{
+    bc_in_subgraph_level_sync, bc_in_subgraph_level_sync_with, bc_in_subgraph_root_par,
+    bc_in_subgraph_seq, bc_in_subgraph_seq_with, SgParWs, SgWorkspace,
+};
+use apgre::prelude::*;
+use apgre::workloads::{registry, Scale};
+
+fn assert_close(name: &str, got: &[f64], want: &[f64]) {
+    assert_eq!(got.len(), want.len(), "{name}: length");
+    for i in 0..want.len() {
+        let (x, y) = (got[i], want[i]);
+        assert!(
+            (x - y).abs() <= 1e-6 * (1.0 + x.abs().max(y.abs())),
+            "{name}: vertex {i}: got {x}, want {y}"
+        );
+    }
+}
+
+/// Every forced policy and Auto must match serial Brandes end to end, and
+/// the report must account for every sub-graph under the forced policies.
+#[test]
+fn all_policies_match_bc_serial_on_workloads() {
+    for spec in registry().into_iter().step_by(2) {
+        let g = spec.graph(Scale::Tiny);
+        let want = bc_serial(&g);
+        for (name, kernel, grain) in [
+            ("auto", KernelPolicy::Auto, 256),
+            ("seq", KernelPolicy::Seq, 256),
+            ("rootpar", KernelPolicy::RootParallel, 1),
+            ("levelsync", KernelPolicy::LevelSync, 1),
+        ] {
+            let opts = ApgreOptions { kernel, grain, ..Default::default() };
+            let (got, report) = bc_apgre_with(&g, &opts);
+            assert_close(&format!("{}/{name}", spec.name), &got, &want);
+            let (s, r, l) = report.kernel_counts;
+            assert_eq!(s + r + l, report.num_subgraphs, "{}/{name}", spec.name);
+            match kernel {
+                KernelPolicy::Seq => assert_eq!(s, report.num_subgraphs),
+                KernelPolicy::RootParallel => assert_eq!(r, report.num_subgraphs),
+                KernelPolicy::LevelSync => assert_eq!(l, report.num_subgraphs),
+                KernelPolicy::Auto => {}
+            }
+        }
+    }
+}
+
+/// Direct per-sub-graph comparison of all five kernel entry points,
+/// including the pooled `_with` variants running on one shared, deliberately
+/// oversized workspace recycled across sub-graphs of different sizes.
+#[test]
+fn subgraph_kernels_agree_with_each_other_and_bc_serial() {
+    for spec in registry().into_iter().step_by(3) {
+        let g = spec.graph(Scale::Tiny);
+        let want = bc_serial(&g);
+        let d = decompose(&g, &PartitionOptions::default());
+        let mut pooled_seq = SgWorkspace::new(1);
+        let mut pooled_par = SgParWs::new(1);
+        let run = |f: &mut dyn FnMut(&SubGraph, &mut [f64]) -> u64| {
+            let mut bc = vec![0.0f64; g.num_vertices()];
+            for sg in &d.subgraphs {
+                let mut local = vec![0.0f64; sg.num_vertices()];
+                f(sg, &mut local);
+                for (l, &score) in local.iter().enumerate() {
+                    bc[sg.globals[l] as usize] += score;
+                }
+            }
+            bc
+        };
+        let mut variants: Vec<(&str, Box<dyn FnMut(&SubGraph, &mut [f64]) -> u64>)> = vec![
+            ("seq", Box::new(bc_in_subgraph_seq)),
+            ("root_par", Box::new(|sg, l| bc_in_subgraph_root_par(sg, l, 2))),
+            ("level_sync", Box::new(|sg, l| bc_in_subgraph_level_sync(sg, l, 1))),
+            ("seq_with", Box::new(|sg, l| bc_in_subgraph_seq_with(sg, l, &mut pooled_seq))),
+            (
+                "level_sync_with",
+                Box::new(|sg, l| bc_in_subgraph_level_sync_with(sg, l, 1, &mut pooled_par)),
+            ),
+        ];
+        for (name, f) in &mut variants {
+            assert_close(&format!("{}/{name}", spec.name), &run(f.as_mut()), &want);
+        }
+    }
+}
+
+/// The parallel kernels must also be exact inside a single-worker pool (the
+/// degenerate scheduling case: every chunk and level runs on one thread).
+#[test]
+fn forced_parallel_kernels_match_bc_serial_on_one_thread() {
+    let spec = &registry()[1];
+    let g = spec.graph(Scale::Tiny);
+    let want = bc_serial(&g);
+    let pool = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+    for kernel in [KernelPolicy::RootParallel, KernelPolicy::LevelSync] {
+        let opts = ApgreOptions { kernel, grain: 1, ..Default::default() };
+        let got = pool.install(|| bc_apgre_with(&g, &opts).0);
+        assert_close(&format!("{}/{kernel:?}@1thread", spec.name), &got, &want);
+    }
+}
+
+/// Exactness must not depend on the scheduling grain.
+#[test]
+fn grain_sweep_matches_bc_serial() {
+    let spec = &registry()[4];
+    let g = spec.graph(Scale::Tiny);
+    let want = bc_serial(&g);
+    for grain in [1, 3, 64, 1_000_000] {
+        for kernel in [KernelPolicy::Auto, KernelPolicy::RootParallel, KernelPolicy::LevelSync] {
+            let opts = ApgreOptions { kernel, grain, ..Default::default() };
+            let (got, report) = bc_apgre_with(&g, &opts);
+            assert_close(&format!("{}/{kernel:?}@g{grain}", spec.name), &got, &want);
+            assert_eq!(report.grain, grain.max(1));
+        }
+    }
+}
+
+/// The root-parallel kernel merges fixed chunks in chunk order, so repeated
+/// runs are bitwise identical — f64 non-associativity notwithstanding.
+#[test]
+fn root_par_kernel_is_bitwise_deterministic_on_workloads() {
+    for spec in registry().into_iter().step_by(4) {
+        let g = spec.graph(Scale::Tiny);
+        let d = decompose(&g, &PartitionOptions::default());
+        for sg in &d.subgraphs {
+            let mut a = vec![0.0f64; sg.num_vertices()];
+            let mut b = vec![0.0f64; sg.num_vertices()];
+            bc_in_subgraph_root_par(sg, &mut a, 2);
+            bc_in_subgraph_root_par(sg, &mut b, 2);
+            assert_eq!(a, b, "{}/SG{}", spec.name, sg.id);
+        }
+    }
+}

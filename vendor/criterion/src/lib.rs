@@ -1,0 +1,215 @@
+//! Offline stand-in for `criterion` (see `vendor/README.md`).
+//!
+//! Keeps the bench sources compiling and runnable: groups, benchmark IDs,
+//! `bench_function` / `bench_with_input`, and `Bencher::iter`. Measurement
+//! is a plain warm-up + timed-samples loop reporting mean and min — no
+//! statistical analysis, HTML reports, or CLI filtering.
+
+use std::time::{Duration, Instant};
+
+/// Re-implementation of `criterion::black_box` (identity through an opaque
+/// read, preventing the optimizer from deleting the measured work).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark context.
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        eprintln!("\nbench group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(100),
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+/// Identifier `function/parameter`, as in criterion.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds `function/parameter`.
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{function}/{parameter}") }
+    }
+}
+
+/// A group of benchmarks sharing sampling configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Untimed warm-up budget before sampling.
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Total timed budget; sampling stops early when exhausted.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Benchmarks a closure.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into().0;
+        let mut b = Bencher::new(self.sample_size, self.warm_up_time, self.measurement_time);
+        f(&mut b);
+        b.report(&id);
+        self
+    }
+
+    /// Benchmarks a closure against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into().0;
+        let mut b = Bencher::new(self.sample_size, self.warm_up_time, self.measurement_time);
+        f(&mut b, input);
+        b.report(&id);
+        self
+    }
+
+    /// Ends the group (a reporting no-op here).
+    pub fn finish(self) {}
+}
+
+/// Accepted benchmark identifiers: `&str` or [`BenchmarkId`].
+pub struct BenchId(String);
+
+impl From<&str> for BenchId {
+    fn from(s: &str) -> Self {
+        BenchId(s.to_string())
+    }
+}
+
+impl From<String> for BenchId {
+    fn from(s: String) -> Self {
+        BenchId(s)
+    }
+}
+
+impl From<BenchmarkId> for BenchId {
+    fn from(id: BenchmarkId) -> Self {
+        BenchId(id.id)
+    }
+}
+
+/// Drives the measured closure.
+pub struct Bencher {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(sample_size: usize, warm_up_time: Duration, measurement_time: Duration) -> Self {
+        Bencher { sample_size, warm_up_time, measurement_time, samples: Vec::new() }
+    }
+
+    /// Times `f`: warm-up until the warm-up budget elapses, then up to
+    /// `sample_size` timed samples within the measurement budget.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up_time {
+            black_box(f());
+        }
+        let measure_start = Instant::now();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            black_box(f());
+            self.samples.push(t.elapsed());
+            if measure_start.elapsed() > self.measurement_time {
+                break;
+            }
+        }
+        if self.samples.is_empty() {
+            let t = Instant::now();
+            black_box(f());
+            self.samples.push(t.elapsed());
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.samples.is_empty() {
+            eprintln!("  {id}: no samples (closure never called iter)");
+            return;
+        }
+        let total: Duration = self.samples.iter().sum();
+        let mean = total / self.samples.len() as u32;
+        let min = self.samples.iter().min().copied().unwrap_or_default();
+        eprintln!("  {id}: mean {:?} / min {:?} over {} sample(s)", mean, min, self.samples.len());
+    }
+}
+
+/// Bundles benchmark functions into one runnable group, as in criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the given groups, as in criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("t");
+        group
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(10));
+        let mut calls = 0u32;
+        group.bench_function("inc", |b| b.iter(|| calls += 1));
+        assert!(calls > 0);
+        group.bench_with_input(BenchmarkId::new("sq", 4), &4u64, |b, &x| b.iter(|| x * x));
+        group.finish();
+    }
+}

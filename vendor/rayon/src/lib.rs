@@ -1,0 +1,540 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! This container has no registry access, so the workspace vendors the
+//! subset of rayon's API it actually uses (see `vendor/README.md`). Every
+//! parallel iterator here executes **deterministically on the calling
+//! thread** — semantically identical to rayon with a one-worker pool, which
+//! is also the only configuration the 1-CPU build container could exploit.
+//! The adapter signatures keep rayon's `Send`/`Sync` bounds so code written
+//! against this stand-in still compiles against real rayon when the
+//! `[patch.crates-io]` entry is removed on a networked machine.
+//!
+//! Thread-pool types are configuration-faithful: [`ThreadPoolBuilder`],
+//! [`ThreadPool::install`] and [`current_num_threads`] report the requested
+//! worker count (so scheduling heuristics keyed on it are exercisable), but
+//! execution remains sequential.
+
+use std::cell::Cell;
+use std::sync::OnceLock;
+
+pub mod prelude {
+    //! The conversion traits, mirroring `rayon::prelude`.
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelExtend,
+        ParallelIterator, ParallelSlice,
+    };
+}
+
+/// Sequential stand-in for rayon's `ParallelIterator`.
+///
+/// One wrapper type implements the whole adapter surface; the inner value is
+/// a plain [`Iterator`] driven eagerly by the consuming adapters.
+pub struct ParIter<I>(I);
+
+/// Conversion into a "parallel" iterator (sequential in this stand-in).
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item: Send;
+    /// The iterator produced.
+    type Iter;
+    /// Converts `self`.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<C: IntoIterator> IntoParallelIterator for C
+where
+    C::Item: Send,
+{
+    type Item = C::Item;
+    type Iter = ParIter<C::IntoIter>;
+    fn into_par_iter(self) -> Self::Iter {
+        ParIter(self.into_iter())
+    }
+}
+
+/// `par_iter()` by shared reference, mirroring rayon's blanket impl.
+pub trait IntoParallelRefIterator<'data> {
+    /// The element type.
+    type Item: Send;
+    /// The iterator produced.
+    type Iter;
+    /// Iterates `&self`.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, I: 'data + ?Sized> IntoParallelRefIterator<'data> for I
+where
+    &'data I: IntoParallelIterator,
+{
+    type Item = <&'data I as IntoParallelIterator>::Item;
+    type Iter = <&'data I as IntoParallelIterator>::Iter;
+    fn par_iter(&'data self) -> Self::Iter {
+        self.into_par_iter()
+    }
+}
+
+/// `par_iter_mut()` by exclusive reference.
+pub trait IntoParallelRefMutIterator<'data> {
+    /// The element type.
+    type Item: Send;
+    /// The iterator produced.
+    type Iter;
+    /// Iterates `&mut self`.
+    fn par_iter_mut(&'data mut self) -> Self::Iter;
+}
+
+impl<'data, I: 'data + ?Sized> IntoParallelRefMutIterator<'data> for I
+where
+    &'data mut I: IntoParallelIterator,
+{
+    type Item = <&'data mut I as IntoParallelIterator>::Item;
+    type Iter = <&'data mut I as IntoParallelIterator>::Iter;
+    fn par_iter_mut(&'data mut self) -> Self::Iter {
+        self.into_par_iter()
+    }
+}
+
+/// Marker + adapter trait so `use rayon::prelude::*` brings the methods in,
+/// exactly like rayon. Implemented only by [`ParIter`].
+pub trait ParallelIterator: Sized {
+    /// The element type.
+    type Item: Send;
+    /// The underlying sequential iterator.
+    type Inner: Iterator<Item = Self::Item>;
+    /// Unwraps to the sequential iterator that drives everything.
+    fn into_seq(self) -> Self::Inner;
+
+    /// Maps each element.
+    fn map<R, F>(self, f: F) -> ParIter<std::iter::Map<Self::Inner, F>>
+    where
+        F: Fn(Self::Item) -> R + Sync + Send,
+        R: Send,
+    {
+        ParIter(self.into_seq().map(f))
+    }
+
+    /// Keeps elements matching the predicate.
+    fn filter<F>(self, f: F) -> ParIter<std::iter::Filter<Self::Inner, F>>
+    where
+        F: Fn(&Self::Item) -> bool + Sync + Send,
+    {
+        ParIter(self.into_seq().filter(f))
+    }
+
+    /// Filter + map in one pass.
+    fn filter_map<R, F>(self, f: F) -> ParIter<std::iter::FilterMap<Self::Inner, F>>
+    where
+        F: Fn(Self::Item) -> Option<R> + Sync + Send,
+        R: Send,
+    {
+        ParIter(self.into_seq().filter_map(f))
+    }
+
+    /// Maps each element to a parallel iterator and flattens.
+    fn flat_map<PI, F>(self, f: F) -> ParIter<std::vec::IntoIter<PI::Item>>
+    where
+        F: Fn(Self::Item) -> PI + Sync + Send,
+        PI: IntoParallelIterator,
+        PI::Iter: ParallelIterator<Item = PI::Item>,
+    {
+        let mut out = Vec::new();
+        for x in self.into_seq() {
+            out.extend(f(x).into_par_iter().into_seq());
+        }
+        ParIter(out.into_iter())
+    }
+
+    /// Maps each element to a *sequential* iterator and flattens — rayon's
+    /// cheap-inner-loop variant.
+    fn flat_map_iter<SI, F>(self, f: F) -> ParIter<std::vec::IntoIter<SI::Item>>
+    where
+        F: Fn(Self::Item) -> SI + Sync + Send,
+        SI: IntoIterator,
+        SI::Item: Send,
+    {
+        let mut out = Vec::new();
+        for x in self.into_seq() {
+            out.extend(f(x));
+        }
+        ParIter(out.into_iter())
+    }
+
+    /// Parallel fold: each worker folds its split with a private accumulator.
+    /// The sequential stand-in is a single split, so this yields exactly one
+    /// accumulator — rayon's documented one-thread behaviour.
+    fn fold<T, ID, F>(self, identity: ID, fold_op: F) -> ParIter<std::iter::Once<T>>
+    where
+        ID: Fn() -> T + Sync + Send,
+        F: Fn(T, Self::Item) -> T + Sync + Send,
+        T: Send,
+    {
+        let acc = self.into_seq().fold(identity(), fold_op);
+        ParIter(std::iter::once(acc))
+    }
+
+    /// Reduces all elements with `op`, starting from `identity()`.
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item + Sync + Send,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync + Send,
+    {
+        self.into_seq().fold(identity(), op)
+    }
+
+    /// Runs `f` on every element.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+    {
+        self.into_seq().for_each(f)
+    }
+
+    /// Sums the elements.
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item> + Send,
+    {
+        self.into_seq().sum()
+    }
+
+    /// Largest element.
+    fn max(self) -> Option<Self::Item>
+    where
+        Self::Item: Ord,
+    {
+        self.into_seq().max()
+    }
+
+    /// Smallest element.
+    fn min(self) -> Option<Self::Item>
+    where
+        Self::Item: Ord,
+    {
+        self.into_seq().min()
+    }
+
+    /// Number of elements.
+    fn count(self) -> usize {
+        self.into_seq().count()
+    }
+
+    /// Collects into any `FromIterator` collection (rayon's
+    /// `FromParallelIterator` targets are all `FromIterator` here).
+    fn collect<C>(self) -> C
+    where
+        C: FromIterator<Self::Item>,
+    {
+        self.into_seq().collect()
+    }
+
+    /// Groups elements into `Vec` chunks of at most `size`.
+    fn chunks(self, size: usize) -> ParIter<std::vec::IntoIter<Vec<Self::Item>>> {
+        assert!(size > 0, "chunk size must be non-zero");
+        let mut chunks = Vec::new();
+        let mut cur = Vec::with_capacity(size);
+        for x in self.into_seq() {
+            cur.push(x);
+            if cur.len() == size {
+                chunks.push(std::mem::replace(&mut cur, Vec::with_capacity(size)));
+            }
+        }
+        if !cur.is_empty() {
+            chunks.push(cur);
+        }
+        ParIter(chunks.into_iter())
+    }
+
+    /// Pairs each element with its index.
+    fn enumerate(self) -> ParIter<std::iter::Enumerate<Self::Inner>> {
+        ParIter(self.into_seq().enumerate())
+    }
+
+    /// Like [`ParallelIterator::map`], but each worker lazily creates one
+    /// state value with `init` and reuses it across every element it
+    /// processes — rayon's idiom for long-lived per-worker scratch buffers.
+    fn map_init<T, R, INIT, F>(self, init: INIT, f: F) -> ParIter<MapInit<Self::Inner, T, F>>
+    where
+        INIT: Fn() -> T + Sync + Send,
+        F: Fn(&mut T, Self::Item) -> R + Sync + Send,
+        R: Send,
+    {
+        ParIter(MapInit { inner: self.into_seq(), state: init(), f })
+    }
+
+    /// Splitting-granularity hint; a no-op sequentially.
+    fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+
+    /// Tests whether any element matches.
+    fn any<F>(self, f: F) -> bool
+    where
+        F: Fn(Self::Item) -> bool + Sync + Send,
+    {
+        let mut it = self.into_seq();
+        it.any(|x| f(x))
+    }
+
+    /// Tests whether all elements match.
+    fn all<F>(self, f: F) -> bool
+    where
+        F: Fn(Self::Item) -> bool + Sync + Send,
+    {
+        let mut it = self.into_seq();
+        it.all(|x| f(x))
+    }
+}
+
+impl<I: Iterator> ParallelIterator for ParIter<I>
+where
+    I::Item: Send,
+{
+    type Item = I::Item;
+    type Inner = I;
+    fn into_seq(self) -> I {
+        self.0
+    }
+}
+
+/// Lets a [`ParIter`] be consumed as a sequential iterator, which also makes
+/// every adapter output satisfy [`IntoParallelIterator`] via the blanket impl
+/// (rayon: every `ParallelIterator` is `IntoParallelIterator`).
+impl<I: Iterator> IntoIterator for ParIter<I> {
+    type Item = I::Item;
+    type IntoIter = I;
+    fn into_iter(self) -> I {
+        self.0
+    }
+}
+
+/// Iterator for [`ParallelIterator::map_init`]: one lazily-created state
+/// threaded through every element (the sequential stand-in is a single
+/// "worker", so one state instance covers the whole iteration — rayon's
+/// documented one-thread behaviour).
+pub struct MapInit<I, T, F> {
+    inner: I,
+    state: T,
+    f: F,
+}
+
+impl<I: Iterator, T, R, F: Fn(&mut T, I::Item) -> R> Iterator for MapInit<I, T, F> {
+    type Item = R;
+    fn next(&mut self) -> Option<R> {
+        self.inner.next().map(|x| (self.f)(&mut self.state, x))
+    }
+}
+
+/// Slice-specific parallel iterators, mirroring `rayon::slice::ParallelSlice`.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over non-overlapping contiguous chunks of at most
+    /// `chunk_size` elements. Chunk boundaries depend only on the slice
+    /// length and `chunk_size`, never on scheduling.
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<std::slice::Chunks<'_, T>>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<std::slice::Chunks<'_, T>> {
+        assert!(chunk_size > 0, "chunk size must be non-zero");
+        ParIter(self.chunks(chunk_size))
+    }
+}
+
+/// Extending a collection from a parallel iterator, mirroring
+/// `rayon::iter::ParallelExtend`. Lets callers reuse a collection's
+/// allocation across repeated fills (`v.clear(); v.par_extend(..)`).
+pub trait ParallelExtend<T: Send> {
+    /// Extends the collection with the iterator's elements.
+    fn par_extend<I>(&mut self, par_iter: I)
+    where
+        I: IntoParallelIterator<Item = T>,
+        I::Iter: ParallelIterator<Item = T>;
+}
+
+impl<T: Send> ParallelExtend<T> for Vec<T> {
+    fn par_extend<I>(&mut self, par_iter: I)
+    where
+        I: IntoParallelIterator<Item = T>,
+        I::Iter: ParallelIterator<Item = T>,
+    {
+        self.extend(par_iter.into_par_iter().into_seq());
+    }
+}
+
+// ------------------------------------------------------------- thread pool
+
+static GLOBAL_THREADS: OnceLock<usize> = OnceLock::new();
+
+thread_local! {
+    static POOL_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Worker count of the current scope: the installed pool's, else the global
+/// pool's, else the machine's available parallelism.
+pub fn current_num_threads() -> usize {
+    POOL_THREADS.with(|t| t.get()).unwrap_or_else(|| {
+        *GLOBAL_THREADS
+            .get_or_init(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+    })
+}
+
+/// Error returned when a pool cannot be built (only: the global pool was
+/// already initialized).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(&'static str);
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// New builder with default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests a worker count (0 = automatic, like rayon).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = Some(n);
+        self
+    }
+
+    fn resolved(&self) -> usize {
+        match self.num_threads {
+            Some(0) | None => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            Some(n) => n,
+        }
+    }
+
+    /// Builds a scoped pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool { threads: self.resolved() })
+    }
+
+    /// Initializes the global pool; errors if already initialized, exactly
+    /// like rayon.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        let n = self.resolved();
+        GLOBAL_THREADS.set(n).map_err(|_| {
+            ThreadPoolBuildError("the global thread pool has already been initialized")
+        })
+    }
+}
+
+/// A configured pool. Sequential execution; the worker count is visible via
+/// [`current_num_threads`] inside [`ThreadPool::install`].
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `f` "inside" the pool: `current_num_threads()` reports this
+    /// pool's worker count for the duration of the call.
+    pub fn install<R: Send>(&self, f: impl FnOnce() -> R + Send) -> R {
+        POOL_THREADS.with(|t| {
+            let prev = t.replace(Some(self.threads));
+            let out = f();
+            t.set(prev);
+            out
+        })
+    }
+
+    /// This pool's worker count.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+}
+
+/// Runs two closures (sequentially here), returning both results — rayon's
+/// structured-parallelism primitive, kept so kernels may use it.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    (a(), b())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn adapters_mirror_sequential_results() {
+        let v: Vec<u32> =
+            (0u32..10).into_par_iter().map(|x| x * 2).filter(|&x| x % 3 == 0).collect();
+        assert_eq!(v, vec![0, 6, 12, 18]);
+        let s: u32 = v.par_iter().sum();
+        assert_eq!(s, 36);
+        let f: Vec<u32> = v.par_iter().flat_map_iter(|&x| std::iter::repeat(x).take(2)).collect();
+        assert_eq!(f.len(), 8);
+    }
+
+    #[test]
+    fn fold_then_reduce_matches_rayon_one_thread() {
+        let total = (1u64..=10)
+            .into_par_iter()
+            .chunks(3)
+            .fold(Vec::new, |mut acc, chunk| {
+                acc.push(chunk.iter().sum::<u64>());
+                acc
+            })
+            .map(|partials| partials.iter().sum::<u64>())
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, 55);
+    }
+
+    #[test]
+    fn pool_scopes_thread_count() {
+        let pool = crate::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        assert_eq!(pool.install(crate::current_num_threads), 4);
+    }
+
+    #[test]
+    fn par_chunks_boundaries_are_deterministic() {
+        let v: Vec<u32> = (0..10).collect();
+        let chunks: Vec<Vec<u32>> = v.par_chunks(4).map(|c| c.to_vec()).collect();
+        assert_eq!(chunks, vec![vec![0, 1, 2, 3], vec![4, 5, 6, 7], vec![8, 9]]);
+    }
+
+    #[test]
+    fn map_init_reuses_one_state_per_worker() {
+        let v: Vec<u32> = (0..6).collect();
+        // The state counts how many items this worker has seen; sequentially
+        // there is exactly one worker, so the counter runs 1..=6.
+        let seen: Vec<u32> = v
+            .par_chunks(2)
+            .map_init(
+                || 0u32,
+                |count, chunk| {
+                    *count += chunk.len() as u32;
+                    *count
+                },
+            )
+            .collect();
+        assert_eq!(seen, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn par_extend_reuses_the_allocation() {
+        let mut buf: Vec<u32> = Vec::with_capacity(64);
+        buf.par_extend((0u32..8).into_par_iter().map(|x| x * 2));
+        assert_eq!(buf.len(), 8);
+        let cap = buf.capacity();
+        buf.clear();
+        buf.par_extend((0u32..4).into_par_iter());
+        assert_eq!(buf, vec![0, 1, 2, 3]);
+        assert_eq!(buf.capacity(), cap, "clear + par_extend must not reallocate");
+    }
+}

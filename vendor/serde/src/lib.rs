@@ -1,0 +1,97 @@
+//! Offline stand-in for `serde` (see `vendor/README.md`).
+//!
+//! Real serde abstracts over data formats; this workspace only ever
+//! serializes to JSON, so the stand-in collapses the abstraction:
+//! [`Serialize`] renders directly into the in-tree JSON [`value::Value`]
+//! model, and the vendored `serde_json` pretty-prints it. `#[derive(Serialize)]`
+//! comes from the vendored `serde_derive` proc-macro (enabled by the
+//! `derive` feature, like upstream).
+
+#[cfg(feature = "derive")]
+pub use serde_derive::Serialize;
+
+pub mod value;
+
+/// A type that can render itself as a JSON value.
+///
+/// The single method replaces serde's `Serializer`-visitor dance: every
+/// consumer in this workspace funnels into JSON anyway.
+pub trait Serialize {
+    /// Renders `self` as a JSON value tree.
+    fn to_json_value(&self) -> value::Value;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json_value(&self) -> value::Value {
+        (**self).to_json_value()
+    }
+}
+
+impl Serialize for bool {
+    fn to_json_value(&self) -> value::Value {
+        value::Value::Bool(*self)
+    }
+}
+
+macro_rules! impl_serialize_number {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> value::Value {
+                value::Value::Number(*self as f64)
+            }
+        }
+    )*};
+}
+
+impl_serialize_number!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl Serialize for str {
+    fn to_json_value(&self) -> value::Value {
+        value::Value::String(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_json_value(&self) -> value::Value {
+        value::Value::String(self.clone())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json_value(&self) -> value::Value {
+        match self {
+            Some(v) => v.to_json_value(),
+            None => value::Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json_value(&self) -> value::Value {
+        value::Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json_value(&self) -> value::Value {
+        self.as_slice().to_json_value()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json_value(&self) -> value::Value {
+        self.as_slice().to_json_value()
+    }
+}
+
+impl Serialize for value::Value {
+    fn to_json_value(&self) -> value::Value {
+        self.clone()
+    }
+}
+
+impl Serialize for value::Map {
+    fn to_json_value(&self) -> value::Value {
+        value::Value::Object(self.clone())
+    }
+}

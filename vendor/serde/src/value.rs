@@ -1,0 +1,122 @@
+//! The JSON value model shared by the vendored `serde` and `serde_json`.
+
+/// A JSON value. Numbers are `f64`, as in JavaScript — ample for the
+/// bench-record magnitudes this workspace emits.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number.
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An ordered list.
+    Array(Vec<Value>),
+    /// Key-value pairs, insertion-ordered.
+    Object(Map),
+}
+
+impl Value {
+    /// The value under `key`, if this is an object holding it.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// The float, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string slice, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+/// An insertion-ordered string-keyed map (upstream `serde_json::Map` with
+/// the `preserve_order` feature). The generic parameters exist only so the
+/// spelled-out type `Map<String, Value>` keeps compiling; no other
+/// instantiation is supported.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct Map<K = String, V = Value> {
+    entries: Vec<(K, V)>,
+}
+
+impl Map<String, Value> {
+    /// An empty map.
+    pub fn new() -> Self {
+        Map { entries: Vec::new() }
+    }
+
+    /// Inserts `value` under `key`, replacing (in place) any existing entry.
+    pub fn insert(&mut self, key: String, value: Value) -> Option<Value> {
+        for (k, v) in &mut self.entries {
+            if *k == key {
+                return Some(std::mem::replace(v, value));
+            }
+        }
+        self.entries.push((key, value));
+        None
+    }
+
+    /// The value under `key`.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Whether `key` is present.
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_replaces_in_place() {
+        let mut m = Map::new();
+        m.insert("a".into(), Value::Number(1.0));
+        m.insert("b".into(), Value::Number(2.0));
+        let old = m.insert("a".into(), Value::Number(3.0));
+        assert_eq!(old, Some(Value::Number(1.0)));
+        let keys: Vec<&String> = m.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, ["a", "b"]);
+        assert_eq!(m.get("a"), Some(&Value::Number(3.0)));
+    }
+}

@@ -1,0 +1,96 @@
+//! Offline stand-in for `serde_derive` (see `vendor/README.md`).
+//!
+//! A syn-free `#[derive(Serialize)]` supporting exactly the shapes this
+//! workspace derives on: plain (non-generic) structs with named fields.
+//! The token stream is walked by hand and the impl is emitted as source
+//! text, so the crate has zero dependencies and builds offline.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the vendored `serde::Serialize` (render-to-JSON-value) impl.
+///
+/// # Panics
+/// Panics at compile time on unsupported shapes (enums, tuple structs,
+/// generics) — extend the parser rather than silently mis-serializing.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, fields) = parse_named_struct(input);
+    let mut body = String::from("let mut map = serde::value::Map::new();\n");
+    for f in &fields {
+        body.push_str(&format!(
+            "map.insert({f:?}.to_string(), serde::Serialize::to_json_value(&self.{f}));\n"
+        ));
+    }
+    body.push_str("serde::value::Value::Object(map)");
+    let impl_src = format!(
+        "impl serde::Serialize for {name} {{\n\
+         fn to_json_value(&self) -> serde::value::Value {{\n{body}\n}}\n}}\n"
+    );
+    impl_src.parse().expect("serde_derive stand-in emitted invalid Rust")
+}
+
+/// Extracts the struct name and its named-field identifiers.
+fn parse_named_struct(input: TokenStream) -> (String, Vec<String>) {
+    let mut tokens = input.into_iter().peekable();
+    // Skip outer attributes (`#[...]`, including doc comments) and visibility.
+    let name = loop {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                let _bracket = tokens.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                // `pub(crate)` etc. carry a parenthesized scope.
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => match tokens.next() {
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                other => panic!("expected struct name, found {other:?}"),
+            },
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                panic!("the vendored serde_derive only supports structs with named fields")
+            }
+            Some(other) => panic!("unexpected token before `struct`: {other}"),
+            None => panic!("no `struct` keyword in derive input"),
+        }
+    };
+    if !matches!(tokens.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace) {
+        panic!("the vendored serde_derive only supports non-generic named-field structs");
+    }
+    let Some(TokenTree::Group(body)) = tokens.next() else { unreachable!() };
+    (name, field_names(body.stream()))
+}
+
+/// Field identifiers: the ident right before each top-level `:`, with
+/// per-field attributes and visibility already skipped by position.
+fn field_names(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut last_ident: Option<String> = None;
+    let mut depth = 0usize; // inside a type like `Vec<(A, B)>` after `:`
+    let mut in_type = false;
+    for tt in body {
+        match &tt {
+            TokenTree::Punct(p) => match p.as_char() {
+                ':' if !in_type && depth == 0 => {
+                    fields.push(last_ident.take().expect("field `:` without a name"));
+                    in_type = true;
+                }
+                '<' if in_type => depth += 1,
+                '>' if in_type => depth = depth.saturating_sub(1),
+                ',' if depth == 0 => in_type = false,
+                _ => {}
+            },
+            TokenTree::Ident(id) if !in_type => {
+                let s = id.to_string();
+                if s != "pub" {
+                    last_ident = Some(s);
+                }
+            }
+            _ => {}
+        }
+    }
+    fields
+}

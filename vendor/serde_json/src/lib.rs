@@ -1,0 +1,225 @@
+//! Offline stand-in for `serde_json` (see `vendor/README.md`).
+//!
+//! Re-exports the value model from the vendored `serde` and adds the
+//! pieces this workspace calls: the [`json!`] macro, [`to_value`], and
+//! [`to_string_pretty`]. Output is deterministic: maps keep insertion
+//! order and numbers print integral-valued floats without a fraction.
+
+pub use serde::value::{Map, Value};
+
+/// Error type for API parity; no operation here can actually fail.
+#[derive(Debug)]
+pub struct Error(());
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("serde_json stand-in error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Renders any [`serde::Serialize`] type as a [`Value`] tree.
+pub fn to_value<T: serde::Serialize>(value: T) -> Result<Value, Error> {
+    Ok(value.to_json_value())
+}
+
+/// Pretty-prints (2-space indent) any [`serde::Serialize`] type.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_json_value(), 0, &mut out);
+    Ok(out)
+}
+
+/// Compact single-line rendering.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let pretty = to_string_pretty(value)?;
+    // Cheap compaction is not worth a second printer here; keep pretty.
+    Ok(pretty)
+}
+
+fn write_value(v: &Value, indent: usize, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => write_number(*n, out),
+        Value::String(s) => write_string(s, out),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(indent + 1, out);
+                write_value(item, indent + 1, out);
+            }
+            newline_indent(indent, out);
+            out.push(']');
+        }
+        Value::Object(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(indent + 1, out);
+                write_string(k, out);
+                out.push_str(": ");
+                write_value(val, indent + 1, out);
+            }
+            newline_indent(indent, out);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(indent: usize, out: &mut String) {
+    out.push('\n');
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_number(n: f64, out: &mut String) {
+    if !n.is_finite() {
+        // JSON has no Inf/NaN; upstream errors out, the stand-in nulls.
+        out.push_str("null");
+    } else if n.fract() == 0.0 && n.abs() < 9.007_199_254_740_992e15 {
+        out.push_str(&format!("{}", n as i64));
+    } else {
+        out.push_str(&format!("{n}"));
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Builds a [`Value`] from JSON-ish syntax: `json!(null)`, object literals
+/// with string-literal keys and arbitrary expression values (including
+/// nested object literals), or any `serde::Serialize` expression.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($body:tt)* }) => {{
+        let mut map = $crate::Map::new();
+        $crate::json_object_munch!(map; $($body)*);
+        $crate::Value::Object(map)
+    }};
+    ([ $($elems:tt)* ]) => {{
+        let mut items: Vec<$crate::Value> = Vec::new();
+        $crate::json_array_munch!(items; []; $($elems)*);
+        $crate::Value::Array(items)
+    }};
+    ($other:expr) => {
+        // By reference, as upstream does — `json!(x)` must not move `x`.
+        $crate::to_value(&$other).expect("json! serialization")
+    };
+}
+
+/// Implementation detail of [`json!`]: munches `"key": value` pairs.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object_munch {
+    ($map:ident;) => {};
+    // Value is a nested object literal.
+    ($map:ident; $key:literal : { $($obj:tt)* } , $($rest:tt)*) => {
+        $map.insert($key.to_string(), $crate::json!({ $($obj)* }));
+        $crate::json_object_munch!($map; $($rest)*);
+    };
+    ($map:ident; $key:literal : { $($obj:tt)* }) => {
+        $map.insert($key.to_string(), $crate::json!({ $($obj)* }));
+    };
+    // Value is an expression: accumulate tokens until a top-level comma.
+    ($map:ident; $key:literal : $($rest:tt)*) => {
+        $crate::json_value_munch!($map; $key; []; $($rest)*);
+    };
+}
+
+/// Implementation detail of [`json!`]: accumulates one expression value.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_value_munch {
+    ($map:ident; $key:literal; [$($val:tt)+]; , $($rest:tt)*) => {
+        $map.insert($key.to_string(), $crate::json!($($val)+));
+        $crate::json_object_munch!($map; $($rest)*);
+    };
+    ($map:ident; $key:literal; [$($val:tt)+];) => {
+        $map.insert($key.to_string(), $crate::json!($($val)+));
+    };
+    ($map:ident; $key:literal; [$($val:tt)*]; $t:tt $($rest:tt)*) => {
+        $crate::json_value_munch!($map; $key; [$($val)* $t]; $($rest)*);
+    };
+}
+
+/// Implementation detail of [`json!`]: munches array elements.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_array_munch {
+    ($items:ident; [$($val:tt)+]; , $($rest:tt)*) => {
+        $items.push($crate::json!($($val)+));
+        $crate::json_array_munch!($items; []; $($rest)*);
+    };
+    ($items:ident; [$($val:tt)+];) => {
+        $items.push($crate::json!($($val)+));
+    };
+    ($items:ident; [];) => {};
+    ($items:ident; [$($val:tt)*]; $t:tt $($rest:tt)*) => {
+        $crate::json_array_munch!($items; [$($val)* $t]; $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_macro_handles_exprs_and_nesting() {
+        let x = 2.0f64;
+        let v = json!({
+            "name": "bc", "threads": 4usize,
+            "ratio": 100.0 * x / 8.0,
+            "nested": {"a": 1u32, "b": true},
+        });
+        assert_eq!(v.get("name").unwrap().as_str(), Some("bc"));
+        assert_eq!(v.get("ratio").unwrap().as_f64(), Some(25.0));
+        assert_eq!(v.get("nested").unwrap().get("b"), Some(&Value::Bool(true)));
+    }
+
+    #[test]
+    fn value_and_vec_round_trip_through_to_value() {
+        let rows = vec![json!({"i": 1u32}), json!({"i": 2u32})];
+        let v = json!(rows);
+        assert_eq!(v.as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn pretty_printer_is_stable() {
+        let mut m = Map::new();
+        m.insert("n".into(), Value::Number(3.0));
+        m.insert("f".into(), Value::Number(0.5));
+        m.insert("s".into(), Value::String("a\"b".into()));
+        let s = to_string_pretty(&m).unwrap();
+        assert_eq!(s, "{\n  \"n\": 3,\n  \"f\": 0.5,\n  \"s\": \"a\\\"b\"\n}");
+    }
+}
