@@ -110,11 +110,12 @@ impl KernelPolicy {
             KernelPolicy::LevelSync => KernelChoice::LevelSync,
             KernelPolicy::Auto => {
                 let work = roots.saturating_mul(edges.max(1));
-                if threads <= 1 || vertices < grain || work < 8 * grain * grain {
+                let min_work = grain.saturating_mul(grain).saturating_mul(8);
+                if threads <= 1 || vertices < grain || work < min_work {
                     KernelChoice::Seq
                 } else if roots >= 2 * threads {
                     KernelChoice::RootParallel
-                } else if vertices >= 16 * grain {
+                } else if vertices >= grain.saturating_mul(16) {
                     KernelChoice::LevelSync
                 } else {
                     KernelChoice::Seq
@@ -269,15 +270,26 @@ struct SubResult {
 /// first under the outer parallel loop), but Equation 8's scatter into the
 /// global score vector must happen in **ascending sub-graph index order** so
 /// the floating-point sums fold identically run to run. Results arriving
-/// early park in `pending`; each submit drains the ready prefix and recycles
-/// the drained score vectors into the pool.
+/// early park in `pending`.
+///
+/// The `O(n)` scatter itself runs **outside** the state lock: a submitter
+/// that finds the ready prefix pops the whole batch under the lock, releases
+/// it, scatters, then re-acquires only to advance `next_index` and fold the
+/// batch statistics — so workers finishing small sub-graphs park their
+/// result and move on instead of serializing behind the top sub-graph's
+/// merge. Popping `next_index` is the exclusivity token: the index only
+/// advances after its batch has landed, so at most one worker scatters at a
+/// time and the index order is preserved.
 struct Merger<'a> {
     decomp: &'a Decomposition,
+    /// Global score vector. The `next_index` token protocol already makes
+    /// the scatter exclusive; the mutex (uncontended by construction) keeps
+    /// that exclusivity checkable without `unsafe`.
+    bc: Mutex<Vec<f64>>,
     state: Mutex<MergeState>,
 }
 
 struct MergeState {
-    bc: Vec<f64>,
     next_index: usize,
     pending: BTreeMap<usize, SubResult>,
     edges_traversed: u64,
@@ -290,8 +302,8 @@ impl<'a> Merger<'a> {
     fn new(decomp: &'a Decomposition, n: usize) -> Self {
         Merger {
             decomp,
+            bc: Mutex::new(vec![0.0f64; n]),
             state: Mutex::new(MergeState {
-                bc: vec![0.0f64; n],
                 next_index: 0,
                 pending: BTreeMap::new(),
                 edges_traversed: 0,
@@ -305,34 +317,67 @@ impl<'a> Merger<'a> {
     fn submit(&self, index: usize, result: SubResult, pool: &BufferPool) {
         let mut st = self.state.lock().unwrap();
         st.pending.insert(index, result);
-        while let Some(res) = {
-            let next = st.next_index;
-            st.pending.remove(&next)
-        } {
-            let i = st.next_index;
-            let sg = &self.decomp.subgraphs[i];
-            for (l, &score) in res.local.iter().enumerate() {
-                st.bc[sg.globals[l] as usize] += score;
+        loop {
+            // Pop the ready prefix. Empty means either `next_index` hasn't
+            // arrived yet or another worker popped it and is mid-scatter;
+            // either way that worker re-checks `pending` after advancing,
+            // so this one can leave.
+            let start = st.next_index;
+            let mut batch: Vec<SubResult> = Vec::new();
+            while let Some(res) = st.pending.remove(&(start + batch.len())) {
+                batch.push(res);
             }
-            st.edges_traversed += res.edges;
-            match res.choice {
-                KernelChoice::Seq => st.counts.0 += 1,
-                KernelChoice::RootParallel => st.counts.1 += 1,
-                KernelChoice::LevelSync => st.counts.2 += 1,
+            if batch.is_empty() {
+                return;
             }
-            if i == self.decomp.top_subgraph {
-                st.top_time = res.time;
-                st.top_choice = Some(res.choice);
+            drop(st);
+
+            let mut edges = 0u64;
+            let mut counts = (0usize, 0usize, 0usize);
+            let mut top: Option<(Duration, KernelChoice)> = None;
+            {
+                let mut bc = self.bc.lock().unwrap();
+                for (offset, res) in batch.iter().enumerate() {
+                    let i = start + offset;
+                    let sg = &self.decomp.subgraphs[i];
+                    for (l, &score) in res.local.iter().enumerate() {
+                        bc[sg.globals[l] as usize] += score;
+                    }
+                    edges += res.edges;
+                    match res.choice {
+                        KernelChoice::Seq => counts.0 += 1,
+                        KernelChoice::RootParallel => counts.1 += 1,
+                        KernelChoice::LevelSync => counts.2 += 1,
+                    }
+                    if i == self.decomp.top_subgraph {
+                        top = Some((res.time, res.choice));
+                    }
+                }
             }
-            st.next_index += 1;
-            pool.put_local(res.local);
+            let drained = batch.len();
+            for res in batch {
+                pool.put_local(res.local);
+            }
+
+            st = self.state.lock().unwrap();
+            st.next_index = start + drained;
+            st.edges_traversed += edges;
+            st.counts.0 += counts.0;
+            st.counts.1 += counts.1;
+            st.counts.2 += counts.2;
+            if let Some((time, choice)) = top {
+                st.top_time = time;
+                st.top_choice = Some(choice);
+            }
+            // More results may have parked while this batch scattered; loop
+            // to claim them, since their submitters saw a stale prefix.
         }
     }
 
-    fn finish(self) -> MergeState {
+    fn finish(self) -> (Vec<f64>, MergeState) {
         let st = self.state.into_inner().unwrap();
         debug_assert!(st.pending.is_empty(), "merger drained before every submit");
-        st
+        (self.bc.into_inner().unwrap(), st)
     }
 }
 
@@ -393,7 +438,7 @@ pub fn bc_from_decomposition(
     } else {
         order.iter().for_each(run_one);
     }
-    let merged = merger.finish();
+    let (bc, merged) = merger.finish();
     let bc_time = bc_start.elapsed();
 
     let top = decomp.subgraphs.get(decomp.top_subgraph);
@@ -418,7 +463,7 @@ pub fn bc_from_decomposition(
         top_subgraph_kernel: merged.top_choice,
         kernel_counts: merged.counts,
     };
-    (merged.bc, report)
+    (bc, report)
 }
 
 #[cfg(test)]

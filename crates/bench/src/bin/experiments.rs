@@ -730,9 +730,21 @@ fn legacy_driver(g: &apgre_graph::Graph, d: &apgre_decomp::Decomposition) -> Vec
 /// ≥ 50k vertices inside a ≥ 4-worker pool. Every variant is cross-checked
 /// against the others before any time is reported.
 fn bench_pr2(opts: &Opts, json: &mut serde_json::Map<String, serde_json::Value>) {
-    use apgre_bench::mteps;
+    use apgre_bench::{mteps, observed_parallelism};
     let threads = opts.threads.unwrap_or(4).max(4);
     println!("\n=== bench-pr2: kernel policy vs legacy fixed-threshold driver ===\n");
+    // Detect whether the linked rayon actually spreads work over OS threads:
+    // under the offline stand-in (or a 1-CPU box) the record must say so up
+    // front, because a "speedup" then measures eliminated atomics and
+    // allocation churn, not parallel scaling.
+    let observed_threads = observed_parallelism(threads);
+    let parallel_execution = observed_threads > 1;
+    let measurement_mode = if parallel_execution {
+        "parallel-rayon"
+    } else {
+        "sequential-standin (rayon runs inline on one thread; NOT a parallel-speedup measurement)"
+    };
+    println!("execution: {observed_threads}/{threads} distinct worker threads observed");
     let g = apgre_graph::generators::whiskered_community(
         &apgre_graph::generators::WhiskeredCommunityParams {
             core_vertices: 6000,
@@ -830,11 +842,20 @@ fn bench_pr2(opts: &Opts, json: &mut serde_json::Map<String, serde_json::Value>)
          (top sub-graph: {})",
         report.top_subgraph_kernel.map_or("n/a".to_string(), |k| format!("{k:?}")),
     );
-    println!("Auto vs legacy end-to-end speedup: {speedup:.2}x (acceptance: >= 1.3x)");
+    println!(
+        "Auto vs legacy end-to-end speedup: {speedup:.2}x (acceptance: >= 1.3x, measured {})",
+        if parallel_execution { "with parallel rayon" } else { "on the sequential stand-in" }
+    );
 
     json.insert(
         "bench_pr2".into(),
         json!({
+            "measurement_mode": measurement_mode,
+            "execution": {
+                "configured_threads": threads,
+                "observed_worker_threads": observed_threads,
+                "parallel": parallel_execution,
+            },
             "graph": {
                 "family": "whiskered-community", "seed": 4242,
                 "vertices": nv, "edges": ne,
@@ -855,15 +876,27 @@ fn bench_pr2(opts: &Opts, json: &mut serde_json::Map<String, serde_json::Value>)
             },
             "kernels": kernel_rows,
             "speedup_auto_vs_legacy": speedup,
-            "acceptance": {"required": 1.3, "measured": speedup, "pass": speedup >= 1.3},
+            "acceptance": {
+                "required": 1.3,
+                "measured": speedup,
+                "pass": speedup >= 1.3,
+                "measured_with": measurement_mode,
+                "parallel_rayon": parallel_execution,
+            },
             "notes": [
                 "End-to-end = shared decomposition time + BC driver; best of 2 reps.",
-                "Container has one CPU and the vendored rayon stand-in executes \
-                 work-stealing APIs sequentially (thread counts are faithfully \
-                 reported, so the Auto heuristic sees a 4-worker pool); the \
-                 speedup therefore comes from eliminated per-access atomic \
-                 round-trips, per-sub-graph allocation churn, and per-level \
-                 frontier allocations, not from extra cores.",
+                if parallel_execution {
+                    "Measured with upstream rayon spreading work across OS \
+                     threads; the speedup includes parallel scaling."
+                } else {
+                    "Measured on the vendored sequential rayon stand-in (thread \
+                     counts are faithfully reported, so the Auto heuristic sees \
+                     the configured pool size, but all work runs on one thread); \
+                     the speedup quantifies eliminated per-access atomic \
+                     round-trips, per-sub-graph allocation churn, and per-level \
+                     frontier allocations — NOT parallel scaling. CI's \
+                     bench-smoke job reproduces the record with real rayon."
+                },
                 "All variants cross-verified within 1e-6 relative; exactness vs \
                  serial Brandes is pinned separately by the equivalence suites \
                  (a 50k-vertex Brandes run is too slow to repeat here).",

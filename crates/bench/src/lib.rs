@@ -58,6 +58,32 @@ pub fn with_threads<R: Send>(threads: usize, f: impl FnOnce() -> R + Send) -> R 
     rayon::ThreadPoolBuilder::new().num_threads(threads).build().expect("thread pool").install(f)
 }
 
+/// Counts the distinct OS threads that execute work inside a
+/// `threads`-worker rayon pool.
+///
+/// Upstream rayon returns a value near `threads`; the vendored sequential
+/// stand-in (see vendor/README.md) runs everything inline on the caller and
+/// returns 1 even though [`rayon::current_num_threads`] reports the
+/// configured pool size. Bench records use this to label measurements that
+/// structurally cannot show parallel speedup.
+pub fn observed_parallelism(threads: usize) -> usize {
+    use rayon::prelude::*;
+    use std::collections::HashSet;
+    use std::sync::Mutex;
+    let threads = threads.max(1);
+    let seen: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+    let tasks: Vec<usize> = (0..threads * 32).collect();
+    with_threads(threads, || {
+        tasks.par_iter().for_each(|_| {
+            seen.lock().unwrap().insert(std::thread::current().id());
+            // Long enough that the pool's other workers steal a share of the
+            // tasks before the first worker drains them all.
+            std::thread::sleep(Duration::from_micros(200));
+        });
+    });
+    seen.into_inner().unwrap().len()
+}
+
 /// One algorithm's measurement on one graph.
 #[derive(Clone, Debug, Serialize)]
 pub struct AlgoMeasurement {

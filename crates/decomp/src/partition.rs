@@ -110,9 +110,16 @@ impl Decomposition {
     pub fn validate(&self, g: &Graph) -> Result<(), String> {
         let n = g.num_vertices();
         // 1. Edges are partitioned: every edge in exactly one sub-graph.
+        //    Self-loops never lie on a shortest path, so sub-graph
+        //    construction drops them — exclude them from the global count.
+        let self_loops = g.vertices().filter(|&v| g.out_neighbors(v).contains(&v)).count();
+        let global = g.num_edges() - self_loops;
         let total: usize = self.subgraphs.iter().map(|sg| sg.num_edges()).sum();
-        if total != g.num_edges() {
-            return Err(format!("edge partition: {} local vs {} global", total, g.num_edges()));
+        if total != global {
+            return Err(format!(
+                "edge partition: {total} local vs {global} global (excluding {self_loops} \
+                 self-loops)"
+            ));
         }
         // 2. Vertex coverage: non-isolated vertices in >= 1 sub-graph;
         //    non-articulation vertices in exactly one.

@@ -24,12 +24,37 @@ fn checksum(scores: &[f64]) -> u64 {
     h
 }
 
+/// The constants below are recorded against the vendored `rand` stand-in's
+/// SplitMix64 stream; upstream `StdRng` (ChaCha12) generates different
+/// graphs from the same seeds, so against upstream the pinned values are
+/// meaningless. Detect which stream is linked by probing one draw from a
+/// fixed seed (the stand-in's value is itself a recorded fixture).
+fn standin_rand_stream() -> bool {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xA9C4_E6D2);
+    let probe: u64 = rng.gen_range(0..u64::MAX);
+    probe == STANDIN_PROBE
+}
+
+/// `StdRng::seed_from_u64(0xA9C4_E6D2).gen_range(0..u64::MAX)` under the
+/// vendored stand-in; re-record with `APGRE_PRINT_GOLDEN=1` if the stand-in
+/// stream ever changes intentionally.
+const STANDIN_PROBE: u64 = 0x522f_403c_951b_1465;
+
 fn check(name: &str, expected: u64) {
     let g = get(name).unwrap().graph(Scale::Tiny);
     let scores = bc_apgre(&g);
     let got = checksum(&scores);
     if std::env::var("APGRE_PRINT_GOLDEN").is_ok() {
         println!("(\"{name}\", 0x{got:016x}),");
+        return;
+    }
+    if !standin_rand_stream() {
+        // Upstream rand: the APGRE-vs-Brandes cross-check below still runs
+        // (it is stream-independent); only the pinned constant is skipped.
+        eprintln!("{name}: upstream rand stream detected — skipping stand-in golden constant");
+        let serial = checksum(&bc_serial(&g));
+        assert_eq!(got, serial, "{name}: apgre and serial diverge at 1e-6 rounding");
         return;
     }
     assert_eq!(
