@@ -202,10 +202,15 @@ pub fn bc_in_subgraph_seq_with(sg: &SubGraph, bc_local: &mut [f64], ws: &mut SgW
 /// sweeps whole chunks with the same sequential [`sweep_root`] body the
 /// sequential kernel uses, accumulating into a **private** plain-`f64`
 /// partial score vector — zero atomics, zero CAS traffic, zero per-level
-/// fork-join on the hot path. The per-chunk partials are then reduced into
-/// `bc_local` in chunk order with the shared
-/// [`crate::util::add_assign_scores`] helper, so the floating-point fold
-/// order is fixed and two runs produce bitwise-identical scores.
+/// fork-join on the hot path. The per-chunk partials are then merged by a
+/// **pairwise tree reduction** of fixed shape: round `r` adds partial
+/// `2^r·(2k+1)` into partial `2^r·2k` for every `k`, in parallel across
+/// pairs, until one vector remains, which folds into `bc_local`. The tree's
+/// shape depends only on the chunk count — itself a function of `|roots|`,
+/// `grain`, and the pool's worker count — so the floating-point fold order
+/// is fixed and two runs on the same pool size produce bitwise-identical
+/// scores, while the merge drops from `O(chunks·n)` sequential work to
+/// `O(log(chunks))` parallel rounds.
 ///
 /// `grain` is the minimum number of roots per chunk; chunks also target ~4
 /// per worker so stealing can balance uneven sweep costs.
@@ -219,7 +224,7 @@ pub fn bc_in_subgraph_root_par(sg: &SubGraph, bc_local: &mut [f64], grain: usize
     // Fixed, deterministic chunking: at least `grain` roots per chunk (one
     // partial vector is allocated per chunk), at most ~4 chunks per worker.
     let chunk = sg.roots.len().div_ceil(4 * threads).max(grain.max(1));
-    let partials: Vec<(Vec<f64>, u64)> = sg
+    let mut partials: Vec<(Vec<f64>, u64)> = sg
         .roots
         .par_chunks(chunk)
         .map_init(
@@ -234,11 +239,31 @@ pub fn bc_in_subgraph_root_par(sg: &SubGraph, bc_local: &mut [f64], grain: usize
             },
         )
         .collect();
-    let mut edges = 0u64;
-    for (part, e) in &partials {
-        add_assign_scores(bc_local, part);
-        edges += e;
+    // Pairwise tree reduction over the chunk partials. Each round pairs
+    // neighbours — partial 2k absorbs 2k+1, the pair merges running in
+    // parallel — so the reduction tree, and therefore the f64 fold order, is
+    // a pure function of the chunk count. The u64 edge tallies are exact
+    // under any association; they ride along with the surviving partial.
+    while partials.len() > 1 {
+        let mut pairs: Vec<((Vec<f64>, u64), Option<(Vec<f64>, u64)>)> =
+            Vec::with_capacity(partials.len().div_ceil(2));
+        let mut it = partials.into_iter();
+        while let Some(a) = it.next() {
+            pairs.push((a, it.next()));
+        }
+        partials = pairs
+            .into_par_iter()
+            .map(|((mut a, mut edges), b)| {
+                if let Some((bv, be)) = b {
+                    add_assign_scores(&mut a, &bv);
+                    edges += be;
+                }
+                (a, edges)
+            })
+            .collect();
     }
+    let (part, edges) = partials.pop().expect("roots non-empty implies at least one chunk");
+    add_assign_scores(bc_local, &part);
     edges
 }
 

@@ -466,6 +466,89 @@ pub fn bc_from_decomposition(
     (bc, report)
 }
 
+/// The outcome of running one sub-graph's kernel through
+/// [`run_subgraph_kernels`]: the local score vector (indexed by local vertex
+/// id, scatter via `sg.globals`) plus per-run statistics.
+#[derive(Clone, Debug)]
+pub struct SubgraphKernelRun {
+    /// Index of the sub-graph within the decomposition.
+    pub index: usize,
+    /// Local BC contribution of this sub-graph (Equation 8 summand),
+    /// indexed by local vertex id.
+    pub local: Vec<f64>,
+    /// Edges examined by the kernel (forward + backward scans).
+    pub edges: u64,
+    /// The kernel actually dispatched.
+    pub choice: KernelChoice,
+    /// Wall clock of this sub-graph's kernel.
+    pub time: Duration,
+}
+
+/// Runs the per-sub-graph BC kernel for exactly the sub-graphs named by
+/// `indices`, returning their local score vectors **without** scattering
+/// them into a global vector.
+///
+/// This is step 2 of the pipeline factored out of [`bc_from_decomposition`]
+/// for callers that own the merge — the incremental engine stores each
+/// sub-graph's contribution so a later batch can replace just the dirty ones
+/// and refold. Scheduling matches the batch driver: largest-first dispatch,
+/// one shared [`BufferPool`] for kernel workspaces (score vectors are not
+/// pooled — they are the return value), `opts.kernel`/`opts.grain` policy
+/// resolution per sub-graph, and the outer rayon loop when
+/// `opts.outer_parallel`. Each returned vector is produced by the same
+/// kernel the batch driver would pick, so per-sub-graph results are bitwise
+/// identical to a batch run's (for `Seq`/`LevelSync` unconditionally; for
+/// `RootParallel` per pool size).
+///
+/// Results are sorted by ascending sub-graph index before returning, so a
+/// caller folding them in list order reproduces the batch driver's
+/// deterministic merge order.
+pub fn run_subgraph_kernels(
+    decomp: &Decomposition,
+    indices: &[usize],
+    opts: &ApgreOptions,
+) -> Vec<SubgraphKernelRun> {
+    let threads = rayon::current_num_threads().max(1);
+    let grain = opts.grain.max(1);
+    let mut order: Vec<usize> = indices.to_vec();
+    order.sort_by_key(|&i| std::cmp::Reverse(decomp.subgraphs[i].num_vertices()));
+
+    let pool = BufferPool::default();
+    let out: Mutex<Vec<SubgraphKernelRun>> = Mutex::new(Vec::with_capacity(order.len()));
+    let run_one = |&i: &usize| {
+        let sg = &decomp.subgraphs[i];
+        let n = sg.num_vertices();
+        let t = Instant::now();
+        let mut local = vec![0.0f64; n];
+        let choice = opts.kernel.choose(sg.roots.len(), n, sg.num_edges(), threads, grain);
+        let edges = match choice {
+            KernelChoice::Seq => {
+                let mut ws = pool.take_seq(n);
+                let e = kernel::bc_in_subgraph_seq_with(sg, &mut local, &mut ws);
+                pool.put_seq(ws);
+                e
+            }
+            KernelChoice::RootParallel => kernel::bc_in_subgraph_root_par(sg, &mut local, grain),
+            KernelChoice::LevelSync => {
+                let mut ws = pool.take_par(n);
+                let e = kernel::bc_in_subgraph_level_sync_with(sg, &mut local, grain, &mut ws);
+                pool.put_par(ws);
+                e
+            }
+        };
+        let run = SubgraphKernelRun { index: i, local, edges, choice, time: t.elapsed() };
+        out.lock().unwrap().push(run);
+    };
+    if opts.outer_parallel {
+        order.par_iter().for_each(run_one);
+    } else {
+        order.iter().for_each(run_one);
+    }
+    let mut runs = out.into_inner().unwrap();
+    runs.sort_by_key(|r| r.index);
+    runs
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -632,6 +715,58 @@ mod tests {
         // Brandes' n·2m·2 on this articulation-rich graph.
         let brandes_edges = (g.num_vertices() as u64) * (g.num_arcs() as u64) * 2;
         assert!(report.edges_traversed < brandes_edges / 2);
+    }
+
+    #[test]
+    fn run_subgraph_kernels_refolds_to_batch_result() {
+        for (name, g) in zoo() {
+            let opts = ApgreOptions::default();
+            let decomp = decompose(&g, &opts.partition);
+            let (want, _) = bc_from_decomposition(&g, &decomp, &opts);
+            let runs = run_subgraph_kernels(
+                &decomp,
+                &(0..decomp.num_subgraphs()).collect::<Vec<_>>(),
+                &opts,
+            );
+            assert_eq!(runs.len(), decomp.num_subgraphs(), "{name}");
+            let mut got = vec![0.0f64; g.num_vertices()];
+            // Ascending-index fold = the Merger's scatter order, so the sums
+            // must be bitwise identical for deterministic kernels.
+            for (k, run) in runs.iter().enumerate() {
+                assert_eq!(run.index, k, "{name}: sorted ascending");
+                let sg = &decomp.subgraphs[run.index];
+                for (l, &score) in run.local.iter().enumerate() {
+                    got[sg.globals[l] as usize] += score;
+                }
+            }
+            for v in 0..got.len() {
+                assert!(
+                    (got[v] - want[v]).abs() <= 1e-9 * (1.0 + want[v].abs()),
+                    "{name}: vertex {v}: {} vs {}",
+                    got[v],
+                    want[v]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn run_subgraph_kernels_seq_is_bitwise() {
+        for (name, g) in zoo() {
+            let opts = ApgreOptions { kernel: KernelPolicy::Seq, ..Default::default() };
+            let decomp = decompose(&g, &opts.partition);
+            let (want, _) = bc_from_decomposition(&g, &decomp, &opts);
+            let all: Vec<usize> = (0..decomp.num_subgraphs()).collect();
+            let runs = run_subgraph_kernels(&decomp, &all, &opts);
+            let mut got = vec![0.0f64; g.num_vertices()];
+            for run in &runs {
+                let sg = &decomp.subgraphs[run.index];
+                for (l, &score) in run.local.iter().enumerate() {
+                    got[sg.globals[l] as usize] += score;
+                }
+            }
+            assert_eq!(got, want, "{name}: forced-Seq refold must be bitwise");
+        }
     }
 
     #[test]

@@ -45,7 +45,10 @@ pub mod sync;
 pub mod util;
 pub mod weighted;
 
-pub use apgre::{bc_apgre, bc_apgre_with, ApgreOptions, ApgreReport, KernelChoice, KernelPolicy};
+pub use apgre::{
+    bc_apgre, bc_apgre_with, bc_from_decomposition, run_subgraph_kernels, ApgreOptions,
+    ApgreReport, KernelChoice, KernelPolicy, SubgraphKernelRun,
+};
 pub use approx::{bc_approx, bc_approx_adaptive, bc_approx_apgre};
 pub use brandes::{bc_serial, bc_serial_preds};
 pub use edge::{edge_bc, girvan_newman};

@@ -75,33 +75,10 @@ impl MemoizedBc {
     }
 }
 
-/// FNV-1a over the kernel's exact input stream.
+/// FNV-1a over the kernel's exact input stream (now maintained on
+/// [`SubGraph`] itself so the incremental engine shares the same identity).
 fn fingerprint(sg: &SubGraph) -> u64 {
-    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const PRIME: u64 = 0x0000_0100_0000_01b3;
-    let mut h = OFFSET;
-    let mut eat = |x: u64| {
-        for byte in x.to_le_bytes() {
-            h ^= byte as u64;
-            h = h.wrapping_mul(PRIME);
-        }
-    };
-    eat(sg.graph.is_directed() as u64);
-    eat(sg.num_vertices() as u64);
-    for (u, v) in sg.graph.csr().edges() {
-        eat(((u as u64) << 32) | v as u64);
-    }
-    for l in 0..sg.num_vertices() {
-        eat(sg.is_boundary[l] as u64);
-        eat(sg.alpha[l]);
-        eat(sg.beta[l]);
-        eat(sg.gamma[l] as u64);
-        eat(sg.is_whisker[l] as u64);
-    }
-    for &r in &sg.roots {
-        eat(r as u64);
-    }
-    h
+    sg.fingerprint()
 }
 
 #[cfg(test)]

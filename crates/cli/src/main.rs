@@ -22,6 +22,11 @@
 //!                           the level-sync kernel forks (default 256)
 //!   --threads <t>           rayon thread count (default: all cores)
 //!   --samples <k>           pivot count for --algo approx (default n/10)
+//!   --dynamic <n>           incremental mode: seed a [`DynamicBc`] engine,
+//!                           apply n random single-edit batches, and print a
+//!                           per-batch report line (classification, dirty
+//!                           sub-graphs, reused contributions, wall-clock)
+//!   --seed <s>              RNG seed for the --dynamic edit stream
 //!   --stats                 print decomposition + redundancy statistics
 //!   --normalize             halve scores (undirected textbook convention)
 //! ```
@@ -30,6 +35,7 @@ use apgre_bc::apgre::{bc_apgre_with, ApgreOptions, KernelPolicy, DEFAULT_GRAIN};
 use apgre_bc::parallel::{bc_coarse, bc_hybrid, bc_lock_free, bc_preds, bc_succs};
 use apgre_bc::{brandes::bc_serial, normalize_undirected};
 use apgre_decomp::{decompose, PartitionOptions};
+use apgre_dynamic::{BatchClass, DynamicBc, MutationBatch};
 use apgre_graph::Graph;
 use apgre_workloads::Scale;
 use std::process::exit;
@@ -45,6 +51,8 @@ struct Args {
     grain: usize,
     threads: Option<usize>,
     samples: Option<usize>,
+    dynamic: Option<usize>,
+    seed: u64,
     stats: bool,
     normalize: bool,
 }
@@ -54,7 +62,7 @@ fn usage() -> ! {
         "usage: bc-tool <edge-list|file.gr|workload:<name>[:scale]> \
          [--algo serial|preds|succs|lockfree|coarse|hybrid|apgre] [--directed] \
          [--top K] [--threshold N] [--kernel auto|seq|rootpar|levelsync] [--grain N] \
-         [--threads T] [--stats] [--normalize]\n\
+         [--threads T] [--dynamic N] [--seed S] [--stats] [--normalize]\n\
          workloads: {}",
         apgre_workloads::registry().iter().map(|w| w.name).collect::<Vec<_>>().join(", ")
     );
@@ -72,6 +80,8 @@ fn parse_args() -> Args {
         grain: DEFAULT_GRAIN,
         threads: None,
         samples: None,
+        dynamic: None,
+        seed: 0xD1CE,
         stats: false,
         normalize: false,
     };
@@ -98,6 +108,8 @@ fn parse_args() -> Args {
             "--grain" => args.grain = next_usize("--grain"),
             "--threads" => args.threads = Some(next_usize("--threads")),
             "--samples" => args.samples = Some(next_usize("--samples")),
+            "--dynamic" => args.dynamic = Some(next_usize("--dynamic")),
+            "--seed" => args.seed = next_usize("--seed") as u64,
             "--stats" => args.stats = true,
             "--normalize" => args.normalize = true,
             "--help" | "-h" => usage(),
@@ -204,6 +216,17 @@ fn main() {
         );
     }
 
+    if let Some(n_batches) = args.dynamic {
+        let opts = ApgreOptions {
+            partition,
+            kernel: args.kernel,
+            grain: args.grain,
+            ..Default::default()
+        };
+        run_dynamic(&g, n_batches, args.seed, &opts, args.top);
+        return;
+    }
+
     if args.algo == "edge" {
         rank_edges(&g, args.top);
         return;
@@ -272,6 +295,85 @@ fn main() {
     ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
     println!("top {} vertices by betweenness:", args.top.min(ranked.len()));
     for &(v, s) in ranked.iter().take(args.top) {
+        println!("  {v:>8}  {s:>16.2}");
+    }
+}
+
+/// Incremental mode: seed a [`DynamicBc`] engine on the loaded graph, apply
+/// `n_batches` random single-edit batches, and print one report line per
+/// batch plus the final top-`top` ranking.
+///
+/// Uses an inline xorshift64* stream (seeded by `--seed`) so edit streams
+/// are reproducible across builds regardless of which `rand` is linked.
+fn run_dynamic(g: &Graph, n_batches: usize, seed: u64, opts: &ApgreOptions, top: usize) {
+    let mut state = seed | 1;
+    let mut next = move || -> u64 {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        state.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    };
+
+    let t = Instant::now();
+    let mut engine = DynamicBc::new(g, opts.clone());
+    println!(
+        "dynamic: seeded engine in {:.2?} ({} sub-graphs)",
+        t.elapsed(),
+        engine.decomposition().num_subgraphs()
+    );
+
+    let mut totals = (0usize, 0usize, 0usize); // (noop, local, structural)
+    for k in 0..n_batches {
+        let n = engine.num_vertices() as u64;
+        let batch = match next() % 100 {
+            0..=54 => MutationBatch::new().add_edge((next() % n) as u32, (next() % n) as u32),
+            55..=89 => {
+                let cur = engine.current_graph();
+                let edges: Vec<(u32, u32)> = if cur.is_directed() {
+                    cur.arcs().collect()
+                } else {
+                    cur.undirected_edges().collect()
+                };
+                if edges.is_empty() {
+                    MutationBatch::new().add_edge(0, (n - 1) as u32)
+                } else {
+                    let (u, v) = edges[(next() % edges.len() as u64) as usize];
+                    MutationBatch::new().remove_edge(u, v)
+                }
+            }
+            _ => MutationBatch::new().add_vertex().add_edge(n as u32, (next() % n) as u32),
+        };
+        let report = engine.apply(&batch);
+        match report.class {
+            BatchClass::Noop => totals.0 += 1,
+            BatchClass::Local => totals.1 += 1,
+            BatchClass::Structural => totals.2 += 1,
+        }
+        println!(
+            "  batch {k:>4}: {:<10} {:>3} dirty, {:>4} reused of {:>4} sub-graphs, \
+             {} applied, {} no-op, {:>10.2?}  [{}]",
+            format!("{:?}", report.class),
+            report.dirty_subgraphs,
+            report.reused_contributions,
+            report.total_subgraphs,
+            report.applied_mutations,
+            report.noop_mutations,
+            report.wall_clock,
+            report.reason,
+        );
+    }
+    println!(
+        "dynamic: {n_batches} batches in {:.2?} ({} noop, {} local, {} structural)",
+        t.elapsed(),
+        totals.0,
+        totals.1,
+        totals.2
+    );
+
+    let mut ranked: Vec<(usize, f64)> = engine.scores().iter().copied().enumerate().collect();
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
+    println!("top {} vertices by betweenness (after edits):", top.min(ranked.len()));
+    for &(v, s) in ranked.iter().take(top) {
         println!("  {v:>8}  {s:>16.2}");
     }
 }

@@ -56,6 +56,20 @@ fn edge_mode_ranks_edges() {
 }
 
 #[test]
+fn dynamic_mode_reports_batches() {
+    let out = bc_tool()
+        .args(["workload:email-enron-like:tiny", "--dynamic", "6", "--seed", "7", "--top", "3"])
+        .output()
+        .expect("spawn bc-tool");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("dynamic: seeded engine"), "{stdout}");
+    assert_eq!(stdout.matches("batch ").count(), 6, "{stdout}");
+    assert!(stdout.contains("6 batches in"), "{stdout}");
+    assert!(stdout.contains("top 3 vertices by betweenness (after edits)"), "{stdout}");
+}
+
+#[test]
 fn rejects_unknown_algorithm() {
     let out = bc_tool().args(["workload:dblp-like:tiny", "--algo", "bogus"]).output().unwrap();
     assert!(!out.status.success());

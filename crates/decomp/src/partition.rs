@@ -429,40 +429,11 @@ fn build_subgraphs(
             }
         }
 
-        // Whiskers and γ (the paper's total redundancy): a non-boundary
-        // vertex with undirected degree 1 (or, when directed, in-degree 0
-        // and out-degree 1). Non-boundary vertices have all their global
-        // edges inside this sub-graph, so local degrees are global degrees.
-        let mut is_whisker = vec![false; ln];
-        let mut gamma = vec![0u32; ln];
-        for l in 0..ln as u32 {
-            if is_boundary[l as usize] {
-                continue;
-            }
-            let qualifies = if g.is_directed() {
-                graph.in_degree(l) == 0 && graph.out_degree(l) == 1
-            } else {
-                graph.out_degree(l) == 1
-            };
-            if !qualifies {
-                continue;
-            }
-            let host = graph.out_neighbors(l)[0];
-            // Isolated-edge special case (undirected K2): both endpoints
-            // qualify; keep the lower id as the root.
-            if !g.is_directed()
-                && !is_boundary[host as usize]
-                && graph.out_degree(host) == 1
-                && l < host
-            {
-                continue;
-            }
-            is_whisker[l as usize] = true;
-            gamma[host as usize] += 1;
-        }
-        let roots: Vec<u32> = (0..ln as u32).filter(|&l| !is_whisker[l as usize]).collect();
-
-        subgraphs.push(SubGraph {
+        // Whiskers, γ, and the root set come from the shared whisker rule.
+        // Non-boundary vertices have all their global edges inside this
+        // sub-graph, so local degrees are global degrees and the rule may
+        // read the local graph only.
+        let mut sg = SubGraph {
             id: gi,
             globals,
             graph,
@@ -470,10 +441,12 @@ fn build_subgraphs(
             boundary,
             alpha: vec![0; ln],
             beta: vec![0; ln],
-            gamma,
-            is_whisker,
-            roots,
-        });
+            gamma: Vec::new(),
+            is_whisker: Vec::new(),
+            roots: Vec::new(),
+        };
+        sg.recompute_whiskers();
+        subgraphs.push(sg);
         for &v in &subgraphs[gi].globals {
             local_of[v as usize] = NIL;
         }

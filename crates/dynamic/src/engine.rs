@@ -1,0 +1,566 @@
+//! The incremental engine: classification, dirty-sub-graph recompute, and
+//! exact contribution maintenance.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::time::{Duration, Instant};
+
+use apgre_bc::{run_subgraph_kernels, ApgreOptions};
+use apgre_decomp::{decompose, Decomposition};
+use apgre_graph::{Graph, GraphOverlay, VertexId};
+
+use crate::mutation::{Mutation, MutationBatch};
+
+/// How a batch was handled (the cheap-to-expensive ladder).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchClass {
+    /// Every mutation was a no-op (duplicate add, absent remove, self-loop,
+    /// removal of an already-isolated vertex): nothing recomputed.
+    Noop,
+    /// All effective edits were edge edits confined to existing sub-graphs:
+    /// only those sub-graphs' kernels re-ran, everything else was reused.
+    Local,
+    /// The block-cut tree may have changed shape: the decomposition was
+    /// rebuilt and contributions of structurally unchanged sub-graphs were
+    /// carried forward by fingerprint.
+    Structural,
+}
+
+/// Per-batch accounting returned by [`DynamicBc::apply`].
+#[derive(Clone, Debug)]
+pub struct DynamicReport {
+    /// How the batch was classified and executed.
+    pub class: BatchClass,
+    /// Human-readable reason for the classification (e.g. why a batch was
+    /// escalated to structural).
+    pub reason: &'static str,
+    /// Sub-graphs whose kernel re-ran this batch.
+    pub dirty_subgraphs: usize,
+    /// Sub-graphs whose stored contribution was reused unchanged.
+    pub reused_contributions: usize,
+    /// Mutations that changed the graph.
+    pub applied_mutations: usize,
+    /// Mutations that were no-ops.
+    pub noop_mutations: usize,
+    /// Sub-graphs in the (possibly rebuilt) decomposition after the batch.
+    pub total_subgraphs: usize,
+    /// Wall clock of the whole `apply` call.
+    pub wall_clock: Duration,
+}
+
+/// An effective (state-changing) edge edit, in global ids.
+#[derive(Clone, Copy)]
+struct EdgeEdit {
+    add: bool,
+    u: VertexId,
+    v: VertexId,
+}
+
+/// The incremental BC engine.
+///
+/// Holds a mutable [`GraphOverlay`], the maintained decomposition, one local
+/// score vector per sub-graph (`contribs`), and the folded global score
+/// vector. After every [`apply`](DynamicBc::apply) the scores equal what a
+/// from-scratch APGRE run would produce on the current graph (to 1e-9
+/// relative; bitwise for the forced-`Seq` kernel against the engine's own
+/// decomposition — see DESIGN.md §3.8 for why a *fresh* decomposition may
+/// legitimately split differently after local batches).
+///
+/// The global vector is always **refolded from zeros in ascending sub-graph
+/// index order** rather than patched by subtract-then-add, so stored and
+/// folded contributions stay exactly consistent: the fold order matches the
+/// batch driver's reorder-buffer merge, and no floating-point cancellation
+/// error can accumulate across batches.
+pub struct DynamicBc {
+    opts: ApgreOptions,
+    overlay: GraphOverlay,
+    decomp: Decomposition,
+    /// One local score vector per sub-graph, same indexing as
+    /// `decomp.subgraphs`; `scores` is their Equation-8 fold.
+    contribs: Vec<Vec<f64>>,
+    scores: Vec<f64>,
+    /// Vertex -> sorted list of sub-graph indices containing it.
+    memberships: Vec<Vec<u32>>,
+}
+
+impl DynamicBc {
+    /// Builds the engine from an initial graph: decomposes, runs every
+    /// sub-graph kernel once, and stores the per-sub-graph contributions.
+    ///
+    /// The graph is normalized through the overlay first (parallel arcs
+    /// collapsed, self-loops dropped — [`GraphOverlay`]'s invariants), so
+    /// the engine always scores the **simple** graph. For already-simple
+    /// inputs the normalization is the identity.
+    pub fn new(g: &Graph, opts: ApgreOptions) -> Self {
+        let overlay = GraphOverlay::from_graph(g);
+        let g = &overlay.to_graph();
+        let decomp = decompose(g, &opts.partition);
+        let all: Vec<usize> = (0..decomp.num_subgraphs()).collect();
+        let runs = run_subgraph_kernels(&decomp, &all, &opts);
+        let contribs: Vec<Vec<f64>> = runs.into_iter().map(|r| r.local).collect();
+        let memberships = build_memberships(&decomp, g.num_vertices());
+        let mut engine =
+            DynamicBc { opts, overlay, decomp, contribs, scores: Vec::new(), memberships };
+        engine.refold();
+        engine
+    }
+
+    /// The current global BC scores (ordered-pair convention, matching
+    /// [`apgre_bc::bc_apgre`]), indexed by vertex id.
+    pub fn scores(&self) -> &[f64] {
+        &self.scores
+    }
+
+    /// The engine's maintained decomposition. After local batches this may
+    /// be coarser than a fresh `decompose` of the current graph (a local
+    /// edit can create articulation points *internal* to a sub-graph, which
+    /// the engine deliberately does not re-split on), but it always remains
+    /// a valid APGRE decomposition of the current graph.
+    pub fn decomposition(&self) -> &Decomposition {
+        &self.decomp
+    }
+
+    /// Materializes the current graph as an immutable CSR snapshot.
+    pub fn current_graph(&self) -> Graph {
+        self.overlay.to_graph()
+    }
+
+    /// Number of vertices currently tracked.
+    pub fn num_vertices(&self) -> usize {
+        self.overlay.num_vertices()
+    }
+
+    /// Applies one batch: mutates the overlay, classifies the change,
+    /// recomputes exactly the dirty sub-graphs, and refreshes the global
+    /// scores. Scores are consistent with the post-batch graph on return.
+    ///
+    /// # Panics
+    /// Panics if a mutation references a vertex id that does not exist at
+    /// the point the mutation is applied (mutations earlier in the batch —
+    /// including [`Mutation::AddVertex`] — are visible to later ones).
+    pub fn apply(&mut self, batch: &MutationBatch) -> DynamicReport {
+        let start = Instant::now();
+
+        // Phase 1: push the batch into the overlay, recording which
+        // mutations actually changed state. Vertex-set changes force the
+        // structural path outright.
+        let mut edits: Vec<EdgeEdit> = Vec::new();
+        let mut noops = 0usize;
+        let mut vertex_change = false;
+        for &m in batch.mutations() {
+            match m {
+                Mutation::AddEdge(u, v) => {
+                    if self.overlay.add_edge(u, v) {
+                        edits.push(EdgeEdit { add: true, u, v });
+                    } else {
+                        noops += 1;
+                    }
+                }
+                Mutation::RemoveEdge(u, v) => {
+                    if self.overlay.remove_edge(u, v) {
+                        edits.push(EdgeEdit { add: false, u, v });
+                    } else {
+                        noops += 1;
+                    }
+                }
+                Mutation::AddVertex => {
+                    self.overlay.add_vertex();
+                    vertex_change = true;
+                }
+                Mutation::RemoveVertex(v) => {
+                    if self.overlay.remove_vertex(v) > 0 {
+                        vertex_change = true;
+                    } else {
+                        noops += 1;
+                    }
+                }
+            }
+        }
+        let applied = batch.len() - noops;
+
+        // Phase 2: classify and recompute.
+        if applied == 0 {
+            return DynamicReport {
+                class: BatchClass::Noop,
+                reason: "no mutation changed the graph",
+                dirty_subgraphs: 0,
+                reused_contributions: self.decomp.num_subgraphs(),
+                applied_mutations: 0,
+                noop_mutations: noops,
+                total_subgraphs: self.decomp.num_subgraphs(),
+                wall_clock: start.elapsed(),
+            };
+        }
+
+        let structural_reason = if vertex_change {
+            Some("vertex set changed")
+        } else if self.overlay.is_directed() {
+            // The local soundness argument (DESIGN.md §3.8) is undirected:
+            // directed reachability is not separated by articulation points
+            // the same way, so every directed edit escalates.
+            Some("directed graph: local path not supported")
+        } else {
+            None
+        };
+
+        let (class, reason, dirty, reused) = match structural_reason {
+            Some(reason) => {
+                let (reused, recomputed) = self.rebuild_structural();
+                (BatchClass::Structural, reason, recomputed, reused)
+            }
+            None => match self.try_local(&edits) {
+                Ok(dirty) => {
+                    let reused = self.decomp.num_subgraphs() - dirty;
+                    (BatchClass::Local, "all edits inside existing sub-graphs", dirty, reused)
+                }
+                Err(reason) => {
+                    let (reused, recomputed) = self.rebuild_structural();
+                    (BatchClass::Structural, reason, recomputed, reused)
+                }
+            },
+        };
+
+        DynamicReport {
+            class,
+            reason,
+            dirty_subgraphs: dirty,
+            reused_contributions: reused,
+            applied_mutations: applied,
+            noop_mutations: noops,
+            total_subgraphs: self.decomp.num_subgraphs(),
+            wall_clock: start.elapsed(),
+        }
+    }
+
+    /// Attempts the local path for a batch of effective edge edits. Returns
+    /// the number of dirty sub-graphs on success, or the escalation reason
+    /// when the batch must take the structural path. Mutates `self` only
+    /// after every check has passed.
+    fn try_local(&mut self, edits: &[EdgeEdit]) -> Result<usize, &'static str> {
+        // Map every edit to the unique sub-graph containing both endpoints.
+        // Merged sub-graphs pairwise share at most one vertex (they are
+        // vertex-disjoint unions of BCCs glued at articulation points), so
+        // a pair of distinct vertices lies in at most one sub-graph — the
+        // intersection below has size 0 or 1.
+        let mut per_sg: BTreeMap<usize, Vec<(bool, u32, u32)>> = BTreeMap::new();
+        for e in edits {
+            let su = &self.memberships[e.u as usize];
+            let sv = &self.memberships[e.v as usize];
+            let mut common = su.iter().filter(|s| sv.binary_search(s).is_ok());
+            let s = match (common.next(), common.next()) {
+                (Some(&s), None) => s as usize,
+                (None, _) => return Err("edit endpoints span sub-graphs"),
+                (Some(_), Some(_)) => return Err("ambiguous sub-graph membership"),
+            };
+            let sg = &self.decomp.subgraphs[s];
+            let (lu, lv) = match (sg.local_of(e.u), sg.local_of(e.v)) {
+                (Some(a), Some(b)) => (a, b),
+                _ => return Err("membership map out of sync"),
+            };
+            per_sg.entry(s).or_default().push((e.add, lu, lv));
+        }
+
+        // Validate every dirty sub-graph before committing any of them.
+        let mut replacements: Vec<(usize, Graph)> = Vec::with_capacity(per_sg.len());
+        for (&s, sg_edits) in &per_sg {
+            let sg = &self.decomp.subgraphs[s];
+            let ln = sg.num_vertices();
+            let mut edges: BTreeSet<(u32, u32)> = sg.graph.undirected_edges().collect();
+            for &(add, lu, lv) in sg_edits {
+                let key = (lu.min(lv), lu.max(lv));
+                let changed = if add { edges.insert(key) } else { edges.remove(&key) };
+                if !changed {
+                    // The overlay accepted this edit, so the sub-graph's
+                    // local edge set disagrees with the global graph — only
+                    // possible if this edge was assigned to a different
+                    // sub-graph. Escalate rather than guess.
+                    return Err("edge not owned by the candidate sub-graph");
+                }
+            }
+            if !is_connected(ln, &edges) {
+                // A disconnecting removal changes reachability counts (and
+                // therefore other sub-graphs' α/β), which only a fresh
+                // decomposition accounts for.
+                return Err("removal disconnects a sub-graph");
+            }
+            let list: Vec<(u32, u32)> = edges.into_iter().collect();
+            replacements.push((s, Graph::undirected_from_edges(ln, &list)));
+        }
+
+        // Commit: swap in the edited local graphs, refresh the whisker
+        // folding (boundary flags and α/β are untouched by construction —
+        // that is what makes the edit local), re-run only the dirty
+        // kernels, and refold.
+        let dirty: Vec<usize> = per_sg.keys().copied().collect();
+        for (s, graph) in replacements {
+            let sg = &mut self.decomp.subgraphs[s];
+            sg.graph = graph;
+            sg.recompute_whiskers();
+        }
+        let runs = run_subgraph_kernels(&self.decomp, &dirty, &self.opts);
+        for run in runs {
+            self.contribs[run.index] = run.local;
+        }
+        self.refold();
+        Ok(dirty.len())
+    }
+
+    /// The structural path: re-decompose the current graph, carry forward
+    /// contributions of sub-graphs whose kernel input is unchanged (matched
+    /// by [`apgre_decomp::SubGraph::fingerprint`], a hash of the exact
+    /// kernel input stream), and recompute the rest. Returns
+    /// `(reused, recomputed)`.
+    fn rebuild_structural(&mut self) -> (usize, usize) {
+        let g = self.overlay.to_graph();
+        let new_decomp = decompose(&g, &self.opts.partition);
+
+        // Multiset map: fingerprint -> stored contributions. Duplicate
+        // fingerprints (e.g. many identical whisker stars) each carry at
+        // most once; the vectors are interchangeable because equal
+        // fingerprints mean bitwise-equal kernel inputs.
+        let mut carry: HashMap<u64, Vec<Vec<f64>>> = HashMap::new();
+        for (sg, contrib) in self.decomp.subgraphs.iter().zip(self.contribs.drain(..)) {
+            carry.entry(sg.fingerprint()).or_default().push(contrib);
+        }
+
+        let total = new_decomp.num_subgraphs();
+        let mut contribs: Vec<Vec<f64>> = vec![Vec::new(); total];
+        let mut misses: Vec<usize> = Vec::new();
+        for (i, sg) in new_decomp.subgraphs.iter().enumerate() {
+            match carry.get_mut(&sg.fingerprint()).and_then(Vec::pop) {
+                Some(v) => contribs[i] = v,
+                None => misses.push(i),
+            }
+        }
+        let recomputed = misses.len();
+        let runs = run_subgraph_kernels(&new_decomp, &misses, &self.opts);
+        for run in runs {
+            contribs[run.index] = run.local;
+        }
+
+        self.memberships = build_memberships(&new_decomp, g.num_vertices());
+        self.decomp = new_decomp;
+        self.contribs = contribs;
+        self.refold();
+        (total - recomputed, recomputed)
+    }
+
+    /// Folds the stored contributions into the global score vector, from
+    /// zeros, in ascending sub-graph index order — the exact fold order of
+    /// the batch driver's reorder-buffer merge, so a forced-`Seq` engine is
+    /// bitwise-identical to `bc_from_decomposition` on the same
+    /// decomposition.
+    fn refold(&mut self) {
+        let n = self.overlay.num_vertices();
+        let mut scores = vec![0.0f64; n];
+        for (sg, contrib) in self.decomp.subgraphs.iter().zip(&self.contribs) {
+            for (l, &x) in contrib.iter().enumerate() {
+                scores[sg.globals[l] as usize] += x;
+            }
+        }
+        self.scores = scores;
+    }
+}
+
+/// Vertex -> sorted sub-graph indices. Articulation points appear in every
+/// sub-graph they border; every other vertex in exactly one.
+fn build_memberships(decomp: &Decomposition, n: usize) -> Vec<Vec<u32>> {
+    let mut memberships: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (i, sg) in decomp.subgraphs.iter().enumerate() {
+        for &v in &sg.globals {
+            memberships[v as usize].push(i as u32);
+        }
+    }
+    // Built in ascending sub-graph order, so each list is already sorted.
+    memberships
+}
+
+/// BFS connectivity over an edge set on `n` local vertices.
+fn is_connected(n: usize, edges: &BTreeSet<(u32, u32)>) -> bool {
+    if n <= 1 {
+        return true;
+    }
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for &(u, v) in edges {
+        adj[u as usize].push(v);
+        adj[v as usize].push(u);
+    }
+    let mut seen = vec![false; n];
+    let mut queue = std::collections::VecDeque::from([0u32]);
+    seen[0] = true;
+    let mut count = 1usize;
+    while let Some(u) = queue.pop_front() {
+        for &w in &adj[u as usize] {
+            if !seen[w as usize] {
+                seen[w as usize] = true;
+                count += 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    count == n
+}
+
+/// One-shot convenience and serial-oracle anchor: builds a [`DynamicBc`]
+/// over `g`, replays `batches` in order, and returns the final scores —
+/// equal (1e-9 relative) to a from-scratch APGRE/Brandes run on the final
+/// graph.
+pub fn bc_dynamic(g: &Graph, batches: &[MutationBatch], opts: &ApgreOptions) -> Vec<f64> {
+    let mut engine = DynamicBc::new(g, opts.clone());
+    for batch in batches {
+        engine.apply(batch);
+    }
+    engine.scores().to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apgre_bc::bc_serial;
+    use apgre_decomp::PartitionOptions;
+
+    /// Unmerged decomposition: on the tiny test graphs below, the default
+    /// `merge_threshold` folds everything into one sub-graph, which would
+    /// make every edge edit trivially local. Threshold 0 keeps the BCCs
+    /// separate so both classification paths are exercised.
+    fn fine_opts() -> ApgreOptions {
+        ApgreOptions {
+            partition: PartitionOptions { merge_threshold: 0, ..Default::default() },
+            ..Default::default()
+        }
+    }
+
+    fn assert_close(ctx: &str, got: &[f64], want: &[f64]) {
+        assert_eq!(got.len(), want.len(), "{ctx}");
+        for i in 0..want.len() {
+            assert!(
+                (got[i] - want[i]).abs() <= 1e-9 * (1.0 + got[i].abs().max(want[i].abs())),
+                "{ctx}: vertex {i}: {} vs {}",
+                got[i],
+                want[i]
+            );
+        }
+    }
+
+    /// Two triangles joined at an articulation point, each with a whisker.
+    fn two_triangles() -> Graph {
+        Graph::undirected_from_edges(
+            8,
+            &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2), (0, 5), (4, 6)],
+        )
+    }
+
+    #[test]
+    fn initial_scores_match_serial() {
+        let g = two_triangles();
+        let engine = DynamicBc::new(&g, ApgreOptions::default());
+        assert_close("init", engine.scores(), &bc_serial(&g));
+    }
+
+    #[test]
+    fn local_edit_inside_one_subgraph() {
+        let g = two_triangles();
+        let mut engine = DynamicBc::new(&g, fine_opts());
+        // Triangle {0, 1, 2} is its own sub-graph at threshold 0. Removing
+        // chord 0-2 keeps it connected (via 1), so the edit is local and
+        // dirties exactly one sub-graph.
+        let rep = engine.apply(&MutationBatch::new().remove_edge(0, 2));
+        assert_eq!(rep.class, BatchClass::Local, "{}", rep.reason);
+        assert_eq!(rep.dirty_subgraphs, 1);
+        assert_eq!(rep.reused_contributions, rep.total_subgraphs - 1);
+        assert_close("chord off", engine.scores(), &bc_serial(&engine.current_graph()));
+        // Putting it back is local too.
+        let rep = engine.apply(&MutationBatch::new().add_edge(0, 2));
+        assert_eq!(rep.class, BatchClass::Local, "{}", rep.reason);
+        assert_close("chord on", engine.scores(), &bc_serial(&engine.current_graph()));
+        assert_close("back to start", engine.scores(), &bc_serial(&g));
+    }
+
+    #[test]
+    fn net_zero_batch_is_effective_but_exact() {
+        let g = two_triangles();
+        let mut engine = DynamicBc::new(&g, ApgreOptions::default());
+        // remove+add of the same edge nets to no change of the edge set but
+        // both edits are effective (each changed state when applied).
+        let rep = engine.apply(&MutationBatch::new().remove_edge(0, 1).add_edge(0, 1));
+        assert_eq!(rep.applied_mutations, 2);
+        assert_close("net-zero batch", engine.scores(), &bc_serial(&engine.current_graph()));
+    }
+
+    #[test]
+    fn noop_batch_reuses_everything() {
+        let g = two_triangles();
+        let mut engine = DynamicBc::new(&g, ApgreOptions::default());
+        let before = engine.scores().to_vec();
+        let rep = engine.apply(&MutationBatch::new().add_edge(0, 1).remove_edge(0, 7));
+        assert_eq!(rep.class, BatchClass::Noop);
+        assert_eq!(rep.dirty_subgraphs, 0);
+        assert_eq!(rep.noop_mutations, 2);
+        assert_eq!(engine.scores(), &before[..], "noop batch is bitwise stable");
+    }
+
+    #[test]
+    fn structural_bridge_add() {
+        let g = two_triangles();
+        let mut engine = DynamicBc::new(&g, fine_opts());
+        // Whisker tip 5 to whisker tip 6: merges structure across the
+        // articulation point — must escalate and still be exact.
+        let rep = engine.apply(&MutationBatch::new().add_edge(5, 6));
+        assert_eq!(rep.class, BatchClass::Structural);
+        assert_close("bridge", engine.scores(), &bc_serial(&engine.current_graph()));
+    }
+
+    #[test]
+    fn vertex_mutations_are_structural_and_exact() {
+        let g = two_triangles();
+        let mut engine = DynamicBc::new(&g, ApgreOptions::default());
+        let rep = engine.apply(&MutationBatch::new().add_vertex().add_edge(8, 2));
+        assert_eq!(rep.class, BatchClass::Structural);
+        assert_eq!(engine.num_vertices(), 9);
+        assert_close("grow", engine.scores(), &bc_serial(&engine.current_graph()));
+        let rep = engine.apply(&MutationBatch::new().remove_vertex(2));
+        assert_eq!(rep.class, BatchClass::Structural);
+        assert_close("strip hub", engine.scores(), &bc_serial(&engine.current_graph()));
+        // Stripping an already-isolated vertex is a noop.
+        let rep = engine.apply(&MutationBatch::new().remove_vertex(2));
+        assert_eq!(rep.class, BatchClass::Noop);
+    }
+
+    #[test]
+    fn whisker_add_and_remove_stay_correct() {
+        let g = two_triangles();
+        let mut engine = DynamicBc::new(&g, fine_opts());
+        // Remove whisker edge 0-5: vertex 5 becomes isolated. This
+        // disconnects the sub-graph containing it, so it must escalate.
+        let rep = engine.apply(&MutationBatch::new().remove_edge(0, 5));
+        assert_eq!(rep.class, BatchClass::Structural);
+        assert_close("whisker off", engine.scores(), &bc_serial(&engine.current_graph()));
+        let rep = engine.apply(&MutationBatch::new().add_edge(0, 5));
+        assert_eq!(rep.class, BatchClass::Structural, "reattach joins components");
+        assert_close("whisker on", engine.scores(), &bc_serial(&engine.current_graph()));
+    }
+
+    #[test]
+    fn directed_always_structural() {
+        let g = Graph::directed_from_edges(4, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 0)]);
+        let mut engine = DynamicBc::new(&g, ApgreOptions::default());
+        let rep = engine.apply(&MutationBatch::new().add_edge(1, 3));
+        assert_eq!(rep.class, BatchClass::Structural);
+        assert_close("directed", engine.scores(), &bc_serial(&engine.current_graph()));
+    }
+
+    #[test]
+    fn bc_dynamic_matches_serial_replay() {
+        let g = two_triangles();
+        let batches = vec![
+            MutationBatch::new().add_edge(1, 4),
+            MutationBatch::new().remove_edge(2, 3),
+            MutationBatch::new().add_vertex().add_edge(8, 1).add_edge(8, 0),
+        ];
+        let got = bc_dynamic(&g, &batches, &ApgreOptions::default());
+        let mut engine = DynamicBc::new(&g, ApgreOptions::default());
+        for b in &batches {
+            engine.apply(b);
+        }
+        assert_close("bc_dynamic replay", &got, &bc_serial(&engine.current_graph()));
+    }
+}

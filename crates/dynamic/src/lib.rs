@@ -1,0 +1,35 @@
+//! Incremental betweenness centrality over the APGRE decomposition.
+//!
+//! The batch pipeline recomputes everything on any change; this crate turns
+//! it into an updatable engine. The key observation is the same one APGRE
+//! itself rests on: the block-cut tree separates the graph into merged
+//! biconnected sub-graphs that interact **only** through the α/β tables of
+//! their boundary articulation points. An edit whose endpoints both lie
+//! inside one sub-graph leaves every other sub-graph's DAGs — and all
+//! boundary α/β — untouched, so only that sub-graph's local score
+//! contribution needs recomputing.
+//!
+//! Pieces:
+//!
+//! * [`MutationBatch`] — a recorded group of edge/vertex [`Mutation`]s,
+//!   applied atomically per batch,
+//! * [`DynamicBc`] — the engine: a mutable
+//!   [`apgre_graph::GraphOverlay`], the maintained decomposition, one stored
+//!   score contribution per sub-graph, and the classification + recompute
+//!   scheduler ([`DynamicBc::apply`]),
+//! * [`DynamicReport`] — per-batch counters (classification, dirty
+//!   sub-graphs, reused contributions, wall clock),
+//! * [`bc_dynamic`] — the one-shot entry point: build, replay batches,
+//!   return final scores.
+//!
+//! Correctness argument and the local/structural classification rules are
+//! in DESIGN.md §3.8.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod mutation;
+
+pub use engine::{bc_dynamic, BatchClass, DynamicBc, DynamicReport};
+pub use mutation::{Mutation, MutationBatch};

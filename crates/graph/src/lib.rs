@@ -13,6 +13,8 @@
 //! * [`generators`] — deterministic synthetic graph families (Erdős–Rényi,
 //!   Barabási–Albert, R-MAT, grids, stars, trees, whiskered composites),
 //! * [`io`] — SNAP-style edge lists and DIMACS readers/writers,
+//! * [`overlay`] — a mutable adjacency overlay for incremental updates that
+//!   can re-materialize a CSR [`Graph`] snapshot,
 //! * [`stats`] — degree statistics used by the experiment harness,
 //! * [`sync`] — the crate's atomics facade (mirror of `apgre_bc::sync`),
 //!   the only sanctioned import path for atomics here.
@@ -30,6 +32,7 @@ pub mod csr;
 pub mod generators;
 pub mod graph;
 pub mod io;
+pub mod overlay;
 pub mod reorder;
 pub mod stats;
 pub mod sync;
@@ -39,6 +42,7 @@ pub mod weighted;
 pub use builder::GraphBuilder;
 pub use csr::Csr;
 pub use graph::Graph;
+pub use overlay::GraphOverlay;
 pub use weighted::WeightedGraph;
 
 /// Vertex identifier. Dense, zero-based.

@@ -1,0 +1,309 @@
+//! A mutable adjacency overlay over the immutable CSR [`Graph`].
+//!
+//! [`crate::csr::Csr`] is deliberately immutable — that is what lets
+//! traversals share it across rayon workers without synchronization — so an
+//! evolving graph needs a second representation. [`GraphOverlay`] keeps one
+//! sorted neighbour list per vertex (plus a reverse set for directed graphs)
+//! and supports the four mutations of the incremental engine: edge add,
+//! edge remove, vertex add, vertex remove. [`GraphOverlay::to_graph`]
+//! materializes the current state back into a CSR [`Graph`] whenever an
+//! immutable snapshot is needed (decomposition, scratch comparisons).
+//!
+//! Hygiene matches [`Graph::undirected_from_edges`]: self-loops are rejected
+//! (they never lie on a shortest path), duplicate edges are rejected, and
+//! undirected edges are stored symmetrically. Vertex ids are stable —
+//! removing a vertex strips its incident edges but keeps the id slot as an
+//! isolated vertex, so score vectors and id maps held by callers never
+//! shift.
+
+use crate::graph::Graph;
+use crate::VertexId;
+
+/// A mutable graph: sorted adjacency lists that support edge/vertex
+/// mutations and can materialize an immutable CSR [`Graph`] snapshot.
+#[derive(Clone, Debug)]
+pub struct GraphOverlay {
+    directed: bool,
+    /// Out-neighbours per vertex, sorted ascending. For undirected graphs
+    /// every edge `{u, v}` appears in both lists.
+    fwd: Vec<Vec<VertexId>>,
+    /// In-neighbours per vertex; empty and unused when undirected.
+    rev: Vec<Vec<VertexId>>,
+    /// Arc count for directed graphs, edge count for undirected.
+    num_edges: usize,
+}
+
+fn sorted_insert(list: &mut Vec<VertexId>, v: VertexId) -> bool {
+    match list.binary_search(&v) {
+        Ok(_) => false,
+        Err(pos) => {
+            list.insert(pos, v);
+            true
+        }
+    }
+}
+
+fn sorted_remove(list: &mut Vec<VertexId>, v: VertexId) -> bool {
+    match list.binary_search(&v) {
+        Ok(pos) => {
+            list.remove(pos);
+            true
+        }
+        Err(_) => false,
+    }
+}
+
+impl GraphOverlay {
+    /// Builds an overlay holding the same vertices and edges as `g`.
+    pub fn from_graph(g: &Graph) -> Self {
+        let n = g.num_vertices();
+        let mut fwd: Vec<Vec<VertexId>> = Vec::with_capacity(n);
+        for v in g.vertices() {
+            // CSR neighbour lists are already sorted; drop self-loops and
+            // duplicates so overlay invariants hold even for hand-built CSRs.
+            let mut list: Vec<VertexId> =
+                g.out_neighbors(v).iter().copied().filter(|&w| w != v).collect();
+            list.dedup();
+            fwd.push(list);
+        }
+        let rev = if g.is_directed() {
+            let mut rev: Vec<Vec<VertexId>> = Vec::with_capacity(n);
+            for v in g.vertices() {
+                let mut list: Vec<VertexId> =
+                    g.in_neighbors(v).iter().copied().filter(|&w| w != v).collect();
+                list.dedup();
+                rev.push(list);
+            }
+            rev
+        } else {
+            Vec::new()
+        };
+        let arcs: usize = fwd.iter().map(|l| l.len()).sum();
+        let num_edges = if g.is_directed() { arcs } else { arcs / 2 };
+        GraphOverlay { directed: g.is_directed(), fwd, rev, num_edges }
+    }
+
+    /// Whether the overlay is directed.
+    #[inline]
+    pub fn is_directed(&self) -> bool {
+        self.directed
+    }
+
+    /// Number of vertex id slots (including isolated ones).
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.fwd.len()
+    }
+
+    /// Number of edges: arcs when directed, undirected edges otherwise.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Out-neighbours of `v`, sorted ascending.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        &self.fwd[v as usize]
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.fwd[v as usize].len()
+    }
+
+    /// Whether the arc (directed) or edge (undirected) `u -> v` is present.
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.fwd[u as usize].binary_search(&v).is_ok()
+    }
+
+    /// Adds the edge `u - v` (arc `u -> v` when directed). Returns `false`
+    /// without changing anything for self-loops and already-present edges.
+    ///
+    /// # Panics
+    /// Panics when either endpoint is out of range; grow the overlay with
+    /// [`GraphOverlay::add_vertex`] first.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) -> bool {
+        let n = self.num_vertices();
+        assert!((u as usize) < n && (v as usize) < n, "edge ({u}, {v}) out of range (n = {n})");
+        if u == v || self.has_edge(u, v) {
+            return false;
+        }
+        sorted_insert(&mut self.fwd[u as usize], v);
+        if self.directed {
+            sorted_insert(&mut self.rev[v as usize], u);
+        } else {
+            sorted_insert(&mut self.fwd[v as usize], u);
+        }
+        self.num_edges += 1;
+        true
+    }
+
+    /// Removes the edge `u - v` (arc `u -> v` when directed). Returns
+    /// `false` without changing anything when the edge is absent.
+    ///
+    /// # Panics
+    /// Panics when either endpoint is out of range.
+    pub fn remove_edge(&mut self, u: VertexId, v: VertexId) -> bool {
+        let n = self.num_vertices();
+        assert!((u as usize) < n && (v as usize) < n, "edge ({u}, {v}) out of range (n = {n})");
+        if !sorted_remove(&mut self.fwd[u as usize], v) {
+            return false;
+        }
+        if self.directed {
+            sorted_remove(&mut self.rev[v as usize], u);
+        } else {
+            sorted_remove(&mut self.fwd[v as usize], u);
+        }
+        self.num_edges -= 1;
+        true
+    }
+
+    /// Appends a fresh isolated vertex and returns its id.
+    pub fn add_vertex(&mut self) -> VertexId {
+        let id = self.fwd.len() as VertexId;
+        self.fwd.push(Vec::new());
+        if self.directed {
+            self.rev.push(Vec::new());
+        }
+        id
+    }
+
+    /// Strips every edge incident to `v`, leaving the id slot as an isolated
+    /// vertex (ids are stable). Returns the number of edges removed.
+    ///
+    /// # Panics
+    /// Panics when `v` is out of range.
+    pub fn remove_vertex(&mut self, v: VertexId) -> usize {
+        let n = self.num_vertices();
+        assert!((v as usize) < n, "vertex {v} out of range (n = {n})");
+        let out = std::mem::take(&mut self.fwd[v as usize]);
+        let mut removed = out.len();
+        if self.directed {
+            for &w in &out {
+                sorted_remove(&mut self.rev[w as usize], v);
+            }
+            let inc = std::mem::take(&mut self.rev[v as usize]);
+            removed += inc.len();
+            for &w in &inc {
+                sorted_remove(&mut self.fwd[w as usize], v);
+            }
+        } else {
+            for &w in &out {
+                sorted_remove(&mut self.fwd[w as usize], v);
+            }
+        }
+        self.num_edges -= removed;
+        removed
+    }
+
+    /// Materializes the current state as an immutable CSR [`Graph`].
+    pub fn to_graph(&self) -> Graph {
+        let mut edges: Vec<(VertexId, VertexId)> =
+            Vec::with_capacity(if self.directed { self.num_edges } else { self.num_edges * 2 });
+        for (u, list) in self.fwd.iter().enumerate() {
+            for &v in list {
+                edges.push((u as VertexId, v));
+            }
+        }
+        if self.directed {
+            Graph::directed_from_edges(self.num_vertices(), &edges)
+        } else {
+            // The overlay already stores both directions; `from_edges` would
+            // keep them, so feed each edge once through the symmetrizer.
+            let once: Vec<(VertexId, VertexId)> =
+                edges.into_iter().filter(|&(u, v)| u < v).collect();
+            Graph::undirected_from_edges(self.num_vertices(), &once)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle_plus_tail() -> Graph {
+        Graph::undirected_from_edges(5, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4)])
+    }
+
+    #[test]
+    fn round_trip_is_identity() {
+        let g = triangle_plus_tail();
+        let o = GraphOverlay::from_graph(&g);
+        assert_eq!(o.num_vertices(), 5);
+        assert_eq!(o.num_edges(), 5);
+        assert_eq!(o.to_graph().csr(), g.csr());
+    }
+
+    #[test]
+    fn add_and_remove_edge_undirected() {
+        let mut o = GraphOverlay::from_graph(&triangle_plus_tail());
+        assert!(o.add_edge(0, 4));
+        assert!(!o.add_edge(4, 0), "mirrored duplicate rejected");
+        assert!(o.has_edge(0, 4) && o.has_edge(4, 0));
+        assert_eq!(o.num_edges(), 6);
+        assert!(o.remove_edge(4, 0));
+        assert!(!o.remove_edge(4, 0));
+        assert_eq!(o.num_edges(), 5);
+        assert_eq!(o.to_graph().csr(), triangle_plus_tail().csr());
+    }
+
+    #[test]
+    fn self_loops_rejected() {
+        let mut o = GraphOverlay::from_graph(&triangle_plus_tail());
+        assert!(!o.add_edge(2, 2));
+        assert_eq!(o.num_edges(), 5);
+    }
+
+    #[test]
+    fn directed_add_remove_tracks_both_csrs() {
+        let g = Graph::directed_from_edges(3, &[(0, 1), (1, 2)]);
+        let mut o = GraphOverlay::from_graph(&g);
+        assert!(o.add_edge(2, 0));
+        assert!(!o.has_edge(0, 2), "directed: reverse arc is distinct");
+        let m = o.to_graph();
+        assert_eq!(m.out_neighbors(2), &[0]);
+        assert_eq!(m.in_neighbors(0), &[2]);
+        assert!(o.remove_edge(0, 1));
+        assert_eq!(o.to_graph().in_neighbors(1), &[] as &[VertexId]);
+    }
+
+    #[test]
+    fn add_vertex_then_wire_it() {
+        let mut o = GraphOverlay::from_graph(&triangle_plus_tail());
+        let w = o.add_vertex();
+        assert_eq!(w, 5);
+        assert!(o.add_edge(w, 0));
+        let m = o.to_graph();
+        assert_eq!(m.num_vertices(), 6);
+        assert_eq!(m.out_neighbors(5), &[0]);
+    }
+
+    #[test]
+    fn remove_vertex_keeps_slot_isolated() {
+        let mut o = GraphOverlay::from_graph(&triangle_plus_tail());
+        assert_eq!(o.remove_vertex(2), 3);
+        assert_eq!(o.num_edges(), 2);
+        assert_eq!(o.degree(2), 0);
+        let m = o.to_graph();
+        assert_eq!(m.num_vertices(), 5, "id slots are stable");
+        assert_eq!(m.out_neighbors(0), &[1]);
+    }
+
+    #[test]
+    fn remove_vertex_directed_counts_both_directions() {
+        let g = Graph::directed_from_edges(4, &[(0, 1), (1, 2), (2, 1), (3, 1)]);
+        let mut o = GraphOverlay::from_graph(&g);
+        assert_eq!(o.remove_vertex(1), 4);
+        assert_eq!(o.num_edges(), 0);
+        assert_eq!(o.to_graph().num_edges(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        let mut o = GraphOverlay::from_graph(&triangle_plus_tail());
+        o.add_edge(0, 99);
+    }
+}

@@ -13,6 +13,7 @@
 //! the same graph.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub mod paper_examples;
 mod road;

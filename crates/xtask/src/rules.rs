@@ -9,7 +9,7 @@
 //! | `raw-atomic-import` | `std::sync::atomic` / `core::sync::atomic` outside the sync facades (`apgre_bc::sync` and its `apgre_graph::sync` mirror) |
 //! | `ordering-creep` | `SeqCst` / `AcqRel` outside the facade — the kernels' correctness argument is written for `Relaxed` + fork-join edges, stronger orderings hide missing reasoning |
 //! | `naked-par-accum` | `slice[i] += …` inside a `par_iter`-family closure — unsynchronized accumulation into a shared slice; use `AtomicF64::fetch_add` (escape: `lint:allow(par_accum)`) |
-//! | `kernel-missing-serial-test` | a `pub fn bc_*` kernel in `crates/bc` with no test file comparing it against `bc_serial` |
+//! | `kernel-missing-serial-test` | a `pub fn bc_*` kernel in `crates/bc` or `crates/dynamic` with no test file comparing it against `bc_serial` |
 
 use crate::lexer::scrub;
 use std::fmt;
@@ -218,7 +218,9 @@ fn check_kernel_serial_tests(
 ) {
     let mut kernels: Vec<(PathBuf, usize, String)> = Vec::new();
     for ((path, _), (upath, code)) in files.iter().zip(scrubbed) {
-        if !upath.contains("crates/bc/src") {
+        // The incremental engine's `bc_*` entry points promise the same
+        // contract as the batch kernels, so they carry the same obligation.
+        if !upath.contains("crates/bc/src") && !upath.contains("crates/dynamic/src") {
             continue;
         }
         for (ln, line) in code.lines().enumerate() {
@@ -405,6 +407,27 @@ fn ok(bc: &mut [f64]) {
             (
                 "crates/bc/tests/kernels.rs",
                 "#[test]\nfn fine_matches() { matches_serial(bc_fine); }\n",
+            ),
+        ]);
+        assert!(v.is_empty(), "{v:?}", v = rules(&v));
+    }
+
+    #[test]
+    fn dynamic_crate_kernels_carry_the_serial_obligation() {
+        let v = lint(&[(
+            "crates/dynamic/src/engine.rs",
+            "pub fn bc_dynamic(g: &Graph) -> Vec<f64> { vec![] }\n",
+        )]);
+        assert_eq!(rules(&v), ["kernel-missing-serial-test"]);
+        assert!(v[0].message.contains("bc_dynamic"));
+        let v = lint(&[
+            (
+                "crates/dynamic/src/engine.rs",
+                "pub fn bc_dynamic(g: &Graph) -> Vec<f64> { vec![] }\n",
+            ),
+            (
+                "crates/dynamic/tests/proptest_dynamic.rs",
+                "#[test]\nfn t() { assert_eq!(bc_dynamic(&g), bc_serial(&g)); }\n",
             ),
         ]);
         assert!(v.is_empty(), "{v:?}", v = rules(&v));

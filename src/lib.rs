@@ -31,6 +31,8 @@
 //!   Algorithm 1 partition, α/β/γ ([`apgre_decomp`]),
 //! * [`bc`] — Brandes, the parallel baselines, APGRE, redundancy analysis
 //!   ([`apgre_bc`]),
+//! * [`dynamic`] — the incremental engine: mutation batches, dirty-sub-graph
+//!   tracking, contribution carry-forward ([`apgre_dynamic`]),
 //! * [`workloads`] — deterministic stand-ins for the paper's 12 evaluation
 //!   graphs ([`apgre_workloads`]).
 
@@ -38,6 +40,7 @@
 
 pub use apgre_bc as bc;
 pub use apgre_decomp as decomp;
+pub use apgre_dynamic as dynamic;
 pub use apgre_graph as graph;
 pub use apgre_workloads as workloads;
 
@@ -54,7 +57,10 @@ pub mod prelude {
     pub use apgre_bc::redundancy::{analyze as analyze_redundancy, RedundancyBreakdown};
     pub use apgre_bc::weighted::{bc_weighted_apgre, bc_weighted_serial};
     pub use apgre_decomp::{decompose, AlphaBetaMethod, Decomposition, PartitionOptions, SubGraph};
-    pub use apgre_graph::{Graph, GraphBuilder, VertexId, WeightedGraph};
+    pub use apgre_dynamic::{
+        bc_dynamic, BatchClass, DynamicBc, DynamicReport, Mutation, MutationBatch,
+    };
+    pub use apgre_graph::{Graph, GraphBuilder, GraphOverlay, VertexId, WeightedGraph};
 }
 
 pub use prelude::*;
