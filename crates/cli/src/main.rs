@@ -2,11 +2,21 @@
 //!
 //! ```text
 //! bc-tool <input> [options]
+//! bc-tool serve --graph <input> [serve options]
 //!
 //! input:
 //!   path to an edge-list file (# comments, "u v" per line),
 //!   path to a DIMACS .gr file (detected by extension), or
 //!   workload:<name>[:tiny|small|medium] for a built-in stand-in
+//!
+//! serve options (see `apgre-serve`; service runs until POST /shutdown):
+//!   --addr <a>              bind address (default 127.0.0.1:7171; use
+//!                           port 0 for an ephemeral port)
+//!   --queue-depth <n>       mutation queue capacity, full => 429
+//!                           (default 256)
+//!   --workers <n>           request worker threads (default 4)
+//!   --staleness-ms <n>      approx-tier staleness budget (default 250)
+//!   --kernel/--threshold/--grain/--directed as below
 //!
 //! options:
 //!   --algo <serial|preds|succs|lockfree|coarse|hybrid|apgre|approx|edge>
@@ -63,6 +73,8 @@ fn usage() -> ! {
          [--algo serial|preds|succs|lockfree|coarse|hybrid|apgre] [--directed] \
          [--top K] [--threshold N] [--kernel auto|seq|rootpar|levelsync] [--grain N] \
          [--threads T] [--dynamic N] [--seed S] [--stats] [--normalize]\n\
+         or:    bc-tool serve --graph <input> [--addr A] [--queue-depth N] [--workers N] \
+         [--staleness-ms N] [--kernel P] [--threshold N] [--grain N] [--directed]\n\
          workloads: {}",
         apgre_workloads::registry().iter().map(|w| w.name).collect::<Vec<_>>().join(", ")
     );
@@ -128,7 +140,11 @@ fn parse_args() -> Args {
 }
 
 fn load_graph(args: &Args) -> Graph {
-    if let Some(rest) = args.input.strip_prefix("workload:") {
+    load_graph_from(&args.input, args.directed)
+}
+
+fn load_graph_from(input: &str, directed: bool) -> Graph {
+    if let Some(rest) = input.strip_prefix("workload:") {
         let mut parts = rest.splitn(2, ':');
         let name = parts.next().unwrap();
         let scale = match parts.next().unwrap_or("small") {
@@ -148,24 +164,107 @@ fn load_graph(args: &Args) -> Graph {
             }
         }
     }
-    let result = if args.input.ends_with(".gr") {
-        match std::fs::File::open(&args.input) {
-            Ok(f) => apgre_graph::io::read_dimacs(f, args.directed),
+    let result = if input.ends_with(".gr") {
+        match std::fs::File::open(input) {
+            Ok(f) => apgre_graph::io::read_dimacs(f, directed),
             Err(e) => {
-                eprintln!("cannot open {}: {e}", args.input);
+                eprintln!("cannot open {input}: {e}");
                 exit(1)
             }
         }
     } else {
-        apgre_graph::io::read_edge_list_file(&args.input, args.directed)
+        apgre_graph::io::read_edge_list_file(input, directed)
     };
     result.unwrap_or_else(|e| {
-        eprintln!("cannot parse {}: {e}", args.input);
+        eprintln!("cannot parse {input}: {e}");
         exit(1)
     })
 }
 
+/// `bc-tool serve ...`: boot the query service and block until shutdown
+/// (`POST /shutdown` or process signal).
+fn serve_main() -> ! {
+    let mut input = String::new();
+    let mut cfg = apgre_serve::ServeConfig { addr: "127.0.0.1:7171".into(), ..Default::default() };
+    let mut directed = false;
+    let mut threshold = 32usize;
+    let mut kernel = KernelPolicy::Auto;
+    let mut grain = DEFAULT_GRAIN;
+
+    let mut it = std::env::args().skip(2);
+    while let Some(a) = it.next() {
+        let mut next_usize = |flag: &str| -> usize {
+            it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                eprintln!("{flag} needs a number");
+                usage()
+            })
+        };
+        match a.as_str() {
+            "--graph" => input = it.next().unwrap_or_else(|| usage()),
+            "--addr" => cfg.addr = it.next().unwrap_or_else(|| usage()),
+            "--queue-depth" => cfg.queue_depth = next_usize("--queue-depth"),
+            "--workers" => cfg.workers = next_usize("--workers"),
+            "--staleness-ms" => {
+                cfg.staleness_budget =
+                    std::time::Duration::from_millis(next_usize("--staleness-ms") as u64)
+            }
+            "--threshold" => threshold = next_usize("--threshold"),
+            "--grain" => grain = next_usize("--grain"),
+            "--kernel" => {
+                kernel = it.next().unwrap_or_else(|| usage()).parse().unwrap_or_else(|e: String| {
+                    eprintln!("{e}");
+                    usage()
+                })
+            }
+            "--directed" => directed = true,
+            "--help" | "-h" => usage(),
+            _ if a.starts_with("--") => {
+                eprintln!("unknown serve option {a}");
+                usage()
+            }
+            _ if input.is_empty() => input = a,
+            _ => usage(),
+        }
+    }
+    if input.is_empty() {
+        eprintln!("serve needs a graph (--graph <input>)");
+        usage()
+    }
+
+    let g = load_graph_from(&input, directed);
+    println!(
+        "graph: {} vertices, {} edges, directed = {}",
+        g.num_vertices(),
+        g.num_edges(),
+        g.is_directed()
+    );
+    cfg.opts = ApgreOptions {
+        partition: PartitionOptions { merge_threshold: threshold, ..Default::default() },
+        kernel,
+        grain,
+        ..Default::default()
+    };
+    let t = Instant::now();
+    let handle = apgre_serve::serve(&g, cfg).unwrap_or_else(|e| {
+        eprintln!("cannot start service: {e}");
+        exit(1)
+    });
+    println!("seeded engine and published snapshot in {:.2?}", t.elapsed());
+    println!("listening on http://{}", handle.local_addr());
+    // The smoke test (and any supervisor) reads the line above through a
+    // pipe to discover the ephemeral port; without a flush it sits in the
+    // stdio buffer until exit.
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    handle.wait();
+    println!("shutdown complete");
+    exit(0)
+}
+
 fn main() {
+    if std::env::args().nth(1).as_deref() == Some("serve") {
+        serve_main();
+    }
     let args = parse_args();
     if let Some(t) = args.threads {
         rayon::ThreadPoolBuilder::new().num_threads(t).build_global().unwrap_or_else(|e| {

@@ -80,3 +80,75 @@ fn rejects_missing_file() {
     let out = bc_tool().args(["/nonexistent/graph.txt"]).output().unwrap();
     assert!(!out.status.success());
 }
+
+/// Boots `bc-tool serve` on an ephemeral port, discovers the port from the
+/// "listening on" stdout line, exchanges real HTTP over `TcpStream`, and
+/// shuts the service down cleanly via `POST /shutdown`.
+#[test]
+fn serve_smoke_boot_query_shutdown() {
+    use std::io::{BufRead, BufReader, Read, Write};
+    use std::net::TcpStream;
+    use std::process::Stdio;
+
+    let mut child = bc_tool()
+        .args([
+            "serve",
+            "--graph",
+            "workload:email-enron-like:tiny",
+            "--addr",
+            "127.0.0.1:0",
+            "--kernel",
+            "seq",
+            "--queue-depth",
+            "8",
+            "--workers",
+            "2",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn bc-tool serve");
+
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut lines = BufReader::new(stdout).lines();
+    let addr = loop {
+        let line = lines
+            .next()
+            .expect("serve exited before announcing its address")
+            .expect("readable stdout");
+        if let Some(rest) = line.strip_prefix("listening on http://") {
+            break rest.to_owned();
+        }
+    };
+
+    let exchange = |method: &str, path: &str, body: &str| -> (u16, String) {
+        let mut stream = TcpStream::connect(&addr).expect("connect");
+        stream
+            .write_all(
+                format!(
+                    "{method} {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\
+                     Content-Length: {}\r\n\r\n{body}",
+                    body.len()
+                )
+                .as_bytes(),
+            )
+            .expect("send");
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).expect("recv");
+        let status = raw.split_whitespace().nth(1).expect("status").parse().expect("numeric");
+        (status, raw.split_once("\r\n\r\n").map(|(_, b)| b.to_owned()).unwrap_or_default())
+    };
+
+    let (status, body) = exchange("GET", "/bc/0", "");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"tier\":\"exact\""), "{body}");
+
+    let (status, body) = exchange("POST", "/mutate", "add-vertex\n");
+    assert_eq!(status, 202, "{body}");
+
+    let (status, _) = exchange("POST", "/shutdown", "");
+    assert_eq!(status, 200);
+
+    let out = child.wait_with_output().expect("service exits after /shutdown");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+}

@@ -4,6 +4,7 @@
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::time::{Duration, Instant};
 
+use apgre_bc::apgre::{ApgreReport, KernelChoice, SubgraphKernelRun};
 use apgre_bc::{run_subgraph_kernels, ApgreOptions};
 use apgre_decomp::{decompose, Decomposition};
 use apgre_graph::{Graph, GraphOverlay, VertexId};
@@ -80,6 +81,12 @@ pub struct DynamicBc {
     scores: Vec<f64>,
     /// Vertex -> sorted list of sub-graph indices containing it.
     memberships: Vec<Vec<u32>>,
+    /// Lifetime accounting: structure fields mirror the *current*
+    /// decomposition, timing/kernel counters accumulate across the seed run
+    /// and every subsequent batch (see [`DynamicBc::report`]).
+    report: ApgreReport,
+    /// The report of the most recent [`DynamicBc::apply`] call.
+    last_batch: Option<DynamicReport>,
 }
 
 impl DynamicBc {
@@ -96,10 +103,20 @@ impl DynamicBc {
         let decomp = decompose(g, &opts.partition);
         let all: Vec<usize> = (0..decomp.num_subgraphs()).collect();
         let runs = run_subgraph_kernels(&decomp, &all, &opts);
+        let mut report = structure_report(&decomp, &opts);
+        absorb_runs(&mut report, decomp.top_subgraph, &runs);
         let contribs: Vec<Vec<f64>> = runs.into_iter().map(|r| r.local).collect();
         let memberships = build_memberships(&decomp, g.num_vertices());
-        let mut engine =
-            DynamicBc { opts, overlay, decomp, contribs, scores: Vec::new(), memberships };
+        let mut engine = DynamicBc {
+            opts,
+            overlay,
+            decomp,
+            contribs,
+            scores: Vec::new(),
+            memberships,
+            report,
+            last_batch: None,
+        };
         engine.refold();
         engine
     }
@@ -108,6 +125,42 @@ impl DynamicBc {
     /// [`apgre_bc::bc_apgre`]), indexed by vertex id.
     pub fn scores(&self) -> &[f64] {
         &self.scores
+    }
+
+    /// Lifetime accounting in [`ApgreReport`] shape, borrowed for free.
+    ///
+    /// Structure fields (`num_subgraphs`, `top_subgraph_*`, `total_roots`,
+    /// `total_whiskers`, articulation count) mirror the **current**
+    /// decomposition; the timing and kernel counters (`partition_time`,
+    /// `alpha_beta_time`, `bc_time`, `edges_traversed`, `kernel_counts`)
+    /// **accumulate** across the seed run and every batch — the shape a
+    /// long-running service wants for monotonic metrics counters.
+    pub fn report(&self) -> &ApgreReport {
+        &self.report
+    }
+
+    /// The report of the most recent [`DynamicBc::apply`] call, if any.
+    pub fn last_batch(&self) -> Option<&DynamicReport> {
+        self.last_batch.as_ref()
+    }
+
+    /// The options the engine was built with.
+    pub fn options(&self) -> &ApgreOptions {
+        &self.opts
+    }
+
+    /// Clones the engine's current state into an immutable, `Send + Sync`
+    /// [`EngineSnapshot`] a concurrent reader can hold (e.g. behind an
+    /// `Arc` swapped on every publish) while the engine keeps mutating.
+    pub fn snapshot(&self) -> EngineSnapshot {
+        EngineSnapshot {
+            graph: self.overlay.to_graph(),
+            scores: self.scores.clone(),
+            num_subgraphs: self.decomp.num_subgraphs(),
+            num_articulation_points: self.report.num_articulation_points,
+            report: self.report.clone(),
+            last_batch: self.last_batch.clone(),
+        }
     }
 
     /// The engine's maintained decomposition. After local batches this may
@@ -179,7 +232,7 @@ impl DynamicBc {
 
         // Phase 2: classify and recompute.
         if applied == 0 {
-            return DynamicReport {
+            let report = DynamicReport {
                 class: BatchClass::Noop,
                 reason: "no mutation changed the graph",
                 dirty_subgraphs: 0,
@@ -189,6 +242,8 @@ impl DynamicBc {
                 total_subgraphs: self.decomp.num_subgraphs(),
                 wall_clock: start.elapsed(),
             };
+            self.last_batch = Some(report.clone());
+            return report;
         }
 
         let structural_reason = if vertex_change {
@@ -219,7 +274,7 @@ impl DynamicBc {
             },
         };
 
-        DynamicReport {
+        let report = DynamicReport {
             class,
             reason,
             dirty_subgraphs: dirty,
@@ -228,7 +283,9 @@ impl DynamicBc {
             noop_mutations: noops,
             total_subgraphs: self.decomp.num_subgraphs(),
             wall_clock: start.elapsed(),
-        }
+        };
+        self.last_batch = Some(report.clone());
+        report
     }
 
     /// Attempts the local path for a batch of effective edge edits. Returns
@@ -297,6 +354,8 @@ impl DynamicBc {
             sg.recompute_whiskers();
         }
         let runs = run_subgraph_kernels(&self.decomp, &dirty, &self.opts);
+        absorb_runs(&mut self.report, self.decomp.top_subgraph, &runs);
+        refresh_structure(&mut self.report, &self.decomp);
         for run in runs {
             self.contribs[run.index] = run.local;
         }
@@ -333,6 +392,16 @@ impl DynamicBc {
         }
         let recomputed = misses.len();
         let runs = run_subgraph_kernels(&new_decomp, &misses, &self.opts);
+
+        // Accounting: the re-decomposition's timings and the recomputed
+        // kernels' work accumulate; structure fields switch to the new
+        // decomposition. A carried-forward top sub-graph keeps its last
+        // known kernel choice (no run happened this batch to observe one).
+        self.report.partition_time += new_decomp.timings.partition;
+        self.report.alpha_beta_time += new_decomp.timings.alpha_beta;
+        refresh_structure(&mut self.report, &new_decomp);
+        absorb_runs(&mut self.report, new_decomp.top_subgraph, &runs);
+
         for run in runs {
             contribs[run.index] = run.local;
         }
@@ -358,6 +427,86 @@ impl DynamicBc {
             }
         }
         self.scores = scores;
+    }
+}
+
+/// An immutable, self-contained copy of a [`DynamicBc`]'s state at one
+/// instant: the materialized graph, the score vector, decomposition
+/// summary counts, and the cumulative + last-batch reports.
+///
+/// Everything is owned (no borrows into the engine), so the snapshot is
+/// `Send + Sync` by construction and can be published behind an `Arc` to
+/// concurrent readers while the engine continues to mutate.
+#[derive(Clone, Debug)]
+pub struct EngineSnapshot {
+    /// The graph the scores were computed on, as an immutable CSR.
+    pub graph: Graph,
+    /// Global BC scores (ordered-pair convention), indexed by vertex id.
+    pub scores: Vec<f64>,
+    /// Sub-graphs in the engine's decomposition at snapshot time.
+    pub num_subgraphs: usize,
+    /// Articulation points in the engine's decomposition at snapshot time.
+    pub num_articulation_points: usize,
+    /// Cumulative accounting (see [`DynamicBc::report`]).
+    pub report: ApgreReport,
+    /// The report of the batch applied most recently before the snapshot.
+    pub last_batch: Option<DynamicReport>,
+}
+
+/// Seeds an [`ApgreReport`] from a fresh decomposition: timings come from
+/// the decomposition, every kernel counter starts at zero (to be filled by
+/// [`absorb_runs`]).
+fn structure_report(decomp: &Decomposition, opts: &ApgreOptions) -> ApgreReport {
+    let mut report = ApgreReport {
+        partition_time: decomp.timings.partition,
+        alpha_beta_time: decomp.timings.alpha_beta,
+        bc_time: Duration::ZERO,
+        top_subgraph_bc_time: Duration::ZERO,
+        num_subgraphs: 0,
+        num_articulation_points: 0,
+        top_subgraph_vertices: 0,
+        top_subgraph_edges: 0,
+        total_roots: 0,
+        total_whiskers: 0,
+        edges_traversed: 0,
+        kernel_policy: opts.kernel,
+        grain: opts.grain,
+        top_subgraph_kernel: None,
+        kernel_counts: (0, 0, 0),
+    };
+    refresh_structure(&mut report, decomp);
+    report
+}
+
+/// Overwrites the structure fields of `report` (counts that describe the
+/// *current* decomposition, not accumulated work) from `decomp`.
+fn refresh_structure(report: &mut ApgreReport, decomp: &Decomposition) {
+    let top = decomp.subgraphs.get(decomp.top_subgraph);
+    report.num_subgraphs = decomp.num_subgraphs();
+    report.num_articulation_points = decomp.is_articulation.iter().filter(|&&a| a).count();
+    report.top_subgraph_vertices = top.map_or(0, |sg| sg.num_vertices());
+    report.top_subgraph_edges = top.map_or(0, |sg| sg.num_edges());
+    report.total_roots = decomp.subgraphs.iter().map(|sg| sg.roots.len()).sum();
+    report.total_whiskers =
+        decomp.subgraphs.iter().map(|sg| sg.is_whisker.iter().filter(|&&w| w).count()).sum();
+}
+
+/// Accumulates kernel-run work (time, traversed edges, per-kernel counts)
+/// into `report`; `top_index` marks the run whose choice/time also fills
+/// the top-sub-graph fields.
+fn absorb_runs(report: &mut ApgreReport, top_index: usize, runs: &[SubgraphKernelRun]) {
+    for run in runs {
+        report.bc_time += run.time;
+        report.edges_traversed += run.edges;
+        match run.choice {
+            KernelChoice::Seq => report.kernel_counts.0 += 1,
+            KernelChoice::RootParallel => report.kernel_counts.1 += 1,
+            KernelChoice::LevelSync => report.kernel_counts.2 += 1,
+        }
+        if run.index == top_index {
+            report.top_subgraph_kernel = Some(run.choice);
+            report.top_subgraph_bc_time += run.time;
+        }
     }
 }
 
@@ -546,6 +695,57 @@ mod tests {
         let rep = engine.apply(&MutationBatch::new().add_edge(1, 3));
         assert_eq!(rep.class, BatchClass::Structural);
         assert_close("directed", engine.scores(), &bc_serial(&engine.current_graph()));
+    }
+
+    #[test]
+    fn report_accumulates_and_tracks_structure() {
+        let g = two_triangles();
+        let mut engine = DynamicBc::new(&g, fine_opts());
+        let seed = engine.report().clone();
+        assert_eq!(seed.num_subgraphs, engine.decomposition().num_subgraphs());
+        let seed_kernels = seed.kernel_counts.0 + seed.kernel_counts.1 + seed.kernel_counts.2;
+        assert_eq!(seed_kernels, seed.num_subgraphs, "seed run touches every sub-graph");
+        assert!(engine.last_batch().is_none(), "no batch applied yet");
+
+        // A local batch re-runs exactly one kernel: counters grow by one.
+        let rep = engine.apply(&MutationBatch::new().remove_edge(0, 2));
+        assert_eq!(rep.class, BatchClass::Local, "{}", rep.reason);
+        let after = engine.report();
+        let after_kernels = after.kernel_counts.0 + after.kernel_counts.1 + after.kernel_counts.2;
+        assert_eq!(after_kernels, seed_kernels + 1);
+        assert!(after.edges_traversed >= seed.edges_traversed);
+        assert_eq!(engine.last_batch().unwrap().class, BatchClass::Local);
+
+        // A structural batch rebuilds: structure mirrors the new
+        // decomposition, counters keep accumulating.
+        engine.apply(&MutationBatch::new().add_edge(5, 6));
+        let after = engine.report();
+        assert_eq!(after.num_subgraphs, engine.decomposition().num_subgraphs());
+        assert!(after.partition_time >= seed.partition_time);
+        assert_eq!(engine.last_batch().unwrap().class, BatchClass::Structural);
+    }
+
+    #[test]
+    fn snapshot_is_immutable_copy() {
+        let g = two_triangles();
+        let mut engine = DynamicBc::new(&g, fine_opts());
+        let snap = engine.snapshot();
+        assert_eq!(snap.scores, engine.scores());
+        assert_eq!(snap.graph.num_edges(), engine.current_graph().num_edges());
+        assert!(snap.last_batch.is_none());
+
+        // Mutating the engine must not affect the already-taken snapshot.
+        engine.apply(&MutationBatch::new().remove_edge(0, 2));
+        assert_ne!(snap.scores, engine.scores(), "engine moved on");
+        assert_close("snapshot still scores the old graph", &snap.scores, &bc_serial(&snap.graph));
+
+        let snap2 = engine.snapshot();
+        assert_eq!(snap2.scores, engine.scores());
+        assert_eq!(snap2.last_batch.as_ref().unwrap().class, BatchClass::Local);
+
+        // Snapshots are Send + Sync by construction.
+        fn assert_send_sync<T: Send + Sync>(_: &T) {}
+        assert_send_sync(&snap2);
     }
 
     #[test]

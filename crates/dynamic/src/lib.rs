@@ -31,5 +31,5 @@
 mod engine;
 mod mutation;
 
-pub use engine::{bc_dynamic, BatchClass, DynamicBc, DynamicReport};
+pub use engine::{bc_dynamic, BatchClass, DynamicBc, DynamicReport, EngineSnapshot};
 pub use mutation::{Mutation, MutationBatch};

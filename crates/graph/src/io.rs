@@ -48,14 +48,35 @@ fn parse_err(line: usize, message: impl Into<String>) -> IoError {
     IoError::Parse { line, message: message.into() }
 }
 
+/// Header prefix emitted by [`write_edge_list`] and recognized by
+/// [`read_edge_list`]. Plain SNAP files never carry it, so honoring it does
+/// not change how foreign edge lists parse.
+const EDGE_LIST_HEADER: &str = "# apgre edge list:";
+
 /// Reads a SNAP-style edge list: `#`-prefixed comments, one `u v` pair per
 /// non-empty line, 0-based ids. `directed` selects the graph kind.
+///
+/// A leading [`write_edge_list`] header (`# apgre edge list: N vertices, …`)
+/// is honored: the declared vertex count pads trailing isolated vertices,
+/// which bare edge lists cannot represent — this is what makes
+/// load → write → load the identity for checkpointed graphs.
 pub fn read_edge_list<R: Read>(reader: R, directed: bool) -> Result<Graph, IoError> {
     let mut builder = if directed { GraphBuilder::directed() } else { GraphBuilder::undirected() };
+    let mut declared_n: Option<usize> = None;
     let buf = BufReader::new(reader);
     for (idx, line) in buf.lines().enumerate() {
         let line = line?;
         let line = line.trim();
+        if let Some(rest) = line.strip_prefix(EDGE_LIST_HEADER) {
+            let n: usize = rest
+                .split_whitespace()
+                .next()
+                .ok_or_else(|| parse_err(idx + 1, "header missing vertex count"))?
+                .parse()
+                .map_err(|e| parse_err(idx + 1, format!("bad header vertex count: {e}")))?;
+            declared_n = Some(n);
+            continue;
+        }
         if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
             continue;
         }
@@ -72,6 +93,9 @@ pub fn read_edge_list<R: Read>(reader: R, directed: bool) -> Result<Graph, IoErr
             .map_err(|e| parse_err(idx + 1, format!("bad target: {e}")))?;
         builder.push_edge(u, v);
     }
+    if let Some(n) = declared_n {
+        builder = builder.with_num_vertices(n);
+    }
     Ok(builder.build())
 }
 
@@ -82,11 +106,13 @@ pub fn read_edge_list_file(path: impl AsRef<Path>, directed: bool) -> Result<Gra
 }
 
 /// Writes a SNAP-style edge list (arcs for directed graphs, one line per
-/// undirected edge otherwise).
+/// undirected edge otherwise) with a self-describing header so
+/// [`read_edge_list`] round-trips exactly — including trailing isolated
+/// vertices, which the edge lines alone cannot encode.
 pub fn write_edge_list<W: Write>(g: &Graph, mut w: W) -> std::io::Result<()> {
     writeln!(
         w,
-        "# {} vertices, {} edges, directed={}",
+        "{EDGE_LIST_HEADER} {} vertices, {} edges, directed={}",
         g.num_vertices(),
         g.num_edges(),
         g.is_directed()
@@ -274,6 +300,28 @@ mod tests {
         let g2 = read_edge_list(&buf[..], true).unwrap();
         assert_eq!(g.csr(), g2.csr());
         assert!(g2.is_directed());
+    }
+
+    #[test]
+    fn edge_list_round_trip_preserves_isolated_vertices() {
+        // Vertices 4..7 are isolated; a bare edge list would silently drop
+        // them. The self-describing header keeps the vertex count.
+        let g =
+            GraphBuilder::undirected().with_num_vertices(8).add_edge(0, 1).add_edge(2, 3).build();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(&buf[..], false).unwrap();
+        assert_eq!(g2.num_vertices(), 8);
+        assert_eq!(g.csr(), g2.csr());
+    }
+
+    #[test]
+    fn foreign_header_comments_stay_inert() {
+        // A plain SNAP comment that merely mentions sizes must not be
+        // interpreted as a vertex-count declaration.
+        let text = "# 9 vertices, 1 edges, directed=false\n0 1\n";
+        let g = read_edge_list(text.as_bytes(), false).unwrap();
+        assert_eq!(g.num_vertices(), 2);
     }
 
     #[test]

@@ -1,0 +1,268 @@
+//! A deliberately small HTTP/1.1 server-side codec over `std::net`.
+//!
+//! The service's whole protocol surface is plain-text request/response with
+//! `Content-Length` bodies and keep-alive, so a hand-rolled parser keeps the
+//! crate std-only (no new dependencies in the offline build container) and
+//! keeps every byte on the wire auditable. Out of scope by design: chunked
+//! transfer encoding, pipelining beyond one in-flight request per
+//! connection, TLS, and HTTP/2 — a reverse proxy owns those concerns in any
+//! real deployment.
+
+use std::io::{self, BufRead, Write};
+
+/// Maximum accepted request-head size (request line + headers), and the
+/// maximum accepted body size. Both bound per-connection memory so a
+/// misbehaving client cannot balloon a worker.
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// See [`MAX_HEAD_BYTES`].
+const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Upper-case method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Decoded path without the query string (e.g. `/bc/17`).
+    pub path: String,
+    /// Raw query string without the leading `?` (empty when absent).
+    pub query: String,
+    /// The body, already read to `Content-Length`.
+    pub body: Vec<u8>,
+    /// Whether the connection should be kept open after the response.
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// Looks up a query parameter by key (`k=v&x=y` form, no
+    /// percent-decoding — the service's parameters are all numeric).
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=')?;
+            (k == key).then_some(v)
+        })
+    }
+}
+
+/// Errors surfaced to the connection handler as HTTP status codes.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The socket failed or the peer vanished mid-request.
+    Io(io::Error),
+    /// The request was syntactically unacceptable; respond 400 and close.
+    BadRequest(&'static str),
+    /// The head or body exceeded the fixed limits; respond 431/413.
+    TooLarge(&'static str),
+}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// Reads one request from `reader`. Returns `Ok(None)` on clean EOF before
+/// any request byte (the peer closed an idle keep-alive connection — not an
+/// error).
+pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Option<Request>, HttpError> {
+    let mut line = String::new();
+    if read_head_line(reader, &mut line)? == 0 {
+        return Ok(None);
+    }
+    let mut parts = line.split_whitespace();
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) => (m.to_owned(), t.to_owned(), v.to_owned()),
+        _ => return Err(HttpError::BadRequest("malformed request line")),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::BadRequest("unsupported HTTP version"));
+    }
+
+    let mut content_length = 0usize;
+    // HTTP/1.1 defaults to keep-alive; HTTP/1.0 to close.
+    let mut keep_alive = version == "HTTP/1.1";
+    let mut head_bytes = line.len();
+    loop {
+        line.clear();
+        let n = read_head_line(reader, &mut line)?;
+        if n == 0 {
+            return Err(HttpError::BadRequest("EOF inside headers"));
+        }
+        head_bytes += n;
+        if head_bytes > MAX_HEAD_BYTES {
+            return Err(HttpError::TooLarge("request head too large"));
+        }
+        let trimmed = line.trim_end_matches(['\r', '\n']);
+        if trimmed.is_empty() {
+            break;
+        }
+        let Some((name, value)) = trimmed.split_once(':') else {
+            return Err(HttpError::BadRequest("malformed header"));
+        };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length =
+                value.parse().map_err(|_| HttpError::BadRequest("bad Content-Length"))?;
+        } else if name.eq_ignore_ascii_case("connection") {
+            if value.eq_ignore_ascii_case("close") {
+                keep_alive = false;
+            } else if value.eq_ignore_ascii_case("keep-alive") {
+                keep_alive = true;
+            }
+        } else if name.eq_ignore_ascii_case("transfer-encoding") {
+            return Err(HttpError::BadRequest("chunked bodies not supported"));
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpError::TooLarge("request body too large"));
+    }
+
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 {
+        read_exact(reader, &mut body)?;
+    }
+
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_owned(), q.to_owned()),
+        None => (target, String::new()),
+    };
+    Ok(Some(Request { method, path, query, body, keep_alive }))
+}
+
+/// `read_line` with the head-size cap applied per line.
+fn read_head_line<R: BufRead>(reader: &mut R, line: &mut String) -> Result<usize, HttpError> {
+    // UFCS pins `Self = &mut R` (plain method syntax auto-derefs to `R`
+    // and tries to move the reader into the adapter).
+    let n = std::io::Read::take(reader, MAX_HEAD_BYTES as u64 + 1).read_line(line)?;
+    if n > MAX_HEAD_BYTES {
+        return Err(HttpError::TooLarge("header line too large"));
+    }
+    Ok(n)
+}
+
+/// `Read::read_exact` over a `BufRead` without requiring `R: Read` bounds
+/// gymnastics at the call site.
+fn read_exact<R: BufRead>(reader: &mut R, buf: &mut [u8]) -> io::Result<()> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        let n = reader.read(&mut buf[filled..])?;
+        if n == 0 {
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "EOF inside body"));
+        }
+        filled += n;
+    }
+    Ok(())
+}
+
+/// A response in the making; `write_to` serializes it.
+pub struct Response {
+    /// Status code (200, 404, ...).
+    pub status: u16,
+    /// The `Content-Type` header value.
+    pub content_type: &'static str,
+    /// The body bytes (a `Content-Length` header is always emitted).
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A `text/plain` response.
+    pub fn text(status: u16, body: impl Into<Vec<u8>>) -> Self {
+        Response { status, content_type: "text/plain; charset=utf-8", body: body.into() }
+    }
+
+    /// An `application/json` response.
+    pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Self {
+        Response { status, content_type: "application/json", body: body.into() }
+    }
+
+    /// Serializes the response. `keep_alive` mirrors the request's
+    /// persistence decision into the `Connection` header.
+    pub fn write_to<W: Write>(&self, w: &mut W, keep_alive: bool) -> io::Result<()> {
+        let reason = reason_phrase(self.status);
+        let connection = if keep_alive { "keep-alive" } else { "close" };
+        write!(
+            w,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+            self.status,
+            reason,
+            self.content_type,
+            self.body.len(),
+            connection,
+        )?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+/// The subset of reason phrases the service emits.
+fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn parses_get_with_query_and_keepalive_default() {
+        let raw = b"GET /bc/17?approx=64 HTTP/1.1\r\nHost: x\r\n\r\n";
+        let req = read_request(&mut BufReader::new(&raw[..])).expect("parse").expect("not EOF");
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/bc/17");
+        assert_eq!(req.query_param("approx"), Some("64"));
+        assert_eq!(req.query_param("missing"), None);
+        assert!(req.keep_alive, "HTTP/1.1 defaults to keep-alive");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_post_body_and_connection_close() {
+        let raw = b"POST /mutate HTTP/1.1\r\nContent-Length: 7\r\nConnection: close\r\n\r\nadd 1 2";
+        let req = read_request(&mut BufReader::new(&raw[..])).expect("parse").expect("not EOF");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, b"add 1 2");
+        assert!(!req.keep_alive);
+    }
+
+    #[test]
+    fn clean_eof_is_none_and_garbage_is_bad_request() {
+        assert!(read_request(&mut BufReader::new(&b""[..])).expect("eof").is_none());
+        assert!(matches!(
+            read_request(&mut BufReader::new(&b"nonsense\r\n\r\n"[..])),
+            Err(HttpError::BadRequest(_))
+        ));
+        assert!(matches!(
+            read_request(&mut BufReader::new(&b"GET / HTTP/2\r\n\r\n"[..])),
+            Err(HttpError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn response_round_trips_headers() {
+        let mut out = Vec::new();
+        Response::json(200, "{\"ok\":true}").write_to(&mut out, true).expect("write");
+        let text = String::from_utf8(out).expect("utf8");
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.ends_with("{\"ok\":true}"));
+    }
+
+    #[test]
+    fn oversized_head_is_rejected() {
+        let mut raw = b"GET / HTTP/1.1\r\n".to_vec();
+        raw.extend(std::iter::repeat_n(b'a', 20 * 1024));
+        assert!(matches!(read_request(&mut BufReader::new(&raw[..])), Err(HttpError::TooLarge(_))));
+    }
+}

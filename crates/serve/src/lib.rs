@@ -1,0 +1,43 @@
+//! `apgre-serve`: a concurrent betweenness-centrality query service over
+//! the incremental APGRE engine.
+//!
+//! The batch tooling answers "what are the scores of this graph, once";
+//! this crate answers them **continuously**, while the graph changes
+//! underneath. Three mechanisms make that safe and fast on top of
+//! [`apgre_dynamic::DynamicBc`]:
+//!
+//! 1. **Snapshot isolation** ([`snapshot`]): the engine's state is cloned
+//!    into an immutable [`BcSnapshot`] after every applied batch and
+//!    swapped into an `Arc` cell. Queries (`GET /bc/:v`, `GET /top`,
+//!    `GET /stats`) read whatever snapshot is current — they never block
+//!    behind a kernel recompute and can never observe a torn score vector.
+//! 2. **Mutation ingest** ([`server`]): `POST /mutate` requests are
+//!    admitted into a bounded queue and drained by a single writer thread
+//!    that coalesces adjacent requests into one [`apgre_dynamic::MutationBatch`],
+//!    letting the engine's classification (noop/local/structural) amortize
+//!    bursts. A full queue sheds load with `429`; a saturated worker pool
+//!    sheds connections with `503` at the acceptor.
+//! 3. **Graceful degradation**: when an `?approx=k` query finds the exact
+//!    snapshot older than the configured staleness budget, the service
+//!    answers from Brandes–Pich sampling over the *front* graph (every
+//!    accepted mutation applied) instead — fresher data at lower fidelity,
+//!    explicitly labelled `"tier":"approx"` so clients can tell.
+//!
+//! `GET /metrics` exposes service and engine counters in the Prometheus
+//! text format ([`metrics`]). `POST /checkpoint` serializes the served
+//! graph in the repo's round-trippable edge-list format.
+//!
+//! The whole crate is std-only — `std::net::TcpListener` and a hand-rolled
+//! HTTP/1.1 codec ([`http`]) — so it builds in the offline container with
+//! no new dependencies.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod http;
+pub mod metrics;
+pub mod server;
+pub mod snapshot;
+
+pub use server::{serve, ServeConfig, ServerHandle};
+pub use snapshot::{BcSnapshot, SnapshotCell};

@@ -1,0 +1,306 @@
+//! Service counters and the Prometheus text exposition.
+//!
+//! Counters live on relaxed atomics from the sanctioned `apgre_bc::sync`
+//! facade (the xtask lint forbids raw `std::sync::atomic` imports). Relaxed
+//! is sufficient: each counter is an independent monotone accumulator with
+//! no cross-location protocol, and the scrape only needs eventually-
+//! consistent point-in-time reads.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use apgre_bc::sync::{AtomicU64, AtomicUsize, Ordering};
+
+use crate::snapshot::BcSnapshot;
+
+/// All service-level counters. One instance lives in the shared server
+/// state; every field is updatable from any thread.
+#[derive(Default)]
+pub struct Metrics {
+    /// `GET /bc/:v` requests served (exact tier).
+    pub bc_requests: AtomicU64,
+    /// `GET /bc/:v?approx=k` requests served from the sampling tier.
+    pub approx_requests: AtomicU64,
+    /// `GET /top` requests served.
+    pub top_requests: AtomicU64,
+    /// `GET /stats` requests served.
+    pub stats_requests: AtomicU64,
+    /// `POST /checkpoint` requests served.
+    pub checkpoint_requests: AtomicU64,
+    /// `POST /mutate` requests accepted into the queue.
+    pub mutate_accepted: AtomicU64,
+    /// `POST /mutate` requests rejected with 429 (queue full).
+    pub mutate_rejected: AtomicU64,
+    /// Connections shed with 503 at the acceptor (worker pool saturated).
+    pub connections_shed: AtomicU64,
+    /// Malformed requests answered 4xx.
+    pub bad_requests: AtomicU64,
+    /// Current depth of the mutation queue (enqueue increments, writer
+    /// dequeue decrements).
+    pub queue_depth: AtomicUsize,
+    /// Batches applied, by classification.
+    pub batches_noop: AtomicU64,
+    /// See [`Metrics::batches_noop`].
+    pub batches_local: AtomicU64,
+    /// See [`Metrics::batches_noop`].
+    pub batches_structural: AtomicU64,
+    /// Total `POST /mutate` requests coalesced into applied batches.
+    pub mutations_applied: AtomicU64,
+    /// Σ wall clock of `DynamicBc::apply`, in microseconds.
+    pub batch_apply_micros: AtomicU64,
+    /// Snapshots published (equals the latest snapshot's `seq`).
+    pub snapshots_published: AtomicU64,
+}
+
+impl Metrics {
+    /// Bumps a counter by one (all counters are plain monotone adds).
+    // The clippy disallow on `AtomicU64::fetch_add` guards f64-bits
+    // accumulation (use `AtomicF64`); these are genuine integer event
+    // counters with no cross-thread ordering obligations.
+    #[allow(clippy::disallowed_methods)]
+    pub fn inc(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one applied batch: classification, coalesced request count,
+    /// and apply wall clock.
+    #[allow(clippy::disallowed_methods)] // integer event counters, see `inc`
+    pub fn record_batch(&self, class: apgre_dynamic::BatchClass, coalesced: u64, wall: Duration) {
+        use apgre_dynamic::BatchClass;
+        let by_class = match class {
+            BatchClass::Noop => &self.batches_noop,
+            BatchClass::Local => &self.batches_local,
+            BatchClass::Structural => &self.batches_structural,
+        };
+        by_class.fetch_add(1, Ordering::Relaxed);
+        self.mutations_applied.fetch_add(coalesced, Ordering::Relaxed);
+        self.batch_apply_micros.fetch_add(wall.as_micros() as u64, Ordering::Relaxed);
+        self.snapshots_published.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Renders the Prometheus text exposition format (v0.0.4): service
+    /// counters from the atomics plus engine gauges read off the current
+    /// snapshot (kernel counters, decomposition shape, snapshot age).
+    pub fn render(&self, snapshot: &BcSnapshot) -> String {
+        let mut out = String::with_capacity(2048);
+        let load = |c: &AtomicU64| c.load(Ordering::Relaxed).to_string();
+        family(
+            &mut out,
+            "apgre_serve_requests_total",
+            "counter",
+            "Queries served, by endpoint (bc is the exact snapshot tier).",
+            &[
+                ("{endpoint=\"bc\"}", load(&self.bc_requests)),
+                ("{endpoint=\"bc_approx\"}", load(&self.approx_requests)),
+                ("{endpoint=\"top\"}", load(&self.top_requests)),
+                ("{endpoint=\"stats\"}", load(&self.stats_requests)),
+                ("{endpoint=\"checkpoint\"}", load(&self.checkpoint_requests)),
+            ],
+        );
+        family(
+            &mut out,
+            "apgre_serve_mutations_accepted_total",
+            "counter",
+            "POST /mutate requests admitted to the queue.",
+            &[("", load(&self.mutate_accepted))],
+        );
+        family(
+            &mut out,
+            "apgre_serve_mutations_rejected_total",
+            "counter",
+            "POST /mutate requests shed with 429 (queue full).",
+            &[("", load(&self.mutate_rejected))],
+        );
+        family(
+            &mut out,
+            "apgre_serve_connections_shed_total",
+            "counter",
+            "Connections answered 503 at the acceptor (worker pool saturated).",
+            &[("", load(&self.connections_shed))],
+        );
+        family(
+            &mut out,
+            "apgre_serve_bad_requests_total",
+            "counter",
+            "Requests answered 4xx.",
+            &[("", load(&self.bad_requests))],
+        );
+        family(
+            &mut out,
+            "apgre_serve_batches_total",
+            "counter",
+            "Applied mutation batches, by classification.",
+            &[
+                ("{class=\"noop\"}", load(&self.batches_noop)),
+                ("{class=\"local\"}", load(&self.batches_local)),
+                ("{class=\"structural\"}", load(&self.batches_structural)),
+            ],
+        );
+        family(
+            &mut out,
+            "apgre_serve_mutations_applied_total",
+            "counter",
+            "Accepted mutate requests that reached an applied batch.",
+            &[("", load(&self.mutations_applied))],
+        );
+        family(
+            &mut out,
+            "apgre_serve_batch_apply_seconds_total_micros",
+            "counter",
+            "Cumulative DynamicBc::apply wall clock, microseconds.",
+            &[("", load(&self.batch_apply_micros))],
+        );
+        family(
+            &mut out,
+            "apgre_serve_snapshots_published_total",
+            "counter",
+            "Snapshots swapped into the read cell (excludes the seed).",
+            &[("", load(&self.snapshots_published))],
+        );
+        family(
+            &mut out,
+            "apgre_serve_queue_depth",
+            "gauge",
+            "Mutation requests waiting for the writer thread.",
+            &[("", self.queue_depth.load(Ordering::Relaxed).to_string())],
+        );
+        family(
+            &mut out,
+            "apgre_serve_snapshot_age_seconds",
+            "gauge",
+            "Age of the currently served snapshot.",
+            &[("", format!("{:.6}", snapshot.published_at.elapsed().as_secs_f64()))],
+        );
+        family(
+            &mut out,
+            "apgre_serve_snapshot_seq",
+            "gauge",
+            "Publication sequence number of the served snapshot.",
+            &[("", snapshot.seq.to_string())],
+        );
+        family(
+            &mut out,
+            "apgre_serve_snapshot_generation",
+            "gauge",
+            "Accepted-mutation generation the served snapshot reflects.",
+            &[("", snapshot.generation.to_string())],
+        );
+
+        // Engine-side gauges/counters, read off the snapshot's cumulative
+        // ApgreReport (the writer thread owns the engine; scrapes must not).
+        let report = &snapshot.engine.report;
+        family(
+            &mut out,
+            "apgre_engine_vertices",
+            "gauge",
+            "Vertices in the served graph.",
+            &[("", snapshot.engine.graph.num_vertices().to_string())],
+        );
+        family(
+            &mut out,
+            "apgre_engine_edges",
+            "gauge",
+            "Edges in the served graph.",
+            &[("", snapshot.engine.graph.num_edges().to_string())],
+        );
+        family(
+            &mut out,
+            "apgre_engine_subgraphs",
+            "gauge",
+            "Sub-graphs in the engine's current decomposition.",
+            &[("", snapshot.engine.num_subgraphs.to_string())],
+        );
+        family(
+            &mut out,
+            "apgre_engine_articulation_points",
+            "gauge",
+            "Articulation points in the engine's current decomposition.",
+            &[("", snapshot.engine.num_articulation_points.to_string())],
+        );
+        family(
+            &mut out,
+            "apgre_engine_edges_traversed_total",
+            "counter",
+            "Edges examined by BC kernels since the engine was seeded.",
+            &[("", report.edges_traversed.to_string())],
+        );
+        let (seq, rootpar, levelsync) = report.kernel_counts;
+        family(
+            &mut out,
+            "apgre_engine_kernel_runs_total",
+            "counter",
+            "Sub-graph kernel dispatches since seed, by kernel.",
+            &[
+                ("{kernel=\"seq\"}", seq.to_string()),
+                ("{kernel=\"root_parallel\"}", rootpar.to_string()),
+                ("{kernel=\"level_sync\"}", levelsync.to_string()),
+            ],
+        );
+        family(
+            &mut out,
+            "apgre_engine_bc_seconds_total_micros",
+            "counter",
+            "Cumulative BC kernel wall clock since seed, microseconds.",
+            &[("", (report.bc_time.as_micros() as u64).to_string())],
+        );
+        family(
+            &mut out,
+            "apgre_engine_decomposition_seconds_total_micros",
+            "counter",
+            "Cumulative partition + alpha/beta wall clock since seed, microseconds.",
+            &[(
+                "",
+                ((report.partition_time + report.alpha_beta_time).as_micros() as u64).to_string(),
+            )],
+        );
+        out
+    }
+}
+
+/// Emits one metric family: `# HELP` / `# TYPE` header lines followed by
+/// one sample line per `(label-set, value)` pair.
+fn family(out: &mut String, name: &str, kind: &str, help: &str, samples: &[(&str, String)]) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+    for (labels, value) in samples {
+        let _ = writeln!(out, "{name}{labels} {value}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apgre_bc::ApgreOptions;
+    use apgre_dynamic::{BatchClass, DynamicBc};
+    use apgre_graph::Graph;
+
+    #[test]
+    fn render_contains_every_family_and_reflects_updates() {
+        let g = Graph::undirected_from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let engine = DynamicBc::new(&g, ApgreOptions::default());
+        let snap = BcSnapshot::new(engine.snapshot(), 3, 7);
+
+        let m = Metrics::default();
+        Metrics::inc(&m.bc_requests);
+        Metrics::inc(&m.bc_requests);
+        Metrics::inc(&m.mutate_rejected);
+        m.record_batch(BatchClass::Local, 4, Duration::from_micros(250));
+
+        let text = m.render(&snap);
+        assert!(text.contains("apgre_serve_requests_total{endpoint=\"bc\"} 2"));
+        assert!(text.contains("apgre_serve_mutations_rejected_total 1"));
+        assert!(text.contains("apgre_serve_batches_total{class=\"local\"} 1"));
+        assert!(text.contains("apgre_serve_mutations_applied_total 4"));
+        assert!(text.contains("apgre_serve_snapshot_seq 3"));
+        assert!(text.contains("apgre_serve_snapshot_generation 7"));
+        assert!(text.contains("apgre_engine_vertices 5"));
+        assert!(text.contains("apgre_engine_kernel_runs_total{kernel=\"seq\"}"));
+        // Every line is either a comment or `name[{labels}] value`.
+        for line in text.lines() {
+            assert!(
+                line.starts_with("# ") || line.split(' ').count() == 2,
+                "malformed exposition line: {line}"
+            );
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Snapshot isolation: the reader-facing, immutable view of the engine.
+//!
+//! The writer thread is the only mutator of the [`apgre_dynamic::DynamicBc`]
+//! engine. After every applied batch it clones the engine state into a
+//! [`BcSnapshot`] and swaps it into the [`SnapshotCell`]. Readers take an
+//! `Arc` clone out of the cell — a pointer copy under a briefly-held read
+//! lock — and then work entirely on their own immutable copy, so queries
+//! never block behind a kernel recompute and can never observe a torn
+//! (partially folded) score vector.
+
+use std::sync::{Arc, OnceLock, RwLock};
+use std::time::Instant;
+
+use apgre_dynamic::EngineSnapshot;
+
+/// One published, immutable view of the engine: scores, the graph they were
+/// computed on, decomposition summary counts, and cumulative reports.
+pub struct BcSnapshot {
+    /// The engine state (graph, scores, reports) — see
+    /// [`apgre_dynamic::EngineSnapshot`].
+    pub engine: EngineSnapshot,
+    /// Publication sequence number: the seed snapshot is 0 and every
+    /// publish increments by exactly one. Strictly monotone.
+    pub seq: u64,
+    /// Front-graph generation this snapshot has caught up to (how many
+    /// accepted `POST /mutate` requests are reflected in it).
+    pub generation: u64,
+    /// When the snapshot was swapped in (serves `snapshot_age_seconds`).
+    pub published_at: Instant,
+    /// Vertex ids sorted by descending score, materialized lazily on the
+    /// first `GET /top` against this snapshot and shared by later ones.
+    ranked: OnceLock<Vec<u32>>,
+}
+
+impl BcSnapshot {
+    /// Wraps an engine snapshot for publication.
+    pub fn new(engine: EngineSnapshot, seq: u64, generation: u64) -> Self {
+        BcSnapshot {
+            engine,
+            seq,
+            generation,
+            published_at: Instant::now(),
+            ranked: OnceLock::new(),
+        }
+    }
+
+    /// Vertex ids in descending score order (ties broken by ascending id,
+    /// so the ranking is total and deterministic). Computed once per
+    /// snapshot, on demand.
+    pub fn ranked(&self) -> &[u32] {
+        self.ranked.get_or_init(|| {
+            let scores = &self.engine.scores;
+            let mut ids: Vec<u32> = (0..scores.len() as u32).collect();
+            ids.sort_by(|&a, &b| {
+                scores[b as usize].total_cmp(&scores[a as usize]).then_with(|| a.cmp(&b))
+            });
+            ids
+        })
+    }
+}
+
+/// The swap cell: `RwLock<Arc<_>>` rather than a bare `Mutex<Arc<_>>` so
+/// concurrent readers never serialize against each other, only (briefly)
+/// against a publish.
+pub struct SnapshotCell {
+    cell: RwLock<Arc<BcSnapshot>>,
+}
+
+impl SnapshotCell {
+    /// Creates the cell holding the seed snapshot.
+    pub fn new(initial: BcSnapshot) -> Self {
+        SnapshotCell { cell: RwLock::new(Arc::new(initial)) }
+    }
+
+    /// The current snapshot (pointer clone; the lock is held only for the
+    /// clone itself).
+    pub fn load(&self) -> Arc<BcSnapshot> {
+        match self.cell.read() {
+            Ok(guard) => Arc::clone(&guard),
+            // A poisoned lock means a publisher panicked mid-swap; the Arc
+            // inside is still a complete snapshot (swap is a single
+            // assignment), so serving it is sound.
+            Err(poisoned) => Arc::clone(&poisoned.into_inner()),
+        }
+    }
+
+    /// Publishes a new snapshot, making it visible to all subsequent
+    /// [`load`](Self::load) calls.
+    pub fn store(&self, next: BcSnapshot) {
+        let next = Arc::new(next);
+        match self.cell.write() {
+            Ok(mut guard) => *guard = next,
+            Err(poisoned) => *poisoned.into_inner() = next,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apgre_bc::ApgreOptions;
+    use apgre_dynamic::DynamicBc;
+    use apgre_graph::Graph;
+
+    fn snap(seq: u64) -> BcSnapshot {
+        let g = Graph::undirected_from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let engine = DynamicBc::new(&g, ApgreOptions::default());
+        BcSnapshot::new(engine.snapshot(), seq, seq)
+    }
+
+    #[test]
+    fn ranking_is_descending_and_deterministic() {
+        let s = snap(0);
+        let ranked = s.ranked();
+        assert_eq!(ranked.len(), 4);
+        for w in ranked.windows(2) {
+            let (a, b) = (s.engine.scores[w[0] as usize], s.engine.scores[w[1] as usize]);
+            assert!(a > b || (a == b && w[0] < w[1]), "total order");
+        }
+        // Path graph: the two interior vertices outrank the endpoints.
+        assert_eq!(&ranked[..2], &[1, 2]);
+        assert_eq!(s.ranked().as_ptr(), ranked.as_ptr(), "memoized");
+    }
+
+    #[test]
+    fn cell_swap_is_visible_and_old_arcs_survive() {
+        let cell = SnapshotCell::new(snap(0));
+        let old = cell.load();
+        assert_eq!(old.seq, 0);
+        cell.store(snap(1));
+        assert_eq!(cell.load().seq, 1);
+        assert_eq!(old.seq, 0, "reader's copy is unaffected by the swap");
+    }
+}

@@ -1,0 +1,290 @@
+//! End-to-end service tests over a real TCP socket on an ephemeral port:
+//! concurrent query + mutate clients, snapshot consistency (a given
+//! publication seq never serves two different values for the same vertex —
+//! i.e. no torn reads), backpressure (429 when the mutation queue is
+//! saturated), checkpoint round-trip, and bitwise agreement between the
+//! served scores and a from-scratch APGRE run on the same post-mutation
+//! graph.
+
+use std::collections::HashMap;
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use apgre_bc::apgre::bc_apgre_with;
+use apgre_bc::{ApgreOptions, KernelPolicy};
+use apgre_graph::io::read_edge_list;
+use apgre_graph::Graph;
+use apgre_serve::{serve, ServeConfig};
+
+/// One-shot HTTP exchange (Connection: close); returns (status, body).
+fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes()).expect("send");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("recv");
+    let status: u16 =
+        raw.split_whitespace().nth(1).expect("status line").parse().expect("numeric status");
+    let body = raw.split_once("\r\n\r\n").map(|(_, b)| b.to_owned()).unwrap_or_default();
+    (status, body)
+}
+
+/// Pulls `"key":value` out of the service's flat JSON bodies.
+fn json_field<'a>(body: &'a str, key: &str) -> &'a str {
+    let pat = format!("\"{key}\":");
+    let start = body.find(&pat).unwrap_or_else(|| panic!("no {key} in {body}")) + pat.len();
+    let rest = &body[start..];
+    let end = rest.find([',', '}']).expect("value terminator");
+    &rest[..end]
+}
+
+/// Two 6-cliques bridged through a path, with whiskers — several merged
+/// sub-graphs and articulation points, so batches classify both ways.
+fn test_graph() -> Graph {
+    let mut edges = Vec::new();
+    for base in [0u32, 8] {
+        for i in 0..6 {
+            for j in (i + 1)..6 {
+                edges.push((base + i, base + j));
+            }
+        }
+    }
+    edges.push((5, 6));
+    edges.push((6, 7));
+    edges.push((7, 8));
+    for (w, host) in [(14u32, 0u32), (15, 3), (16, 9), (17, 13)] {
+        edges.push((w, host));
+    }
+    Graph::undirected_from_edges(18, &edges)
+}
+
+/// Forced-`Seq` options: bitwise-deterministic kernels, so the served
+/// scores can be compared bitwise against a scratch run.
+fn seq_opts() -> ApgreOptions {
+    ApgreOptions { kernel: KernelPolicy::Seq, ..Default::default() }
+}
+
+/// Polls `/stats` until the served snapshot has caught up to `generation`.
+fn await_generation(addr: SocketAddr, generation: u64) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let (status, body) = http(addr, "GET", "/stats", "");
+        assert_eq!(status, 200, "{body}");
+        if json_field(&body, "generation").parse::<u64>().expect("generation") >= generation {
+            return;
+        }
+        assert!(Instant::now() < deadline, "snapshot never caught up to {generation}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn concurrent_queries_and_mutations_stay_consistent_and_end_bitwise_exact() {
+    let g = test_graph();
+    let cfg = ServeConfig { opts: seq_opts(), workers: 4, ..Default::default() };
+    let handle = serve(&g, cfg).expect("serve");
+    let addr = handle.local_addr();
+
+    // Readers hammer /bc and /top while the main thread mutates. Each
+    // reader records (seq, vertex) -> score text; across *all* threads a
+    // given (seq, vertex) must have exactly one value — a torn or
+    // non-snapshot read would surface as a conflict.
+    let stop = std::sync::Arc::new(apgre_bc::sync::AtomicU32::new(0));
+    let mut readers = Vec::new();
+    for t in 0..3 {
+        let stop = std::sync::Arc::clone(&stop);
+        readers.push(std::thread::spawn(move || {
+            let mut seen: HashMap<(u64, u32), String> = HashMap::new();
+            let mut last_seq = 0u64;
+            let mut i = 0u32;
+            while stop.load(apgre_bc::sync::Ordering::Relaxed) == 0 {
+                let v = (t * 7 + i) % 18;
+                i += 1;
+                let (status, body) = http(addr, "GET", &format!("/bc/{v}"), "");
+                assert_eq!(status, 200, "{body}");
+                let seq: u64 = json_field(&body, "seq").parse().expect("seq");
+                assert!(seq >= last_seq, "snapshot seq went backwards: {last_seq} -> {seq}");
+                last_seq = seq;
+                seen.insert((seq, v), json_field(&body, "score").to_owned());
+            }
+            seen
+        }));
+    }
+
+    // Interleave local (chord toggle inside a clique) and structural
+    // (whisker re-homing) mutations.
+    let mut generation = 0u64;
+    for round in 0..6 {
+        let body = if round % 2 == 0 {
+            "remove 0 1\nadd 0 1\n"
+        } else {
+            "remove 14 0\nadd 14 1\nadd 14 0\nremove 14 1\n"
+        };
+        let (status, resp) = http(addr, "POST", "/mutate", body);
+        assert_eq!(status, 202, "{resp}");
+        generation = json_field(&resp, "generation").parse().expect("generation");
+        std::thread::sleep(Duration::from_millis(15));
+    }
+    await_generation(addr, generation);
+
+    stop.store(1, apgre_bc::sync::Ordering::Relaxed);
+    let mut merged: HashMap<(u64, u32), String> = HashMap::new();
+    for r in readers {
+        for (key, score) in r.join().expect("reader thread") {
+            if let Some(prev) = merged.insert(key, score.clone()) {
+                assert_eq!(prev, score, "two different scores served for seq/vertex {key:?}");
+            }
+        }
+    }
+    assert!(!merged.is_empty(), "readers observed nothing");
+
+    // A final structural batch forces a fresh decomposition inside the
+    // engine, after which forced-Seq served scores must be *bitwise*
+    // identical to a from-scratch APGRE run on the same graph.
+    let (status, resp) = http(addr, "POST", "/mutate", "add-vertex\nadd 18 6\n");
+    assert_eq!(status, 202, "{resp}");
+    generation = json_field(&resp, "generation").parse().expect("generation");
+    await_generation(addr, generation);
+
+    let (status, checkpoint) = http(addr, "POST", "/checkpoint", "");
+    assert_eq!(status, 200);
+    let served_graph = read_edge_list(checkpoint.as_bytes(), false).expect("re-load checkpoint");
+    let (scratch, _) = bc_apgre_with(&served_graph, &seq_opts());
+    assert_eq!(served_graph.num_vertices(), 19);
+    for (v, &want) in scratch.iter().enumerate() {
+        let (status, body) = http(addr, "GET", &format!("/bc/{v}"), "");
+        assert_eq!(status, 200, "{body}");
+        let got: f64 = json_field(&body, "score").parse().expect("score");
+        assert!(
+            got.to_bits() == want.to_bits(),
+            "vertex {v}: served {got:?} != scratch {want:?} (bitwise)"
+        );
+    }
+
+    // /top agrees with a local ranking of the scratch scores.
+    let (status, body) = http(addr, "GET", "/top?k=3", "");
+    assert_eq!(status, 200, "{body}");
+    let mut want: Vec<u32> = (0..scratch.len() as u32).collect();
+    want.sort_by(|&a, &b| {
+        scratch[b as usize].total_cmp(&scratch[a as usize]).then_with(|| a.cmp(&b))
+    });
+    for v in &want[..3] {
+        assert!(body.contains(&format!("\"vertex\":{v},")), "top-3 missing {v}: {body}");
+    }
+
+    // Out-of-range and malformed requests are 4xx, not crashes.
+    assert_eq!(http(addr, "GET", "/bc/99999", "").0, 404);
+    assert_eq!(http(addr, "GET", "/bc/potato", "").0, 400);
+    assert_eq!(http(addr, "POST", "/mutate", "add 0 99999\n").0, 400);
+    assert_eq!(http(addr, "GET", "/nonsense", "").0, 404);
+
+    // /metrics reflects the traffic this test generated.
+    let (status, metrics) = http(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    assert!(metrics.contains("apgre_serve_requests_total{endpoint=\"bc\"}"));
+    assert!(metrics.contains("apgre_serve_batches_total{class=\"structural\"}"));
+    assert!(!metrics.contains("apgre_serve_mutations_accepted_total 0\n"));
+
+    handle.shutdown();
+    handle.wait();
+}
+
+#[test]
+fn saturated_queue_sheds_mutations_with_429() {
+    let g = test_graph();
+    let cfg = ServeConfig {
+        opts: seq_opts(),
+        queue_depth: 1,
+        max_coalesce: 1,
+        workers: 2,
+        // The writer crawls, so the depth-1 queue saturates immediately.
+        writer_pause_per_batch: Duration::from_millis(150),
+        ..Default::default()
+    };
+    let handle = serve(&g, cfg).expect("serve");
+    let addr = handle.local_addr();
+
+    let mut accepted = 0u32;
+    let mut rejected = 0u32;
+    for round in 0..12 {
+        let body = if round % 2 == 0 { "remove 0 1\n" } else { "add 0 1\n" };
+        match http(addr, "POST", "/mutate", body) {
+            (202, _) => accepted += 1,
+            (429, _) => rejected += 1,
+            (status, body) => panic!("unexpected response {status}: {body}"),
+        }
+    }
+    assert!(accepted >= 1, "at least one mutation must be admitted");
+    assert!(rejected >= 1, "a depth-1 queue with a slow writer must shed load");
+
+    // Queries keep flowing from the snapshot while the writer is clogged.
+    let (status, body) = http(addr, "GET", "/bc/6", "");
+    assert_eq!(status, 200, "{body}");
+    assert!(json_field(&body, "tier").contains("exact"));
+
+    let (status, metrics) = http(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    let line = metrics
+        .lines()
+        .find(|l| l.starts_with("apgre_serve_mutations_rejected_total "))
+        .expect("rejection counter exported");
+    let exported: u32 = line.rsplit(' ').next().expect("value").parse().expect("numeric");
+    assert_eq!(exported, rejected, "metrics agree with observed 429s");
+
+    handle.shutdown();
+    handle.wait();
+}
+
+#[test]
+fn approx_tier_answers_fresh_and_is_labelled() {
+    let g = test_graph();
+    let cfg = ServeConfig {
+        opts: seq_opts(),
+        // Zero staleness budget + a slow writer: any approx query issued
+        // while mutations are in flight must take the sampling tier.
+        staleness_budget: Duration::ZERO,
+        writer_pause_per_batch: Duration::from_millis(200),
+        max_coalesce: 1,
+        ..Default::default()
+    };
+    let handle = serve(&g, cfg).expect("serve");
+    let addr = handle.local_addr();
+
+    // Before any mutation the snapshot is current, so even approx requests
+    // are answered exactly.
+    let (status, body) = http(addr, "GET", "/bc/6?approx=8", "");
+    assert_eq!(status, 200, "{body}");
+    assert!(json_field(&body, "tier").contains("exact"), "current snapshot serves exact: {body}");
+
+    let (status, resp) = http(addr, "POST", "/mutate", "remove 0 1\n");
+    assert_eq!(status, 202, "{resp}");
+    let generation: u64 = json_field(&resp, "generation").parse().expect("generation");
+
+    // The writer is sleeping on the batch: the snapshot lags the front
+    // graph, so the sampling tier must answer, labelled and stamped with
+    // the *front* generation.
+    let (status, body) = http(addr, "GET", "/bc/6?approx=8", "");
+    assert_eq!(status, 200, "{body}");
+    assert!(json_field(&body, "tier").contains("approx"), "stale snapshot degrades: {body}");
+    assert_eq!(json_field(&body, "samples"), "8");
+    assert_eq!(json_field(&body, "generation").parse::<u64>().expect("gen"), generation);
+
+    // Exact queries still come from the (stale but consistent) snapshot.
+    let (status, body) = http(addr, "GET", "/bc/6", "");
+    assert_eq!(status, 200, "{body}");
+    assert!(json_field(&body, "tier").contains("exact"));
+
+    await_generation(addr, generation);
+    // Caught up: approx requests fall back to the exact tier again.
+    let (status, body) = http(addr, "GET", "/bc/6?approx=8", "");
+    assert_eq!(status, 200, "{body}");
+    assert!(json_field(&body, "tier").contains("exact"), "caught-up snapshot is exact: {body}");
+
+    handle.shutdown();
+    handle.wait();
+}

@@ -10,6 +10,7 @@
 //! | `ordering-creep` | `SeqCst` / `AcqRel` outside the facade — the kernels' correctness argument is written for `Relaxed` + fork-join edges, stronger orderings hide missing reasoning |
 //! | `naked-par-accum` | `slice[i] += …` inside a `par_iter`-family closure — unsynchronized accumulation into a shared slice; use `AtomicF64::fetch_add` (escape: `lint:allow(par_accum)`) |
 //! | `kernel-missing-serial-test` | a `pub fn bc_*` kernel in `crates/bc` or `crates/dynamic` with no test file comparing it against `bc_serial` |
+//! | `serve-socket-unwrap` | `.unwrap()` / `.expect(` in `crates/serve/src` outside `#[cfg(test)]` — a panicking worker tears down a live connection and (for the writer) the whole mutation pipeline; socket and lock failures must degrade to an HTTP error or a clean thread exit (escape: `lint:allow(serve_unwrap)`) |
 
 use crate::lexer::scrub;
 use std::fmt;
@@ -59,6 +60,7 @@ pub fn lint_files(files: &[(PathBuf, String)]) -> Vec<Violation> {
         check_raw_atomic_imports(path, upath, code, &mut out);
         check_ordering_creep(path, upath, code, &mut out);
         check_par_accumulation(path, src, code, &mut out);
+        check_serve_unwrap(path, upath, src, code, &mut out);
     }
     check_kernel_serial_tests(files, &scrubbed, &mut out);
     out.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
@@ -208,6 +210,48 @@ fn par_regions(code: &str) -> Vec<std::ops::Range<usize>> {
 
 fn has_indexed_accum(line: &str) -> bool {
     line.find("+=").is_some_and(|p| line[..p].trim_end().ends_with(']'))
+}
+
+/// R5: no panicking extraction on the service's I/O paths. Every request is
+/// handled on a shared worker thread and every mutation is applied on the
+/// single writer thread, so one `.unwrap()` on a socket, parse, or lock
+/// result turns a misbehaving peer into a dead worker — or a dead mutation
+/// pipeline. `crates/serve/src` must map failures to HTTP statuses or clean
+/// thread exits; `#[cfg(test)]` modules are exempt, and a justified
+/// `lint:allow(serve_unwrap)` escapes a specific line.
+fn check_serve_unwrap(
+    path: &std::path::Path,
+    upath: &str,
+    src: &str,
+    code: &str,
+    out: &mut Vec<Violation>,
+) {
+    if !upath.contains("crates/serve/src") {
+        return;
+    }
+    // Everything from the first `#[cfg(test)]` down is test scaffolding.
+    let test_start =
+        code.find("#[cfg(test)]").map_or(usize::MAX, |off| code[..off].matches('\n').count());
+    let original: Vec<&str> = src.lines().collect();
+    for (ln, line) in code.lines().enumerate() {
+        if ln >= test_start {
+            break;
+        }
+        if (line.contains(".unwrap()") || line.contains(".expect("))
+            && !original.get(ln).is_some_and(|l| l.contains("lint:allow(serve_unwrap)"))
+        {
+            out.push(Violation {
+                path: path.to_path_buf(),
+                line: ln + 1,
+                rule: "serve-socket-unwrap",
+                message: "panicking extraction on a service I/O path; map the \
+                          failure to an HTTP status or a clean thread exit \
+                          (or mark the line `lint:allow(serve_unwrap)` with a \
+                          justification)"
+                    .into(),
+            });
+        }
+    }
 }
 
 /// R4: every public `bc_*` kernel must be pinned against the serial oracle.
@@ -430,6 +474,45 @@ fn ok(bc: &mut [f64]) {
                 "#[test]\nfn t() { assert_eq!(bc_dynamic(&g), bc_serial(&g)); }\n",
             ),
         ]);
+        assert!(v.is_empty(), "{v:?}", v = rules(&v));
+    }
+
+    #[test]
+    fn serve_unwrap_is_flagged_outside_tests_only() {
+        let src = "\
+fn handler(stream: TcpStream) {
+    let peer = stream.peer_addr().unwrap();
+    let n = reader.read_line(&mut line).expect(\"read\");
+}
+#[cfg(test)]
+mod tests {
+    fn t() { parse().unwrap(); }
+}
+";
+        let v = lint(&[("crates/serve/src/server.rs", src)]);
+        assert_eq!(rules(&v), ["serve-socket-unwrap", "serve-socket-unwrap"]);
+        assert_eq!((v[0].line, v[1].line), (2, 3));
+    }
+
+    #[test]
+    fn serve_unwrap_escape_hatch_and_other_crates_are_clean() {
+        let v = lint(&[
+            (
+                "crates/serve/src/server.rs",
+                "fn f() { addr.parse().unwrap(); // startup-only; lint:allow(serve_unwrap)\n}\n",
+            ),
+            ("crates/serve/tests/service.rs", "fn t() { http(addr).unwrap(); }\n"),
+            ("crates/bc/src/lib.rs", "fn g() { x.unwrap(); }\n"),
+        ]);
+        assert!(v.is_empty(), "{v:?}", v = rules(&v));
+    }
+
+    #[test]
+    fn serve_unwrap_ignores_unwrap_or_variants_and_comments() {
+        let v = lint(&[(
+            "crates/serve/src/http.rs",
+            "// never .unwrap() here\nfn f() { let x = opt.unwrap_or_default(); y.unwrap_or(0); }\n",
+        )]);
         assert!(v.is_empty(), "{v:?}", v = rules(&v));
     }
 

@@ -33,6 +33,9 @@
 //!   ([`apgre_bc`]),
 //! * [`dynamic`] — the incremental engine: mutation batches, dirty-sub-graph
 //!   tracking, contribution carry-forward ([`apgre_dynamic`]),
+//! * [`serve`] — the concurrent query service over the incremental engine:
+//!   snapshot isolation, mutation batching, admission control, metrics
+//!   ([`apgre_serve`]),
 //! * [`workloads`] — deterministic stand-ins for the paper's 12 evaluation
 //!   graphs ([`apgre_workloads`]).
 
@@ -42,6 +45,7 @@ pub use apgre_bc as bc;
 pub use apgre_decomp as decomp;
 pub use apgre_dynamic as dynamic;
 pub use apgre_graph as graph;
+pub use apgre_serve as serve;
 pub use apgre_workloads as workloads;
 
 /// The names most programs need.
@@ -58,9 +62,10 @@ pub mod prelude {
     pub use apgre_bc::weighted::{bc_weighted_apgre, bc_weighted_serial};
     pub use apgre_decomp::{decompose, AlphaBetaMethod, Decomposition, PartitionOptions, SubGraph};
     pub use apgre_dynamic::{
-        bc_dynamic, BatchClass, DynamicBc, DynamicReport, Mutation, MutationBatch,
+        bc_dynamic, BatchClass, DynamicBc, DynamicReport, EngineSnapshot, Mutation, MutationBatch,
     };
     pub use apgre_graph::{Graph, GraphBuilder, GraphOverlay, VertexId, WeightedGraph};
+    pub use apgre_serve::{serve as serve_bc, ServeConfig, ServerHandle};
 }
 
 pub use prelude::*;
