@@ -121,6 +121,8 @@ fn sweep_root(sg: &SubGraph, s: VertexId, ws: &mut SgWorkspace, bc_local: &mut [
     ws.sigma[s as usize] = 1.0;
     ws.order.push(s);
     ws.queue.push_back(s);
+    // Audited: every id is a compacted sub-graph id `< sg.n` by construction,
+    // and all workspace arrays are sized to sg.n. lint:allow(hot_index)
     while let Some(u) = ws.queue.pop_front() {
         let du = ws.dist[u as usize];
         for &v in csr.neighbors(u) {
@@ -140,6 +142,8 @@ fn sweep_root(sg: &SubGraph, s: VertexId, ws: &mut SgWorkspace, bc_local: &mut [
     let s_boundary = sg.is_boundary[s as usize];
     let beta_s = if s_boundary { sg.beta[s as usize] as f64 } else { 0.0 };
     let gamma_s = sg.gamma[s as usize] as f64;
+    // Audited: same compacted-id invariant as phase 1; `order` holds only
+    // ids the BFS itself pushed. lint:allow(hot_index)
     for idx in (0..ws.order.len()).rev() {
         let v = ws.order[idx];
         let vu = v as usize;
@@ -360,6 +364,8 @@ pub fn bc_in_subgraph_level_sync_with(
         cell.store(x);
     }
 
+    // Audited: roots and neighbors are compacted sub-graph ids `< sg.n`;
+    // `ensure(n)` above sizes every shared array. lint:allow(hot_index)
     for &s in &sg.roots {
         // Split borrows: the frontier is a slice of `levels.order`, the back
         // buffer `next` refills in place, the atomic arrays are shared.

@@ -113,7 +113,7 @@ impl KernelPolicy {
                 let min_work = grain.saturating_mul(grain).saturating_mul(8);
                 if threads <= 1 || vertices < grain || work < min_work {
                     KernelChoice::Seq
-                } else if roots >= 2 * threads {
+                } else if roots >= threads.saturating_mul(2) {
                     KernelChoice::RootParallel
                 } else if vertices >= grain.saturating_mul(16) {
                     KernelChoice::LevelSync
@@ -264,35 +264,48 @@ struct BufferPool {
 }
 
 impl BufferPool {
+    // Pool locks recover from poisoning: the pooled buffers are overwritten
+    // before reuse, so a worker that panicked mid-kernel cannot corrupt a
+    // later checkout — and a second panic here would abort the process.
     fn take_local(&self, n: usize) -> Vec<f64> {
-        let mut v = self.locals.lock().unwrap().pop().unwrap_or_default();
+        let mut v = self.locals.lock().unwrap_or_else(|p| p.into_inner()).pop().unwrap_or_default();
         v.clear();
         v.resize(n, 0.0);
         v
     }
 
     fn put_local(&self, v: Vec<f64>) {
-        self.locals.lock().unwrap().push(v);
+        self.locals.lock().unwrap_or_else(|p| p.into_inner()).push(v);
     }
 
     fn take_seq(&self, n: usize) -> kernel::SgWorkspace {
-        let mut ws = self.seq.lock().unwrap().pop().unwrap_or_else(|| kernel::SgWorkspace::new(n));
+        let mut ws = self
+            .seq
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .pop()
+            .unwrap_or_else(|| kernel::SgWorkspace::new(n));
         ws.ensure(n);
         ws
     }
 
     fn put_seq(&self, ws: kernel::SgWorkspace) {
-        self.seq.lock().unwrap().push(ws);
+        self.seq.lock().unwrap_or_else(|p| p.into_inner()).push(ws);
     }
 
     fn take_par(&self, n: usize) -> kernel::SgParWs {
-        let mut ws = self.par.lock().unwrap().pop().unwrap_or_else(|| kernel::SgParWs::new(n));
+        let mut ws = self
+            .par
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .pop()
+            .unwrap_or_else(|| kernel::SgParWs::new(n));
         ws.ensure(n);
         ws
     }
 
     fn put_par(&self, ws: kernel::SgParWs) {
-        self.par.lock().unwrap().push(ws);
+        self.par.lock().unwrap_or_else(|p| p.into_inner()).push(ws);
     }
 }
 
@@ -549,12 +562,13 @@ pub fn run_subgraph_kernels(
     let threads = rayon::current_num_threads().max(1);
     let grain = opts.grain.max(1);
     let mut order: Vec<usize> = indices.to_vec();
-    order.sort_by_key(|&i| std::cmp::Reverse(decomp.subgraphs[i].num_vertices()));
+    // Callers pass sub-graph ids taken from this same decomposition.
+    order.sort_by_key(|&i| std::cmp::Reverse(decomp.subgraphs[i].num_vertices())); // lint:allow(panic_path)
 
     let pool = BufferPool::default();
     let out: Mutex<Vec<SubgraphKernelRun>> = Mutex::new(Vec::with_capacity(order.len()));
     let run_one = |&i: &usize| {
-        let sg = &decomp.subgraphs[i];
+        let sg = &decomp.subgraphs[i]; // lint:allow(panic_path) — same contract as the sort above
         let n = sg.num_vertices();
         let t = Instant::now();
         let mut local = vec![0.0f64; n];
@@ -575,14 +589,16 @@ pub fn run_subgraph_kernels(
             }
         };
         let run = SubgraphKernelRun { index: i, local, edges, choice, time: t.elapsed() };
-        out.lock().unwrap().push(run);
+        // Recover from poisoning: a panicking sibling kernel must not turn
+        // into a second panic here — completed runs are still valid.
+        out.lock().unwrap_or_else(|p| p.into_inner()).push(run);
     };
     if opts.outer_parallel {
         order.par_iter().for_each(run_one);
     } else {
         order.iter().for_each(run_one);
     }
-    let mut runs = out.into_inner().unwrap();
+    let mut runs = out.into_inner().unwrap_or_else(|p| p.into_inner());
     runs.sort_by_key(|r| r.index);
     runs
 }
@@ -712,6 +728,21 @@ mod tests {
         assert_eq!(KernelPolicy::Seq.choose(0, 0, 0, 64, g), KernelChoice::Seq);
         assert_eq!(KernelPolicy::RootParallel.choose(0, 0, 0, 1, g), KernelChoice::RootParallel);
         assert_eq!(KernelPolicy::LevelSync.choose(0, 0, 0, 1, g), KernelChoice::LevelSync);
+    }
+
+    #[test]
+    fn auto_policy_saturates_at_extreme_inputs() {
+        let p = KernelPolicy::Auto;
+        // A usize::MAX grain must not overflow the work thresholds: every
+        // multiply saturates, so the policy degrades to Seq instead of
+        // panicking in debug builds.
+        assert_eq!(p.choose(10_000, 100_000, 500_000, 8, usize::MAX), KernelChoice::Seq);
+        // usize::MAX thread count: `threads * 2` saturates, the root-rich
+        // branch can no longer trigger, and the size branch decides.
+        assert_eq!(p.choose(4, 100_000, 500_000, usize::MAX, 64), KernelChoice::LevelSync);
+        // usize::MAX roots and edges: `roots * edges` saturates instead of
+        // wrapping to something below `min_work`.
+        assert_eq!(p.choose(usize::MAX, 100_000, usize::MAX, 8, 64), KernelChoice::RootParallel);
     }
 
     #[test]

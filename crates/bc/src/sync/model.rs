@@ -1,11 +1,13 @@
 //! A miniature stateless model checker for the kernels' atomics protocols.
 //!
 //! This is the engine behind the repo's loom-style tests: it reruns a closure
-//! under **every** interleaving of its threads' atomic operations and fails if
-//! any schedule panics. The exploration is CHESS-style — each run follows a
-//! recorded schedule prefix, context switches happen exactly at the model
-//! atomics' operations, and depth-first search over the per-step choice of
-//! runnable thread enumerates the full schedule space.
+//! under every *inequivalent* interleaving of its threads' atomic operations
+//! and fails if any schedule panics. The exploration is CHESS-style — each
+//! run follows a recorded schedule prefix, context switches happen exactly at
+//! the model atomics' operations, and a depth-first search over the per-step
+//! choice of runnable thread covers the schedule space, pruned by sleep sets
+//! so that schedules differing only in the order of commuting operations run
+//! once.
 //!
 //! Scope and honesty:
 //!
@@ -18,10 +20,16 @@
 //!   kernels tolerate those (rayon's fork-join barriers publish everything
 //!   between levels) lives in [`crate::sync`]'s module docs, and swapping in
 //!   the real `loom` crate under `--cfg loom` remains the upgrade path.
-//! * No partial-order reduction: schedule counts are multinomial in the
-//!   number of operations, so keep modelled protocols miniaturized (two or
-//!   three threads, a handful of operations each — exactly the shape of the
-//!   CAS-publish window being verified).
+//! * Partial-order reduction by **sleep sets** (Godefroid): every scheduling
+//!   point declares the object it is about to touch and whether it writes;
+//!   two operations commute when they touch different objects or are both
+//!   reads, and the DFS skips schedules that only reorder commuting
+//!   operations. Sleep sets preserve every reachable state (and therefore
+//!   every assertion violation) while cutting the multinomial schedule count
+//!   down to the dependent interleavings — that is what lifts the
+//!   two-racing-parents cap on the CAS-publish checks to three. The
+//!   unreduced search survives behind [`Mode::Exhaustive`] (see
+//!   [`explore_with`]) as the cross-check oracle.
 //!
 //! Outside [`check`]/[`explore`] the model atomics degrade to plain `SeqCst`
 //! std atomics, so code instantiated with them still behaves correctly in
@@ -54,17 +62,51 @@
 #![allow(clippy::disallowed_methods)]
 
 use std::cell::RefCell;
+use std::collections::HashSet;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic as std_atomic;
 use std::sync::{Arc, Condvar, Mutex};
 
 pub use std::sync::atomic::Ordering;
 
-/// Hard cap on explored schedules: exceeding it aborts the check with a
-/// panic telling you to miniaturize the protocol further.
+/// Hard cap on explored schedules (completed plus sleep-set-pruned):
+/// exceeding it aborts the check with a panic telling you to miniaturize
+/// the protocol further.
 pub const MAX_SCHEDULES: usize = 1 << 20;
 /// Hard cap on scheduling decisions within one run (livelock guard).
 const MAX_STEPS: usize = 1 << 16;
+
+/// Object ids at and above this value name thread-lifecycle "objects"
+/// (`OBJ_THREAD_BASE + tid`); below it they name atomic cells, allocated
+/// per run on first use. Spawn, start, and join events operate on the
+/// lifecycle object of the thread they concern, so they commute with
+/// everything except events on the same thread's lifecycle.
+const OBJ_THREAD_BASE: usize = usize::MAX / 2;
+
+/// What a thread is about to do at a scheduling point: which object it
+/// touches and whether it writes. `None` (unannotated) is treated as
+/// conflicting with everything — conservative, never unsound.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct Op {
+    obj: usize,
+    write: bool,
+}
+
+impl Op {
+    fn thread(tid: usize) -> Self {
+        Op { obj: OBJ_THREAD_BASE + tid, write: true }
+    }
+}
+
+/// Two operations are dependent (do not commute) when they touch the same
+/// object and at least one writes. Reordering independent operations cannot
+/// change any reachable state, which is what licenses sleep-set pruning.
+fn dependent(a: Option<Op>, b: Option<Op>) -> bool {
+    match (a, b) {
+        (Some(a), Some(b)) => a.obj == b.obj && (a.write || b.write),
+        _ => true,
+    }
+}
 
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 enum Status {
@@ -83,19 +125,37 @@ struct SchedState {
     turn: Option<usize>,
     /// DFS replay prefix for this run.
     prefix: Vec<usize>,
+    /// Sleep set on arrival at the first decision past the prefix: threads
+    /// whose pending op the DFS already explored in an equivalent order.
+    init_sleep: Vec<usize>,
     /// Choice actually taken at each decision so far.
     choices: Vec<usize>,
-    /// Number of ready threads at each decision (DFS branching factor).
-    counts: Vec<usize>,
+    /// The `(tid, pending op)` of every ready thread at each decision.
+    ready_ops: Vec<Vec<(usize, Option<Op>)>>,
+    /// Per-thread declared next op (meaningful while the thread is parked).
+    pending: Vec<Option<Op>>,
+    /// Set when every ready thread past the prefix was asleep: the run is a
+    /// redundant interleaving and counts as pruned, not explored.
+    sleep_blocked: bool,
     violation: Option<String>,
     /// Set on violation/deadlock: wakes every parked thread for teardown.
     aborted: bool,
     handles: Vec<std::thread::JoinHandle<()>>,
 }
 
+/// Everything [`ExecInner::scheduler`] learned from one run.
+struct RunResult {
+    choices: Vec<usize>,
+    ready_ops: Vec<Vec<(usize, Option<Op>)>>,
+    sleep_blocked: bool,
+    violation: Option<String>,
+}
+
 struct ExecInner {
     m: Mutex<SchedState>,
     cv: Condvar,
+    /// Per-run allocator for atomic-cell object ids (0 means unassigned).
+    next_obj: std_atomic::AtomicUsize,
 }
 
 thread_local! {
@@ -111,33 +171,57 @@ fn current() -> Option<(Arc<ExecInner>, usize)> {
 struct AbortUnwind;
 
 impl ExecInner {
-    fn new(prefix: Vec<usize>) -> Self {
+    fn new(prefix: Vec<usize>, init_sleep: Vec<usize>) -> Self {
         ExecInner {
             m: Mutex::new(SchedState {
                 status: Vec::new(),
                 turn: None,
                 prefix,
+                init_sleep,
                 choices: Vec::new(),
-                counts: Vec::new(),
+                ready_ops: Vec::new(),
+                pending: Vec::new(),
+                sleep_blocked: false,
                 violation: None,
                 aborted: false,
                 handles: Vec::new(),
             }),
             cv: Condvar::new(),
+            next_obj: std_atomic::AtomicUsize::new(1),
         }
     }
 
     fn register_thread(&self) -> usize {
         let mut st = self.m.lock().unwrap();
         st.status.push(Status::Ready);
+        st.pending.push(None);
         st.status.len() - 1
+    }
+
+    /// Returns the cell's object id for this run, assigning from the per-run
+    /// counter on first use. Only the floor-holding thread calls this, so the
+    /// read-then-store pair cannot race; replay determinism makes assignment
+    /// order — and hence ids — identical along a shared schedule prefix. A
+    /// cell cached from an earlier run can collide with a fresh allocation,
+    /// which only *merges* objects (more dependence, less pruning): sound.
+    fn obj_id(&self, slot: &std_atomic::AtomicUsize) -> usize {
+        let cur = slot.load(std_atomic::Ordering::SeqCst);
+        if cur != 0 {
+            return cur;
+        }
+        let id = self.next_obj.fetch_add(1, std_atomic::Ordering::SeqCst);
+        slot.store(id, std_atomic::Ordering::SeqCst);
+        id
     }
 
     /// Releases the floor with `new_status` and parks until granted again.
     /// Every model atomic operation passes through here, making it the
-    /// context-switch point of the exploration.
-    fn yield_and_wait(&self, tid: usize, new_status: Status) {
+    /// context-switch point of the exploration. `op` declares what the
+    /// thread will do once re-granted the floor; the sleep-set reduction
+    /// reads it to decide which interleavings commute.
+    fn yield_and_wait(&self, tid: usize, new_status: Status, op: Option<Op>) {
         let mut st = self.m.lock().unwrap();
+        st.pending[tid] = op;
         // Only a `Running` thread holds the floor. At a start event the
         // thread arrives `Ready`; if the scheduler already granted it the
         // floor, the grant must be *consumed* by the wait loop below, not
@@ -177,9 +261,17 @@ impl ExecInner {
         self.cv.notify_all();
     }
 
-    /// Drives one run to completion on the calling thread; returns
-    /// `(choices, counts, violation)`.
-    fn scheduler(&self) -> (Vec<usize>, Vec<usize>, Option<String>) {
+    /// Drives one run to completion on the calling thread.
+    ///
+    /// Decisions inside the replay prefix follow it verbatim. Past the
+    /// prefix the scheduler maintains the sleep set itself: it starts from
+    /// `init_sleep` (computed by the DFS for the first fresh decision),
+    /// always grants the lowest-indexed ready thread that is not asleep,
+    /// and after each grant wakes every sleeper whose pending op depends on
+    /// the one just granted. If every ready thread is asleep the whole
+    /// branch is a redundant reordering and the run aborts as pruned.
+    fn scheduler(&self) -> RunResult {
+        let mut cur_sleep: HashSet<usize> = HashSet::new();
         let mut st = self.m.lock().unwrap();
         loop {
             while st.turn.is_some() && !st.aborted {
@@ -223,20 +315,48 @@ impl ExecInner {
                 break;
             }
             let i = st.choices.len();
-            let c = if i < st.prefix.len() { st.prefix[i] } else { 0 };
+            let c = if i < st.prefix.len() {
+                st.prefix[i]
+            } else {
+                if i == st.prefix.len() {
+                    cur_sleep = st.init_sleep.iter().copied().collect();
+                }
+                match (0..ready.len()).find(|&j| !cur_sleep.contains(&ready[j])) {
+                    Some(j) => j,
+                    None => {
+                        // Sleep-set blocked: every continuation from here is
+                        // a reordering of commuting ops the DFS already saw.
+                        st.sleep_blocked = true;
+                        st.aborted = true;
+                        self.cv.notify_all();
+                        break;
+                    }
+                }
+            };
             assert!(
                 c < ready.len(),
                 "nondeterministic replay: decision {i} had {} ready threads, prefix chose {c} \
                  (does the checked closure depend on anything but model atomics?)",
                 ready.len()
             );
-            st.counts.push(ready.len());
+            if i >= st.prefix.len() {
+                let taken = st.pending[ready[c]];
+                let pending = &st.pending;
+                cur_sleep.retain(|&u| !dependent(pending[u], taken));
+            }
+            let ops: Vec<(usize, Option<Op>)> = ready.iter().map(|&t| (t, st.pending[t])).collect();
+            st.ready_ops.push(ops);
             st.choices.push(c);
             st.turn = Some(ready[c]);
             self.cv.notify_all();
         }
         let handles = std::mem::take(&mut st.handles);
-        let out = (st.choices.clone(), st.counts.clone(), st.violation.clone());
+        let out = RunResult {
+            choices: st.choices.clone(),
+            ready_ops: st.ready_ops.clone(),
+            sleep_blocked: st.sleep_blocked,
+            violation: st.violation.clone(),
+        };
         drop(st);
         for h in handles {
             let _ = h.join();
@@ -274,7 +394,9 @@ where
             let result = panic::catch_unwind(AssertUnwindSafe(|| {
                 // Start event: even a thread with no atomic operations holds
                 // the floor for its whole body, keeping runs deterministic.
-                e2.yield_and_wait(tid, Status::Ready);
+                // It operates on this thread's own lifecycle object, so it
+                // commutes with everything that is not about this thread.
+                e2.yield_and_wait(tid, Status::Ready, Some(Op::thread(tid)));
                 body()
             }));
             CURRENT.with(|c| *c.borrow_mut() = None);
@@ -313,8 +435,13 @@ pub mod thread {
         F: FnOnce() -> T + Send + 'static,
     {
         let (exec, me) = current().expect("model::thread::spawn called outside model::check");
-        // Spawning is itself a scheduling point of the parent.
-        exec.yield_and_wait(me, Status::Ready);
+        // Spawning is itself a scheduling point of the parent, operating on
+        // the child's lifecycle object. The child's tid is not assigned until
+        // after the yield, so predict it from the current thread count; a
+        // stale prediction only merges two spawns' objects (they then look
+        // dependent), which is the conservative direction.
+        let predicted = exec.m.lock().unwrap().status.len();
+        exec.yield_and_wait(me, Status::Ready, Some(Op::thread(predicted)));
         let tid = exec.register_thread();
         let slot = Arc::new(Mutex::new(None));
         let h = spawn_managed(&exec, tid, Arc::clone(&slot), f);
@@ -327,7 +454,7 @@ pub mod thread {
         /// returns its result.
         pub fn join(self) -> T {
             let (exec, me) = current().expect("join called outside model::check");
-            exec.yield_and_wait(me, Status::Blocked(self.tid));
+            exec.yield_and_wait(me, Status::Blocked(self.tid), Some(Op::thread(self.tid)));
             let v = self.slot.lock().unwrap().take();
             v.expect("joined model thread produced no value")
         }
@@ -340,8 +467,24 @@ pub mod thread {
 pub struct Exploration {
     /// Number of complete schedules executed.
     pub schedules: usize,
+    /// Number of runs cut short by the sleep-set reduction (each one a
+    /// reordering of commuting operations already covered by a completed
+    /// schedule). Always 0 under [`Mode::Exhaustive`].
+    pub pruned: usize,
     /// First violating schedule, if the property failed.
     pub violation: Option<Violation>,
+}
+
+/// How much of the schedule space to enumerate.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Mode {
+    /// Sleep-set partial-order reduction (the default): skips schedules that
+    /// only reorder commuting operations. Every reachable state — and hence
+    /// every assertion violation — is still visited.
+    SleepSets,
+    /// No reduction: every interleaving runs. The cross-check oracle for
+    /// [`Mode::SleepSets`]; multinomially slower, so keep protocols tiny.
+    Exhaustive,
 }
 
 /// A schedule that violated the checked property.
@@ -353,24 +496,25 @@ pub struct Violation {
     pub message: String,
 }
 
-fn next_prefix(choices: &[usize], counts: &[usize]) -> Option<Vec<usize>> {
-    let mut i = choices.len();
-    while i > 0 {
-        i -= 1;
-        if choices[i] + 1 < counts[i] {
-            let mut p = choices[..i].to_vec();
-            p.push(choices[i] + 1);
-            return Some(p);
-        }
-    }
-    None
+/// One node of the DFS path: the decision's ready set (with pending ops),
+/// the choice currently being explored, and the node's sleep set (arrival
+/// sleepers plus every sibling choice already fully explored).
+struct Frame {
+    ready: Vec<(usize, Option<Op>)>,
+    chosen: usize,
+    sleep: HashSet<usize>,
+}
+
+fn op_of(ready: &[(usize, Option<Op>)], tid: usize) -> Option<Op> {
+    ready.iter().find(|(t, _)| *t == tid).and_then(|(_, op)| *op)
 }
 
 fn run_once(
     f: Arc<dyn Fn() + Send + Sync>,
     prefix: Vec<usize>,
-) -> (Vec<usize>, Vec<usize>, Option<String>) {
-    let exec = Arc::new(ExecInner::new(prefix));
+    init_sleep: Vec<usize>,
+) -> RunResult {
+    let exec = Arc::new(ExecInner::new(prefix, init_sleep));
     let tid = exec.register_thread();
     debug_assert_eq!(tid, 0);
     let slot = Arc::new(Mutex::new(None::<()>));
@@ -379,86 +523,161 @@ fn run_once(
     exec.scheduler()
 }
 
-/// Explores every interleaving of `f`'s model-atomic operations; returns the
-/// outcome without panicking (use [`check`] for the asserting form).
-pub fn explore<F>(f: F) -> Exploration
+/// Explores the interleavings of `f`'s model-atomic operations under `mode`;
+/// returns the outcome without panicking (use [`check_with`] for the
+/// asserting form).
+///
+/// This is Godefroid's sleep-set DFS run statelessly: each iteration replays
+/// a prefix of choices, lets the scheduler extend it (skipping sleeping
+/// threads), then backtracks to the deepest frame with an untried, awake
+/// sibling. Moving from an explored choice to a sibling puts the explored
+/// thread to sleep at that node; descending through a choice keeps only the
+/// sleepers whose pending op commutes with it. [`Mode::Exhaustive`] is the
+/// same loop with every pair of ops declared dependent, which makes the
+/// sleep sets degenerate to "siblings already tried" — i.e. plain full DFS.
+pub fn explore_with<F>(mode: Mode, f: F) -> Exploration
 where
     F: Fn() + Send + Sync + 'static,
 {
     assert!(current().is_none(), "model::explore cannot be nested inside model::check");
+    let dep = move |a: Option<Op>, b: Option<Op>| match mode {
+        Mode::Exhaustive => true,
+        Mode::SleepSets => dependent(a, b),
+    };
     let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+    let mut frames: Vec<Frame> = Vec::new();
     let mut prefix: Vec<usize> = Vec::new();
+    let mut init_sleep: Vec<usize> = Vec::new();
     let mut schedules = 0usize;
+    let mut pruned = 0usize;
     loop {
-        let (choices, counts, violation) = run_once(Arc::clone(&f), prefix);
-        schedules += 1;
-        if let Some(message) = violation {
-            return Exploration {
-                schedules,
-                violation: Some(Violation { schedule: choices, message }),
-            };
+        let run = run_once(Arc::clone(&f), prefix.clone(), init_sleep.clone());
+        if run.sleep_blocked {
+            pruned += 1;
+        } else {
+            schedules += 1;
+            if let Some(message) = run.violation {
+                return Exploration {
+                    schedules,
+                    pruned,
+                    violation: Some(Violation { schedule: run.choices, message }),
+                };
+            }
         }
         assert!(
-            schedules <= MAX_SCHEDULES,
+            schedules + pruned <= MAX_SCHEDULES,
             "model checking exceeded {MAX_SCHEDULES} schedules; miniaturize the protocol"
         );
-        match next_prefix(&choices, &counts) {
-            Some(p) => prefix = p,
-            None => break,
+        // Materialize frames for the decisions past the old prefix, threading
+        // the arrival sleep set down exactly as the scheduler did live.
+        let start = frames.len();
+        let mut arrival: HashSet<usize> = init_sleep.iter().copied().collect();
+        for i in start..run.choices.len() {
+            let ready = run.ready_ops[i].clone();
+            let chosen = run.choices[i];
+            let taken = ready[chosen].1;
+            let next: HashSet<usize> =
+                arrival.iter().copied().filter(|&u| !dep(op_of(&ready, u), taken)).collect();
+            frames.push(Frame { ready, chosen, sleep: arrival });
+            arrival = next;
         }
+        // Backtrack: put each finished choice to sleep at its node, then take
+        // the first still-awake sibling anywhere on the path (deepest first).
+        let descended = loop {
+            let Some(fr) = frames.last_mut() else { break false };
+            let done_tid = fr.ready[fr.chosen].0;
+            fr.sleep.insert(done_tid);
+            if let Some(j) = (0..fr.ready.len()).find(|&j| !fr.sleep.contains(&fr.ready[j].0)) {
+                fr.chosen = j;
+                break true;
+            }
+            frames.pop();
+        };
+        if !descended {
+            return Exploration { schedules, pruned, violation: None };
+        }
+        prefix = frames.iter().map(|fr| fr.chosen).collect();
+        let last = frames.last().expect("descended implies a frame");
+        let taken = last.ready[last.chosen].1;
+        init_sleep =
+            last.sleep.iter().copied().filter(|&u| !dep(op_of(&last.ready, u), taken)).collect();
     }
-    Exploration { schedules, violation: None }
 }
 
-/// Exhaustively explores `f` and panics (with a reproducing schedule) if any
+/// [`explore_with`] under the default [`Mode::SleepSets`].
+pub fn explore<F>(f: F) -> Exploration
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    explore_with(Mode::SleepSets, f)
+}
+
+/// Explores `f` under `mode` and panics (with a reproducing schedule) if any
 /// interleaving panics. Returns exploration statistics on success.
+pub fn check_with<F>(mode: Mode, f: F) -> Exploration
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let report = explore_with(mode, f);
+    if let Some(v) = &report.violation {
+        panic!(
+            "model check failed on schedule {} of {} explored ({} pruned)\nschedule (per-step ready-thread index): {:?}\ncause: {}",
+            report.schedules, report.schedules, report.pruned, v.schedule, v.message
+        );
+    }
+    report
+}
+
+/// [`check_with`] under the default [`Mode::SleepSets`].
 pub fn check<F>(f: F) -> Exploration
 where
     F: Fn() + Send + Sync + 'static,
 {
-    let report = explore(f);
-    if let Some(v) = &report.violation {
-        panic!(
-            "model check failed on schedule {} of {} explored\nschedule (per-step ready-thread index): {:?}\ncause: {}",
-            report.schedules, report.schedules, v.schedule, v.message
-        );
-    }
-    report
+    check_with(Mode::SleepSets, f)
 }
 
 macro_rules! model_atomic {
     ($(#[$meta:meta])* $name:ident, $raw:ty, $prim:ty) => {
         $(#[$meta])*
         #[derive(Debug, Default)]
-        pub struct $name($raw);
+        pub struct $name {
+            cell: $raw,
+            /// This cell's object id for the sleep-set reduction; 0 until
+            /// the first scheduling point assigns one from the run's counter.
+            id: std_atomic::AtomicUsize,
+        }
 
         impl $name {
             /// New cell holding `v`.
             pub fn new(v: $prim) -> Self {
-                Self(<$raw>::new(v))
+                Self { cell: <$raw>::new(v), id: std_atomic::AtomicUsize::new(0) }
             }
 
-            /// Registers a scheduling point if a check is running.
+            /// Registers a scheduling point if a check is running,
+            /// declaring which object is touched and whether it is written.
             #[inline]
-            fn point(&self) {
+            fn point(&self, write: bool) {
                 if let Some((exec, tid)) = current() {
-                    exec.yield_and_wait(tid, Status::Ready);
+                    let obj = exec.obj_id(&self.id);
+                    exec.yield_and_wait(tid, Status::Ready, Some(Op { obj, write }));
                 }
             }
 
             /// Load (a scheduling point; SC under the model).
             pub fn load(&self, _order: Ordering) -> $prim {
-                self.point();
-                self.0.load(std_atomic::Ordering::SeqCst)
+                self.point(false);
+                self.cell.load(std_atomic::Ordering::SeqCst)
             }
 
             /// Store (a scheduling point; SC under the model).
             pub fn store(&self, v: $prim, _order: Ordering) {
-                self.point();
-                self.0.store(v, std_atomic::Ordering::SeqCst)
+                self.point(true);
+                self.cell.store(v, std_atomic::Ordering::SeqCst)
             }
 
             /// Compare-exchange (a scheduling point; SC under the model).
+            /// Declared a write even when it would fail: the failure branch
+            /// still orders against concurrent writers.
             pub fn compare_exchange(
                 &self,
                 current: $prim,
@@ -466,8 +685,8 @@ macro_rules! model_atomic {
                 _success: Ordering,
                 _failure: Ordering,
             ) -> Result<$prim, $prim> {
-                self.point();
-                self.0.compare_exchange(
+                self.point(true);
+                self.cell.compare_exchange(
                     current,
                     new,
                     std_atomic::Ordering::SeqCst,
@@ -489,13 +708,13 @@ macro_rules! model_atomic {
 
             /// Fetch-add (a scheduling point; SC under the model).
             pub fn fetch_add(&self, v: $prim, _order: Ordering) -> $prim {
-                self.point();
-                self.0.fetch_add(v, std_atomic::Ordering::SeqCst)
+                self.point(true);
+                self.cell.fetch_add(v, std_atomic::Ordering::SeqCst)
             }
 
             /// Unwraps the cell.
             pub fn into_inner(self) -> $prim {
-                self.0.into_inner()
+                self.cell.into_inner()
             }
         }
     };
@@ -602,12 +821,8 @@ mod tests {
         });
     }
 
-    #[test]
-    fn three_threads_explore_all_orders() {
-        // 3 threads, one store each to distinct cells: 3! = 6 interleavings
-        // of the stores (plus start/finish bookkeeping decisions that do not
-        // branch). The checker must count at least the 6.
-        let report = check(|| {
+    fn three_disjoint_stores(mode: Mode) -> Exploration {
+        explore_with(mode, || {
             let cells = Arc::new([AtomicU32::new(0), AtomicU32::new(0), AtomicU32::new(0)]);
             let hs: Vec<_> = (0..3)
                 .map(|i| {
@@ -618,7 +833,62 @@ mod tests {
             for h in hs {
                 h.join();
             }
-        });
+        })
+    }
+
+    #[test]
+    fn three_threads_explore_all_orders_exhaustively() {
+        // 3 threads, one store each to distinct cells: 3! = 6 interleavings
+        // of the stores (plus start/finish bookkeeping decisions that do not
+        // branch). The unreduced search must count at least the 6.
+        let report = three_disjoint_stores(Mode::Exhaustive);
+        assert!(report.violation.is_none());
+        assert_eq!(report.pruned, 0, "exhaustive mode never prunes");
         assert!(report.schedules >= 6, "explored {} schedules", report.schedules);
+    }
+
+    #[test]
+    fn sleep_sets_prune_commuting_stores() {
+        // Three disjoint stores: all store pairs (and all lifecycle events)
+        // commute, so the sleep-set search must complete strictly fewer
+        // schedules than the unreduced one — that is the whole point.
+        let reduced = three_disjoint_stores(Mode::SleepSets);
+        let full = three_disjoint_stores(Mode::Exhaustive);
+        assert!(reduced.violation.is_none() && full.violation.is_none());
+        assert!(
+            reduced.schedules < full.schedules,
+            "sleep sets completed {} schedules vs {} exhaustive — no reduction happened",
+            reduced.schedules,
+            full.schedules
+        );
+    }
+
+    #[test]
+    fn sleep_sets_and_exhaustive_agree_on_the_race() {
+        // Negative-control equivalence: the reduction must not prune away
+        // the lost-update interleaving that the full search finds.
+        let lost_update = || {
+            let x = Arc::new(AtomicU32::new(0));
+            let hs: Vec<_> = (0..2)
+                .map(|_| {
+                    let x = Arc::clone(&x);
+                    thread::spawn(move || {
+                        let v = x.load(Ordering::Relaxed);
+                        x.store(v + 1, Ordering::Relaxed);
+                    })
+                })
+                .collect();
+            for h in hs {
+                h.join();
+            }
+            assert_eq!(x.load(Ordering::Relaxed), 2, "lost update");
+        };
+        for mode in [Mode::SleepSets, Mode::Exhaustive] {
+            let report = explore_with(mode, lost_update);
+            let v = report
+                .violation
+                .unwrap_or_else(|| panic!("{mode:?} must find the lost-update schedule"));
+            assert!(v.message.contains("lost update"), "{mode:?} message: {}", v.message);
+        }
     }
 }

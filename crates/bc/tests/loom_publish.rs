@@ -31,13 +31,15 @@ impl Cells {
     }
 }
 
-#[test]
-fn two_parents_one_winner_no_lost_sigma() {
-    let report = model::check(|| {
+/// The N-racing-parents scenario: every parent runs `discover_and_push` for
+/// its edge into shared vertex 0, exactly one must win, and σ must equal the
+/// sum of all parents' contributions.
+fn racing_parents(sigmas: &'static [f64]) -> impl Fn() + Send + Sync + 'static {
+    move || {
         let c = Cells::fresh_target();
-        let hs: Vec<_> = [1.0f64, 2.0]
-            .into_iter()
-            .map(|su| {
+        let hs: Vec<_> = sigmas
+            .iter()
+            .map(|&su| {
                 let c = Arc::clone(&c);
                 model::thread::spawn(move || {
                     discover_and_push(&c.dist, &c.sigma, 0, 1, UNREACHED, su)
@@ -51,16 +53,47 @@ fn two_parents_one_winner_no_lost_sigma() {
             "exactly one thread must win the claim: {wins:?}"
         );
         assert_eq!(c.dist[0].load(model::Ordering::Relaxed), 1, "v must land on level 1");
-        assert_eq!(c.sigma[0].load(), 3.0, "a σ contribution was lost in the race window");
-    });
-    assert!(report.schedules >= 6, "explored {} schedules", report.schedules);
+        let want: f64 = sigmas.iter().sum();
+        assert_eq!(c.sigma[0].load(), want, "a σ contribution was lost in the race window");
+    }
 }
 
-// Deliberately no 3-parent discover_and_push check here: at ~5 scheduling
-// points per thread the schedule space is multinomially explosive (minutes
-// of wall clock without partial-order reduction — see ROADMAP open items).
-// Three-way RMW contention is covered exhaustively on the cheaper CAS loop
-// in `loom_atomic_f64.rs`; the claim window itself only needs two threads.
+#[test]
+fn two_parents_one_winner_no_lost_sigma() {
+    let report = model::check(racing_parents(&[1.0, 2.0]));
+    assert!(report.schedules >= 2, "explored {} schedules", report.schedules);
+}
+
+#[test]
+fn two_parents_reduction_matches_exhaustive() {
+    // Cross-check oracle: on the two-parent window the unreduced search is
+    // still affordable; the sleep-set search must reach the same verdict
+    // while completing no more schedules.
+    let full = model::check_with(model::Mode::Exhaustive, racing_parents(&[1.0, 2.0]));
+    let reduced = model::check(racing_parents(&[1.0, 2.0]));
+    assert!(full.schedules >= 6, "exhaustive explored {} schedules", full.schedules);
+    assert!(
+        reduced.schedules <= full.schedules,
+        "reduction completed more schedules ({}) than exhaustive ({})",
+        reduced.schedules,
+        full.schedules
+    );
+}
+
+#[test]
+fn three_parents_one_winner_no_lost_sigma() {
+    // Three racing parents: at ~5 scheduling points per thread the unreduced
+    // schedule space is multinomially explosive (minutes of wall clock),
+    // which is why this check was historically capped at two threads. The
+    // sleep-set reduction collapses the orderings that only commute dist and
+    // σ operations, bringing three-way contention into the CI budget.
+    let report = model::check(racing_parents(&[1.0, 2.0, 4.0]));
+    assert!(report.schedules >= 6, "explored {} schedules", report.schedules);
+    eprintln!(
+        "three-parent window: {} schedules completed, {} pruned",
+        report.schedules, report.pruned
+    );
+}
 
 #[test]
 fn racing_different_levels_claim_is_first_come() {
@@ -118,26 +151,32 @@ fn backward_delta_push_sums_exactly() {
 
 #[test]
 fn misordered_publish_is_caught() {
-    // Negative control: the variant that reads the level *before* claiming
-    // drops the winner's σ contribution. The checker must find a schedule
-    // where the total is wrong — on this protocol, every schedule is wrong,
-    // so the very first one already fails.
-    let report = model::explore(|| {
-        let c = Cells::fresh_target();
-        let hs: Vec<_> = [1.0f64, 2.0]
-            .into_iter()
-            .map(|su| {
-                let c = Arc::clone(&c);
-                model::thread::spawn(move || {
-                    discover_and_push_buggy(&c.dist, &c.sigma, 0, 1, UNREACHED, su)
+    // Negative control, under both search modes: the variant that reads the
+    // level *before* claiming drops the winner's σ contribution. Each mode
+    // must find a schedule where the total is wrong — on this protocol every
+    // schedule is wrong, so the very first one already fails; the point of
+    // running both is that the sleep-set reduction must not prune the
+    // violating interleaving the exhaustive search finds.
+    for mode in [model::Mode::SleepSets, model::Mode::Exhaustive] {
+        let report = model::explore_with(mode, || {
+            let c = Cells::fresh_target();
+            let hs: Vec<_> = [1.0f64, 2.0]
+                .into_iter()
+                .map(|su| {
+                    let c = Arc::clone(&c);
+                    model::thread::spawn(move || {
+                        discover_and_push_buggy(&c.dist, &c.sigma, 0, 1, UNREACHED, su)
+                    })
                 })
-            })
-            .collect();
-        for h in hs {
-            h.join();
-        }
-        assert_eq!(c.sigma[0].load(), 3.0, "sigma dropped");
-    });
-    let v = report.violation.expect("the dropped-σ schedule must be found");
-    assert!(v.message.contains("sigma dropped"), "unexpected message: {}", v.message);
+                .collect();
+            for h in hs {
+                h.join();
+            }
+            assert_eq!(c.sigma[0].load(), 3.0, "sigma dropped");
+        });
+        let v = report
+            .violation
+            .unwrap_or_else(|| panic!("{mode:?}: the dropped-σ schedule must be found"));
+        assert!(v.message.contains("sigma dropped"), "{mode:?} message: {}", v.message);
+    }
 }

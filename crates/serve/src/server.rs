@@ -332,7 +332,9 @@ fn route(shared: &Shared, req: &Request) -> Response {
         ("GET", "/stats") => get_stats(shared),
         ("GET", "/metrics") => get_metrics(shared),
         ("GET", "/top") => get_top(shared, req),
-        ("GET", path) if path.starts_with("/bc/") => get_bc(shared, req, &path[4..]),
+        ("GET", path) if path.starts_with("/bc/") => {
+            get_bc(shared, req, path.strip_prefix("/bc/").unwrap_or_default())
+        }
         ("POST", "/mutate") => post_mutate(shared, req),
         ("POST", "/checkpoint") => post_checkpoint(shared),
         ("POST", "/shutdown") => post_shutdown(shared),

@@ -1,0 +1,397 @@
+//! The suppression baseline: `lint-baseline.json` at the workspace root.
+//!
+//! Entries are keyed on `(rule, path, normalized snippet)` — deliberately
+//! *not* on line numbers, so unrelated edits above a baselined finding do
+//! not invalidate it. Every entry carries a human justification; the lint
+//! pass fails on any finding without a matching entry and warns about stale
+//! entries that no longer match anything.
+//!
+//! The JSON reader/writer is hand-rolled: `xtask` must build and run with
+//! the registry unreachable, so it takes no dependencies. The parser covers
+//! exactly the JSON subset the schema and the findings output use (objects,
+//! arrays, strings with escapes, numbers, booleans, null).
+
+use crate::rules::Finding;
+
+/// One baselined (suppressed, justified) finding.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Entry {
+    /// Rule slug the entry suppresses.
+    pub rule: String,
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// The offending line's text; matched whitespace-normalized.
+    pub snippet: String,
+    /// Why this finding is acceptable. Required.
+    pub justification: String,
+}
+
+impl Entry {
+    /// Does this entry suppress `f`?
+    pub fn matches(&self, f: &Finding) -> bool {
+        self.rule == f.rule
+            && self.path == f.path
+            && normalize(&self.snippet) == normalize(&f.snippet)
+    }
+}
+
+/// Whitespace-insensitive snippet form: runs of whitespace collapse to one
+/// space, ends trimmed.
+pub fn normalize(s: &str) -> String {
+    s.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
+/// Parses `lint-baseline.json` content. The expected shape is
+/// `{ "entries": [ { "rule", "path", "snippet", "justification" }, … ] }`.
+pub fn parse(src: &str) -> Result<Vec<Entry>, String> {
+    let value = json::parse(src)?;
+    let obj = value.as_object().ok_or("baseline root must be an object")?;
+    let entries = match obj.iter().find(|(k, _)| k == "entries") {
+        Some((_, json::Value::Array(items))) => items,
+        Some(_) => return Err("`entries` must be an array".into()),
+        None => return Ok(Vec::new()),
+    };
+    let mut out = Vec::new();
+    for (i, item) in entries.iter().enumerate() {
+        let fields = item.as_object().ok_or(format!("entry {i} must be an object"))?;
+        let get = |name: &str| -> Result<String, String> {
+            fields
+                .iter()
+                .find(|(k, _)| k == name)
+                .and_then(|(_, v)| v.as_str())
+                .map(str::to_string)
+                .ok_or(format!("entry {i} is missing string field `{name}`"))
+        };
+        let entry = Entry {
+            rule: get("rule")?,
+            path: get("path")?,
+            snippet: get("snippet")?,
+            justification: get("justification")?,
+        };
+        if entry.justification.trim().is_empty() {
+            return Err(format!("entry {i} has an empty justification"));
+        }
+        out.push(entry);
+    }
+    Ok(out)
+}
+
+/// Serializes findings (with their baseline status) as the `--json` output.
+pub fn findings_to_json(findings: &[(Finding, Option<&Entry>)]) -> String {
+    let mut s = String::from("{\n  \"findings\": [");
+    for (i, (f, entry)) in findings.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str("\n    {");
+        s.push_str(&format!("\"rule\": {}, ", json::quote(f.rule)));
+        s.push_str(&format!("\"path\": {}, ", json::quote(&f.path)));
+        s.push_str(&format!("\"line\": {}, ", f.line));
+        s.push_str(&format!("\"snippet\": {}, ", json::quote(&f.snippet)));
+        s.push_str(&format!("\"message\": {}, ", json::quote(&f.message)));
+        match entry {
+            Some(e) => s.push_str(&format!(
+                "\"baselined\": true, \"justification\": {}",
+                json::quote(&e.justification)
+            )),
+            None => s.push_str("\"baselined\": false"),
+        }
+        s.push('}');
+    }
+    let baselined = findings.iter().filter(|(_, e)| e.is_some()).count();
+    s.push_str(&format!(
+        "\n  ],\n  \"total\": {},\n  \"baselined\": {},\n  \"new\": {}\n}}\n",
+        findings.len(),
+        baselined,
+        findings.len() - baselined
+    ));
+    s
+}
+
+/// Serializes findings as baseline entries — `lint --baseline-out` seed
+/// material for a justified suppression file.
+pub fn findings_to_baseline_json(findings: &[&Finding]) -> String {
+    let mut s = String::from("{\n  \"entries\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n    {{\"rule\": {}, \"path\": {}, \"snippet\": {}, \"justification\": {}}}",
+            json::quote(f.rule),
+            json::quote(&f.path),
+            json::quote(&f.snippet),
+            json::quote("TODO: justify or fix")
+        ));
+    }
+    s.push_str("\n  ]\n}\n");
+    s
+}
+
+/// The minimal JSON reader/writer.
+mod json {
+    /// A parsed JSON value; objects keep insertion order.
+    #[derive(Debug)]
+    pub enum Value {
+        Null,
+        /// Payload dropped: the baseline schema never reads booleans.
+        Bool,
+        /// Payload dropped: the baseline schema never reads numbers.
+        Num,
+        Str(String),
+        Array(Vec<Value>),
+        Object(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        pub fn as_object(&self) -> Option<&[(String, Value)]> {
+            match self {
+                Value::Object(o) => Some(o),
+                _ => None,
+            }
+        }
+
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+    }
+
+    /// Escapes `s` as a JSON string literal, quotes included.
+    pub fn quote(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+        out
+    }
+
+    pub fn parse(src: &str) -> Result<Value, String> {
+        let b = src.as_bytes();
+        let mut i = 0;
+        let v = value(b, &mut i)?;
+        skip_ws(b, &mut i);
+        if i != b.len() {
+            return Err(format!("trailing input at byte {i}"));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(b: &[u8], i: &mut usize) {
+        while *i < b.len() && b[*i].is_ascii_whitespace() {
+            *i += 1;
+        }
+    }
+
+    fn value(b: &[u8], i: &mut usize) -> Result<Value, String> {
+        skip_ws(b, i);
+        match b.get(*i) {
+            Some(b'{') => {
+                *i += 1;
+                let mut fields = Vec::new();
+                skip_ws(b, i);
+                if b.get(*i) == Some(&b'}') {
+                    *i += 1;
+                    return Ok(Value::Object(fields));
+                }
+                loop {
+                    skip_ws(b, i);
+                    let Value::Str(key) = value(b, i)? else {
+                        return Err(format!("object key must be a string at byte {i}"));
+                    };
+                    skip_ws(b, i);
+                    if b.get(*i) != Some(&b':') {
+                        return Err(format!("expected `:` at byte {i}"));
+                    }
+                    *i += 1;
+                    fields.push((key, value(b, i)?));
+                    skip_ws(b, i);
+                    match b.get(*i) {
+                        Some(b',') => *i += 1,
+                        Some(b'}') => {
+                            *i += 1;
+                            return Ok(Value::Object(fields));
+                        }
+                        _ => return Err(format!("expected `,` or `}}` at byte {i}")),
+                    }
+                }
+            }
+            Some(b'[') => {
+                *i += 1;
+                let mut items = Vec::new();
+                skip_ws(b, i);
+                if b.get(*i) == Some(&b']') {
+                    *i += 1;
+                    return Ok(Value::Array(items));
+                }
+                loop {
+                    items.push(value(b, i)?);
+                    skip_ws(b, i);
+                    match b.get(*i) {
+                        Some(b',') => *i += 1,
+                        Some(b']') => {
+                            *i += 1;
+                            return Ok(Value::Array(items));
+                        }
+                        _ => return Err(format!("expected `,` or `]` at byte {i}")),
+                    }
+                }
+            }
+            Some(b'"') => {
+                *i += 1;
+                let mut s = String::new();
+                while *i < b.len() {
+                    match b[*i] {
+                        b'"' => {
+                            *i += 1;
+                            return Ok(Value::Str(s));
+                        }
+                        b'\\' => {
+                            *i += 1;
+                            match b.get(*i) {
+                                Some(b'n') => s.push('\n'),
+                                Some(b'r') => s.push('\r'),
+                                Some(b't') => s.push('\t'),
+                                Some(b'u') => {
+                                    let hex = b
+                                        .get(*i + 1..*i + 5)
+                                        .and_then(|h| std::str::from_utf8(h).ok())
+                                        .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                        .ok_or(format!("bad \\u escape at byte {i}"))?;
+                                    s.push(char::from_u32(hex).unwrap_or('\u{FFFD}'));
+                                    *i += 4;
+                                }
+                                Some(&c) => s.push(c as char),
+                                None => return Err("unterminated escape".into()),
+                            }
+                            *i += 1;
+                        }
+                        _ => {
+                            // Copy one UTF-8 scalar.
+                            let start = *i;
+                            *i += 1;
+                            while *i < b.len() && (b[*i] & 0xC0) == 0x80 {
+                                *i += 1;
+                            }
+                            s.push_str(
+                                std::str::from_utf8(&b[start..*i])
+                                    .map_err(|_| "invalid UTF-8".to_string())?,
+                            );
+                        }
+                    }
+                }
+                Err("unterminated string".into())
+            }
+            Some(b't') if b[*i..].starts_with(b"true") => {
+                *i += 4;
+                Ok(Value::Bool)
+            }
+            Some(b'f') if b[*i..].starts_with(b"false") => {
+                *i += 5;
+                Ok(Value::Bool)
+            }
+            Some(b'n') if b[*i..].starts_with(b"null") => {
+                *i += 4;
+                Ok(Value::Null)
+            }
+            Some(c) if c.is_ascii_digit() || *c == b'-' => {
+                let start = *i;
+                *i += 1;
+                while *i < b.len()
+                    && (b[*i].is_ascii_digit() || matches!(b[*i], b'.' | b'e' | b'E' | b'+' | b'-'))
+                {
+                    *i += 1;
+                }
+                std::str::from_utf8(&b[start..*i])
+                    .ok()
+                    .and_then(|s| s.parse::<f64>().ok())
+                    .map(|_| Value::Num)
+                    .ok_or(format!("bad number at byte {start}"))
+            }
+            _ => Err(format!("unexpected input at byte {i}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, path: &str, snippet: &str) -> Finding {
+        Finding { path: path.into(), line: 7, rule, message: "m".into(), snippet: snippet.into() }
+    }
+
+    #[test]
+    fn parse_and_match_with_whitespace_normalization() {
+        let src = r#"{ "entries": [
+            {"rule": "hot-loop-index", "path": "crates/bc/src/apgre/kernel.rs",
+             "snippet": "dist[v]   =   0;", "justification": "audited: v < sg.n"}
+        ] }"#;
+        let entries = parse(src).expect("parses");
+        assert_eq!(entries.len(), 1);
+        let f = finding("hot-loop-index", "crates/bc/src/apgre/kernel.rs", "dist[v] = 0;");
+        assert!(entries[0].matches(&f));
+        assert!(!entries[0].matches(&finding(
+            "hot-loop-index",
+            "crates/bc/src/apgre/mod.rs",
+            "dist[v] = 0;"
+        )));
+        assert!(!entries[0].matches(&finding(
+            "panic-reachability",
+            "crates/bc/src/apgre/kernel.rs",
+            "dist[v] = 0;"
+        )));
+    }
+
+    #[test]
+    fn empty_and_missing_entries_are_fine() {
+        assert!(parse("{}").expect("parses").is_empty());
+        assert!(parse("{\"entries\": []}").expect("parses").is_empty());
+    }
+
+    #[test]
+    fn missing_justification_is_rejected() {
+        let src =
+            r#"{"entries": [{"rule": "r", "path": "p", "snippet": "s", "justification": "  "}]}"#;
+        assert!(parse(src).is_err());
+        let src = r#"{"entries": [{"rule": "r", "path": "p", "snippet": "s"}]}"#;
+        assert!(parse(src).is_err());
+    }
+
+    #[test]
+    fn json_output_escapes_and_counts() {
+        let f = finding("ordering-protocol", "crates/bc/src/x.rs", "a \"quoted\"\tsnippet");
+        let e = Entry {
+            rule: "ordering-protocol".into(),
+            path: "crates/bc/src/x.rs".into(),
+            snippet: "a \"quoted\" snippet".into(),
+            justification: "why".into(),
+        };
+        let out = findings_to_json(&[(f.clone(), Some(&e)), (f, None)]);
+        assert!(out.contains("\\\"quoted\\\""));
+        assert!(out.contains("\"baselined\": true"));
+        assert!(out.contains("\"new\": 1"));
+        // The emitted output must round-trip through our own parser.
+        assert!(super::json::parse(&out).is_ok());
+    }
+
+    #[test]
+    fn baseline_seed_output_round_trips() {
+        let f = finding("hot-loop-index", "crates/bc/src/apgre/kernel.rs", "x[i] += 1;");
+        let out = findings_to_baseline_json(&[&f]);
+        let entries = parse(&out).expect("round-trips");
+        assert_eq!(entries[0].snippet, "x[i] += 1;");
+    }
+}

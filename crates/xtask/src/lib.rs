@@ -1,0 +1,23 @@
+//! `apgre-analyze` — the std-only static analyzer behind `cargo xtask lint`.
+//!
+//! Layered like a tiny compiler front end:
+//!
+//! 1. [`tokens`] — a full Rust tokenizer (comments and literal payloads
+//!    dropped, `lint:allow(tag)` escape markers harvested, lines tracked);
+//! 2. [`tree`] — balanced-delimiter token trees;
+//! 3. [`index`] — items, `#[cfg(test)]` regions, impl owners, and
+//!    intra-crate call edges across the workspace;
+//! 4. [`rules`] — the nine domain rules R1–R9 over that representation;
+//! 5. [`baseline`] — the `lint-baseline.json` suppression file and the
+//!    `--json` findings output.
+//!
+//! The crate is dependency-free on purpose: the lint pass must build and
+//! run even when the registry is unreachable.
+
+#![forbid(unsafe_code)]
+
+pub mod baseline;
+pub mod index;
+pub mod rules;
+pub mod tokens;
+pub mod tree;

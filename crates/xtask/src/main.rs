@@ -2,9 +2,13 @@
 //!
 //! Subcommands:
 //!
-//! * `lint`  — the domain lint pass (see [`rules`]): sync-facade discipline,
-//!   memory-ordering creep, unsynchronized parallel accumulation, and
-//!   serial-oracle test coverage for every public BC kernel.
+//! * `lint`  — the domain analyzer (see [`xtask::rules`]): sync-facade
+//!   discipline, memory-ordering conformance, guard-live-range and
+//!   panic-reachability checks, and serial-oracle test coverage for every
+//!   public BC kernel. `--json` emits machine-readable findings;
+//!   `--baseline-out <path>` writes current findings as baseline seed
+//!   material. Findings matching `lint-baseline.json` are suppressed (with
+//!   their justification); anything else fails the pass.
 //! * `check` — `lint` followed by `cargo check --workspace --all-targets`.
 //! * `ci`    — the full local gate: `lint`, `fmt --check`, `clippy -D
 //!   warnings`, default tests, and `--features invariants` tests. Mirrors
@@ -15,26 +19,25 @@
 
 #![forbid(unsafe_code)]
 
-mod lexer;
-mod rules;
-
 use std::path::{Path, PathBuf};
 use std::process::{Command, ExitCode};
+
+use xtask::{baseline, rules};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let root = workspace_root();
     match args.first().map(String::as_str) {
-        Some("lint") => lint(&root),
+        Some("lint") => lint(&root, &args[1..]),
         Some("check") => {
-            let code = lint(&root);
+            let code = lint(&root, &[]);
             if code != ExitCode::SUCCESS {
                 return code;
             }
             cargo(&root, &["check", "--workspace", "--all-targets"])
         }
         Some("ci") => {
-            let code = lint(&root);
+            let code = lint(&root, &[]);
             if code != ExitCode::SUCCESS {
                 return code;
             }
@@ -54,7 +57,9 @@ fn main() -> ExitCode {
         }
         _ => {
             eprintln!("usage: cargo xtask <lint|check|ci>");
-            eprintln!("  lint   run the domain lint pass over the workspace");
+            eprintln!("  lint [--json] [--baseline-out <path>]");
+            eprintln!("         run the analyzer over the workspace; findings in");
+            eprintln!("         lint-baseline.json are suppressed with justification");
             eprintln!("  check  lint + cargo check --workspace --all-targets");
             eprintln!("  ci     lint + fmt + clippy + tests (default and --features invariants)");
             ExitCode::FAILURE
@@ -72,14 +77,21 @@ fn workspace_root() -> PathBuf {
     std::env::current_dir().expect("cannot determine working directory")
 }
 
-fn lint(root: &Path) -> ExitCode {
+fn lint(root: &Path, flags: &[String]) -> ExitCode {
+    let json = flags.iter().any(|f| f == "--json");
+    let baseline_out = flags
+        .iter()
+        .position(|f| f == "--baseline-out")
+        .and_then(|i| flags.get(i + 1))
+        .map(PathBuf::from);
+
     let mut files = Vec::new();
     collect_rs(root, root, &mut files);
     files.sort();
-    let loaded: Vec<(PathBuf, String)> = files
+    let loaded: Vec<(String, String)> = files
         .into_iter()
         .filter_map(|p| match std::fs::read_to_string(root.join(&p)) {
-            Ok(src) => Some((p, src)),
+            Ok(src) => Some((unix_path(&p), src)),
             Err(e) => {
                 // Never skip silently: an unreadable file is unlinted code.
                 eprintln!("xtask lint: warning: skipping {}: {e}", p.display());
@@ -87,23 +99,77 @@ fn lint(root: &Path) -> ExitCode {
             }
         })
         .collect();
-    let violations = rules::lint_files(&loaded);
-    for v in &violations {
-        eprintln!("{v}");
+    let findings = rules::lint_sources(&loaded);
+
+    let baseline_path = root.join("lint-baseline.json");
+    let entries = match std::fs::read_to_string(&baseline_path) {
+        Ok(src) => match baseline::parse(&src) {
+            Ok(entries) => entries,
+            Err(e) => {
+                eprintln!("xtask lint: error: lint-baseline.json: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        Err(_) => Vec::new(), // no baseline file = empty baseline
+    };
+
+    let matched: Vec<(rules::Finding, Option<&baseline::Entry>)> = findings
+        .into_iter()
+        .map(|f| {
+            let entry = entries.iter().find(|e| e.matches(&f));
+            (f, entry)
+        })
+        .collect();
+    let fresh: Vec<&rules::Finding> =
+        matched.iter().filter(|(_, e)| e.is_none()).map(|(f, _)| f).collect();
+    for (entry_idx, entry) in entries.iter().enumerate() {
+        if !matched.iter().any(|(f, _)| entry.matches(f)) {
+            eprintln!(
+                "xtask lint: warning: stale baseline entry #{entry_idx} \
+                 ({} at {}) matches no finding — remove it",
+                entry.rule, entry.path
+            );
+        }
     }
-    if violations.is_empty() {
-        eprintln!("xtask lint: {} files clean", loaded.len());
+
+    if let Some(out_path) = baseline_out {
+        let seed = baseline::findings_to_baseline_json(&fresh);
+        if let Err(e) = std::fs::write(&out_path, seed) {
+            eprintln!("xtask lint: error: cannot write {}: {e}", out_path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("xtask lint: wrote {} seed entries to {}", fresh.len(), out_path.display());
+    }
+
+    if json {
+        print!("{}", baseline::findings_to_json(&matched));
+    } else {
+        for (f, entry) in &matched {
+            match entry {
+                Some(e) => eprintln!("{f} (baselined: {})", e.justification),
+                None => eprintln!("{f}"),
+            }
+        }
+    }
+    let baselined = matched.len() - fresh.len();
+    if fresh.is_empty() {
+        eprintln!("xtask lint: {} files clean ({} baselined finding(s))", loaded.len(), baselined);
         ExitCode::SUCCESS
     } else {
-        eprintln!("xtask lint: {} violation(s)", violations.len());
+        eprintln!("xtask lint: {} violation(s) ({} more baselined)", fresh.len(), baselined);
         ExitCode::FAILURE
     }
 }
 
+fn unix_path(p: &Path) -> String {
+    p.components().map(|c| c.as_os_str().to_string_lossy()).collect::<Vec<_>>().join("/")
+}
+
 /// Recursively collects workspace-relative `.rs` paths, skipping build
-/// output, VCS metadata, hidden directories, and the vendored offline
-/// stand-in crates (third-party API imitations, exempt from domain rules —
-/// see vendor/README.md).
+/// output, VCS metadata, hidden directories, the vendored offline stand-in
+/// crates (third-party API imitations, exempt from domain rules — see
+/// vendor/README.md), and the analyzer's own rule fixtures (deliberately
+/// violating snippets under `tests/fixtures`).
 fn collect_rs(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) {
     let Ok(entries) = std::fs::read_dir(dir) else { return };
     for entry in entries.flatten() {
@@ -111,7 +177,11 @@ fn collect_rs(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) {
         let name = entry.file_name();
         let name = name.to_string_lossy();
         if path.is_dir() {
-            if name == "target" || name.starts_with('.') || (name == "vendor" && dir == root) {
+            if name == "target"
+                || name.starts_with('.')
+                || (name == "vendor" && dir == root)
+                || (name == "fixtures" && dir.file_name().is_some_and(|d| d == "tests"))
+            {
                 continue;
             }
             collect_rs(root, &path, out);

@@ -1,43 +1,56 @@
-//! The domain lint rules for the APGRE workspace.
+//! The domain rules for the APGRE workspace, evaluated over token trees and
+//! the symbol index ([`crate::tokens`] → [`crate::tree`] → [`crate::index`]).
 //!
-//! All rules operate on [`crate::lexer::scrub`]bed source, so prose in
-//! comments and string payloads never trips them. Paths are matched with `/`
-//! separators relative to the workspace root.
+//! | rule | slug | what it enforces |
+//! |------|------|------------------|
+//! | R1 | `raw-atomic-import` | `std::sync::atomic` / `core::sync::atomic` only inside the sync facades (`apgre_bc::sync`, `apgre_graph::sync`) |
+//! | R2 | `ordering-creep` | no `SeqCst` / `AcqRel` outside the facade — the kernels' correctness argument is written for `Relaxed` + fork-join edges |
+//! | R3 | `naked-par-accum` | no `slice[i] += …` inside a `par_iter`-family closure (escape: `lint:allow(par_accum)`) |
+//! | R4 | `kernel-missing-serial-test` | every `pub fn bc_*` kernel in `crates/bc` / `crates/dynamic` has a test pinning it against the serial oracle |
+//! | R5 | `serve-socket-unwrap` | no `.unwrap()` / `.expect(…)` in `crates/serve/src` outside `#[cfg(test)]` (escape: `lint:allow(serve_unwrap)`) |
+//! | R6 | `guard-across-blocking` | no lock guard in `crates/serve` live across socket I/O or a snapshot publish (escape: `lint:allow(guard_blocking)`) |
+//! | R7 | `ordering-protocol` | facade atomic call sites outside the facade conform to the claim-Relaxed / publish-Release / read-Acquire state machine, annotated with the call chain from the kernel entry points |
+//! | R8 | `panic-reachability` | no `unwrap` / `expect` / `panic!`-family / unguarded `[]` reachable from serve's spawned threads or `DynamicBc::apply`, intraprocedurally plus bounded call expansion (escape: `lint:allow(panic_path)`) |
+//! | R9 | `hot-loop-index` | bounds-checked `[]` inside the root-parallel / level-sync kernel inner loops is audited explicitly (escape: `lint:allow(hot_index)` on or above the loop header) |
 //!
-//! | rule | what it bans |
-//! |------|--------------|
-//! | `raw-atomic-import` | `std::sync::atomic` / `core::sync::atomic` outside the sync facades (`apgre_bc::sync` and its `apgre_graph::sync` mirror) |
-//! | `ordering-creep` | `SeqCst` / `AcqRel` outside the facade — the kernels' correctness argument is written for `Relaxed` + fork-join edges, stronger orderings hide missing reasoning |
-//! | `naked-par-accum` | `slice[i] += …` inside a `par_iter`-family closure — unsynchronized accumulation into a shared slice; use `AtomicF64::fetch_add` (escape: `lint:allow(par_accum)`) |
-//! | `kernel-missing-serial-test` | a `pub fn bc_*` kernel in `crates/bc` or `crates/dynamic` with no test file comparing it against `bc_serial` |
-//! | `serve-socket-unwrap` | `.unwrap()` / `.expect(` in `crates/serve/src` outside `#[cfg(test)]` — a panicking worker tears down a live connection and (for the writer) the whole mutation pipeline; socket and lock failures must degrade to an HTTP error or a clean thread exit (escape: `lint:allow(serve_unwrap)`) |
+//! R1–R5 are re-expressions of the old line-lexer rules with the textual
+//! false-positive/negative classes removed (brace counting in `par_regions`,
+//! the single-line `pub fn bc_*` assumption, the everything-after-the-first-
+//! `#[cfg(test)]` heuristic). R6–R9 are flow-aware and need the tree and
+//! index layers.
 
-use crate::lexer::scrub;
+use std::collections::HashSet;
 use std::fmt;
 use std::path::PathBuf;
 
+use crate::index::{FileIndex, FnItem, Workspace, NON_CALL_KEYWORDS};
+use crate::tokens::{Kind, Tok};
+use crate::tree::{flatten, Group, Tree};
+
 /// One lint finding, anchored to a file and 1-based line.
-pub struct Violation {
-    /// Workspace-relative path.
-    pub path: PathBuf,
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
     /// 1-based line number.
     pub line: usize,
     /// Rule slug.
     pub rule: &'static str,
     /// Human-readable explanation.
     pub message: String,
+    /// Trimmed source text of the offending line.
+    pub snippet: String,
 }
 
-impl fmt::Display for Violation {
+impl fmt::Display for Finding {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}:{}: [{}] {}", self.path.display(), self.line, self.rule, self.message)
+        write!(f, "{}:{}: [{}] {}", self.path, self.line, self.rule, self.message)
     }
 }
 
 /// Files whose raw-atomic use is sanctioned: the two facades themselves
-/// (they *are* the wrappers — `apgre-graph` sits below `apgre-bc` in the
-/// dependency graph, so it carries a mirror facade instead of importing the
-/// BC one).
+/// (`apgre-graph` sits below `apgre-bc` in the dependency graph, so it
+/// carries a mirror facade instead of importing the BC one).
 const ATOMIC_ALLOWLIST: &[&str] = &["crates/bc/src/sync/", "crates/graph/src/sync.rs"];
 
 /// `SeqCst` is additionally allowed only inside the facade: the model
@@ -47,23 +60,34 @@ const ORDERING_ALLOWLIST: &[&str] = &["crates/bc/src/sync/"];
 /// Serial-oracle kernels themselves are exempt from rule R4.
 const SERIAL_PREFIX: &str = "bc_serial";
 
+/// Compatibility entry point over `(path, source)` pairs with `PathBuf`s.
+pub fn lint_files(files: &[(PathBuf, String)]) -> Vec<Finding> {
+    let owned: Vec<(String, String)> =
+        files.iter().map(|(p, s)| (unix_path(p), s.clone())).collect();
+    lint_sources(&owned)
+}
+
 /// Runs every rule over the given `(workspace-relative path, contents)`
-/// pairs and returns all findings, ordered by path then line.
-pub fn lint_files(files: &[(PathBuf, String)]) -> Vec<Violation> {
-    let scrubbed: Vec<(String, String)> =
-        files.iter().map(|(p, src)| (unix_path(p), scrub(src))).collect();
+/// pairs and returns all findings, ordered by path, line, then rule.
+pub fn lint_sources(files: &[(String, String)]) -> Vec<Finding> {
+    let rs: Vec<(String, String)> =
+        files.iter().filter(|(p, _)| p.ends_with(".rs")).cloned().collect();
+    let ws = Workspace::build(&rs);
+    let flat: Vec<Vec<Tok>> = ws.files.iter().map(|f| flatten(&f.trees)).collect();
     let mut out = Vec::new();
-    for ((path, src), (upath, code)) in files.iter().zip(&scrubbed) {
-        if !upath.ends_with(".rs") {
-            continue;
-        }
-        check_raw_atomic_imports(path, upath, code, &mut out);
-        check_ordering_creep(path, upath, code, &mut out);
-        check_par_accumulation(path, src, code, &mut out);
-        check_serve_unwrap(path, upath, src, code, &mut out);
+    for (f, toks) in ws.files.iter().zip(&flat) {
+        r1_raw_atomic(f, toks, &mut out);
+        r2_ordering_creep(f, toks, &mut out);
+        r3_par_accum(f, &mut out);
+        r5_serve_unwrap(f, toks, &mut out);
+        r6_guard_blocking(f, &mut out);
+        r7_ordering_protocol(f, &ws, &mut out);
+        r9_hot_loop_index(f, &mut out);
     }
-    check_kernel_serial_tests(files, &scrubbed, &mut out);
-    out.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    r4_kernel_serial_tests(&ws, &flat, &mut out);
+    r8_panic_reachability(&ws, &mut out);
+    out.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    out.dedup_by(|a, b| (&a.path, a.line, a.rule) == (&b.path, b.line, b.rule));
     out
 }
 
@@ -71,7 +95,7 @@ fn unix_path(p: &std::path::Path) -> String {
     p.components().map(|c| c.as_os_str().to_string_lossy()).collect::<Vec<_>>().join("/")
 }
 
-fn allowed(upath: &str, allowlist: &[&str]) -> bool {
+fn allowed_path(upath: &str, allowlist: &[&str]) -> bool {
     allowlist.iter().any(|a| {
         if a.ends_with('/') {
             upath.contains(a) || upath.starts_with(a.trim_end_matches('/'))
@@ -81,455 +105,900 @@ fn allowed(upath: &str, allowlist: &[&str]) -> bool {
     })
 }
 
+fn push(out: &mut Vec<Finding>, f: &FileIndex, line: usize, rule: &'static str, message: String) {
+    out.push(Finding { path: f.path.clone(), line, rule, message, snippet: f.snippet(line) });
+}
+
+// ---------------------------------------------------------------- R1 / R2
+
 /// R1: the sync facade is the only sanctioned door to raw atomics.
-fn check_raw_atomic_imports(
-    path: &std::path::Path,
-    upath: &str,
-    code: &str,
-    out: &mut Vec<Violation>,
-) {
-    if allowed(upath, ATOMIC_ALLOWLIST) {
+fn r1_raw_atomic(f: &FileIndex, toks: &[Tok], out: &mut Vec<Finding>) {
+    if allowed_path(&f.path, ATOMIC_ALLOWLIST) {
         return;
     }
-    for (ln, line) in code.lines().enumerate() {
-        if line.contains("std::sync::atomic") || line.contains("core::sync::atomic") {
-            out.push(Violation {
-                path: path.to_path_buf(),
-                line: ln + 1,
-                rule: "raw-atomic-import",
-                message: "raw atomic path outside the sync facade; use \
-                          `crate::sync` (or `apgre_bc::sync`) so `cfg(loom)` \
-                          model checking covers this code"
+    for w in toks.windows(5) {
+        if (w[0].is_ident("std") || w[0].is_ident("core"))
+            && w[1].is_punct("::")
+            && w[2].is_ident("sync")
+            && w[3].is_punct("::")
+            && w[4].is_ident("atomic")
+        {
+            push(
+                out,
+                f,
+                w[0].line,
+                "raw-atomic-import",
+                "raw atomic path outside the sync facade; use `crate::sync` (or \
+                 `apgre_bc::sync`) so `cfg(loom)` model checking covers this code"
                     .into(),
-            });
+            );
         }
     }
 }
 
 /// R2: the kernels' memory-ordering argument is written for `Relaxed` plus
 /// fork-join edges; `SeqCst`/`AcqRel` creep papers over missing reasoning.
-fn check_ordering_creep(path: &std::path::Path, upath: &str, code: &str, out: &mut Vec<Violation>) {
-    if allowed(upath, ORDERING_ALLOWLIST) {
+fn r2_ordering_creep(f: &FileIndex, toks: &[Tok], out: &mut Vec<Finding>) {
+    if allowed_path(&f.path, ORDERING_ALLOWLIST) {
         return;
     }
-    for (ln, line) in code.lines().enumerate() {
-        for ord in ["SeqCst", "AcqRel"] {
-            if word_contains(line, ord) {
-                out.push(Violation {
-                    path: path.to_path_buf(),
-                    line: ln + 1,
-                    rule: "ordering-creep",
-                    message: format!(
-                        "`{ord}` outside the sync facade; the kernels justify \
-                         `Relaxed` (see crates/bc/src/sync/mod.rs) — document \
-                         a new ordering argument there instead of escalating"
-                    ),
-                });
-            }
+    for t in toks {
+        if t.kind == Kind::Ident && (t.text == "SeqCst" || t.text == "AcqRel") {
+            push(
+                out,
+                f,
+                t.line,
+                "ordering-creep",
+                format!(
+                    "`{}` outside the sync facade; the kernels justify `Relaxed` \
+                     (see crates/bc/src/sync/mod.rs) — document a new ordering \
+                     argument there instead of escalating",
+                    t.text
+                ),
+            );
         }
     }
 }
+
+// --------------------------------------------------------------------- R3
 
 const PAR_ENTRYPOINTS: &[&str] =
     &["into_par_iter", "par_iter_mut", "par_iter", "par_chunks_mut", "par_chunks", "par_bridge"];
 
-/// R3: `slice[i] += …` inside a parallel-iterator closure is an
-/// unsynchronized read-modify-write on a shared slice.
-fn check_par_accumulation(path: &std::path::Path, src: &str, code: &str, out: &mut Vec<Violation>) {
-    let original: Vec<&str> = src.lines().collect();
-    let mut flagged = Vec::new();
-    for region in par_regions(code) {
-        for (ln, line) in code[region.clone()].lines().enumerate() {
-            let abs = code[..region.start].matches('\n').count() + ln;
-            if flagged.contains(&abs) {
-                continue;
-            }
-            if has_indexed_accum(line)
-                && !original.get(abs).is_some_and(|l| l.contains("lint:allow(par_accum)"))
-            {
-                flagged.push(abs);
-                out.push(Violation {
-                    path: path.to_path_buf(),
-                    line: abs + 1,
-                    rule: "naked-par-accum",
-                    message: "`[..] +=` inside a parallel iterator closure is \
-                              an unsynchronized accumulation; use \
-                              `AtomicF64::fetch_add` (or mark the line \
-                              `lint:allow(par_accum)` with a justification)"
-                        .into(),
-                });
-            }
-        }
-    }
-}
-
-/// Byte ranges of `par_iter`-family call chains: from each entry point to the
-/// close of the first brace block opened after it (the closure body, for the
-/// dominant `.par_iter().for_each(|x| { … })` shape).
-fn par_regions(code: &str) -> Vec<std::ops::Range<usize>> {
-    let mut regions: Vec<std::ops::Range<usize>> = Vec::new();
-    for entry in PAR_ENTRYPOINTS {
-        let mut from = 0;
-        while let Some(off) = code[from..].find(entry) {
-            let start = from + off;
-            from = start + entry.len();
-            if regions.iter().any(|r| r.contains(&start)) {
-                continue;
-            }
-            let bytes = code.as_bytes();
-            let mut depth = 0usize;
-            let mut opened = false;
-            let mut end = code.len();
-            for (k, &c) in bytes.iter().enumerate().skip(start) {
-                match c {
-                    b'{' => {
-                        depth += 1;
-                        opened = true;
+/// Collects the argument groups of a `par_iter`-family call chain: the entry
+/// point's own arguments plus every chained `.method(…)` argument group —
+/// the closure bodies live inside those.
+fn par_chain_groups<'a>(trees: &'a [Tree], out: &mut Vec<&'a Group>) {
+    let mut i = 0;
+    while i < trees.len() {
+        let is_entry = trees[i]
+            .leaf()
+            .is_some_and(|t| t.kind == Kind::Ident && PAR_ENTRYPOINTS.contains(&t.text.as_str()))
+            && matches!(&trees.get(i + 1), Some(Tree::Group(g)) if g.delim == '(');
+        if is_entry {
+            let mut j = i + 1;
+            while j < trees.len() {
+                match &trees[j] {
+                    Tree::Group(g) if g.delim == '(' => {
+                        out.push(g);
+                        j += 1;
                     }
-                    b'}' if opened => {
-                        depth -= 1;
-                        if depth == 0 {
-                            end = k + 1;
-                            break;
-                        }
+                    Tree::Leaf(l)
+                        if l.is_punct(".")
+                            || l.is_punct("::")
+                            || l.is_punct("?")
+                            || l.is_punct("<")
+                            || l.is_punct(">")
+                            || l.kind == Kind::Ident
+                            || l.kind == Kind::Lifetime =>
+                    {
+                        j += 1
                     }
-                    // Statement or enclosing block ended before any closure
-                    // brace: a braceless chain like `.par_iter().sum()`.
-                    b';' | b'}' if !opened => {
-                        end = k + 1;
-                        break;
-                    }
-                    _ => {}
+                    _ => break,
                 }
             }
-            regions.push(start..end);
+            i = j;
+            continue;
         }
+        if let Tree::Group(g) = &trees[i] {
+            par_chain_groups(&g.trees, out);
+        }
+        i += 1;
     }
-    regions
 }
 
-fn has_indexed_accum(line: &str) -> bool {
-    line.find("+=").is_some_and(|p| line[..p].trim_end().ends_with(']'))
+/// R3: `slice[i] += …` inside a parallel-iterator closure is an
+/// unsynchronized read-modify-write on a shared slice.
+fn r3_par_accum(f: &FileIndex, out: &mut Vec<Finding>) {
+    let mut groups = Vec::new();
+    par_chain_groups(&f.trees, &mut groups);
+    let mut flagged = HashSet::new();
+    for g in groups {
+        find_indexed_accum(&g.trees, f, &mut flagged, out);
+    }
 }
+
+fn find_indexed_accum(
+    trees: &[Tree],
+    f: &FileIndex,
+    flagged: &mut HashSet<usize>,
+    out: &mut Vec<Finding>,
+) {
+    for (i, t) in trees.iter().enumerate() {
+        if let Tree::Group(g) = t {
+            if g.delim == '[' {
+                if let Some(op) = trees.get(i + 1).and_then(Tree::leaf) {
+                    if (op.is_punct("+=") || op.is_punct("-=")) // compound RMW
+                        && !f.allowed(op.line, "par_accum")
+                        && flagged.insert(op.line)
+                    {
+                        push(
+                            out,
+                            f,
+                            op.line,
+                            "naked-par-accum",
+                            "`[..] +=` inside a parallel iterator closure is an \
+                             unsynchronized accumulation; use `AtomicF64::fetch_add` \
+                             (or mark the line `lint:allow(par_accum)` with a \
+                             justification)"
+                                .into(),
+                        );
+                    }
+                }
+            }
+            find_indexed_accum(&g.trees, f, flagged, out);
+        }
+    }
+}
+
+// --------------------------------------------------------------------- R4
+
+/// R4: every public `bc_*` kernel must be pinned against the serial oracle.
+fn r4_kernel_serial_tests(ws: &Workspace, flat: &[Vec<Tok>], out: &mut Vec<Finding>) {
+    let mut kernels: Vec<(usize, usize, String)> = Vec::new();
+    for (fi, f) in ws.files.iter().enumerate() {
+        // The incremental engine's `bc_*` entry points promise the same
+        // contract as the batch kernels, so they carry the same obligation.
+        if !f.path.contains("crates/bc/src") && !f.path.contains("crates/dynamic/src") {
+            continue;
+        }
+        for fun in &f.fns {
+            if fun.is_pub
+                && !fun.in_test
+                && fun.name.starts_with("bc_")
+                && !fun.name.starts_with(SERIAL_PREFIX)
+            {
+                kernels.push((fi, fun.line, fun.name.clone()));
+            }
+        }
+    }
+    for (fi, line, name) in kernels {
+        let covered = ws.files.iter().zip(flat).any(|(f2, toks)| {
+            let test_bearing = f2.path.contains("/tests/")
+                || !f2.test_ranges.is_empty()
+                || f2.fns.iter().any(|x| x.in_test);
+            test_bearing
+                && toks.iter().any(|t| t.is_ident(&name))
+                && toks.iter().any(|t| t.is_ident("matches_serial") || t.is_ident(SERIAL_PREFIX))
+        });
+        if !covered {
+            let f = &ws.files[fi];
+            push(
+                out,
+                f,
+                line,
+                "kernel-missing-serial-test",
+                format!(
+                    "public kernel `{name}` has no test comparing it against \
+                     the serial oracle (`matches_serial` / `bc_serial`)"
+                ),
+            );
+        }
+    }
+}
+
+// --------------------------------------------------------------------- R5
 
 /// R5: no panicking extraction on the service's I/O paths. Every request is
 /// handled on a shared worker thread and every mutation is applied on the
 /// single writer thread, so one `.unwrap()` on a socket, parse, or lock
 /// result turns a misbehaving peer into a dead worker — or a dead mutation
-/// pipeline. `crates/serve/src` must map failures to HTTP statuses or clean
-/// thread exits; `#[cfg(test)]` modules are exempt, and a justified
-/// `lint:allow(serve_unwrap)` escapes a specific line.
-fn check_serve_unwrap(
-    path: &std::path::Path,
-    upath: &str,
-    src: &str,
-    code: &str,
-    out: &mut Vec<Violation>,
-) {
-    if !upath.contains("crates/serve/src") {
+/// pipeline. `#[cfg(test)]` regions are exempt (tracked structurally, not by
+/// file position), and a justified `lint:allow(serve_unwrap)` escapes a line.
+fn r5_serve_unwrap(f: &FileIndex, toks: &[Tok], out: &mut Vec<Finding>) {
+    if !f.path.contains("crates/serve/src") {
         return;
     }
-    // Everything from the first `#[cfg(test)]` down is test scaffolding.
-    let test_start =
-        code.find("#[cfg(test)]").map_or(usize::MAX, |off| code[..off].matches('\n').count());
-    let original: Vec<&str> = src.lines().collect();
-    for (ln, line) in code.lines().enumerate() {
-        if ln >= test_start {
-            break;
-        }
-        if (line.contains(".unwrap()") || line.contains(".expect("))
-            && !original.get(ln).is_some_and(|l| l.contains("lint:allow(serve_unwrap)"))
+    for w in toks.windows(3) {
+        if w[0].is_punct(".")
+            && (w[1].is_ident("unwrap") || w[1].is_ident("expect"))
+            && w[2].is_punct("(")
+            && !f.in_test_region(w[1].line)
+            && !f.allowed(w[1].line, "serve_unwrap")
         {
-            out.push(Violation {
-                path: path.to_path_buf(),
-                line: ln + 1,
-                rule: "serve-socket-unwrap",
-                message: "panicking extraction on a service I/O path; map the \
-                          failure to an HTTP status or a clean thread exit \
-                          (or mark the line `lint:allow(serve_unwrap)` with a \
-                          justification)"
+            push(
+                out,
+                f,
+                w[1].line,
+                "serve-socket-unwrap",
+                "panicking extraction on a service I/O path; map the failure to \
+                 an HTTP status or a clean thread exit (or mark the line \
+                 `lint:allow(serve_unwrap)` with a justification)"
                     .into(),
-            });
+            );
         }
     }
 }
 
-/// R4: every public `bc_*` kernel must be pinned against the serial oracle.
-fn check_kernel_serial_tests(
-    files: &[(PathBuf, String)],
-    scrubbed: &[(String, String)],
-    out: &mut Vec<Violation>,
+// --------------------------------------------------------------------- R6
+
+/// Guard-acquiring methods: argument-less `.lock()` / `.read()` / `.write()`.
+const LOCK_METHODS: &[&str] = &["lock", "read", "write"];
+
+/// Blocking calls a guard must not be live across: socket I/O and the
+/// snapshot publish. Channel `recv` is deliberately absent — the worker pool
+/// holds `Mutex<Receiver<_>>` across `recv` by design (see server.rs).
+const BLOCKING_METHODS: &[&str] = &[
+    "accept",
+    "read_exact",
+    "write_all",
+    "write_vectored",
+    "flush",
+    "read_line",
+    "read_until",
+    "read_to_end",
+    "read_to_string",
+    "read_request",
+    "connect",
+    "connect_timeout",
+    "shutdown",
+];
+
+/// R6: a `MutexGuard`/`RwLock` guard in `crates/serve` live across socket
+/// I/O (or a snapshot publish) serializes every peer behind one connection's
+/// socket latency — the guard-live-range analogue of the paper's redundancy
+/// argument. Guards are recognized at `let g = …lock()/read()/write()…;`
+/// bindings; the live range runs to the end of the enclosing block or a
+/// same-level `drop(g)`.
+fn r6_guard_blocking(f: &FileIndex, out: &mut Vec<Finding>) {
+    if !f.path.contains("crates/serve/src") {
+        return;
+    }
+    let mut flagged = HashSet::new();
+    for fun in &f.fns {
+        if !fun.in_test {
+            r6_scan_block(&fun.body, f, &mut flagged, out);
+        }
+    }
+}
+
+fn r6_scan_block(
+    trees: &[Tree],
+    f: &FileIndex,
+    flagged: &mut HashSet<usize>,
+    out: &mut Vec<Finding>,
 ) {
-    let mut kernels: Vec<(PathBuf, usize, String)> = Vec::new();
-    for ((path, _), (upath, code)) in files.iter().zip(scrubbed) {
-        // The incremental engine's `bc_*` entry points promise the same
-        // contract as the batch kernels, so they carry the same obligation.
-        if !upath.contains("crates/bc/src") && !upath.contains("crates/dynamic/src") {
+    let mut i = 0;
+    while i < trees.len() {
+        if trees[i].is_ident("let") {
+            // `let [mut] name = …;` — does the initializer acquire a guard?
+            let mut j = i + 1;
+            if trees.get(j).is_some_and(|t| t.is_ident("mut")) {
+                j += 1;
+            }
+            let name = trees
+                .get(j)
+                .and_then(Tree::leaf)
+                .filter(|t| t.kind == Kind::Ident)
+                .map(|t| t.text.clone());
+            let end = (i..trees.len()).find(|&k| trees[k].is_punct(";")).unwrap_or(trees.len());
+            if let Some(name) = name {
+                let stmt = flatten(&trees[i..end.min(trees.len())]);
+                let acquires = stmt.windows(4).any(|w| {
+                    w[0].is_punct(".")
+                        && w[1].kind == Kind::Ident
+                        && LOCK_METHODS.contains(&w[1].text.as_str())
+                        && w[2].is_punct("(")
+                        && w[3].is_punct(")")
+                });
+                if acquires {
+                    r6_scan_live(&trees[end..], &name, f, flagged, out);
+                }
+            }
+            // Closures inside the initializer can bind their own guards.
+            for t in &trees[i..end.min(trees.len())] {
+                if let Tree::Group(g) = t {
+                    r6_scan_block(&g.trees, f, flagged, out);
+                }
+            }
+            i = end + 1;
             continue;
         }
-        for (ln, line) in code.lines().enumerate() {
-            if let Some(name) = pub_bc_fn(line) {
-                if !name.starts_with(SERIAL_PREFIX) {
-                    kernels.push((path.clone(), ln + 1, name));
+        if let Tree::Group(g) = &trees[i] {
+            r6_scan_block(&g.trees, f, flagged, out);
+        }
+        i += 1;
+    }
+}
+
+/// Scans the guard's live range (a sibling suffix plus everything nested in
+/// it) for blocking calls. A same-level `drop(guard)` ends the range; a
+/// nested conditional `drop` does not (conservative).
+fn r6_scan_live(
+    trees: &[Tree],
+    guard: &str,
+    f: &FileIndex,
+    flagged: &mut HashSet<usize>,
+    out: &mut Vec<Finding>,
+) {
+    let mut i = 0;
+    while i < trees.len() {
+        if trees[i].is_ident("drop") {
+            if let Some(Tree::Group(g)) = trees.get(i + 1) {
+                if g.delim == '(' && g.trees.len() == 1 && g.trees[0].is_ident(guard) {
+                    return;
+                }
+            }
+        }
+        if trees[i].is_punct(".") {
+            if let (Some(m), Some(Tree::Group(g))) =
+                (trees.get(i + 1).and_then(Tree::leaf), trees.get(i + 2))
+            {
+                if m.kind == Kind::Ident
+                    && g.delim == '('
+                    && is_blocking_call(&m.text, g)
+                    && !f.allowed(m.line, "guard_blocking")
+                    && flagged.insert(m.line)
+                {
+                    push(
+                        out,
+                        f,
+                        m.line,
+                        "guard-across-blocking",
+                        format!(
+                            "lock guard `{guard}` is live across blocking \
+                             `.{}(…)`; drop the guard (or copy what you need \
+                             out of it) before socket I/O or a snapshot \
+                             publish — `lint:allow(guard_blocking)` escapes \
+                             a justified line",
+                            m.text
+                        ),
+                    );
+                }
+            }
+        }
+        if let Tree::Group(g) = &trees[i] {
+            r6_scan_live(&g.trees, guard, f, flagged, out);
+        }
+        i += 1;
+    }
+}
+
+/// Is `.name(args)` a blocking call? Argument-bearing `.read(buf)` /
+/// `.write(buf)` are socket ops (the lock-acquiring forms take no
+/// arguments); `.store(snapshot)` without an `Ordering` argument is the
+/// snapshot publish (atomic stores always pass an ordering).
+fn is_blocking_call(name: &str, args: &Group) -> bool {
+    if BLOCKING_METHODS.contains(&name) {
+        return true;
+    }
+    if (name == "read" || name == "write") && !args.trees.is_empty() {
+        return true;
+    }
+    name == "store" && !args.trees.is_empty() && !group_has_ordering(args)
+}
+
+fn group_has_ordering(g: &Group) -> bool {
+    let mut found = false;
+    crate::tree::walk(&g.trees, &mut |t| {
+        if t.is_ident("Ordering") {
+            found = true;
+        }
+    });
+    found
+}
+
+// --------------------------------------------------------------------- R7
+
+/// Atomic operations whose call sites the protocol rule inspects, with the
+/// orderings the documented state machine permits. CAS successes may claim
+/// (`Relaxed`) or publish (`Release`); CAS failures and loads may observe
+/// (`Relaxed`) or read-acquire; RMW adds are claim-side only.
+const PROTOCOL_METHODS: &[(&str, &[&str], &[&str])] = &[
+    ("load", &["Relaxed", "Acquire"], &[]),
+    ("store", &["Relaxed", "Release"], &[]),
+    ("swap", &["Relaxed"], &[]),
+    ("compare_exchange", &["Relaxed", "Release"], &["Relaxed", "Acquire"]),
+    ("compare_exchange_weak", &["Relaxed", "Release"], &["Relaxed", "Acquire"]),
+    ("fetch_add", &["Relaxed"], &[]),
+    ("fetch_sub", &["Relaxed"], &[]),
+    ("fetch_or", &["Relaxed"], &[]),
+    ("fetch_and", &["Relaxed"], &[]),
+    ("fetch_xor", &["Relaxed"], &[]),
+    ("fetch_max", &["Relaxed"], &[]),
+    ("fetch_min", &["Relaxed"], &[]),
+];
+
+/// R7: facade atomic call sites outside the facade must conform to the
+/// claim-Relaxed / publish-Release / read-Acquire protocol documented in
+/// `crates/bc/src/sync/mod.rs`, and each finding is annotated with a call
+/// chain from a `bc_*` kernel entry point when one exists. `SeqCst`/`AcqRel`
+/// are R2's findings and not re-reported here.
+fn r7_ordering_protocol(f: &FileIndex, ws: &Workspace, out: &mut Vec<Finding>) {
+    if allowed_path(&f.path, ATOMIC_ALLOWLIST) {
+        return;
+    }
+    for fun in &f.fns {
+        if fun.in_test {
+            continue;
+        }
+        r7_scan(&fun.body, f, ws, fun, out);
+    }
+}
+
+fn r7_scan(trees: &[Tree], f: &FileIndex, ws: &Workspace, fun: &FnItem, out: &mut Vec<Finding>) {
+    for (i, t) in trees.iter().enumerate() {
+        if let Tree::Group(g) = t {
+            r7_scan(&g.trees, f, ws, fun, out);
+            continue;
+        }
+        if !t.is_punct(".") {
+            continue;
+        }
+        let (Some(m), Some(Tree::Group(g))) =
+            (trees.get(i + 1).and_then(Tree::leaf), trees.get(i + 2))
+        else {
+            continue;
+        };
+        let Some(&(_, success_ok, failure_ok)) =
+            PROTOCOL_METHODS.iter().find(|(n, _, _)| m.is_ident(n))
+        else {
+            continue;
+        };
+        if g.delim != '(' {
+            continue;
+        }
+        let ords = ordering_args(g);
+        if ords.is_empty() || f.allowed(m.line, "ordering_protocol") {
+            // No `Ordering::…` argument: not a facade atomic call (e.g. the
+            // snapshot cell's `load`/`store`).
+            continue;
+        }
+        for (k, ord) in ords.iter().enumerate() {
+            if ord == "SeqCst" || ord == "AcqRel" {
+                continue; // R2's finding
+            }
+            let allowed_set = if k == 0 || failure_ok.is_empty() { success_ok } else { failure_ok };
+            if !allowed_set.contains(&ord.as_str()) {
+                let chain = ws
+                    .chain_from_root(&f.crate_name, &fun.name, &|_, n| n.starts_with("bc_"))
+                    .map(|c| format!("; call chain: {}", c.join(" -> ")))
+                    .unwrap_or_else(|| "; not reached from a kernel entry point".into());
+                push(
+                    out,
+                    f,
+                    m.line,
+                    "ordering-protocol",
+                    format!(
+                        "`{}(Ordering::{ord})` breaks the claim-Relaxed / \
+                         publish-Release / read-Acquire protocol (allowed here: \
+                         {}){chain}",
+                        m.text,
+                        allowed_set.join(", "),
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// The `Ordering::X` arguments of a call group, in positional order.
+fn ordering_args(g: &Group) -> Vec<String> {
+    let toks = flatten(&g.trees);
+    let mut out = Vec::new();
+    for w in toks.windows(3) {
+        if w[0].is_ident("Ordering") && w[1].is_punct("::") && w[2].kind == Kind::Ident {
+            out.push(w[2].text.clone());
+        }
+    }
+    out
+}
+
+// --------------------------------------------------------------------- R8
+
+/// Call-expansion depth for panic reachability: the root body plus two hops,
+/// enough to cross the engine → sub-graph-scheduler boundary
+/// (`DynamicBc::apply` → `rebuild_structural` → `run_subgraph_kernels`)
+/// without degenerating into a whole-program scan.
+const R8_DEPTH: usize = 2;
+
+/// Macro invocations that are unconditional panics.
+const PANIC_MACROS: &[&str] = &["panic", "todo", "unimplemented"];
+
+/// Call names too generic to resolve by bare name — `Vec::new()` in a root
+/// body must not pull every `fn new` in the crate into the target set.
+const AMBIENT_NAMES: &[&str] = &[
+    "new",
+    "default",
+    "clone",
+    "len",
+    "is_empty",
+    "push",
+    "pop",
+    "insert",
+    "remove",
+    "get",
+    "iter",
+    "next",
+    "fmt",
+    "from",
+    "into",
+    "drop",
+    "write",
+    "read",
+    "lock",
+    "send",
+    "recv",
+    "min",
+    "max",
+    "clear",
+    "with_capacity",
+];
+
+/// Integration tests and benches are scaffolding, not service/engine code.
+fn is_test_scaffolding(f: &FileIndex) -> bool {
+    f.path.contains("/tests/") || f.path.contains("/benches/")
+}
+
+/// R8: no panicking operation reachable from serve's spawned threads or
+/// `DynamicBc::apply`. A panic on the writer thread kills the mutation
+/// pipeline; one in `apply` poisons every lock the kernels share.
+/// Supersedes the purely textual reading of R5 with reachability.
+fn r8_panic_reachability(ws: &Workspace, out: &mut Vec<Finding>) {
+    // Roots: serve functions referenced inside a `spawn(…)` argument, plus
+    // the dynamic engine's `DynamicBc::apply`.
+    let serve_fn_names: HashSet<&str> = ws
+        .files
+        .iter()
+        .filter(|f| f.crate_name == "serve" && !is_test_scaffolding(f))
+        .flat_map(|f| f.fns.iter().map(|x| x.name.as_str()))
+        .collect();
+    let mut roots: Vec<(String, String, String)> = Vec::new(); // (crate, fn, label)
+    for f in &ws.files {
+        if f.crate_name != "serve" || is_test_scaffolding(f) {
+            continue;
+        }
+        let mut spawned = Vec::new();
+        collect_spawn_targets(&f.trees, &serve_fn_names, &mut spawned);
+        for name in spawned {
+            roots.push(("serve".into(), name.clone(), format!("serve thread `{name}`")));
+        }
+    }
+    for f in &ws.files {
+        for fun in &f.fns {
+            if fun.name == "apply" && fun.owner.as_deref() == Some("DynamicBc") && !fun.in_test {
+                roots.push((f.crate_name.clone(), "apply".into(), "`DynamicBc::apply`".into()));
+            }
+        }
+    }
+    roots.sort();
+    roots.dedup();
+
+    // Bounded call expansion: (crate, fn-name) → (root label, via-chain).
+    let mut targets: Vec<((String, String), String, Vec<String>)> = Vec::new();
+    let mut seen: HashSet<(String, String)> = HashSet::new();
+    for (krate, name, label) in &roots {
+        let mut frontier = vec![((krate.clone(), name.clone()), Vec::<String>::new())];
+        for _hop in 0..=R8_DEPTH {
+            let mut next = Vec::new();
+            for (key, via) in frontier {
+                if !seen.insert(key.clone()) {
+                    continue;
+                }
+                let defs = resolve_fn(ws, &key.0, &key.1);
+                for (_f, fun) in &defs {
+                    let mut callee_via = via.clone();
+                    callee_via.push(fun.name.clone());
+                    for callee in &fun.calls {
+                        if callee.ends_with('!')
+                            || *callee == key.1
+                            || AMBIENT_NAMES.contains(&callee.as_str())
+                        {
+                            continue;
+                        }
+                        next.push(((key.0.clone(), callee.clone()), callee_via.clone()));
+                    }
+                }
+                targets.push((key, label.clone(), via));
+            }
+            frontier = next;
+        }
+    }
+
+    for (key, label, via) in targets {
+        for (f, fun) in resolve_fn(ws, &key.0, &key.1) {
+            let reach = if via.is_empty() {
+                format!("reachable from {label}")
+            } else {
+                format!("reachable from {label} via {}", via.join(" -> "))
+            };
+            r8_scan_body(&fun.body, f, fun, &reach, out);
+        }
+    }
+}
+
+/// Definitions of `name`: same crate first, any-crate unique-name fallback
+/// (the engine calls the BC scheduler cross-crate by bare name).
+/// Integration-test and bench files never participate.
+fn resolve_fn<'a>(ws: &'a Workspace, krate: &str, name: &str) -> Vec<(&'a FileIndex, &'a FnItem)> {
+    let local: Vec<_> =
+        ws.fns_named(krate, name).into_iter().filter(|(f, _)| !is_test_scaffolding(f)).collect();
+    if !local.is_empty() {
+        return local;
+    }
+    let mut all = Vec::new();
+    for f in &ws.files {
+        if is_test_scaffolding(f) {
+            continue;
+        }
+        for fun in &f.fns {
+            if fun.name == name && !fun.in_test {
+                all.push((f, fun));
+            }
+        }
+    }
+    if all.len() == 1 {
+        all
+    } else {
+        Vec::new()
+    }
+}
+
+/// Idents inside any `spawn(…)` argument group that name a known fn.
+fn collect_spawn_targets(trees: &[Tree], known: &HashSet<&str>, out: &mut Vec<String>) {
+    for (i, t) in trees.iter().enumerate() {
+        if let Tree::Group(g) = t {
+            collect_spawn_targets(&g.trees, known, out);
+            continue;
+        }
+        if t.is_ident("spawn") {
+            if let Some(Tree::Group(g)) = trees.get(i + 1) {
+                if g.delim == '(' {
+                    crate::tree::walk(&g.trees, &mut |n| {
+                        if let Some(tok) = n.leaf() {
+                            if tok.kind == Kind::Ident && known.contains(tok.text.as_str()) {
+                                out.push(tok.text.clone());
+                            }
+                        }
+                    });
                 }
             }
         }
     }
-    for (path, line, name) in kernels {
-        let covered = scrubbed.iter().any(|(upath, code)| {
-            let test_bearing = upath.contains("/tests/") || code.contains("#[test]");
-            test_bearing
-                && word_contains(code, &name)
-                && (word_contains(code, "matches_serial") || word_contains(code, SERIAL_PREFIX))
-        });
-        if !covered {
-            out.push(Violation {
-                path,
-                line,
-                rule: "kernel-missing-serial-test",
-                message: format!(
-                    "public kernel `{name}` has no test comparing it against \
-                     the serial oracle (`matches_serial` / `bc_serial`)"
-                ),
-            });
+}
+
+fn r8_scan_body(trees: &[Tree], f: &FileIndex, fun: &FnItem, reach: &str, out: &mut Vec<Finding>) {
+    // Bases the body shows bounds discipline for: `b.len()`, `b.get(…)`.
+    let toks = flatten(&fun.body);
+    let mut guarded: HashSet<&str> = HashSet::new();
+    for w in toks.windows(3) {
+        if w[0].kind == Kind::Ident
+            && w[1].is_punct(".")
+            && (w[2].is_ident("len") || w[2].is_ident("get") || w[2].is_ident("get_mut"))
+        {
+            guarded.insert(&w[0].text);
+        }
+    }
+    r8_scan(trees, f, &guarded, reach, out);
+}
+
+fn r8_scan(
+    trees: &[Tree],
+    f: &FileIndex,
+    guarded: &HashSet<&str>,
+    reach: &str,
+    out: &mut Vec<Finding>,
+) {
+    for (i, t) in trees.iter().enumerate() {
+        if let Tree::Group(g) = t {
+            // Indexing: `base[…]` where `base` is an expression tail.
+            if g.delim == '['
+                && i > 0
+                && trees[i - 1].leaf().is_some_and(|p| {
+                    p.kind == Kind::Ident && !NON_CALL_KEYWORDS.contains(&p.text.as_str())
+                })
+                && !g.trees.is_empty()
+            {
+                let base = &trees[i - 1].leaf().expect("checked ident").text;
+                if !guarded.contains(base.as_str())
+                    && !f.allowed(g.open_line, "panic_path")
+                    && !f.in_test_region(g.open_line)
+                {
+                    push(
+                        out,
+                        f,
+                        g.open_line,
+                        "panic-reachability",
+                        format!(
+                            "unguarded `{base}[…]` {reach}; use `.get(…)` with an \
+                             error path, show a bounds guard in this function, or \
+                             mark the line `lint:allow(panic_path)` with the \
+                             invariant that makes it infallible"
+                        ),
+                    );
+                }
+            }
+            r8_scan(&g.trees, f, guarded, reach, out);
+            continue;
+        }
+        let Some(tok) = t.leaf() else { continue };
+        // `.unwrap()` / `.expect(…)` — exact method names, so
+        // `unwrap_or_else` and friends never match.
+        if tok.is_punct(".") {
+            if let (Some(m), Some(Tree::Group(g))) =
+                (trees.get(i + 1).and_then(Tree::leaf), trees.get(i + 2))
+            {
+                if g.delim == '('
+                    && (m.is_ident("unwrap") || m.is_ident("expect"))
+                    && !f.allowed(m.line, "panic_path")
+                    && !f.in_test_region(m.line)
+                {
+                    push(
+                        out,
+                        f,
+                        m.line,
+                        "panic-reachability",
+                        format!(
+                            "`.{}(…)` {reach}; recover (poisoned locks: \
+                             `unwrap_or_else(|p| p.into_inner())`), propagate an \
+                             error, or mark the line `lint:allow(panic_path)` \
+                             with the invariant that makes it infallible",
+                            m.text
+                        ),
+                    );
+                }
+            }
+        }
+        if tok.kind == Kind::Ident && PANIC_MACROS.contains(&tok.text.as_str()) {
+            if let Some(Tree::Leaf(bang)) = trees.get(i + 1) {
+                if bang.is_punct("!")
+                    && !f.allowed(tok.line, "panic_path")
+                    && !f.in_test_region(tok.line)
+                {
+                    push(
+                        out,
+                        f,
+                        tok.line,
+                        "panic-reachability",
+                        format!("`{}!` {reach}; return an error instead", tok.text),
+                    );
+                }
+            }
         }
     }
 }
 
-/// Extracts `name` from a `pub fn bc_name(` line (scrubbed source).
-fn pub_bc_fn(line: &str) -> Option<String> {
-    let rest = line.trim_start().strip_prefix("pub fn ")?;
-    let name: String =
-        rest.chars().take_while(|c| c.is_ascii_alphanumeric() || *c == '_').collect();
-    name.starts_with("bc_").then_some(name)
-}
+// --------------------------------------------------------------------- R9
 
-/// Substring match with identifier boundaries on both sides.
-fn word_contains(haystack: &str, needle: &str) -> bool {
-    let mut from = 0;
-    while let Some(off) = haystack[from..].find(needle) {
-        let start = from + off;
-        let end = start + needle.len();
-        let pre = haystack[..start].chars().next_back();
-        let post = haystack[end..].chars().next();
-        let is_ident = |c: char| c.is_ascii_alphanumeric() || c == '_';
-        if !pre.is_some_and(is_ident) && !post.is_some_and(is_ident) {
-            return true;
+/// R9: the root-parallel / level-sync kernels keep bounds-checked `[]` on
+/// purpose (audited: indices are compacted sub-graph ids `< sg.n` by
+/// construction), but every such loop must say so — new unaudited indexing
+/// in a hot loop is flagged and pointed at the audited pattern.
+fn r9_hot_loop_index(f: &FileIndex, out: &mut Vec<Finding>) {
+    if !f.path.contains("crates/bc/src/apgre/") {
+        return;
+    }
+    for fun in &f.fns {
+        if fun.in_test
+            || !(fun.name.starts_with("bc_in_subgraph") || fun.name.starts_with("sweep_root"))
+        {
+            continue;
         }
-        from = end;
+        let mut flagged = HashSet::new();
+        r9_walk(&fun.body, f, false, false, &mut flagged, out);
     }
-    false
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn lint(files: &[(&str, &str)]) -> Vec<Violation> {
-        let owned: Vec<(PathBuf, String)> =
-            files.iter().map(|(p, s)| (PathBuf::from(p), s.to_string())).collect();
-        lint_files(&owned)
-    }
-
-    fn rules(v: &[Violation]) -> Vec<&'static str> {
-        v.iter().map(|x| x.rule).collect()
-    }
-
-    #[test]
-    fn raw_atomic_import_is_flagged_outside_the_facade() {
-        let v = lint(&[(
-            "crates/bc/src/parallel/rogue.rs",
-            "use std::sync::atomic::{AtomicU32, Ordering};\n",
-        )]);
-        assert_eq!(rules(&v), ["raw-atomic-import"]);
-        assert_eq!(v[0].line, 1);
-    }
-
-    #[test]
-    fn both_facades_may_use_raw_atomics() {
-        let v = lint(&[
-            ("crates/bc/src/sync/mod.rs", "pub use core::sync::atomic::Ordering;\n"),
-            ("crates/graph/src/sync.rs", "pub use core::sync::atomic::AtomicU32;\n"),
-        ]);
-        assert!(v.is_empty(), "{v:?}", v = rules(&v));
-    }
-
-    #[test]
-    fn graph_traversals_are_no_longer_grandfathered() {
-        let v = lint(&[
-            ("crates/graph/src/traversal/parallel.rs", "use std::sync::atomic::AtomicU32;\n"),
-            (
-                "crates/graph/src/traversal/direction_optimizing.rs",
-                "use std::sync::atomic::AtomicU64;\n",
-            ),
-        ]);
-        assert_eq!(rules(&v), ["raw-atomic-import", "raw-atomic-import"]);
-    }
-
-    #[test]
-    fn atomic_mention_in_comment_or_string_is_ignored() {
-        let v = lint(&[(
-            "crates/bc/src/lib.rs",
-            "// use std::sync::atomic — banned, see facade\nlet m = \"std::sync::atomic\";\n",
-        )]);
-        assert!(v.is_empty(), "{v:?}", v = rules(&v));
-    }
-
-    #[test]
-    fn seqcst_and_acqrel_creep_are_flagged() {
-        let v = lint(&[(
-            "crates/bc/src/parallel/mod.rs",
-            "a.load(Ordering::SeqCst);\nb.store(1, Ordering::AcqRel);\n",
-        )]);
-        assert_eq!(rules(&v), ["ordering-creep", "ordering-creep"]);
-        assert_eq!((v[0].line, v[1].line), (1, 2));
-    }
-
-    #[test]
-    fn seqcst_inside_the_facade_is_allowed() {
-        let v = lint(&[(
-            "crates/bc/src/sync/model.rs",
-            "self.0.load(std_atomic::Ordering::SeqCst);\n",
-        )]);
-        assert!(v.is_empty(), "{v:?}", v = rules(&v));
-    }
-
-    #[test]
-    fn naked_accumulation_inside_par_iter_is_flagged() {
-        let src = "\
-fn score(bc: &mut [f64]) {
-    idx.par_iter().for_each(|&w| {
-        bc[w] += delta[w];
-    });
-}
-";
-        let v = lint(&[("crates/bc/src/parallel/rogue.rs", src)]);
-        assert_eq!(rules(&v), ["naked-par-accum"]);
-        assert_eq!(v[0].line, 3);
-    }
-
-    #[test]
-    fn par_accum_escape_hatch_and_serial_code_are_clean() {
-        let src = "\
-fn ok(bc: &mut [f64]) {
-    for w in 0..n {
-        bc[w] += delta[w];
-    }
-    idx.par_iter().for_each(|&w| {
-        sigma[w].fetch_add(1.0);
-        acc[w] += 1.0; // safe: disjoint per-thread rows; lint:allow(par_accum)
-    });
-}
-";
-        let v = lint(&[("crates/bc/src/parallel/fine.rs", src)]);
-        assert!(v.is_empty(), "{v:?}", v = rules(&v));
-    }
-
-    #[test]
-    fn kernel_without_serial_comparison_test_is_flagged() {
-        let v = lint(&[
-            (
-                "crates/bc/src/parallel/rogue.rs",
-                "pub fn bc_rogue(g: &Graph) -> Vec<f64> { vec![] }\n",
-            ),
-            (
-                "crates/bc/tests/other.rs",
-                "#[test]\nfn unrelated() { bc_lock_free(); matches_serial(); }\n",
-            ),
-        ]);
-        assert_eq!(rules(&v), ["kernel-missing-serial-test"]);
-        assert!(v[0].message.contains("bc_rogue"));
-    }
-
-    #[test]
-    fn kernel_with_matches_serial_coverage_is_clean() {
-        let v = lint(&[
-            (
-                "crates/bc/src/parallel/fine.rs",
-                "pub fn bc_fine(g: &Graph) -> Vec<f64> { vec![] }\n",
-            ),
-            (
-                "crates/bc/tests/kernels.rs",
-                "#[test]\nfn fine_matches() { matches_serial(bc_fine); }\n",
-            ),
-        ]);
-        assert!(v.is_empty(), "{v:?}", v = rules(&v));
-    }
-
-    #[test]
-    fn dynamic_crate_kernels_carry_the_serial_obligation() {
-        let v = lint(&[(
-            "crates/dynamic/src/engine.rs",
-            "pub fn bc_dynamic(g: &Graph) -> Vec<f64> { vec![] }\n",
-        )]);
-        assert_eq!(rules(&v), ["kernel-missing-serial-test"]);
-        assert!(v[0].message.contains("bc_dynamic"));
-        let v = lint(&[
-            (
-                "crates/dynamic/src/engine.rs",
-                "pub fn bc_dynamic(g: &Graph) -> Vec<f64> { vec![] }\n",
-            ),
-            (
-                "crates/dynamic/tests/proptest_dynamic.rs",
-                "#[test]\nfn t() { assert_eq!(bc_dynamic(&g), bc_serial(&g)); }\n",
-            ),
-        ]);
-        assert!(v.is_empty(), "{v:?}", v = rules(&v));
-    }
-
-    #[test]
-    fn serve_unwrap_is_flagged_outside_tests_only() {
-        let src = "\
-fn handler(stream: TcpStream) {
-    let peer = stream.peer_addr().unwrap();
-    let n = reader.read_line(&mut line).expect(\"read\");
-}
-#[cfg(test)]
-mod tests {
-    fn t() { parse().unwrap(); }
-}
-";
-        let v = lint(&[("crates/serve/src/server.rs", src)]);
-        assert_eq!(rules(&v), ["serve-socket-unwrap", "serve-socket-unwrap"]);
-        assert_eq!((v[0].line, v[1].line), (2, 3));
-    }
-
-    #[test]
-    fn serve_unwrap_escape_hatch_and_other_crates_are_clean() {
-        let v = lint(&[
-            (
-                "crates/serve/src/server.rs",
-                "fn f() { addr.parse().unwrap(); // startup-only; lint:allow(serve_unwrap)\n}\n",
-            ),
-            ("crates/serve/tests/service.rs", "fn t() { http(addr).unwrap(); }\n"),
-            ("crates/bc/src/lib.rs", "fn g() { x.unwrap(); }\n"),
-        ]);
-        assert!(v.is_empty(), "{v:?}", v = rules(&v));
-    }
-
-    #[test]
-    fn serve_unwrap_ignores_unwrap_or_variants_and_comments() {
-        let v = lint(&[(
-            "crates/serve/src/http.rs",
-            "// never .unwrap() here\nfn f() { let x = opt.unwrap_or_default(); y.unwrap_or(0); }\n",
-        )]);
-        assert!(v.is_empty(), "{v:?}", v = rules(&v));
-    }
-
-    #[test]
-    fn serial_oracle_itself_is_exempt_and_prefixes_do_not_leak() {
-        let v = lint(&[
-            (
-                "crates/bc/src/serial.rs",
-                "pub fn bc_serial(g: &Graph) -> Vec<f64> { vec![] }\n\
-                 pub fn bc_serial_pred(g: &Graph) -> Vec<f64> { vec![] }\n",
-            ),
-            // `bc_fine_grained` must not be satisfied by a test that only
-            // mentions `bc_fine` — word-boundary matching.
-            ("crates/bc/src/fine.rs", "pub fn bc_fine_grained(g: &Graph) -> Vec<f64> { vec![] }\n"),
-            ("crates/bc/tests/kernels.rs", "#[test]\nfn t() { matches_serial(bc_fine); }\n"),
-        ]);
-        assert_eq!(rules(&v), ["kernel-missing-serial-test"]);
-        assert!(v[0].message.contains("bc_fine_grained"));
+/// Single walk with suppression inheritance: `hot` means "inside a loop body
+/// or par-chain closure", `suppressed` means "an enclosing loop or chain
+/// carries `lint:allow(hot_index)` (on its header line or the line above)".
+/// A marked outer loop audits its whole nest — nested loops inherit the
+/// suppression, so one marker per loop nest is enough.
+fn r9_walk(
+    trees: &[Tree],
+    f: &FileIndex,
+    hot: bool,
+    suppressed: bool,
+    flagged: &mut HashSet<usize>,
+    out: &mut Vec<Finding>,
+) {
+    let allow_at = |line: usize| {
+        f.allowed(line, "hot_index") || f.allowed(line.saturating_sub(1), "hot_index")
+    };
+    let mut i = 0;
+    while i < trees.len() {
+        // `for`/`while`/`loop` … `{ body }`: the body (and everything under
+        // it) is hot; an allow marker on the keyword line suppresses it all.
+        let is_loop_kw =
+            trees[i].leaf().is_some_and(|t| matches!(t.text.as_str(), "for" | "while" | "loop"));
+        if is_loop_kw {
+            let kw_line = trees[i].line();
+            let body_at = trees[i + 1..]
+                .iter()
+                .position(|t| t.group().is_some_and(|g| g.delim == '{'))
+                .map(|off| i + 1 + off);
+            if let Some(bi) = body_at {
+                let supp = suppressed || allow_at(kw_line);
+                for header in &trees[i + 1..bi] {
+                    if let Tree::Group(g) = header {
+                        r9_walk(&g.trees, f, hot, suppressed, flagged, out);
+                    }
+                }
+                if let Tree::Group(g) = &trees[bi] {
+                    r9_walk(&g.trees, f, true, supp, flagged, out);
+                }
+                i = bi + 1;
+                continue;
+            }
+        }
+        // Par-chain entry (`par_for_each(…)` etc.): every argument group in
+        // the chain is the kernel's inner loop; the allow marker is honored
+        // on the entry line.
+        let is_entry = trees[i]
+            .leaf()
+            .is_some_and(|t| t.kind == Kind::Ident && PAR_ENTRYPOINTS.contains(&t.text.as_str()))
+            && matches!(&trees.get(i + 1), Some(Tree::Group(g)) if g.delim == '(');
+        if is_entry {
+            let supp = suppressed || allow_at(trees[i].line());
+            let mut j = i + 1;
+            while j < trees.len() {
+                match &trees[j] {
+                    Tree::Group(g) if g.delim == '(' => {
+                        r9_walk(&g.trees, f, true, supp, flagged, out);
+                        j += 1;
+                    }
+                    Tree::Leaf(l)
+                        if l.is_punct(".")
+                            || l.is_punct("::")
+                            || l.is_punct("?")
+                            || l.is_punct("<")
+                            || l.is_punct(">")
+                            || l.kind == Kind::Ident
+                            || l.kind == Kind::Lifetime =>
+                    {
+                        j += 1
+                    }
+                    _ => break,
+                }
+            }
+            i = j;
+            continue;
+        }
+        if let Tree::Group(g) = &trees[i] {
+            if g.delim == '['
+                && hot
+                && !suppressed
+                && i > 0
+                && trees[i - 1].leaf().is_some_and(|p| {
+                    p.kind == Kind::Ident && !NON_CALL_KEYWORDS.contains(&p.text.as_str())
+                })
+                && !g.trees.is_empty()
+                && !allow_at(g.open_line)
+                && flagged.insert(g.open_line)
+            {
+                push(
+                    out,
+                    f,
+                    g.open_line,
+                    "hot-loop-index",
+                    "bounds-checked `[]` in a hot kernel loop; use the audited \
+                     slice-window pattern (hoist `&mut ws.buf[..sg.n]` once) or \
+                     mark the loop `lint:allow(hot_index)` with the audit note"
+                        .into(),
+                );
+            }
+            r9_walk(&g.trees, f, hot, suppressed, flagged, out);
+        }
+        i += 1;
     }
 }

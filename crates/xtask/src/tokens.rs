@@ -1,0 +1,394 @@
+//! The token-level front end of the analyzer.
+//!
+//! [`tokenize`] turns Rust source into a flat, line-annotated token stream:
+//! identifiers, lifetimes, literals, and (joined) punctuation. Comments and
+//! literal *contents* never become tokens, so rules that match identifier
+//! sequences can never trip on prose or string payloads — the property the
+//! old scrubbing lexer provided, now structural instead of textual.
+//!
+//! The lexer also harvests `lint:allow(tag)` escape markers out of comments
+//! (with the line they appear on), since the comments themselves are
+//! discarded.
+//!
+//! This is a tokenizer, not a parser: it understands nested block comments,
+//! raw/byte strings with `#` fences, escapes, numeric literals with suffixes,
+//! and the char-literal/lifetime ambiguity. Balancing delimiters into trees
+//! is [`crate::tree`]'s job.
+
+/// Token classification. `Str` covers string/byte-string literals, `Char`
+/// char/byte literals; their payloads are deliberately *not* retained.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Kind {
+    /// Identifier or keyword.
+    Ident,
+    /// `'a`, `'static` — the quote plus the name.
+    Lifetime,
+    /// Numeric literal, suffix included (`1_000u64`, `0x1F`, `2.5e-3`).
+    Num,
+    /// String or byte-string literal (payload dropped).
+    Str,
+    /// Char or byte literal (payload dropped).
+    Char,
+    /// Punctuation; multi-char operators (`::`, `+=`, `->`, …) are joined.
+    Punct,
+}
+
+/// One token with its 1-based source line.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// Classification.
+    pub kind: Kind,
+    /// Token text. Empty for `Str`/`Char` (payloads are dropped).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: usize,
+}
+
+impl Tok {
+    /// True when this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == Kind::Ident && self.text == s
+    }
+
+    /// True when this token is the punctuation `s`.
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == Kind::Punct && self.text == s
+    }
+}
+
+/// Tokenizer output: the stream plus every `lint:allow(tag)` marker found in
+/// comment text, as `(line, tag)` pairs.
+pub struct Lexed {
+    /// The token stream in source order.
+    pub toks: Vec<Tok>,
+    /// `lint:allow(tag)` markers harvested from comments.
+    pub allows: Vec<(usize, String)>,
+}
+
+impl Lexed {
+    /// True when line `line` (1-based) carries a `lint:allow(tag)` marker.
+    pub fn allowed(&self, line: usize, tag: &str) -> bool {
+        self.allows.iter().any(|(l, t)| *l == line && t == tag)
+    }
+}
+
+/// Multi-char operators, longest first so greedy joining is correct.
+const JOINED: &[&str] = &[
+    "..=", "<<=", ">>=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "..", "+=",
+    "-=", "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>",
+];
+
+/// Tokenizes `src`. Invalid UTF-8 cannot occur (input is `&str`); bytes
+/// ≥ 0x80 are treated as identifier constituents, which is correct for every
+/// identifier this workspace contains and harmless otherwise.
+pub fn tokenize(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut allows = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            _ if c.is_ascii_whitespace() => i += 1,
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                harvest_allows(&src[start..i], line, &mut allows);
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                let mut depth = 0usize;
+                let mut seg_start = i;
+                let mut seg_line = line;
+                while i < b.len() {
+                    if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else if b[i] == b'\n' {
+                        harvest_allows(&src[seg_start..i], seg_line, &mut allows);
+                        line += 1;
+                        i += 1;
+                        seg_start = i;
+                        seg_line = line;
+                    } else {
+                        i += 1;
+                    }
+                }
+                harvest_allows(&src[seg_start..i.min(b.len())], seg_line, &mut allows);
+            }
+            b'"' => {
+                let tline = line;
+                i += 1;
+                skip_string(b, &mut i, &mut line, 0);
+                toks.push(Tok { kind: Kind::Str, text: String::new(), line: tline });
+            }
+            b'r' | b'b' if !prev_is_ident(b, i) => {
+                if let Some((hashes, start)) = raw_string_prefix(b, i) {
+                    let tline = line;
+                    i = start + 1;
+                    skip_string(b, &mut i, &mut line, hashes + 1);
+                    toks.push(Tok { kind: Kind::Str, text: String::new(), line: tline });
+                } else if c == b'b' && b.get(i + 1) == Some(&b'"') {
+                    let tline = line;
+                    i += 2;
+                    skip_string(b, &mut i, &mut line, 0);
+                    toks.push(Tok { kind: Kind::Str, text: String::new(), line: tline });
+                } else if c == b'b' && b.get(i + 1) == Some(&b'\'') {
+                    let tline = line;
+                    i += 2;
+                    skip_char(b, &mut i, &mut line);
+                    toks.push(Tok { kind: Kind::Char, text: String::new(), line: tline });
+                } else {
+                    lex_ident(src, b, &mut i, line, &mut toks);
+                }
+            }
+            b'\'' => {
+                // Char literal or lifetime: `'\…'` and `'x'` (incl. multibyte
+                // after the quote) are literals, anything else a lifetime.
+                if b.get(i + 1) == Some(&b'\\')
+                    || b.get(i + 2) == Some(&b'\'')
+                    || b.get(i + 1).is_some_and(|c| !c.is_ascii())
+                {
+                    let tline = line;
+                    i += 1;
+                    skip_char(b, &mut i, &mut line);
+                    toks.push(Tok { kind: Kind::Char, text: String::new(), line: tline });
+                } else {
+                    let start = i;
+                    i += 1;
+                    while i < b.len() && is_ident_byte(b[i]) {
+                        i += 1;
+                    }
+                    toks.push(Tok { kind: Kind::Lifetime, text: src[start..i].to_string(), line });
+                }
+            }
+            _ if c.is_ascii_digit() => {
+                let start = i;
+                while i < b.len() {
+                    let d = b[i];
+                    if is_ident_byte(d) {
+                        i += 1;
+                    } else if d == b'.'
+                        && b.get(i + 1).is_some_and(u8::is_ascii_digit)
+                        && !src[start..i].contains('.')
+                    {
+                        // One fractional dot, only when a digit follows —
+                        // `0..n` and `x.0.1` stay three tokens.
+                        i += 1;
+                    } else if (d == b'+' || d == b'-')
+                        && matches!(b.get(i.wrapping_sub(1)), Some(b'e') | Some(b'E'))
+                        && src[start..i].contains('.')
+                    {
+                        // Signed float exponent (`2.5e-3`).
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                toks.push(Tok { kind: Kind::Num, text: src[start..i].to_string(), line });
+            }
+            _ if is_ident_byte(c) => lex_ident(src, b, &mut i, line, &mut toks),
+            _ => {
+                let joined = JOINED
+                    .iter()
+                    .find(|op| b[i..].starts_with(op.as_bytes()))
+                    .copied()
+                    .unwrap_or(&src[i..i + 1]);
+                toks.push(Tok { kind: Kind::Punct, text: joined.to_string(), line });
+                i += joined.len();
+            }
+        }
+    }
+    Lexed { toks, allows }
+}
+
+fn lex_ident(src: &str, b: &[u8], i: &mut usize, line: usize, toks: &mut Vec<Tok>) {
+    let start = *i;
+    while *i < b.len() && is_ident_byte(b[*i]) {
+        *i += 1;
+    }
+    toks.push(Tok { kind: Kind::Ident, text: src[start..*i].to_string(), line });
+}
+
+fn is_ident_byte(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_' || !c.is_ascii()
+}
+
+fn prev_is_ident(b: &[u8], i: usize) -> bool {
+    i > 0 && is_ident_byte(b[i - 1])
+}
+
+/// If `b[i..]` starts a raw (byte) string (`r"`, `r#"`, `br##"` …), returns
+/// `(hash_count, index_of_opening_quote)`.
+fn raw_string_prefix(b: &[u8], i: usize) -> Option<(usize, usize)> {
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    if b.get(j) != Some(&b'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0;
+    while b.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    (b.get(j) == Some(&b'"')).then_some((hashes, j))
+}
+
+/// Skips a string body starting just past the opening quote. `fence` is 0
+/// for an escaped string, `hashes + 1` for a raw string (so 1 means `r"…"`).
+fn skip_string(b: &[u8], i: &mut usize, line: &mut usize, fence: usize) {
+    let (raw, hashes) = if fence == 0 { (false, 0) } else { (true, fence - 1) };
+    while *i < b.len() {
+        let c = b[*i];
+        if c == b'\n' {
+            *line += 1;
+            *i += 1;
+        } else if !raw && c == b'\\' {
+            *i += 1;
+            if b.get(*i) == Some(&b'\n') {
+                *line += 1;
+            }
+            *i += 1;
+        } else if c == b'"' && (0..hashes).all(|k| b.get(*i + 1 + k) == Some(&b'#')) {
+            *i += 1 + hashes;
+            return;
+        } else {
+            *i += 1;
+        }
+    }
+}
+
+/// Skips a char-literal body starting just past the opening quote.
+fn skip_char(b: &[u8], i: &mut usize, line: &mut usize) {
+    while *i < b.len() {
+        match b[*i] {
+            b'\\' => *i += 2,
+            b'\'' => {
+                *i += 1;
+                return;
+            }
+            b'\n' => {
+                *line += 1;
+                *i += 1;
+            }
+            _ => *i += 1,
+        }
+    }
+}
+
+/// Records every `lint:allow(tag)` occurrence inside one comment segment.
+fn harvest_allows(comment: &str, line: usize, out: &mut Vec<(usize, String)>) {
+    let mut from = 0;
+    while let Some(off) = comment[from..].find("lint:allow(") {
+        let start = from + off + "lint:allow(".len();
+        let Some(end) = comment[start..].find(')') else { return };
+        out.push((line, comment[start..start + end].trim().to_string()));
+        from = start + end;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        tokenize(src)
+            .toks
+            .iter()
+            .filter(|t| t.kind == Kind::Ident)
+            .map(|t| t.text.clone())
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_yield_no_idents() {
+        let src = "let x = 1; // std::sync::atomic\nlet m = \"SeqCst\"; /* AcqRel */\n";
+        let ids = idents(src);
+        assert_eq!(ids, ["let", "x", "let", "m"]);
+    }
+
+    #[test]
+    fn nested_block_comments_and_lines() {
+        let lx = tokenize("a /* one /* two\n */ SeqCst */ b");
+        assert_eq!(lx.toks.len(), 2);
+        assert_eq!((lx.toks[0].text.as_str(), lx.toks[0].line), ("a", 1));
+        assert_eq!((lx.toks[1].text.as_str(), lx.toks[1].line), ("b", 2));
+    }
+
+    #[test]
+    fn raw_strings_with_fences_are_single_tokens() {
+        let src = r##"let r = r#"AcqRel "quoted""#; code();"##;
+        let lx = tokenize(src);
+        assert!(lx.toks.iter().any(|t| t.kind == Kind::Str));
+        assert!(lx.toks.iter().any(|t| t.is_ident("code")));
+        assert!(!lx.toks.iter().any(|t| t.text.contains("AcqRel")));
+    }
+
+    #[test]
+    fn escaped_quote_does_not_end_string() {
+        let lx = tokenize(r#"f("a\"SeqCst"); g();"#);
+        assert!(lx.toks.iter().any(|t| t.is_ident("g")));
+        assert!(!lx.toks.iter().any(|t| t.text.contains("SeqCst")));
+    }
+
+    #[test]
+    fn lifetimes_and_char_literals_disambiguate() {
+        let lx = tokenize("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes: Vec<_> =
+            lx.toks.iter().filter(|t| t.kind == Kind::Lifetime).map(|t| &t.text).collect();
+        assert_eq!(lifetimes, ["'a", "'a"]);
+        assert_eq!(lx.toks.iter().filter(|t| t.kind == Kind::Char).count(), 2);
+    }
+
+    #[test]
+    fn numbers_ranges_and_suffixes() {
+        let lx = tokenize("for i in 0..n { let x = 1_000u64 + 2.5e-3; a[i.wrapping_sub(1)]; }");
+        let nums: Vec<_> =
+            lx.toks.iter().filter(|t| t.kind == Kind::Num).map(|t| &t.text).collect();
+        assert_eq!(nums, ["0", "1_000u64", "2.5e-3", "1"]);
+        assert!(lx.toks.iter().any(|t| t.is_punct("..")));
+    }
+
+    #[test]
+    fn joined_puncts() {
+        let lx = tokenize("a += b; c::d(); x -> y; p..=q; s <<= 2;");
+        let ops: Vec<_> = lx
+            .toks
+            .iter()
+            .filter(|t| t.kind == Kind::Punct && t.text.len() > 1)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(ops, ["+=", "::", "->", "..=", "<<="]);
+    }
+
+    #[test]
+    fn allow_markers_are_harvested_with_lines() {
+        let src = "a(); // safe: disjoint rows; lint:allow(par_accum)\nb();\n/* startup only\n   lint:allow(serve_unwrap) */\n";
+        let lx = tokenize(src);
+        assert!(lx.allowed(1, "par_accum"));
+        assert!(lx.allowed(4, "serve_unwrap"));
+        assert!(!lx.allowed(2, "par_accum"));
+    }
+
+    #[test]
+    fn multiline_strings_keep_line_numbers() {
+        let lx = tokenize("let s = \"one\ntwo\nthree\";\nnext();");
+        let next = lx.toks.iter().find(|t| t.is_ident("next")).unwrap();
+        assert_eq!(next.line, 4);
+    }
+}

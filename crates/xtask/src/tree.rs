@@ -1,0 +1,191 @@
+//! Balanced-delimiter token trees over the [`crate::tokens`] stream.
+//!
+//! A [`Tree`] is either a leaf token or a [`Group`] — the contents of one
+//! `(…)`, `[…]`, or `{…}` with its open/close lines. Rules walk trees
+//! instead of counting braces in text, which removes the old engine's
+//! whole false-positive class around braces in strings, nested closures,
+//! and multi-line expressions.
+//!
+//! The parser is tolerant: a stray closer is dropped, unclosed groups are
+//! closed at end of input. Lint input is always real (compiling) code, so
+//! tolerance only matters for fixture snippets and mid-edit runs.
+
+use crate::tokens::{Kind, Tok};
+
+/// One node of the token tree.
+#[derive(Clone, Debug)]
+pub enum Tree {
+    /// A non-delimiter token.
+    Leaf(Tok),
+    /// A delimited group and its contents.
+    Group(Group),
+}
+
+/// The contents of one balanced `(…)`, `[…]`, or `{…}`.
+#[derive(Clone, Debug)]
+pub struct Group {
+    /// Opening delimiter: `(`, `[`, or `{`.
+    pub delim: char,
+    /// 1-based line of the opening delimiter.
+    pub open_line: usize,
+    /// 1-based line of the closing delimiter (end of input if unclosed).
+    pub close_line: usize,
+    /// Child trees in source order.
+    pub trees: Vec<Tree>,
+}
+
+impl Tree {
+    /// The leaf token, if this node is one.
+    pub fn leaf(&self) -> Option<&Tok> {
+        match self {
+            Tree::Leaf(t) => Some(t),
+            Tree::Group(_) => None,
+        }
+    }
+
+    /// The group, if this node is one.
+    pub fn group(&self) -> Option<&Group> {
+        match self {
+            Tree::Leaf(_) => None,
+            Tree::Group(g) => Some(g),
+        }
+    }
+
+    /// The 1-based line this node starts on.
+    pub fn line(&self) -> usize {
+        match self {
+            Tree::Leaf(t) => t.line,
+            Tree::Group(g) => g.open_line,
+        }
+    }
+
+    /// True when this node is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.leaf().is_some_and(|t| t.is_ident(s))
+    }
+
+    /// True when this node is the punctuation `s`.
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.leaf().is_some_and(|t| t.is_punct(s))
+    }
+}
+
+/// Parses a token stream into a forest of trees.
+pub fn parse(toks: &[Tok]) -> Vec<Tree> {
+    // Stack of open groups; the bottom entry collects the root forest.
+    let mut stack: Vec<(char, usize, Vec<Tree>)> = vec![('\0', 0, Vec::new())];
+    for t in toks {
+        let is_delim = t.kind == Kind::Punct && t.text.len() == 1;
+        match (is_delim, t.text.as_str()) {
+            (true, "(" | "[" | "{") => {
+                stack.push((t.text.chars().next().expect("one char"), t.line, Vec::new()));
+            }
+            (true, ")" | "]" | "}") => {
+                let want = match t.text.as_str() {
+                    ")" => '(',
+                    "]" => '[',
+                    _ => '{',
+                };
+                if stack.len() > 1 && stack.last().is_some_and(|(d, _, _)| *d == want) {
+                    let (delim, open_line, trees) = stack.pop().expect("non-empty stack");
+                    let group = Group { delim, open_line, close_line: t.line, trees };
+                    stack.last_mut().expect("root frame").2.push(Tree::Group(group));
+                }
+                // Mismatched or stray closer: drop it (tolerant parse).
+            }
+            _ => stack.last_mut().expect("root frame").2.push(Tree::Leaf(t.clone())),
+        }
+    }
+    // Close any unterminated groups at end of input.
+    while stack.len() > 1 {
+        let (delim, open_line, trees) = stack.pop().expect("len checked");
+        let close_line = trees.last().map_or(open_line, Tree::line);
+        let group = Group { delim, open_line, close_line, trees };
+        stack.last_mut().expect("root frame").2.push(Tree::Group(group));
+    }
+    stack.pop().expect("root frame").2
+}
+
+/// Depth-first walk over every node of a forest, groups included (the
+/// callback sees each group before its children).
+pub fn walk<'a>(trees: &'a [Tree], f: &mut impl FnMut(&'a Tree)) {
+    for t in trees {
+        f(t);
+        if let Tree::Group(g) = t {
+            walk(&g.trees, f);
+        }
+    }
+}
+
+/// Flattens a forest back into leaf tokens in source order, with synthetic
+/// delimiter tokens — handy for signature matching.
+pub fn flatten(trees: &[Tree]) -> Vec<Tok> {
+    let mut out = Vec::new();
+    fn go(trees: &[Tree], out: &mut Vec<Tok>) {
+        for t in trees {
+            match t {
+                Tree::Leaf(tok) => out.push(tok.clone()),
+                Tree::Group(g) => {
+                    out.push(Tok {
+                        kind: Kind::Punct,
+                        text: g.delim.to_string(),
+                        line: g.open_line,
+                    });
+                    go(&g.trees, out);
+                    let close = match g.delim {
+                        '(' => ")",
+                        '[' => "]",
+                        _ => "}",
+                    };
+                    out.push(Tok { kind: Kind::Punct, text: close.into(), line: g.close_line });
+                }
+            }
+        }
+    }
+    go(trees, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokens::tokenize;
+
+    fn forest(src: &str) -> Vec<Tree> {
+        parse(&tokenize(src).toks)
+    }
+
+    #[test]
+    fn nesting_and_lines() {
+        let f = forest("fn f() {\n    a(b[c]);\n}\n");
+        // fn, f, (), {}
+        assert_eq!(f.len(), 4);
+        let body = f[3].group().expect("body group");
+        assert_eq!((body.delim, body.open_line, body.close_line), ('{', 1, 3));
+        let call = body.trees[1].group().expect("call args");
+        assert_eq!(call.delim, '(');
+        assert_eq!(call.trees[1].group().expect("index").delim, '[');
+    }
+
+    #[test]
+    fn braces_inside_strings_do_not_unbalance() {
+        let f = forest("let s = \"{ not a block\"; g();");
+        assert!(f.iter().any(|t| t.is_ident("g")));
+        assert_eq!(f.iter().filter(|t| t.group().is_some()).count(), 1);
+    }
+
+    #[test]
+    fn tolerant_of_unbalanced_input() {
+        let f = forest("fn f() { a(;"); // unclosed paren and brace
+        assert!(!f.is_empty());
+        let f = forest("} stray");
+        assert!(f.iter().any(|t| t.is_ident("stray")));
+    }
+
+    #[test]
+    fn flatten_round_trips_delimiters() {
+        let toks = flatten(&forest("a(b) { c[d] }"));
+        let texts: Vec<_> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, ["a", "(", "b", ")", "{", "c", "[", "d", "]", "}"]);
+    }
+}

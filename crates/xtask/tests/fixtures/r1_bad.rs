@@ -1,0 +1,8 @@
+//!path crates/bc/src/apgre/fixture.rs
+// R1 bad: raw atomic import outside the sync facade.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn count(x: &AtomicUsize) -> usize {
+    x.load(Ordering::Relaxed)
+}

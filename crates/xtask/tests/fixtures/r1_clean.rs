@@ -1,0 +1,8 @@
+//!path crates/bc/src/apgre/fixture.rs
+// R1 clean: atomics come through the facade.
+
+use crate::sync::{AtomicUsize, Ordering};
+
+pub fn count(x: &AtomicUsize) -> usize {
+    x.load(Ordering::Relaxed)
+}

@@ -1,0 +1,8 @@
+//!path crates/bc/src/apgre/fixture.rs
+// R2 bad: SeqCst outside the facade papers over a missing ordering argument.
+
+use crate::sync::{AtomicUsize, Ordering};
+
+pub fn bump(x: &AtomicUsize) {
+    x.store(1, Ordering::SeqCst);
+}

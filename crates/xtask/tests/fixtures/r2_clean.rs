@@ -1,0 +1,8 @@
+//!path crates/bc/src/apgre/fixture.rs
+// R2 clean: Relaxed is the documented ordering for kernel state.
+
+use crate::sync::{AtomicUsize, Ordering};
+
+pub fn bump(x: &AtomicUsize) {
+    x.store(1, Ordering::Relaxed);
+}

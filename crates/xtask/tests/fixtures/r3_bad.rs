@@ -1,0 +1,11 @@
+//!path crates/bc/src/apgre/fixture.rs
+// R3 bad: compound assignment through `[]` inside a par_iter closure is an
+// unsynchronized read-modify-write on the shared slice.
+
+use rayon::prelude::*;
+
+pub fn accumulate(bc: &mut [f64], contributions: &[(usize, f64)]) {
+    contributions.par_iter().for_each(|&(v, x)| {
+        bc[v] += x;
+    });
+}

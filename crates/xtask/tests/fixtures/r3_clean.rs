@@ -1,0 +1,11 @@
+//!path crates/bc/src/apgre/fixture.rs
+// R3 clean: the shared cells are atomic; fetch_add is a synchronized RMW.
+
+use crate::sync::AtomicF64;
+use rayon::prelude::*;
+
+pub fn accumulate(bc: &[AtomicF64], contributions: &[(usize, f64)]) {
+    contributions.par_iter().for_each(|&(v, x)| {
+        bc[v].fetch_add(x);
+    });
+}

@@ -1,0 +1,6 @@
+//!path crates/bc/src/fixture.rs
+// R4 bad: a public bc_* kernel with no test pinning it to the serial oracle.
+
+pub fn bc_fixture_kernel(n: usize) -> Vec<f64> {
+    vec![0.0; n]
+}

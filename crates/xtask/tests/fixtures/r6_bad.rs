@@ -1,0 +1,12 @@
+//!path crates/serve/src/fixture.rs
+// R6 bad: the stats lock guard is live across socket I/O — every other
+// request handler queues behind this peer's socket latency.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Mutex;
+
+pub fn report(stats: &Mutex<Vec<u8>>, stream: &mut TcpStream) {
+    let guard = stats.lock().unwrap_or_else(|p| p.into_inner());
+    let _ = stream.write_all(&guard);
+}

@@ -1,0 +1,14 @@
+//!path crates/serve/src/fixture.rs
+// R6 clean: copy what the response needs out of the guard and drop it
+// before touching the socket.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Mutex;
+
+pub fn report(stats: &Mutex<Vec<u8>>, stream: &mut TcpStream) {
+    let guard = stats.lock().unwrap_or_else(|p| p.into_inner());
+    let body = guard.clone();
+    drop(guard);
+    let _ = stream.write_all(&body);
+}

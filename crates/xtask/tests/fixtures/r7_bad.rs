@@ -1,0 +1,13 @@
+//!path crates/bc/src/apgre/fixture.rs
+// R7 bad: a Release ordering on the claim side — the protocol says claims
+// are Relaxed (the fork-join barrier publishes, not the claim itself).
+
+use crate::sync::{AtomicUsize, Ordering};
+
+fn bc_fixture_entry(counter: &AtomicUsize) -> usize {
+    claim(counter)
+}
+
+fn claim(counter: &AtomicUsize) -> usize {
+    counter.fetch_add(1, Ordering::Release)
+}

@@ -1,0 +1,12 @@
+//!path crates/bc/src/apgre/fixture.rs
+// R7 clean: claims are Relaxed, exactly as the protocol table permits.
+
+use crate::sync::{AtomicUsize, Ordering};
+
+fn bc_fixture_entry(counter: &AtomicUsize) -> usize {
+    claim(counter)
+}
+
+fn claim(counter: &AtomicUsize) -> usize {
+    counter.fetch_add(1, Ordering::Relaxed)
+}

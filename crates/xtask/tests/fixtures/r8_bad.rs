@@ -1,0 +1,17 @@
+//!path crates/serve/src/fixture.rs
+// R8 bad: the spawned worker reaches an unguarded `[]` through one call hop
+// — a malformed frame kills the worker thread.
+
+pub fn start(frames: Vec<Vec<u8>>) {
+    std::thread::spawn(move || worker(frames));
+}
+
+fn worker(frames: Vec<Vec<u8>>) {
+    for frame in &frames {
+        let _ = opcode(frame);
+    }
+}
+
+fn opcode(frame: &[u8]) -> u8 {
+    frame[9]
+}

@@ -1,0 +1,17 @@
+//!path crates/serve/src/fixture.rs
+// R8 clean: the short-frame case has an explicit fallback instead of a
+// reachable panic.
+
+pub fn start(frames: Vec<Vec<u8>>) {
+    std::thread::spawn(move || worker(frames));
+}
+
+fn worker(frames: Vec<Vec<u8>>) {
+    for frame in &frames {
+        let _ = opcode(frame);
+    }
+}
+
+fn opcode(frame: &[u8]) -> u8 {
+    frame.get(9).copied().unwrap_or(0)
+}

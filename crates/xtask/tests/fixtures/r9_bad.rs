@@ -1,0 +1,8 @@
+//!path crates/bc/src/apgre/fixture.rs
+// R9 bad: bounds-checked indexing in a hot kernel loop with no audit marker.
+
+pub fn sweep_root_fixture(dist: &mut [u32], order: &[u32]) {
+    for &v in order {
+        dist[v as usize] = 0;
+    }
+}

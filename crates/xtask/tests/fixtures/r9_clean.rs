@@ -1,0 +1,11 @@
+//!path crates/bc/src/apgre/fixture.rs
+// R9 clean: the loop carries the audit note; nested loops inherit it.
+
+pub fn sweep_root_fixture(dist: &mut [u32], starts: &[usize], order: &[u32]) {
+    // Audited: ids are compacted and < dist.len(). lint:allow(hot_index)
+    for &s in starts {
+        for &v in &order[s..] {
+            dist[v as usize] = 0;
+        }
+    }
+}
