@@ -16,7 +16,7 @@
 //! correctly invalidates every sub-graph that sees that count.
 
 use crate::apgre::kernel_for_memo;
-use apgre_decomp::{decompose, PartitionOptions, SubGraph};
+use apgre_decomp::{decompose, PartitionOptions};
 use apgre_graph::Graph;
 use std::collections::HashMap;
 
@@ -43,7 +43,7 @@ impl MemoizedBc {
         let decomp = decompose(g, &self.partition);
         let mut bc = vec![0.0f64; g.num_vertices()];
         for sg in &decomp.subgraphs {
-            let key = fingerprint(sg);
+            let key = sg.fingerprint();
             let local = match self.cache.get(&key) {
                 Some(cached) => {
                     self.hits += 1;
@@ -73,12 +73,6 @@ impl MemoizedBc {
     pub fn clear(&mut self) {
         self.cache.clear();
     }
-}
-
-/// FNV-1a over the kernel's exact input stream (now maintained on
-/// [`SubGraph`] itself so the incremental engine shares the same identity).
-fn fingerprint(sg: &SubGraph) -> u64 {
-    sg.fingerprint()
 }
 
 #[cfg(test)]
@@ -201,6 +195,65 @@ mod tests {
         // of other sub-graphs DO see the new vertex in α, so expect most to
         // re-sweep — this documents the conservative invalidation.
         assert!(memo.misses > before);
+    }
+
+    #[test]
+    fn fingerprint_separates_every_kernel_input() {
+        // `SubGraph::fingerprint` is the single canonical identity shared by
+        // the memo cache and the dynamic engine's carry-forward: any change
+        // to a kernel input must change the hash. Perturb each input
+        // dimension of one sub-graph and require pairwise-distinct hashes.
+        let g = generators::lollipop(5, 4);
+        let d = decompose(&g, &PartitionOptions::default());
+        let base = d.subgraphs.iter().find(|sg| sg.num_edges() > 2).expect("clique sub-graph");
+        let mut prints = vec![("base", base.fingerprint())];
+
+        let mut edge = base.clone();
+        let mut edges: Vec<(VertexId, VertexId)> = edge.graph.undirected_edges().collect();
+        edges.pop();
+        edge.graph = Graph::undirected_from_edges(edge.num_vertices(), &edges);
+        prints.push(("edge-removed", edge.fingerprint()));
+
+        let mut alpha = base.clone();
+        alpha.alpha[0] += 1;
+        prints.push(("alpha", alpha.fingerprint()));
+
+        let mut beta = base.clone();
+        beta.beta[0] += 1;
+        prints.push(("beta", beta.fingerprint()));
+
+        let mut gamma = base.clone();
+        gamma.gamma[0] += 1;
+        prints.push(("gamma", gamma.fingerprint()));
+
+        let mut boundary = base.clone();
+        boundary.is_boundary[0] = !boundary.is_boundary[0];
+        prints.push(("boundary", boundary.fingerprint()));
+
+        let mut whisker = base.clone();
+        whisker.is_whisker[0] = !whisker.is_whisker[0];
+        prints.push(("whisker", whisker.fingerprint()));
+
+        let mut roots = base.clone();
+        roots.roots.pop();
+        prints.push(("roots", roots.fingerprint()));
+
+        for i in 0..prints.len() {
+            for j in i + 1..prints.len() {
+                assert_ne!(
+                    prints[i].1, prints[j].1,
+                    "fingerprint collision between {} and {}",
+                    prints[i].0, prints[j].0
+                );
+            }
+        }
+        // And id/globals are excluded: relabeling alone must NOT change it.
+        let mut relabeled = base.clone();
+        relabeled.id += 17;
+        for v in &mut relabeled.globals {
+            *v += 1000;
+        }
+        assert_eq!(relabeled.fingerprint(), base.fingerprint());
     }
 
     #[test]

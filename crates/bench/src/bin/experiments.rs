@@ -32,6 +32,13 @@
 //!                        latency, and a bitwise checkpoint cross-check
 //!                        (writes the record committed as BENCH_PR4.json;
 //!                        `--smoke` shrinks the graph and window for CI)
+//!   bench-pr7            structural-path benchmark: incremental block-cut
+//!                        tree maintenance (region splice) vs the forced
+//!                        full-rebuild arm on whisker-tip bridge toggles,
+//!                        plus a mixed local + structural batch verified by
+//!                        the per-edit DynamicReport counters (writes the
+//!                        record committed as BENCH_PR7.json; `--smoke`
+//!                        shrinks the graph and batch count for CI)
 //!   all      everything above
 //! ```
 //!
@@ -121,6 +128,7 @@ fn main() {
         "bench-pr2" => bench_pr2(&opts, &mut json_out),
         "bench-pr3" => bench_pr3(&opts, &mut json_out),
         "bench-pr4" => bench_pr4(&opts, &mut json_out),
+        "bench-pr7" => bench_pr7(&opts, &mut json_out),
         "all" => {
             table1(&opts, &mut json_out);
             let m = measure_all(&opts);
@@ -140,6 +148,7 @@ fn main() {
             bench_pr2(&opts, &mut json_out);
             bench_pr3(&opts, &mut json_out);
             bench_pr4(&opts, &mut json_out);
+            bench_pr7(&opts, &mut json_out);
         }
         _ => usage(),
     }
@@ -153,7 +162,8 @@ fn main() {
 fn usage() -> ! {
     eprintln!(
         "usage: experiments <table1|table2|table3|table4|fig2|fig3|fig6|fig7|fig8|fig9|fig10|\
-         ablation-threshold|ablation-alphabeta|ablation-gamma|bench-pr2|bench-pr3|bench-pr4|all> \
+         ablation-threshold|ablation-alphabeta|ablation-gamma|bench-pr2|bench-pr3|bench-pr4|\
+         bench-pr7|all> \
          [--scale tiny|small|medium] [--threads N] [--json FILE] [--smoke]"
     );
     exit(2)
@@ -1137,6 +1147,337 @@ fn bench_pr3(opts: &Opts, json: &mut serde_json::Map<String, serde_json::Value>)
                  sub-graph's kernel, then refolds the per-sub-graph \
                  contributions; the structural batch shows the fingerprint \
                  carry-forward fallback cost for contrast.",
+                "Scores are cross-checked against a from-scratch APGRE run \
+                 before any time is reported (1e-9 relative).",
+            ],
+        }),
+    );
+}
+
+// --------------------------------------------------------------- bench-pr7
+
+/// PR-7 acceptance benchmark: incremental block-cut-tree maintenance (the
+/// region-splice path) against the forced full-rebuild arm on *structural*
+/// edit batches.
+///
+/// The edit stream toggles bridges between whisker-tip siblings — two
+/// degree-1 vertices hanging off the same non-top host — so every batch
+/// restructures the block-cut tree (two bridge blocks merge into a triangle
+/// and back) while the affected region stays tiny and far from the big top
+/// sub-graph. The old arm (`set_force_rebuild(true)`) pays a full
+/// `to_graph` + `decompose` + fingerprint sweep per batch; the new arm
+/// splices the region in place. Acceptance is a ≥ 5× mean speedup. A mixed
+/// batch (three community chords + one sibling bridge) then demonstrates
+/// per-edit splitting via the `DynamicReport` counters, and the engine's
+/// final scores are cross-checked against a from-scratch APGRE run before
+/// any number is reported.
+fn bench_pr7(opts: &Opts, json: &mut serde_json::Map<String, serde_json::Value>) {
+    use apgre_bench::observed_parallelism;
+    use apgre_dynamic::{BatchClass, DynamicBc, MutationBatch};
+    let threads = opts.threads.unwrap_or(4).max(4);
+    println!("\n=== bench-pr7: incremental block-cut tree maintenance vs forced rebuild ===\n");
+    let observed_threads = observed_parallelism(threads);
+    let parallel_execution = observed_threads > 1;
+    let measurement_mode = if parallel_execution {
+        "parallel-rayon"
+    } else {
+        "sequential-standin (rayon runs inline on one thread; NOT a parallel-speedup measurement)"
+    };
+    println!("execution: {observed_threads}/{threads} distinct worker threads observed");
+    let params = if opts.smoke {
+        apgre_graph::generators::WhiskeredCommunityParams {
+            core_vertices: 600,
+            core_attach: 3,
+            community_count: 22,
+            community_size: 40,
+            community_density: 1.8,
+            whiskers: 3_600,
+            seed: 4242,
+        }
+    } else {
+        apgre_graph::generators::WhiskeredCommunityParams {
+            core_vertices: 6000,
+            core_attach: 3,
+            community_count: 220,
+            community_size: 40,
+            community_density: 1.8,
+            whiskers: 36_000,
+            seed: 4242,
+        }
+    };
+    let g = apgre_graph::generators::whiskered_community(&params);
+    if !opts.smoke {
+        assert!(g.num_vertices() >= 50_000, "acceptance graph too small: {}", g.num_vertices());
+    }
+    println!(
+        "whiskered-community: {} vertices, {} edges, pool of {threads} workers{}",
+        g.num_vertices(),
+        g.num_edges(),
+        if opts.smoke { " [smoke]" } else { "" }
+    );
+
+    let bopts = ApgreOptions::default();
+    let (mut engine, seed_t) = with_threads(threads, || time(|| DynamicBc::new(&g, bopts.clone())));
+    let d = engine.decomposition();
+    println!(
+        "engine seeded in {} ({} sub-graphs, top {} vertices)",
+        fmt_secs(seed_t.as_secs_f64()),
+        d.num_subgraphs(),
+        d.subgraphs_by_size().first().map_or(0, |sg| sg.num_vertices()),
+    );
+
+    // ---- edit-site discovery (borrows `d`, so everything is copied out) ----
+    let top_index = (0..d.subgraphs.len())
+        .max_by_key(|&i| d.subgraphs[i].num_vertices())
+        .expect("non-empty decomposition");
+    // Vertex memberships: which sub-graph owns each vertex, and in how many
+    // sub-graphs it appears (boundary vertices appear in several).
+    let mut owner = vec![usize::MAX; g.num_vertices()];
+    let mut appearances = vec![0u32; g.num_vertices()];
+    for (i, sg) in d.subgraphs.iter().enumerate() {
+        for &gv in &sg.globals {
+            owner[gv as usize] = i;
+            appearances[gv as usize] += 1;
+        }
+    }
+    // Whisker-tip sibling pairs: two degree-1 vertices on the same host,
+    // where the host lives in exactly one non-top sub-graph. Toggling a
+    // tip--tip bridge restructures the block-cut tree (two bridge blocks
+    // fuse into one triangle block and split back) without ever dirtying
+    // the big top sub-graph.
+    let mut tips_by_host: std::collections::BTreeMap<u32, Vec<u32>> = Default::default();
+    for v in 0..g.num_vertices() as u32 {
+        let nbrs = g.out_neighbors(v);
+        if nbrs.len() == 1 {
+            tips_by_host.entry(nbrs[0]).or_default().push(v);
+        }
+    }
+    const WANT_PAIRS: usize = 10;
+    let pairs: Vec<(u32, u32)> = tips_by_host
+        .iter()
+        .filter(|(h, tips)| {
+            tips.len() >= 2 && appearances[**h as usize] == 1 && owner[**h as usize] != top_index
+        })
+        .map(|(_, tips)| (tips[0], tips[1]))
+        .take(WANT_PAIRS)
+        .collect();
+    assert!(pairs.len() >= 4, "only {} whisker-tip sibling pairs on non-top hosts", pairs.len());
+    println!(
+        "{} whisker-tip sibling pairs on non-top hosts (first: {} -- {})",
+        pairs.len(),
+        pairs[0].0,
+        pairs[0].1
+    );
+    // Three disjoint interior chords inside one non-top community sub-graph
+    // for the mixed batch, plus the sibling bridge above.
+    let chords: Vec<(u32, u32)> = (0..d.subgraphs.len())
+        .filter(|&i| i != top_index && d.subgraphs[i].num_vertices() >= 16)
+        .find_map(|i| {
+            let sg = &d.subgraphs[i];
+            let interior: Vec<u32> = (0..sg.num_vertices() as u32)
+                .filter(|&l| !sg.is_boundary[l as usize] && !sg.is_whisker[l as usize])
+                .collect();
+            let mut used = vec![false; sg.num_vertices()];
+            let mut found = Vec::new();
+            for (a, &lu) in interior.iter().enumerate() {
+                if used[lu as usize] {
+                    continue;
+                }
+                for &lv in &interior[a + 1..] {
+                    if !used[lv as usize] && !sg.graph.out_neighbors(lu).contains(&lv) {
+                        used[lu as usize] = true;
+                        used[lv as usize] = true;
+                        found.push((sg.globals[lu as usize], sg.globals[lv as usize]));
+                        break;
+                    }
+                }
+                if found.len() == 3 {
+                    break;
+                }
+            }
+            (found.len() == 3).then_some(found)
+        })
+        .expect("no community sub-graph with three disjoint interior chords");
+
+    let toggles = if opts.smoke { 6 } else { 20 };
+    let toggle_batch = |k: usize| {
+        let (u, v) = pairs[(k / 2) % pairs.len()];
+        if k.is_multiple_of(2) {
+            MutationBatch::new().add_edge(u, v)
+        } else {
+            MutationBatch::new().remove_edge(u, v)
+        }
+    };
+
+    // ---- old arm: every structural batch pays a full rebuild ----
+    engine.set_force_rebuild(true);
+    let mut old_times = Vec::with_capacity(toggles);
+    let mut rebuild_total = 0.0f64;
+    with_threads(threads, || {
+        for k in 0..toggles {
+            let report = engine.apply(&toggle_batch(k));
+            assert_eq!(
+                report.class,
+                BatchClass::Structural,
+                "old-arm batch {k} was not structural: {}",
+                report.reason
+            );
+            assert!(report.rebuilt, "old-arm batch {k} did not rebuild: {}", report.reason);
+            old_times.push(report.wall_clock.as_secs_f64());
+            rebuild_total += report.rebuild_time.as_secs_f64();
+        }
+    });
+    let old_mean = old_times.iter().sum::<f64>() / old_times.len() as f64;
+    println!(
+        "{toggles} forced-rebuild batches: mean {} per apply ({} in decompose/rebuild)",
+        fmt_secs(old_mean),
+        fmt_secs(rebuild_total / toggles as f64)
+    );
+
+    // ---- new arm: the maintainer splices the region in place ----
+    // The forced-rebuild arm left the block store stale, so the first apply
+    // after switching back is a one-off recovery rebuild; absorb it with a
+    // warm-up toggle pair before measuring.
+    engine.set_force_rebuild(false);
+    with_threads(threads, || {
+        let recovery = engine.apply(&toggle_batch(0));
+        assert!(recovery.rebuilt, "expected a one-off recovery rebuild, got: {}", recovery.reason);
+        let warm = engine.apply(&toggle_batch(1));
+        assert!(!warm.rebuilt, "warm-up batch still rebuilt: {}", warm.reason);
+    });
+    let mut new_times = Vec::with_capacity(toggles);
+    let mut maintain_total = 0.0f64;
+    let mut region_blocks_max = 0usize;
+    let mut spliced_subgraphs_max = 0usize;
+    with_threads(threads, || {
+        for k in 0..toggles {
+            let report = engine.apply(&toggle_batch(k));
+            assert_eq!(
+                report.class,
+                BatchClass::Structural,
+                "new-arm batch {k} was not structural: {}",
+                report.reason
+            );
+            assert!(!report.rebuilt, "new-arm batch {k} fell back to a rebuild: {}", report.reason);
+            new_times.push(report.wall_clock.as_secs_f64());
+            maintain_total += report.maintain_time.as_secs_f64();
+            region_blocks_max = region_blocks_max.max(report.region_blocks);
+            spliced_subgraphs_max = spliced_subgraphs_max.max(report.subgraphs_spliced);
+        }
+    });
+    let new_mean = new_times.iter().sum::<f64>() / new_times.len() as f64;
+    println!(
+        "{toggles} spliced batches: mean {} per apply ({} in maintenance, \
+         region <= {region_blocks_max} block(s), <= {spliced_subgraphs_max} sub-graph(s) spliced)",
+        fmt_secs(new_mean),
+        fmt_secs(maintain_total / toggles as f64)
+    );
+
+    // ---- mixed batch: per-edit splitting, verified by the counters ----
+    let (bu, bv) = pairs[pairs.len() - 1];
+    let mut mixed = MutationBatch::new();
+    for &(u, v) in &chords {
+        mixed = mixed.add_edge(u, v);
+    }
+    mixed = mixed.add_edge(bu, bv);
+    let mixed_report = with_threads(threads, || engine.apply(&mixed));
+    assert_eq!(mixed_report.class, BatchClass::Structural, "{}", mixed_report.reason);
+    assert!(!mixed_report.rebuilt, "mixed batch fell back to a rebuild: {}", mixed_report.reason);
+    assert_eq!(mixed_report.local_edits, 3, "chord adds should patch in place");
+    assert_eq!(mixed_report.structural_edits, 1, "the sibling bridge should splice");
+    println!(
+        "mixed batch (3 community chords + 1 sibling bridge): {} local + {} structural \
+         edit(s), {} dirty sub-graph(s), spliced in {}",
+        mixed_report.local_edits,
+        mixed_report.structural_edits,
+        mixed_report.dirty_subgraphs,
+        fmt_secs(mixed_report.wall_clock.as_secs_f64())
+    );
+    // Revert it so the cross-check runs on a graph with a known baseline.
+    let mut revert = MutationBatch::new();
+    for &(u, v) in &chords {
+        revert = revert.remove_edge(u, v);
+    }
+    revert = revert.remove_edge(bu, bv);
+    let revert_report = with_threads(threads, || engine.apply(&revert));
+    assert!(!revert_report.rebuilt, "revert batch rebuilt: {}", revert_report.reason);
+
+    // Cross-check before reporting any time: the maintained scores must match
+    // a from-scratch APGRE run on the final graph.
+    let current = engine.current_graph();
+    let (scratch, _) = with_threads(threads, || bc_apgre_with(&current, &bopts));
+    let scale = 1.0 + scratch.iter().cloned().fold(0.0f64, f64::max);
+    let max_diff =
+        engine.scores().iter().zip(&scratch).map(|(x, y)| (x - y).abs()).fold(0.0f64, f64::max);
+    assert!(max_diff <= 1e-9 * scale, "incremental diverged from scratch: max |Δ| = {max_diff:e}");
+    println!("cross-check vs from-scratch APGRE: max |Δ| = {max_diff:.1e}");
+
+    let speedup = old_mean / new_mean;
+    println!(
+        "structural apply, splice vs forced rebuild: {speedup:.1}x \
+         (acceptance: >= 5x, measured {})",
+        if parallel_execution { "with parallel rayon" } else { "on the sequential stand-in" }
+    );
+
+    json.insert(
+        "bench_pr7".into(),
+        json!({
+            "measurement_mode": measurement_mode,
+            "execution": {
+                "configured_threads": threads,
+                "observed_worker_threads": observed_threads,
+                "parallel": parallel_execution,
+            },
+            "graph": {
+                "family": "whiskered-community", "seed": 4242,
+                "vertices": g.num_vertices(), "edges": g.num_edges(),
+                "subgraphs": engine.decomposition().num_subgraphs(),
+                "smoke": opts.smoke,
+            },
+            "threads": threads,
+            "engine_seed_seconds": seed_t.as_secs_f64(),
+            "forced_rebuild_batches": {
+                "count": toggles,
+                "mean_apply_seconds": old_mean,
+                "mean_rebuild_seconds": rebuild_total / toggles as f64,
+            },
+            "spliced_batches": {
+                "count": toggles,
+                "mean_apply_seconds": new_mean,
+                "mean_maintain_seconds": maintain_total / toggles as f64,
+                "region_blocks_max": region_blocks_max,
+                "subgraphs_spliced_max": spliced_subgraphs_max,
+            },
+            "mixed_batch": {
+                "local_edits": mixed_report.local_edits,
+                "structural_edits": mixed_report.structural_edits,
+                "dirty_subgraphs": mixed_report.dirty_subgraphs,
+                "apply_seconds": mixed_report.wall_clock.as_secs_f64(),
+                "rebuilt": mixed_report.rebuilt,
+            },
+            "max_abs_diff_vs_scratch": max_diff,
+            "speedup_splice_vs_rebuild": speedup,
+            "acceptance": {
+                "required": 5.0,
+                "measured": speedup,
+                "pass": speedup >= 5.0,
+                "measured_with": measurement_mode,
+                "parallel_rayon": parallel_execution,
+            },
+            "notes": [
+                "Both arms apply the same whisker-tip sibling bridge toggles: \
+                 every batch is Structural (the block-cut tree gains or loses \
+                 a triangle block). The old arm forces the PR-3 path — \
+                 to_graph + full decompose + fingerprint sweep with \
+                 contribution carry-forward; the new arm splices the \
+                 two-block region in place and carries contributions by index.",
+                "The affected region is kept away from the top sub-graph, so \
+                 kernel cost is negligible on both arms and the measured gap \
+                 is the structural-path overhead the maintainer eliminates. \
+                 decompose() itself is ~34 ms on this graph; the 9.3 s \
+                 structural apply recorded in BENCH_PR3.json was \
+                 kernel-dominated (its bridge dirtied community kernels), \
+                 not decomposition-dominated.",
                 "Scores are cross-checked against a from-scratch APGRE run \
                  before any time is reported (1e-9 relative).",
             ],

@@ -422,6 +422,10 @@ fn run_dynamic(g: &Graph, n_batches: usize, seed: u64, opts: &ApgreOptions, top:
     );
 
     let mut totals = (0usize, 0usize, 0usize); // (noop, local, structural)
+    let mut spliced = 0usize;
+    let mut rebuilt = 0usize;
+    let mut maintain_total = std::time::Duration::ZERO;
+    let mut rebuild_total = std::time::Duration::ZERO;
     for k in 0..n_batches {
         let n = engine.num_vertices() as u64;
         let batch = match next() % 100 {
@@ -448,25 +452,45 @@ fn run_dynamic(g: &Graph, n_batches: usize, seed: u64, opts: &ApgreOptions, top:
             BatchClass::Local => totals.1 += 1,
             BatchClass::Structural => totals.2 += 1,
         }
+        maintain_total += report.maintain_time;
+        rebuild_total += report.rebuild_time;
+        let path = if report.rebuilt {
+            rebuilt += 1;
+            " rebuild"
+        } else if report.class == BatchClass::Structural {
+            spliced += 1;
+            " splice"
+        } else {
+            ""
+        };
         println!(
             "  batch {k:>4}: {:<10} {:>3} dirty, {:>4} reused of {:>4} sub-graphs, \
-             {} applied, {} no-op, {:>10.2?}  [{}]",
+             {} local / {} structural edits, {} region blocks, {} split, \
+             {} applied, {} no-op, {:>10.2?}  [{}{}]",
             format!("{:?}", report.class),
             report.dirty_subgraphs,
             report.reused_contributions,
             report.total_subgraphs,
+            report.local_edits,
+            report.structural_edits,
+            report.region_blocks,
+            report.subgraphs_split,
             report.applied_mutations,
             report.noop_mutations,
             report.wall_clock,
             report.reason,
+            path,
         );
     }
     println!(
-        "dynamic: {n_batches} batches in {:.2?} ({} noop, {} local, {} structural)",
+        "dynamic: {n_batches} batches in {:.2?} ({} noop, {} local, {} structural: \
+         {spliced} spliced + {rebuilt} rebuilt; decomp maintain {:.2?}, rebuild {:.2?})",
         t.elapsed(),
         totals.0,
         totals.1,
-        totals.2
+        totals.2,
+        maintain_total,
+        rebuild_total,
     );
 
     let mut ranked: Vec<(usize, f64)> = engine.scores().iter().copied().enumerate().collect();

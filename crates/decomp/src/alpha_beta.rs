@@ -80,7 +80,7 @@ fn fill_via_tree(decomp: &mut Decomposition, bct: &BlockCutTree) {
             let ai = bct.art_index[v as usize];
             debug_assert_ne!(ai, u32::MAX);
             let mut a = 0u64;
-            for &b in &bct.art_bccs[ai as usize] {
+            for &b in bct.art_bccs_of(ai) {
                 if subgraph_of_bcc[b as usize] != sg.id as u32 {
                     a += rooted.branch_weight(v, b);
                 }

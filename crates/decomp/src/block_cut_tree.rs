@@ -14,55 +14,90 @@ use apgre_graph::VertexId;
 const NIL: u32 = u32::MAX;
 
 /// The bipartite block-cut structure derived from a [`BccResult`].
+///
+/// Incidences are stored once, in CSR form over the bipartite node space
+/// (BCC nodes first, then articulation nodes), so construction does no
+/// per-node allocation and every traversal walks slices.
 #[derive(Clone, Debug)]
 pub struct BlockCutTree {
-    /// Per-BCC: global ids of the articulation vertices it contains.
-    pub bcc_arts: Vec<Vec<VertexId>>,
     /// Dense articulation index per vertex (`u32::MAX` for non-articulation
     /// vertices).
     pub art_index: Vec<u32>,
     /// Global vertex id per dense articulation index.
     pub art_vertices: Vec<VertexId>,
-    /// Per dense articulation index: the BCC ids containing that vertex.
-    pub art_bccs: Vec<Vec<u32>>,
     /// Per-BCC: number of **non-articulation** vertices (its exclusive
     /// weight in subtree sums; articulation vertices weigh on their own
     /// nodes).
     pub bcc_nonart_weight: Vec<u64>,
+    /// CSR offsets into `adj` per bipartite node.
+    adj_off: Vec<u32>,
+    /// CSR neighbor node ids.
+    adj: Vec<u32>,
 }
 
 impl BlockCutTree {
     /// Builds the tree from a BCC decomposition.
     pub fn build(bcc: &BccResult) -> Self {
-        let n = bcc.is_articulation.len();
+        Self::build_from(&bcc.is_articulation, &bcc.bcc_vertices)
+    }
+
+    /// Builds the tree from raw articulation flags and per-block vertex
+    /// lists. Block ids in the tree index `bcc_vertices`, which may be a
+    /// compact view (the incremental maintainer passes only the blocks of
+    /// the affected components; articulation vertices whose blocks are all
+    /// outside the view become isolated articulation nodes and are never
+    /// queried).
+    pub fn build_from<V: AsRef<[VertexId]>>(is_articulation: &[bool], bcc_vertices: &[V]) -> Self {
+        let n = is_articulation.len();
         let mut art_index = vec![NIL; n];
         let mut art_vertices = Vec::new();
         for v in 0..n {
-            if bcc.is_articulation[v] {
+            if is_articulation[v] {
                 art_index[v] = art_vertices.len() as u32;
                 art_vertices.push(v as VertexId);
             }
         }
-        let mut bcc_arts = vec![Vec::new(); bcc.count()];
-        let mut art_bccs = vec![Vec::new(); art_vertices.len()];
-        let mut bcc_nonart_weight = vec![0u64; bcc.count()];
-        for (b, verts) in bcc.bcc_vertices.iter().enumerate() {
-            for &v in verts {
+        let nb = bcc_vertices.len();
+        let total = nb + art_vertices.len();
+        let mut bcc_nonart_weight = vec![0u64; nb];
+        // Two-pass CSR build: count incidences, prefix-sum, fill. Incidence
+        // order matches iteration order (blocks ascending, vertices in block
+        // order), which downstream DFS determinism relies on.
+        let mut adj_off = vec![0u32; total + 1];
+        for (b, verts) in bcc_vertices.iter().enumerate() {
+            for &v in verts.as_ref() {
                 let ai = art_index[v as usize];
                 if ai == NIL {
                     bcc_nonart_weight[b] += 1;
                 } else {
-                    bcc_arts[b].push(v);
-                    art_bccs[ai as usize].push(b as u32);
+                    adj_off[b + 1] += 1;
+                    adj_off[nb + ai as usize + 1] += 1;
                 }
             }
         }
-        BlockCutTree { bcc_arts, art_index, art_vertices, art_bccs, bcc_nonart_weight }
+        for i in 0..total {
+            adj_off[i + 1] += adj_off[i];
+        }
+        let mut adj = vec![0u32; adj_off[total] as usize];
+        let mut pos: Vec<u32> = adj_off[..total].to_vec();
+        for (b, verts) in bcc_vertices.iter().enumerate() {
+            for &v in verts.as_ref() {
+                let ai = art_index[v as usize];
+                if ai != NIL {
+                    adj[pos[b] as usize] = nb as u32 + ai;
+                    pos[b] += 1;
+                    let an = nb + ai as usize;
+                    adj[pos[an] as usize] = b as u32;
+                    pos[an] += 1;
+                }
+            }
+        }
+        BlockCutTree { art_index, art_vertices, bcc_nonart_weight, adj_off, adj }
     }
 
     /// Number of BCC nodes.
     pub fn num_bccs(&self) -> usize {
-        self.bcc_arts.len()
+        self.bcc_nonart_weight.len()
     }
 
     /// Number of articulation nodes.
@@ -110,7 +145,7 @@ impl BlockCutTree {
             while let Some(node) = queue.pop_front() {
                 order.push(node);
                 comp_total[comp as usize] += self.node_weight(node);
-                for nb_node in self.node_neighbors(node) {
+                for &nb_node in self.node_neighbors(node) {
                     if !visited[nb_node as usize] {
                         visited[nb_node as usize] = true;
                         comp_of[nb_node as usize] = comp;
@@ -139,17 +174,22 @@ impl BlockCutTree {
         }
     }
 
-    pub(crate) fn node_neighbors(&self, node: u32) -> Vec<u32> {
+    pub(crate) fn node_neighbors(&self, node: u32) -> &[u32] {
+        &self.adj[self.adj_off[node as usize] as usize..self.adj_off[node as usize + 1] as usize]
+    }
+
+    /// BCC ids containing the articulation point with dense index `ai`.
+    /// (An articulation node's tree neighbors are exactly its BCC nodes.)
+    pub fn art_bccs_of(&self, ai: u32) -> &[u32] {
+        self.node_neighbors(self.art_node(ai))
+    }
+
+    /// Global vertex ids of the articulation points inside BCC `b`.
+    pub fn bcc_arts_of(&self, b: u32) -> impl Iterator<Item = VertexId> + '_ {
         let nb = self.num_bccs() as u32;
-        if node < nb {
-            self.bcc_arts[node as usize]
-                .iter()
-                .map(|&v| self.art_node(self.art_index[v as usize]))
-                .collect()
-        } else {
-            let a = (node - nb) as usize;
-            self.art_bccs[a].iter().map(|&b| self.bcc_node(b)).collect()
-        }
+        self.node_neighbors(self.bcc_node(b))
+            .iter()
+            .map(move |&node| self.art_vertices[(node - nb) as usize])
     }
 }
 
@@ -232,8 +272,9 @@ mod tests {
         let t = BlockCutTree::build(&bcc);
         let rooted = t.rooted();
         for (ai, &art) in t.art_vertices.iter().enumerate() {
-            let total: u64 = t.art_bccs[ai].iter().map(|&b| rooted.branch_weight(art, b)).sum();
-            let comp_total = rooted.component_weight_of_bcc(t.art_bccs[ai][0]);
+            let bccs = t.art_bccs_of(ai as u32);
+            let total: u64 = bccs.iter().map(|&b| rooted.branch_weight(art, b)).sum();
+            let comp_total = rooted.component_weight_of_bcc(bccs[0]);
             assert_eq!(total, comp_total - 1, "art vertex {art}");
         }
     }

@@ -52,8 +52,8 @@ fn check_block_cut_tree(g: &Graph, d: &Decomposition) {
         "invariants: articulation flags disagree with a fresh BCC run"
     );
     let bct = BlockCutTree::build(&bcc);
-    for (ai, bccs) in bct.art_bccs.iter().enumerate() {
-        let v = bct.art_vertices[ai];
+    for (ai, &v) in bct.art_vertices.iter().enumerate() {
+        let bccs = bct.art_bccs_of(ai as u32);
         assert!(
             bccs.len() >= 2,
             "invariants: articulation vertex {v} sits in {} BCC(s); an \
@@ -62,17 +62,17 @@ fn check_block_cut_tree(g: &Graph, d: &Decomposition) {
         );
         for &b in bccs {
             assert!(
-                bct.bcc_arts[b as usize].contains(&v),
+                bct.bcc_arts_of(b).any(|a| a == v),
                 "invariants: block-cut tree incidence is not symmetric \
                  (art {v} lists BCC {b}, which does not list it back)"
             );
         }
     }
-    for (b, arts) in bct.bcc_arts.iter().enumerate() {
-        for &v in arts {
+    for b in 0..bct.num_bccs() as u32 {
+        for v in bct.bcc_arts_of(b) {
             let ai = bct.art_index[v as usize];
             assert!(
-                ai != u32::MAX && bct.art_bccs[ai as usize].contains(&(b as u32)),
+                ai != u32::MAX && bct.art_bccs_of(ai).contains(&b),
                 "invariants: BCC {b} lists art {v}, which does not list it back"
             );
         }

@@ -14,10 +14,14 @@
 //! 4. [`alpha_beta`] — `α`/`β` per boundary articulation point, via blocked
 //!    BFS (the paper's method, required for directed graphs) or via an
 //!    `O(V + E)` block-cut-tree fast path for undirected graphs,
-//! 5. [`naive`] — slow reference implementations used as test oracles.
+//! 5. [`naive`] — slow reference implementations used as test oracles,
+//! 6. [`maintain`] — incremental maintenance of a committed decomposition
+//!    under edge edits: localized Tarjan on the affected region, block
+//!    splices, and per-component merge/α/β refresh.
 //!
 //! The entry point is [`decompose`], which runs steps 1–4 and returns a
-//! [`Decomposition`].
+//! [`Decomposition`]; dynamic callers wrap it in a
+//! [`maintain::MaintainedDecomposition`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,6 +31,7 @@ pub mod bcc;
 pub mod block_cut_tree;
 #[cfg(feature = "invariants")]
 pub mod invariants;
+pub mod maintain;
 pub mod naive;
 pub mod partition;
 pub mod subgraph;
@@ -34,5 +39,8 @@ pub mod subgraph;
 pub use alpha_beta::AlphaBetaMethod;
 pub use bcc::{biconnected_components, BccResult};
 pub use block_cut_tree::BlockCutTree;
+pub use maintain::{
+    decomp_equivalent, EdgeEdit, MaintainOutcome, MaintainStats, MaintainedDecomposition,
+};
 pub use partition::{decompose, DecompTimings, Decomposition, PartitionOptions};
 pub use subgraph::SubGraph;

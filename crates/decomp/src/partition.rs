@@ -183,7 +183,7 @@ pub fn decompose(g: &Graph, opts: &PartitionOptions) -> Decomposition {
     let groups = if opts.merge_all {
         merge_all_per_component(&bct)
     } else {
-        merge_bccs(&bcc, &bct, opts.merge_threshold as u64)
+        merge_bccs(&bcc.bcc_vertices, &bct, opts.merge_threshold as u64)
     };
 
     let num_bccs = bcc.count();
@@ -221,57 +221,115 @@ pub fn decompose(g: &Graph, opts: &PartitionOptions) -> Decomposition {
     decomp
 }
 
+/// Sub-graph block groups in flattened (CSR-like) form: one contiguous
+/// `blocks` array sliced by `off`. A component has tens of thousands of
+/// mostly-singleton groups, so per-group `Vec`s would mean tens of thousands
+/// of heap allocations on every decomposition *and* every incremental
+/// splice — the flat form is two allocations total.
+pub(crate) struct BlockGroups {
+    off: Vec<u32>,
+    blocks: Vec<u32>,
+}
+
+impl BlockGroups {
+    fn new() -> Self {
+        BlockGroups { off: vec![0], blocks: Vec::new() }
+    }
+
+    fn close_group(&mut self) {
+        self.off.push(self.blocks.len() as u32);
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.off.len() - 1
+    }
+
+    pub(crate) fn group(&self, i: usize) -> &[u32] {
+        &self.blocks[self.off[i] as usize..self.off[i + 1] as usize]
+    }
+
+    pub(crate) fn iter(&self) -> impl Iterator<Item = &[u32]> {
+        (0..self.len()).map(move |i| self.group(i))
+    }
+}
+
 /// One group per connected component (every BCC of a component collapsed
 /// together): no boundary articulation points survive, so the BC kernel
-/// degrades to whisker-folded Brandes. Ablation support.
-fn merge_all_per_component(bct: &BlockCutTree) -> Vec<Vec<u32>> {
+/// degrades to whisker-folded Brandes. Ablation support; also reused by the
+/// incremental maintainer on its compact per-region block view.
+pub(crate) fn merge_all_per_component(bct: &BlockCutTree) -> BlockGroups {
     let nb = bct.num_bccs();
     let total_nodes = nb + bct.num_arts();
     let mut visited = vec![false; total_nodes];
-    let mut groups = Vec::new();
+    let mut groups = BlockGroups::new();
     for start in 0..nb as u32 {
         if visited[start as usize] {
             continue;
         }
-        let mut group = Vec::new();
         let mut queue = std::collections::VecDeque::new();
         visited[start as usize] = true;
         queue.push_back(start);
         while let Some(node) = queue.pop_front() {
             if (node as usize) < nb {
-                group.push(node);
+                groups.blocks.push(node);
             }
-            for nxt in bct.node_neighbors(node) {
+            for &nxt in bct.node_neighbors(node) {
                 if !visited[nxt as usize] {
                     visited[nxt as usize] = true;
                     queue.push_back(nxt);
                 }
             }
         }
-        groups.push(group);
+        groups.close_group();
     }
     groups
+}
+
+/// Deterministic, content-based top-BCC choice: the largest block of the
+/// component, ties broken by the lexicographically smallest *sorted* vertex
+/// list. Tarjan emission order must not influence the choice — the
+/// incremental maintainer re-runs the merge on blocks indexed by store slot
+/// rather than by Tarjan discovery order and has to reproduce the fresh
+/// grouping exactly. (Two distinct BCCs share at most one vertex, so equal
+/// sorted lists cannot occur and the winner is unique.)
+pub(crate) fn canonical_top_bcc<V: AsRef<[VertexId]>>(comp: &[u32], bcc_vertices: &[V]) -> u32 {
+    let max_len = comp
+        .iter()
+        .map(|&b| bcc_vertices[b as usize].as_ref().len())
+        .max()
+        .expect("component without BCCs");
+    let mut best: Option<(Vec<VertexId>, u32)> = None;
+    for &b in comp {
+        if bcc_vertices[b as usize].as_ref().len() != max_len {
+            continue;
+        }
+        let mut key = bcc_vertices[b as usize].as_ref().to_vec();
+        key.sort_unstable();
+        match &best {
+            Some((bk, _)) if *bk <= key => {}
+            _ => best = Some((key, b)),
+        }
+    }
+    best.expect("component without BCCs").1
 }
 
 /// DFS over the block-cut tree, merging small BCCs into their parents
 /// (Algorithm 1 lines 4–24), per connected component, starting from each
 /// component's largest BCC.
-fn merge_bccs(bcc: &BccResult, bct: &BlockCutTree, threshold: u64) -> Vec<Vec<u32>> {
+///
+/// Takes the per-block vertex lists (rather than a full [`BccResult`]) so
+/// the incremental maintainer can call it on a compact view of the affected
+/// components; block ids in the result index `bcc_vertices`.
+pub(crate) fn merge_bccs<V: AsRef<[VertexId]>>(
+    bcc_vertices: &[V],
+    bct: &BlockCutTree,
+    threshold: u64,
+) -> BlockGroups {
     let nb = bct.num_bccs();
     let total_nodes = nb + bct.num_arts();
     let mut visited = vec![false; total_nodes];
     let mut comp_scratch: Vec<u32> = Vec::new();
-    let mut vset: Vec<Vec<u32>> = (0..nb as u32).map(|b| vec![b]).collect();
-    let mut size: Vec<u64> = bcc.bcc_vertices.iter().map(|v| v.len() as u64).collect();
-    let mut groups: Vec<Vec<u32>> = Vec::new();
-
-    struct Frame {
-        node: u32,
-        parent: u32,
-        nbrs: Vec<u32>,
-        idx: usize,
-    }
-
+    let mut tops: Vec<u32> = Vec::new();
     for start in 0..nb as u32 {
         if visited[start as usize] {
             continue;
@@ -285,31 +343,68 @@ fn merge_bccs(bcc: &BccResult, bct: &BlockCutTree, threshold: u64) -> Vec<Vec<u3
             if (node as usize) < nb {
                 comp_scratch.push(node);
             }
-            for nxt in bct.node_neighbors(node) {
+            for &nxt in bct.node_neighbors(node) {
                 if !visited[nxt as usize] {
                     visited[nxt as usize] = true;
                     queue.push_back(nxt);
                 }
             }
         }
-        let top_bcc = *comp_scratch
-            .iter()
-            .max_by_key(|&&b| (bcc.bcc_vertices[b as usize].len(), u32::MAX - b))
-            .expect("component without BCCs");
+        tops.push(canonical_top_bcc(&comp_scratch, bcc_vertices));
+    }
+    merge_bccs_from_tops(bcc_vertices, bct, threshold, &tops)
+}
 
+/// [`merge_bccs`] with the per-component canonical top BCCs already known:
+/// skips component discovery entirely. The incremental maintainer caches
+/// canonical tops across splices, so the common single-region splice pays
+/// only the merge DFS itself.
+pub(crate) fn merge_bccs_from_tops<V: AsRef<[VertexId]>>(
+    bcc_vertices: &[V],
+    bct: &BlockCutTree,
+    threshold: u64,
+    tops: &[u32],
+) -> BlockGroups {
+    let nb = bct.num_bccs();
+    let total_nodes = nb + bct.num_arts();
+    // Group accumulation as intrusive singly-linked chains over block ids
+    // (every chain starts at its own block, so the head IS the block id):
+    // merging a child group into its grandparent is an O(1) splice and the
+    // emission order matches the former per-block `Vec::extend` exactly.
+    let mut tail: Vec<u32> = (0..nb as u32).collect();
+    let mut next: Vec<u32> = vec![NIL; nb];
+    let mut size: Vec<u64> = bcc_vertices.iter().map(|v| v.as_ref().len() as u64).collect();
+    let mut groups = BlockGroups::new();
+    let emit = |h: u32, next: &[u32], groups: &mut BlockGroups| {
+        let mut cur = h;
+        while cur != NIL {
+            groups.blocks.push(cur);
+            cur = next[cur as usize];
+        }
+        groups.close_group();
+    };
+
+    struct Frame<'a> {
+        node: u32,
+        parent: u32,
+        nbrs: &'a [u32],
+        idx: usize,
+    }
+
+    let mut in_dfs = vec![false; total_nodes];
+    for &top_bcc in tops {
         // Post-order DFS from topBCC with the paper's merge rules.
-        let mut in_dfs = std::collections::HashSet::new();
         let mut stack: Vec<Frame> = Vec::new();
-        in_dfs.insert(top_bcc);
+        in_dfs[top_bcc as usize] = true;
         stack.push(Frame { node: top_bcc, parent: NIL, nbrs: bct.node_neighbors(top_bcc), idx: 0 });
         while let Some(top) = stack.last_mut() {
             if top.idx < top.nbrs.len() {
                 let nxt = top.nbrs[top.idx];
                 top.idx += 1;
-                if nxt == top.parent || in_dfs.contains(&nxt) {
+                if nxt == top.parent || in_dfs[nxt as usize] {
                     continue;
                 }
-                in_dfs.insert(nxt);
+                in_dfs[nxt as usize] = true;
                 let node = top.node;
                 stack.push(Frame {
                     node: nxt,
@@ -324,7 +419,7 @@ fn merge_bccs(bcc: &BccResult, bct: &BlockCutTree, threshold: u64) -> Vec<Vec<u3
                 }
                 let b = frame.node;
                 if b == top_bcc {
-                    groups.push(std::mem::take(&mut vset[b as usize]));
+                    emit(b, &next, &mut groups);
                     continue;
                 }
                 // Grandparent BCC through the parent articulation node.
@@ -339,11 +434,11 @@ fn merge_bccs(bcc: &BccResult, bct: &BlockCutTree, threshold: u64) -> Vec<Vec<u3
                 // fold into the top BCC itself.
                 let merge = if prev != top_bcc { curr_size < threshold } else { curr_size <= 2 };
                 if merge {
-                    let moved = std::mem::take(&mut vset[b as usize]);
-                    vset[prev as usize].extend(moved);
+                    next[tail[prev as usize] as usize] = b;
+                    tail[prev as usize] = tail[b as usize];
                     size[prev as usize] += curr_size;
                 } else {
-                    groups.push(std::mem::take(&mut vset[b as usize]));
+                    emit(b, &next, &mut groups);
                 }
             }
         }
@@ -356,7 +451,7 @@ fn build_subgraphs(
     g: &Graph,
     bcc: &BccResult,
     bct: &BlockCutTree,
-    groups: &[Vec<u32>],
+    groups: &BlockGroups,
     subgraph_of_bcc: &[u32],
 ) -> Vec<SubGraph> {
     let n = g.num_vertices();
@@ -422,7 +517,7 @@ fn build_subgraphs(
                 continue;
             }
             let crosses =
-                bct.art_bccs[ai as usize].iter().any(|&b| subgraph_of_bcc[b as usize] != gi as u32);
+                bct.art_bccs_of(ai).iter().any(|&b| subgraph_of_bcc[b as usize] != gi as u32);
             if crosses {
                 is_boundary[l] = true;
                 boundary.push(l as u32);

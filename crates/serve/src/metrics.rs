@@ -50,6 +50,69 @@ pub struct Metrics {
     pub batch_apply_micros: AtomicU64,
     /// Snapshots published (equals the latest snapshot's `seq`).
     pub snapshots_published: AtomicU64,
+    /// Structural batches handled by the in-place region splice.
+    pub batches_spliced: AtomicU64,
+    /// Structural batches that fell back to a from-scratch re-decomposition.
+    pub batches_rebuilt: AtomicU64,
+    /// Σ blocks in the re-decomposed regions of spliced batches.
+    pub spliced_region_blocks: AtomicU64,
+    /// Σ in-place sub-graph splits performed by splices.
+    pub subgraph_splits: AtomicU64,
+    /// Wall clock of incremental decomposition maintenance, per batch.
+    pub decomp_maintain_seconds: LatencyHistogram,
+    /// Wall clock of from-scratch re-decompositions, per rebuilt batch.
+    pub decomp_rebuild_seconds: LatencyHistogram,
+}
+
+/// Upper bounds, in seconds, of the fixed latency histogram buckets (an
+/// implicit `+Inf` bucket follows). Chosen to straddle the maintenance
+/// regime (sub-millisecond to a few ms) and the rebuild regime (tens of ms
+/// and up on large graphs).
+const LATENCY_BUCKETS: [f64; 10] = [0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.5, 2.5];
+
+/// A fixed-bucket latency histogram on relaxed atomics, rendered in the
+/// Prometheus histogram exposition shape (`_bucket{le=...}` cumulative
+/// counts, `_sum` in seconds, `_count`). Buckets are [`LATENCY_BUCKETS`].
+#[derive(Default)]
+pub struct LatencyHistogram {
+    /// Non-cumulative per-bucket counts; index `LATENCY_BUCKETS.len()` is
+    /// the overflow (`+Inf`) bucket. Cumulated at render time.
+    buckets: [AtomicU64; LATENCY_BUCKETS.len() + 1],
+    /// Σ observed durations, microseconds.
+    sum_micros: AtomicU64,
+}
+
+impl LatencyHistogram {
+    /// Records one observation.
+    #[allow(clippy::disallowed_methods)] // integer event counters, see `Metrics::inc`
+    pub fn observe(&self, d: Duration) {
+        let secs = d.as_secs_f64();
+        let idx =
+            LATENCY_BUCKETS.iter().position(|&ub| secs <= ub).unwrap_or(LATENCY_BUCKETS.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum_micros.fetch_add(d.as_micros() as u64, Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Emits the family in Prometheus histogram format.
+    fn render_into(&self, out: &mut String, name: &str, help: &str) {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let mut cumulative = 0u64;
+        for (i, ub) in LATENCY_BUCKETS.iter().enumerate() {
+            cumulative += self.buckets[i].load(Ordering::Relaxed);
+            let _ = writeln!(out, "{name}_bucket{{le=\"{ub}\"}} {cumulative}");
+        }
+        cumulative += self.buckets[LATENCY_BUCKETS.len()].load(Ordering::Relaxed);
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+        let sum = self.sum_micros.load(Ordering::Relaxed) as f64 / 1e6;
+        let _ = writeln!(out, "{name}_sum {sum:.6}");
+        let _ = writeln!(out, "{name}_count {cumulative}");
+    }
 }
 
 impl Metrics {
@@ -62,20 +125,35 @@ impl Metrics {
         counter.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Records one applied batch: classification, coalesced request count,
-    /// and apply wall clock.
+    /// Records one applied batch off its [`apgre_dynamic::DynamicReport`]:
+    /// classification, the splice-vs-rebuild split of the structural path,
+    /// region size, and the maintain/rebuild latency histograms.
     #[allow(clippy::disallowed_methods)] // integer event counters, see `inc`
-    pub fn record_batch(&self, class: apgre_dynamic::BatchClass, coalesced: u64, wall: Duration) {
+    pub fn record_batch(&self, report: &apgre_dynamic::DynamicReport, coalesced: u64) {
         use apgre_dynamic::BatchClass;
-        let by_class = match class {
+        let by_class = match report.class {
             BatchClass::Noop => &self.batches_noop,
             BatchClass::Local => &self.batches_local,
             BatchClass::Structural => &self.batches_structural,
         };
         by_class.fetch_add(1, Ordering::Relaxed);
         self.mutations_applied.fetch_add(coalesced, Ordering::Relaxed);
-        self.batch_apply_micros.fetch_add(wall.as_micros() as u64, Ordering::Relaxed);
+        self.batch_apply_micros.fetch_add(report.wall_clock.as_micros() as u64, Ordering::Relaxed);
         self.snapshots_published.fetch_add(1, Ordering::Relaxed);
+        if report.rebuilt {
+            self.batches_rebuilt.fetch_add(1, Ordering::Relaxed);
+            self.decomp_rebuild_seconds.observe(report.rebuild_time);
+        } else if report.class != BatchClass::Noop {
+            // Patch-only and splice batches both ran the maintainer; only
+            // splices restructured anything.
+            self.decomp_maintain_seconds.observe(report.maintain_time);
+            if report.class == BatchClass::Structural {
+                self.batches_spliced.fetch_add(1, Ordering::Relaxed);
+                self.spliced_region_blocks
+                    .fetch_add(report.region_blocks as u64, Ordering::Relaxed);
+                self.subgraph_splits.fetch_add(report.subgraphs_split as u64, Ordering::Relaxed);
+            }
+        }
     }
 
     /// Renders the Prometheus text exposition format (v0.0.4): service
@@ -135,6 +213,40 @@ impl Metrics {
                 ("{class=\"local\"}", load(&self.batches_local)),
                 ("{class=\"structural\"}", load(&self.batches_structural)),
             ],
+        );
+        family(
+            &mut out,
+            "apgre_serve_structural_batches_total",
+            "counter",
+            "Structural batches, by how the decomposition was updated.",
+            &[
+                ("{path=\"splice\"}", load(&self.batches_spliced)),
+                ("{path=\"rebuild\"}", load(&self.batches_rebuilt)),
+            ],
+        );
+        family(
+            &mut out,
+            "apgre_serve_spliced_region_blocks_total",
+            "counter",
+            "Blocks in the re-decomposed regions of spliced batches.",
+            &[("", load(&self.spliced_region_blocks))],
+        );
+        family(
+            &mut out,
+            "apgre_serve_subgraph_splits_total",
+            "counter",
+            "In-place sub-graph splits performed by splices.",
+            &[("", load(&self.subgraph_splits))],
+        );
+        self.decomp_maintain_seconds.render_into(
+            &mut out,
+            "apgre_engine_decomp_maintain_seconds",
+            "Incremental decomposition maintenance wall clock per batch.",
+        );
+        self.decomp_rebuild_seconds.render_into(
+            &mut out,
+            "apgre_engine_decomp_rebuild_seconds",
+            "From-scratch re-decomposition wall clock per rebuilt batch.",
         );
         family(
             &mut out,
@@ -271,30 +383,42 @@ fn family(out: &mut String, name: &str, kind: &str, help: &str, samples: &[(&str
 mod tests {
     use super::*;
     use apgre_bc::ApgreOptions;
-    use apgre_dynamic::{BatchClass, DynamicBc};
+    use apgre_dynamic::{BatchClass, DynamicBc, MutationBatch};
     use apgre_graph::Graph;
 
     #[test]
     fn render_contains_every_family_and_reflects_updates() {
         let g = Graph::undirected_from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
-        let engine = DynamicBc::new(&g, ApgreOptions::default());
+        let mut engine = DynamicBc::new(&g, ApgreOptions::default());
         let snap = BcSnapshot::new(engine.snapshot(), 3, 7);
 
         let m = Metrics::default();
         Metrics::inc(&m.bc_requests);
         Metrics::inc(&m.bc_requests);
         Metrics::inc(&m.mutate_rejected);
-        m.record_batch(BatchClass::Local, 4, Duration::from_micros(250));
+        // A real spliced batch (path graph: adding a chord restructures).
+        let rep = engine.apply(&MutationBatch::new().add_edge(0, 2));
+        assert_eq!(rep.class, BatchClass::Structural);
+        assert!(!rep.rebuilt);
+        m.record_batch(&rep, 4);
 
         let text = m.render(&snap);
         assert!(text.contains("apgre_serve_requests_total{endpoint=\"bc\"} 2"));
         assert!(text.contains("apgre_serve_mutations_rejected_total 1"));
-        assert!(text.contains("apgre_serve_batches_total{class=\"local\"} 1"));
+        assert!(text.contains("apgre_serve_batches_total{class=\"structural\"} 1"));
+        assert!(text.contains("apgre_serve_structural_batches_total{path=\"splice\"} 1"));
+        assert!(text.contains("apgre_serve_structural_batches_total{path=\"rebuild\"} 0"));
         assert!(text.contains("apgre_serve_mutations_applied_total 4"));
         assert!(text.contains("apgre_serve_snapshot_seq 3"));
         assert!(text.contains("apgre_serve_snapshot_generation 7"));
         assert!(text.contains("apgre_engine_vertices 5"));
         assert!(text.contains("apgre_engine_kernel_runs_total{kernel=\"seq\"}"));
+        assert!(text.contains("apgre_engine_decomp_maintain_seconds_count 1"));
+        assert!(text.contains("apgre_engine_decomp_maintain_seconds_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("apgre_engine_decomp_rebuild_seconds_count 0"));
+        // Region-size counter reflects the splice.
+        let region = format!("apgre_serve_spliced_region_blocks_total {}", rep.region_blocks);
+        assert!(text.contains(&region), "missing {region}");
         // Every line is either a comment or `name[{labels}] value`.
         for line in text.lines() {
             assert!(
@@ -302,5 +426,36 @@ mod tests {
                 "malformed exposition line: {line}"
             );
         }
+    }
+
+    #[test]
+    fn histogram_buckets_cumulate_and_split_by_latency() {
+        let h = LatencyHistogram::default();
+        h.observe(Duration::from_micros(300)); // <= 0.0005
+        h.observe(Duration::from_millis(3)); // <= 0.005
+        h.observe(Duration::from_secs(10)); // +Inf overflow
+        assert_eq!(h.count(), 3);
+        let mut out = String::new();
+        h.render_into(&mut out, "t_seconds", "test");
+        assert!(out.contains("t_seconds_bucket{le=\"0.0005\"} 1"));
+        assert!(out.contains("t_seconds_bucket{le=\"0.005\"} 2"));
+        assert!(out.contains("t_seconds_bucket{le=\"2.5\"} 2"));
+        assert!(out.contains("t_seconds_bucket{le=\"+Inf\"} 3"));
+        assert!(out.contains("t_seconds_count 3"));
+        assert!(out.contains("t_seconds_sum 10.003300"));
+    }
+
+    #[test]
+    fn rebuilt_batches_land_in_the_rebuild_histogram() {
+        let g = Graph::directed_from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let mut engine = DynamicBc::new(&g, ApgreOptions::default());
+        let rep = engine.apply(&MutationBatch::new().add_edge(0, 2));
+        assert!(rep.rebuilt, "directed edits rebuild");
+        let m = Metrics::default();
+        m.record_batch(&rep, 1);
+        assert_eq!(m.decomp_rebuild_seconds.count(), 1);
+        assert_eq!(m.decomp_maintain_seconds.count(), 0);
+        assert_eq!(m.batches_rebuilt.load(Ordering::Relaxed), 1);
+        assert_eq!(m.batches_spliced.load(Ordering::Relaxed), 0);
     }
 }

@@ -490,11 +490,22 @@ fn get_stats(shared: &Shared) -> Response {
     let last = match &snap.engine.last_batch {
         None => "null".to_owned(),
         Some(b) => format!(
-            "{{\"class\":\"{:?}\",\"reason\":\"{}\",\"dirty_subgraphs\":{},\"reused_contributions\":{},\"wall_clock_micros\":{}}}",
+            "{{\"class\":\"{:?}\",\"reason\":\"{}\",\"dirty_subgraphs\":{},\"reused_contributions\":{},\
+             \"local_edits\":{},\"structural_edits\":{},\"subgraphs_spliced\":{},\"subgraphs_split\":{},\
+             \"region_blocks\":{},\"rebuilt\":{},\"maintain_micros\":{},\"rebuild_micros\":{},\
+             \"wall_clock_micros\":{}}}",
             b.class,
             b.reason,
             b.dirty_subgraphs,
             b.reused_contributions,
+            b.local_edits,
+            b.structural_edits,
+            b.subgraphs_spliced,
+            b.subgraphs_split,
+            b.region_blocks,
+            b.rebuilt,
+            b.maintain_time.as_micros(),
+            b.rebuild_time.as_micros(),
             b.wall_clock.as_micros()
         ),
     };
@@ -699,7 +710,7 @@ fn writer_loop(shared: &Shared, mut engine: DynamicBc, rx: &Receiver<QueuedBatch
             }
         }
         let report = engine.apply(&merged);
-        shared.metrics.record_batch(report.class, coalesced, report.wall_clock);
+        shared.metrics.record_batch(&report, coalesced);
         seq += 1;
         shared.cell.store(BcSnapshot::new(engine.snapshot(), seq, generation));
     }

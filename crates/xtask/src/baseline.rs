@@ -108,20 +108,34 @@ pub fn findings_to_json(findings: &[(Finding, Option<&Entry>)]) -> String {
     s
 }
 
-/// Serializes findings as baseline entries — `lint --baseline-out` seed
-/// material for a justified suppression file.
-pub fn findings_to_baseline_json(findings: &[&Finding]) -> String {
+/// Serializes ALL current findings as baseline entries — `lint
+/// --baseline-out` seed material. Already-baselined findings carry their
+/// committed justification forward; unmatched ones get a TODO placeholder.
+/// Entries are deduplicated on (rule, path, normalized snippet) — one entry
+/// covers every repetition of a snippet in a file — so the output is exactly
+/// what `lint-baseline.json` must contain for the workspace to be clean with
+/// no stale entries (the CI drift check diffs the two).
+pub fn findings_to_baseline_json(findings: &[(Finding, Option<&Entry>)]) -> String {
+    let mut seen: Vec<(&'static str, String, String)> = Vec::new();
     let mut s = String::from("{\n  \"entries\": [");
-    for (i, f) in findings.iter().enumerate() {
+    let mut i = 0;
+    for (f, entry) in findings {
+        let key = (f.rule, f.path.clone(), normalize(&f.snippet));
+        if seen.contains(&key) {
+            continue;
+        }
+        seen.push(key);
         if i > 0 {
             s.push(',');
         }
+        i += 1;
+        let justification = entry.map_or("TODO: justify or fix", |e| e.justification.as_str());
         s.push_str(&format!(
             "\n    {{\"rule\": {}, \"path\": {}, \"snippet\": {}, \"justification\": {}}}",
             json::quote(f.rule),
             json::quote(&f.path),
             json::quote(&f.snippet),
-            json::quote("TODO: justify or fix")
+            json::quote(justification)
         ));
     }
     s.push_str("\n  ]\n}\n");
@@ -390,8 +404,21 @@ mod tests {
     #[test]
     fn baseline_seed_output_round_trips() {
         let f = finding("hot-loop-index", "crates/bc/src/apgre/kernel.rs", "x[i] += 1;");
-        let out = findings_to_baseline_json(&[&f]);
+        let e = Entry {
+            rule: "hot-loop-index".into(),
+            path: "crates/bc/src/apgre/kernel.rs".into(),
+            snippet: "x[i] += 1;".into(),
+            justification: "audited".into(),
+        };
+        // A matched finding carries its committed justification forward; a
+        // repeat of the same snippet is deduplicated; a fresh finding gets
+        // the TODO placeholder.
+        let f2 = finding("hot-loop-index", "crates/bc/src/apgre/kernel.rs", "y[i] += 1;");
+        let out = findings_to_baseline_json(&[(f.clone(), Some(&e)), (f, Some(&e)), (f2, None)]);
         let entries = parse(&out).expect("round-trips");
+        assert_eq!(entries.len(), 2);
         assert_eq!(entries[0].snippet, "x[i] += 1;");
+        assert_eq!(entries[0].justification, "audited");
+        assert_eq!(entries[1].justification, "TODO: justify or fix");
     }
 }

@@ -6,8 +6,11 @@
 //!   discipline, memory-ordering conformance, guard-live-range and
 //!   panic-reachability checks, and serial-oracle test coverage for every
 //!   public BC kernel. `--json` emits machine-readable findings;
-//!   `--baseline-out <path>` writes current findings as baseline seed
-//!   material. Findings matching `lint-baseline.json` are suppressed (with
+//!   `--baseline-out <path>` writes a baseline covering ALL current
+//!   findings, deduplicated per (rule, path, snippet), with committed
+//!   justifications carried forward and `TODO` placeholders on new entries —
+//!   what `lint-baseline.json` must equal for a clean, stale-free pass.
+//!   Findings matching `lint-baseline.json` are suppressed (with
 //!   their justification); anything else fails the pass.
 //! * `check` — `lint` followed by `cargo check --workspace --all-targets`.
 //! * `ci`    — the full local gate: `lint`, `fmt --check`, `clippy -D
@@ -133,12 +136,16 @@ fn lint(root: &Path, flags: &[String]) -> ExitCode {
     }
 
     if let Some(out_path) = baseline_out {
-        let seed = baseline::findings_to_baseline_json(&fresh);
+        let seed = baseline::findings_to_baseline_json(&matched);
         if let Err(e) = std::fs::write(&out_path, seed) {
             eprintln!("xtask lint: error: cannot write {}: {e}", out_path.display());
             return ExitCode::FAILURE;
         }
-        eprintln!("xtask lint: wrote {} seed entries to {}", fresh.len(), out_path.display());
+        eprintln!(
+            "xtask lint: wrote baseline covering {} finding(s) to {}",
+            matched.len(),
+            out_path.display()
+        );
     }
 
     if json {

@@ -6,11 +6,11 @@
 //! | R1 | `raw-atomic-import` | `std::sync::atomic` / `core::sync::atomic` only inside the sync facades (`apgre_bc::sync`, `apgre_graph::sync`) |
 //! | R2 | `ordering-creep` | no `SeqCst` / `AcqRel` outside the facade — the kernels' correctness argument is written for `Relaxed` + fork-join edges |
 //! | R3 | `naked-par-accum` | no `slice[i] += …` inside a `par_iter`-family closure (escape: `lint:allow(par_accum)`) |
-//! | R4 | `kernel-missing-serial-test` | every `pub fn bc_*` kernel in `crates/bc` / `crates/dynamic` has a test pinning it against the serial oracle |
+//! | R4 | `kernel-missing-serial-test` | every `pub fn bc_*` kernel in `crates/bc` / `crates/dynamic` has a test pinning it against the serial oracle; the maintenance module's `apply_edits` must likewise be pinned against fresh `decompose()` (`verify_against_fresh` / `decomp_equivalent`) |
 //! | R5 | `serve-socket-unwrap` | no `.unwrap()` / `.expect(…)` in `crates/serve/src` outside `#[cfg(test)]` (escape: `lint:allow(serve_unwrap)`) |
 //! | R6 | `guard-across-blocking` | no lock guard in `crates/serve` live across socket I/O or a snapshot publish (escape: `lint:allow(guard_blocking)`) |
 //! | R7 | `ordering-protocol` | facade atomic call sites outside the facade conform to the claim-Relaxed / publish-Release / read-Acquire state machine, annotated with the call chain from the kernel entry points |
-//! | R8 | `panic-reachability` | no `unwrap` / `expect` / `panic!`-family / unguarded `[]` reachable from serve's spawned threads or `DynamicBc::apply`, intraprocedurally plus bounded call expansion (escape: `lint:allow(panic_path)`) |
+//! | R8 | `panic-reachability` | no `unwrap` / `expect` / `panic!`-family / unguarded `[]` reachable from serve's spawned threads, `DynamicBc::apply`, or `MaintainedDecomposition::apply_edits`, intraprocedurally plus bounded call expansion (escape: `lint:allow(panic_path)`) |
 //! | R9 | `hot-loop-index` | bounds-checked `[]` inside the root-parallel / level-sync kernel inner loops is audited explicitly (escape: `lint:allow(hot_index)` on or above the loop header) |
 //!
 //! R1–R5 are re-expressions of the old line-lexer rules with the textual
@@ -253,10 +253,24 @@ fn find_indexed_accum(
 
 // --------------------------------------------------------------------- R4
 
-/// R4: every public `bc_*` kernel must be pinned against the serial oracle.
+/// R4: every public `bc_*` kernel must be pinned against the serial oracle,
+/// and the incremental maintenance entry point must be pinned against the
+/// fresh-decomposition oracle.
 fn r4_kernel_serial_tests(ws: &Workspace, flat: &[Vec<Tok>], out: &mut Vec<Finding>) {
     let mut kernels: Vec<(usize, usize, String)> = Vec::new();
+    let mut maint: Vec<(usize, usize, String)> = Vec::new();
     for (fi, f) in ws.files.iter().enumerate() {
+        // The maintenance module's splice entry points promise structural
+        // equivalence with fresh `decompose()`; their oracle is the fresh
+        // decomposition rather than serial Brandes.
+        if f.path.contains("crates/decomp/src/maintain") {
+            for fun in &f.fns {
+                if fun.is_pub && !fun.in_test && fun.name == "apply_edits" {
+                    maint.push((fi, fun.line, fun.name.clone()));
+                }
+            }
+            continue;
+        }
         // The incremental engine's `bc_*` entry points promise the same
         // contract as the batch kernels, so they carry the same obligation.
         if !f.path.contains("crates/bc/src") && !f.path.contains("crates/dynamic/src") {
@@ -291,6 +305,32 @@ fn r4_kernel_serial_tests(ws: &Workspace, flat: &[Vec<Tok>], out: &mut Vec<Findi
                 format!(
                     "public kernel `{name}` has no test comparing it against \
                      the serial oracle (`matches_serial` / `bc_serial`)"
+                ),
+            );
+        }
+    }
+    for (fi, line, name) in maint {
+        let covered = ws.files.iter().zip(flat).any(|(f2, toks)| {
+            let test_bearing = f2.path.contains("/tests/")
+                || !f2.test_ranges.is_empty()
+                || f2.fns.iter().any(|x| x.in_test);
+            test_bearing
+                && toks.iter().any(|t| t.is_ident(&name))
+                && toks
+                    .iter()
+                    .any(|t| t.is_ident("verify_against_fresh") || t.is_ident("decomp_equivalent"))
+        });
+        if !covered {
+            let f = &ws.files[fi];
+            push(
+                out,
+                f,
+                line,
+                "kernel-missing-serial-test",
+                format!(
+                    "maintenance entry `{name}` has no test pinning it against \
+                     a fresh decomposition (`verify_against_fresh` / \
+                     `decomp_equivalent`)"
                 ),
             );
         }
@@ -678,6 +718,18 @@ fn r8_panic_reachability(ws: &Workspace, out: &mut Vec<Finding>) {
         for fun in &f.fns {
             if fun.name == "apply" && fun.owner.as_deref() == Some("DynamicBc") && !fun.in_test {
                 roots.push((f.crate_name.clone(), "apply".into(), "`DynamicBc::apply`".into()));
+            }
+            // The splice path runs on the same writer thread as `apply`; a
+            // panic mid-splice strands a half-updated block store.
+            if fun.name == "apply_edits"
+                && fun.owner.as_deref() == Some("MaintainedDecomposition")
+                && !fun.in_test
+            {
+                roots.push((
+                    f.crate_name.clone(),
+                    "apply_edits".into(),
+                    "`MaintainedDecomposition::apply_edits`".into(),
+                ));
             }
         }
     }

@@ -94,6 +94,8 @@ fn random_stream_matches_scratch_every_batch() {
     let mut applied = 0usize;
     let mut batches = 0usize;
     let mut classes = (0usize, 0usize, 0usize); // (noop, local, structural)
+    let mut spliced = 0usize;
+    let mut rebuilt = 0usize;
     while applied < 200 || batches < 210 {
         let batch = random_batch(&mut rng, &engine);
         let report = engine.apply(&batch);
@@ -104,6 +106,11 @@ fn random_stream_matches_scratch_every_batch() {
             BatchClass::Local => classes.1 += 1,
             BatchClass::Structural => classes.2 += 1,
         }
+        if report.rebuilt {
+            rebuilt += 1;
+        } else if report.class == BatchClass::Structural {
+            spliced += 1;
+        }
         let current = engine.current_graph();
         let (scratch, _) = bc_apgre_with(&current, &opts);
         assert_close(&format!("batch {batches} ({:?})", report.class), engine.scores(), &scratch);
@@ -112,6 +119,14 @@ fn random_stream_matches_scratch_every_batch() {
     assert!(applied >= 200, "only {applied} effective edits");
     assert!(classes.1 > 0, "stream never exercised the local path: {classes:?}");
     assert!(classes.2 > 0, "stream never exercised the structural path: {classes:?}");
+    // The incremental maintainer must carry the structural load: full
+    // rebuilds are reserved for the rare batches it declines (multiple
+    // component-bridging additions), not the common case.
+    assert!(spliced > 0, "no structural batch was spliced in place");
+    assert!(
+        rebuilt <= classes.2 / 4,
+        "rebuilds ({rebuilt}) should be rare next to splices ({spliced})"
+    );
 }
 
 /// Forced-`Seq` engines must be bitwise identical to the batch driver run on
