@@ -420,6 +420,9 @@ fn run_dynamic(g: &Graph, n_batches: usize, seed: u64, opts: &ApgreOptions, top:
         t.elapsed(),
         engine.decomposition().num_subgraphs()
     );
+    // Drain the seed publish (it copies everything once) so the accounting
+    // printed after the replay covers exactly the edit stream's dirty set.
+    let _ = engine.snapshot();
 
     let mut totals = (0usize, 0usize, 0usize); // (noop, local, structural)
     let mut spliced = 0usize;
@@ -491,6 +494,15 @@ fn run_dynamic(g: &Graph, n_batches: usize, seed: u64, opts: &ApgreOptions, top:
         totals.2,
         maintain_total,
         rebuild_total,
+    );
+    let snap = engine.snapshot();
+    println!(
+        "publish: {} score span(s) copied / {} shared, {} graph chunk(s) copied / {} shared \
+         (snapshot cost tracks the dirty set; DESIGN.md \u{a7}3.11)",
+        snap.publish.score_chunks_copied,
+        snap.publish.score_chunks_reused,
+        snap.publish.graph_chunks_copied,
+        snap.publish.graph_chunks_reused,
     );
 
     let mut ranked: Vec<(usize, f64)> = engine.scores().iter().copied().enumerate().collect();

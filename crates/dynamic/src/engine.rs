@@ -3,12 +3,14 @@
 //! maintenance.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use apgre_bc::apgre::{ApgreReport, KernelChoice, SubgraphKernelRun};
 use apgre_bc::{run_subgraph_kernels, ApgreOptions};
 use apgre_decomp::{decompose, Decomposition, EdgeEdit, MaintainedDecomposition};
 use apgre_graph::{Graph, GraphOverlay};
+use apgre_store::{CowGraph, FoldStore, GraphView, PublishStats, ScoreChunks};
 
 use crate::mutation::{Mutation, MutationBatch};
 
@@ -97,11 +99,11 @@ impl DynamicReport {
 ///
 /// Holds a mutable [`GraphOverlay`], a [`MaintainedDecomposition`] (the
 /// block store that lets edge edits re-decompose only the affected region),
-/// one local score vector per sub-graph (`contribs`), and the folded global
-/// score vector. After every [`apply`](DynamicBc::apply) the scores equal
-/// what a from-scratch APGRE run would produce on the current graph (to
-/// 1e-9 relative; bitwise for the forced-`Seq` kernel against the engine's
-/// own decomposition).
+/// one local score vector per sub-graph (a slot-stable [`FoldStore`]), and
+/// the folded global score vector. After every [`apply`](DynamicBc::apply)
+/// the scores equal what a from-scratch APGRE run would produce on the
+/// current graph (to 1e-9 relative; bitwise for the forced-`Seq` kernel
+/// against the engine's own decomposition).
 ///
 /// Every undirected batch — including vertex additions and removals, which
 /// lower to edge edits — goes through the maintainer: edits interior to one
@@ -114,18 +116,30 @@ impl DynamicReport {
 /// [`set_force_rebuild`](DynamicBc::set_force_rebuild) escape hatch), where
 /// carry-forward falls back to fingerprint matching.
 ///
-/// The global vector is always **refolded from zeros in ascending sub-graph
+/// The global vector is always folded **from zeros in ascending sub-graph
 /// index order** rather than patched by subtract-then-add, so stored and
 /// folded contributions stay exactly consistent: the fold order matches the
 /// batch driver's reorder-buffer merge, and no floating-point cancellation
-/// error can accumulate across batches.
+/// error can accumulate across batches. After a maintained batch only the
+/// vertices whose owning sub-graphs changed are refolded — bitwise safe
+/// because every other vertex's fold input sequence is unchanged (splices
+/// preserve survivors' relative order and spans).
+///
+/// Publishing is copy-on-write: the engine mirrors every effective edit
+/// into a chunked [`CowGraph`] and keeps contributions as `Arc` spans in
+/// the [`FoldStore`], so [`snapshot`](DynamicBc::snapshot) costs O(dirty
+/// chunks) pointer work instead of materializing the graph and cloning the
+/// score vector (DESIGN.md §3.11).
 pub struct DynamicBc {
     opts: ApgreOptions,
     overlay: GraphOverlay,
     maintained: MaintainedDecomposition,
-    /// One local score vector per sub-graph, same indexing as
+    /// Chunked copy-on-write mirror of the overlay, fed the same effective
+    /// edits; snapshots share every chunk a batch did not touch.
+    cow: CowGraph,
+    /// One contribution span per sub-graph, same indexing as
     /// `decomposition().subgraphs`; `scores` is their Equation-8 fold.
-    contribs: Vec<Vec<f64>>,
+    fold: FoldStore,
     scores: Vec<f64>,
     /// When set, every batch takes the from-scratch rebuild path (the
     /// pre-maintenance behavior; kept as a benchmark arm and escape hatch).
@@ -150,25 +164,35 @@ impl DynamicBc {
     pub fn new(g: &Graph, opts: ApgreOptions) -> Self {
         let overlay = GraphOverlay::from_graph(g);
         let g = &overlay.to_graph();
+        let cow = CowGraph::from_graph(g);
         let maintained = MaintainedDecomposition::new(g, &opts.partition);
         let decomp = maintained.decomp();
         let all: Vec<usize> = (0..decomp.num_subgraphs()).collect();
         let runs = run_subgraph_kernels(decomp, &all, &opts);
         let mut report = structure_report(decomp, &opts);
         absorb_runs(&mut report, decomp.top_subgraph, &runs);
-        let contribs: Vec<Vec<f64>> = runs.into_iter().map(|r| r.local).collect();
-        let mut engine = DynamicBc {
+        let mut spans: Vec<(Arc<[u32]>, Arc<[f64]>)> = decomp
+            .subgraphs
+            .iter()
+            .map(|sg| (Arc::from(&sg.globals[..]), Arc::from(vec![0.0f64; sg.globals.len()])))
+            .collect();
+        for run in runs {
+            spans[run.index].1 = Arc::from(run.local);
+        }
+        let mut fold = FoldStore::default();
+        fold.rebuild(overlay.num_vertices(), spans);
+        let scores = fold.to_flat();
+        DynamicBc {
             opts,
             overlay,
             maintained,
-            contribs,
-            scores: Vec::new(),
+            cow,
+            fold,
+            scores,
             force_rebuild: false,
             report,
             last_batch: None,
-        };
-        engine.refold();
-        engine
+        }
     }
 
     /// The current global BC scores (ordered-pair convention, matching
@@ -207,13 +231,28 @@ impl DynamicBc {
         self.force_rebuild = on;
     }
 
-    /// Clones the engine's current state into an immutable, `Send + Sync`
+    /// Publishes the engine's current state as an immutable, `Send + Sync`
     /// [`EngineSnapshot`] a concurrent reader can hold (e.g. behind an
     /// `Arc` swapped on every publish) while the engine keeps mutating.
-    pub fn snapshot(&self) -> EngineSnapshot {
+    ///
+    /// Copy-on-write: the snapshot shares every graph chunk and score span
+    /// no batch touched since the previous snapshot, so its cost is
+    /// O(dirty chunks) `Arc` work, not O(V+E). Takes `&mut self` only to
+    /// close the publish accounting window ([`EngineSnapshot::publish`]) —
+    /// scores and graph are not mutated.
+    pub fn snapshot(&mut self) -> EngineSnapshot {
+        let (graph_copied, graph_total) = self.cow.take_copied();
+        let (score_copied, score_live) = self.fold.take_copied();
+        let publish = PublishStats {
+            score_chunks_copied: score_copied,
+            score_chunks_reused: score_live - score_copied,
+            graph_chunks_copied: graph_copied,
+            graph_chunks_reused: graph_total - graph_copied,
+        };
         EngineSnapshot {
-            graph: self.overlay.to_graph(),
-            scores: self.scores.clone(),
+            graph: self.cow.view(),
+            scores: self.fold.chunks(),
+            publish,
             num_subgraphs: self.decomposition().num_subgraphs(),
             num_articulation_points: self.report.num_articulation_points,
             report: self.report.clone(),
@@ -255,13 +294,18 @@ impl DynamicBc {
         // mutations actually changed state. Vertex removals lower to edge
         // removals (the id stays allocated, isolated), so the maintainer
         // sees a pure edge-edit stream; vertex additions only grow the id
-        // space, which the maintainer tracks via `num_vertices`.
+        // space, which the maintainer tracks via `num_vertices`. Effective
+        // undirected edits are mirrored into the copy-on-write graph as
+        // they happen; directed batches always rebuild, which resets it.
         let mut edits: Vec<EdgeEdit> = Vec::new();
         let mut noops = 0usize;
         for &m in batch.mutations() {
             match m {
                 Mutation::AddEdge(u, v) => {
                     if self.overlay.add_edge(u, v) {
+                        if !directed {
+                            self.cow.add_edge(u, v);
+                        }
                         edits.push(EdgeEdit { add: true, u, v });
                     } else {
                         noops += 1;
@@ -269,6 +313,9 @@ impl DynamicBc {
                 }
                 Mutation::RemoveEdge(u, v) => {
                     if self.overlay.remove_edge(u, v) {
+                        if !directed {
+                            self.cow.remove_edge(u, v);
+                        }
                         edits.push(EdgeEdit { add: false, u, v });
                     } else {
                         noops += 1;
@@ -276,12 +323,16 @@ impl DynamicBc {
                 }
                 Mutation::AddVertex => {
                     self.overlay.add_vertex();
+                    if !directed {
+                        self.cow.add_vertex();
+                    }
                 }
                 Mutation::RemoveVertex(v) => {
                     let nbrs =
                         if directed { Vec::new() } else { self.overlay.neighbors(v).to_vec() };
                     if self.overlay.remove_vertex(v) > 0 {
                         for w in nbrs {
+                            self.cow.remove_edge(v, w);
                             edits.push(EdgeEdit { add: false, u: v, v: w });
                         }
                     } else {
@@ -324,36 +375,63 @@ impl DynamicBc {
         report.wall_clock = start.elapsed();
 
         #[cfg(feature = "invariants")]
-        if !directed && self.maintained.store_valid() {
-            self.maintained
+        {
+            if !directed && self.maintained.store_valid() {
+                self.maintained
+                    .verify_against_fresh(&self.overlay.to_graph())
+                    .expect("maintained decomposition diverged from fresh decompose");
+            }
+            self.cow
                 .verify_against_fresh(&self.overlay.to_graph())
-                .expect("maintained decomposition diverged from fresh decompose");
+                .expect("copy-on-write graph diverged from the overlay");
+            let spans: Vec<(Arc<[u32]>, Arc<[f64]>)> = self
+                .maintained
+                .decomp()
+                .subgraphs
+                .iter()
+                .enumerate()
+                .map(|(i, sg)| (Arc::from(&sg.globals[..]), self.fold.values_of(i)))
+                .collect();
+            self.fold
+                .verify_against_fresh(self.overlay.num_vertices(), spans)
+                .expect("fold store diverged from a fresh rebuild");
+            let flat = self.fold.to_flat();
+            assert_eq!(flat.len(), self.scores.len(), "incremental refold length drift");
+            for (v, (full, inc)) in flat.iter().zip(&self.scores).enumerate() {
+                assert_eq!(
+                    full.to_bits(),
+                    inc.to_bits(),
+                    "incremental refold diverged from full refold at vertex {v}"
+                );
+            }
         }
 
         self.last_batch = Some(report.clone());
         report
     }
 
-    /// Commits a successful maintenance outcome: moves surviving
-    /// contributions by index, re-runs exactly the dirty kernels, refolds.
+    /// Commits a successful maintenance outcome: splices the contribution
+    /// store (survivors keep their spans by slot), re-runs exactly the
+    /// dirty kernels, and refolds exactly the vertices whose owning
+    /// sub-graphs changed.
     fn absorb_maintained(&mut self, outcome: apgre_decomp::MaintainOutcome) -> DynamicReport {
         let total = self.decomposition().num_subgraphs();
-        let mut contribs: Vec<Vec<f64>> = vec![Vec::new(); total];
-        for (old, contrib) in self.contribs.drain(..).enumerate() {
-            if let Some(new) = outcome.old_to_new[old] {
-                contribs[new as usize] = contrib;
-            }
-        }
-        self.contribs = contribs;
+        let n = self.overlay.num_vertices();
+        let new_globals: Vec<&[u32]> =
+            self.maintained.decomp().subgraphs.iter().map(|sg| &sg.globals[..]).collect();
+        let mut touched = self.fold.apply_splice(n, &outcome.old_to_new, &new_globals);
 
         let runs = run_subgraph_kernels(self.maintained.decomp(), &outcome.dirty, &self.opts);
         let top = self.maintained.decomp().top_subgraph;
         absorb_runs(&mut self.report, top, &runs);
         refresh_structure(&mut self.report, self.maintained.decomp());
         for run in runs {
-            self.contribs[run.index] = run.local;
+            touched.extend_from_slice(&self.maintained.decomp().subgraphs[run.index].globals);
+            self.fold.set_values(run.index, Arc::from(run.local));
         }
-        self.refold();
+        touched.sort_unstable();
+        touched.dedup();
+        self.refold_touched(&touched);
 
         let stats = outcome.stats;
         let class = if stats.spliced { BatchClass::Structural } else { BatchClass::Local };
@@ -386,23 +464,34 @@ impl DynamicBc {
         let t0 = Instant::now();
         let g = self.overlay.to_graph();
         let new_decomp = decompose(&g, &self.opts.partition);
+        if self.overlay.is_directed() {
+            // Directed edits are not mirrored in phase 1 (the cow stores
+            // forward arcs only through undirected edits); rebuild the
+            // chunked graph wholesale — a full rebuild pays O(V+E) anyway.
+            self.cow.reset_from(&g);
+        }
 
         // Multiset map: fingerprint -> stored contributions. Duplicate
         // fingerprints (e.g. many identical whisker stars) each carry at
-        // most once; the vectors are interchangeable because equal
+        // most once; the spans are interchangeable because equal
         // fingerprints mean bitwise-equal kernel inputs.
-        let mut carry: HashMap<u64, Vec<Vec<f64>>> = HashMap::new();
-        for (sg, contrib) in self.maintained.decomp().subgraphs.iter().zip(self.contribs.drain(..))
+        let mut carry: HashMap<u64, Vec<Arc<[f64]>>> = HashMap::new();
+        for (sg, contrib) in
+            self.maintained.decomp().subgraphs.iter().zip(self.fold.values_in_order())
         {
             carry.entry(sg.fingerprint()).or_default().push(contrib);
         }
 
         let total = new_decomp.num_subgraphs();
-        let mut contribs: Vec<Vec<f64>> = vec![Vec::new(); total];
+        let mut spans: Vec<(Arc<[u32]>, Arc<[f64]>)> = new_decomp
+            .subgraphs
+            .iter()
+            .map(|sg| (Arc::from(&sg.globals[..]), Arc::from(vec![0.0f64; sg.globals.len()])))
+            .collect();
         let mut misses: Vec<usize> = Vec::new();
         for (i, sg) in new_decomp.subgraphs.iter().enumerate() {
             match carry.get_mut(&sg.fingerprint()).and_then(Vec::pop) {
-                Some(v) => contribs[i] = v,
+                Some(v) => spans[i].1 = v,
                 None => misses.push(i),
             }
         }
@@ -419,7 +508,7 @@ impl DynamicBc {
         absorb_runs(&mut self.report, new_decomp.top_subgraph, &runs);
 
         for run in runs {
-            contribs[run.index] = run.local;
+            spans[run.index].1 = Arc::from(run.local);
         }
 
         if self.force_rebuild {
@@ -431,8 +520,8 @@ impl DynamicBc {
             self.maintained =
                 MaintainedDecomposition::from_decomposition(&g, new_decomp, &self.opts.partition);
         }
-        self.contribs = contribs;
-        self.refold();
+        self.fold.rebuild(self.overlay.num_vertices(), spans);
+        self.scores = self.fold.to_flat();
 
         let mut report = DynamicReport::empty(BatchClass::Structural, reason);
         report.dirty_subgraphs = recomputed;
@@ -443,36 +532,48 @@ impl DynamicBc {
         report
     }
 
-    /// Folds the stored contributions into the global score vector, from
-    /// zeros, in ascending sub-graph index order — the exact fold order of
-    /// the batch driver's reorder-buffer merge, so a forced-`Seq` engine is
-    /// bitwise-identical to `bc_from_decomposition` on the same
-    /// decomposition.
-    fn refold(&mut self) {
-        let n = self.overlay.num_vertices();
-        let mut scores = vec![0.0f64; n];
-        for (sg, contrib) in self.maintained.decomp().subgraphs.iter().zip(&self.contribs) {
-            for (l, &x) in contrib.iter().enumerate() {
-                scores[sg.globals[l] as usize] += x;
-            }
+    /// Refolds exactly `touched` (sorted, deduplicated) into the flat
+    /// score vector; every other entry is carried over untouched.
+    ///
+    /// Each refolded vertex is summed from `0.0` in ascending sub-graph
+    /// index order — the exact float-add sequence of a full from-zeros
+    /// refold. Untouched vertices keep their value, which is bitwise-equal
+    /// to what a full refold would produce: their owning sub-graphs all
+    /// survived with unchanged spans, and splices preserve survivors'
+    /// relative order, so their fold input sequence is identical. Hence a
+    /// forced-`Seq` engine stays bitwise-identical to
+    /// `bc_from_decomposition` on the same decomposition while paying
+    /// O(touched) instead of O(V) per batch.
+    fn refold_touched(&mut self, touched: &[u32]) {
+        self.scores.resize(self.overlay.num_vertices(), 0.0);
+        for &v in touched {
+            self.scores[v as usize] = self.fold.fold_vertex(v);
         }
-        self.scores = scores;
     }
 }
 
-/// An immutable, self-contained copy of a [`DynamicBc`]'s state at one
-/// instant: the materialized graph, the score vector, decomposition
-/// summary counts, and the cumulative + last-batch reports.
+/// An immutable, structurally-shared view of a [`DynamicBc`]'s state at
+/// one instant: the chunked graph, the chunked score vector, publish
+/// accounting, decomposition summary counts, and the cumulative +
+/// last-batch reports.
 ///
-/// Everything is owned (no borrows into the engine), so the snapshot is
-/// `Send + Sync` by construction and can be published behind an `Arc` to
-/// concurrent readers while the engine continues to mutate.
+/// Everything is owned or `Arc`-shared (no borrows into the engine), so
+/// the snapshot is `Send + Sync` by construction and can be published
+/// behind an `Arc` to concurrent readers while the engine continues to
+/// mutate — chunks the engine later rewrites are copied on write, never
+/// mutated in place.
 #[derive(Clone, Debug)]
 pub struct EngineSnapshot {
-    /// The graph the scores were computed on, as an immutable CSR.
-    pub graph: Graph,
-    /// Global BC scores (ordered-pair convention), indexed by vertex id.
-    pub scores: Vec<f64>,
+    /// The graph the scores were computed on ([`GraphView::to_graph`]
+    /// materializes a real CSR when one is needed, e.g. checkpointing).
+    pub graph: GraphView,
+    /// Global BC scores (ordered-pair convention), indexed by vertex id;
+    /// [`ScoreChunks::score`] folds one vertex, [`ScoreChunks::to_vec`]
+    /// the whole vector — both bitwise-equal to the engine's flat scores.
+    pub scores: ScoreChunks,
+    /// Chunk-reuse accounting for this publish: what this snapshot had to
+    /// copy versus what it shares with the previous one.
+    pub publish: PublishStats,
     /// Sub-graphs in the engine's decomposition at snapshot time.
     pub num_subgraphs: usize,
     /// Articulation points in the engine's decomposition at snapshot time.
@@ -816,22 +917,85 @@ mod tests {
         let g = clique_and_triangle();
         let mut engine = DynamicBc::new(&g, fine_opts());
         let snap = engine.snapshot();
-        assert_eq!(snap.scores, engine.scores());
+        assert_eq!(snap.scores.to_vec(), engine.scores());
         assert_eq!(snap.graph.num_edges(), engine.current_graph().num_edges());
         assert!(snap.last_batch.is_none());
 
         // Mutating the engine must not affect the already-taken snapshot.
         engine.apply(&MutationBatch::new().remove_edge(1, 2));
-        assert_ne!(snap.scores, engine.scores(), "engine moved on");
-        assert_close("snapshot still scores the old graph", &snap.scores, &bc_serial(&snap.graph));
+        assert_ne!(snap.scores.to_vec(), engine.scores(), "engine moved on");
+        assert_close(
+            "snapshot still scores the old graph",
+            &snap.scores.to_vec(),
+            &bc_serial(&snap.graph.to_graph()),
+        );
 
         let snap2 = engine.snapshot();
-        assert_eq!(snap2.scores, engine.scores());
+        assert_eq!(snap2.scores.to_vec(), engine.scores());
         assert_eq!(snap2.last_batch.as_ref().unwrap().class, BatchClass::Local);
 
         // Snapshots are Send + Sync by construction.
         fn assert_send_sync<T: Send + Sync>(_: &T) {}
         assert_send_sync(&snap2);
+    }
+
+    #[test]
+    fn publish_shares_everything_a_batch_did_not_touch() {
+        let g = clique_and_triangle();
+        let mut engine = DynamicBc::new(&g, fine_opts());
+        let first = engine.snapshot();
+        assert!(first.publish.score_chunks_copied > 0, "seed build copies everything");
+
+        // Nothing mutated since: a second publish copies zero chunks.
+        let second = engine.snapshot();
+        assert_eq!(second.publish.score_chunks_copied, 0);
+        assert_eq!(second.publish.graph_chunks_copied, 0);
+        assert_eq!(second.publish.score_chunks_reused, second.num_subgraphs);
+        assert!(second.publish.graph_chunks_reused > 0);
+
+        // A local chord toggle dirties exactly one sub-graph span; the
+        // graph fits one adjacency chunk, which the edit touched.
+        let rep = engine.apply(&MutationBatch::new().remove_edge(1, 2));
+        assert_eq!(rep.class, BatchClass::Local, "{}", rep.reason);
+        let third = engine.snapshot();
+        assert_eq!(third.publish.score_chunks_copied, 1);
+        assert_eq!(third.publish.score_chunks_reused, third.num_subgraphs - 1);
+        assert_eq!(third.publish.graph_chunks_copied, 1);
+        let shared = (0..third.num_subgraphs)
+            .filter(|&i| first.scores.shares_span(&third.scores, i))
+            .count();
+        assert_eq!(shared, third.num_subgraphs - 1, "only the K4 span was replaced");
+    }
+
+    #[test]
+    fn snapshot_scores_are_bitwise_the_engine_scores() {
+        let g = two_triangles();
+        let mut engine = DynamicBc::new(&g, fine_opts());
+        // Exercise every path: patch, splice, merge, vertex growth, and
+        // the forced-rebuild carry — the incremental refold plus the
+        // chunked per-vertex fold must stay bitwise-equal to the engine's
+        // flat vector throughout.
+        let batches = [
+            MutationBatch::new().remove_edge(0, 2),
+            MutationBatch::new().add_edge(0, 2).add_edge(5, 6),
+            MutationBatch::new().remove_edge(5, 6),
+            MutationBatch::new().add_vertex().add_edge(8, 2),
+            MutationBatch::new().remove_vertex(4),
+        ];
+        for (i, b) in batches.iter().enumerate() {
+            engine.apply(b);
+            let snap = engine.snapshot();
+            let flat = snap.scores.to_vec();
+            assert_eq!(flat.len(), engine.scores().len(), "batch {i}");
+            for (v, (chunked, eng)) in flat.iter().zip(engine.scores()).enumerate() {
+                assert_eq!(chunked.to_bits(), eng.to_bits(), "batch {i} vertex {v}");
+                assert_eq!(
+                    snap.scores.score(v).to_bits(),
+                    eng.to_bits(),
+                    "batch {i} vertex {v} single-vertex fold"
+                );
+            }
+        }
     }
 
     #[test]

@@ -22,8 +22,13 @@
 //! * [`bc_dynamic`] — the one-shot entry point: build, replay batches,
 //!   return final scores.
 //!
+//! Publishing ([`DynamicBc::snapshot`] / [`EngineSnapshot`]) is
+//! copy-on-write through `apgre-store`'s chunked [`GraphView`] and
+//! [`ScoreChunks`], so a snapshot costs O(chunks touched since the last
+//! one) instead of O(V+E); [`PublishStats`] accounts for the sharing.
+//!
 //! Correctness argument and the local/structural classification rules are
-//! in DESIGN.md §3.8.
+//! in DESIGN.md §3.8; the snapshot store's layering is §3.11.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,5 +36,6 @@
 mod engine;
 mod mutation;
 
+pub use apgre_store::{GraphView, PublishStats, ScoreChunks};
 pub use engine::{bc_dynamic, BatchClass, DynamicBc, DynamicReport, EngineSnapshot};
 pub use mutation::{Mutation, MutationBatch};

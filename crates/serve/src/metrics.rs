@@ -62,6 +62,9 @@ pub struct Metrics {
     pub decomp_maintain_seconds: LatencyHistogram,
     /// Wall clock of from-scratch re-decompositions, per rebuilt batch.
     pub decomp_rebuild_seconds: LatencyHistogram,
+    /// Wall clock of snapshot publication (copy-on-write engine snapshot
+    /// plus the cell swap), per publish.
+    pub publish_seconds: LatencyHistogram,
 }
 
 /// Upper bounds, in seconds, of the fixed latency histogram buckets (an
@@ -269,6 +272,32 @@ impl Metrics {
             "Snapshots swapped into the read cell (excludes the seed).",
             &[("", load(&self.snapshots_published))],
         );
+        self.publish_seconds.render_into(
+            &mut out,
+            "apgre_serve_publish_seconds",
+            "Snapshot publication (copy-on-write snapshot + cell swap) wall clock.",
+        );
+        let publish = &snapshot.engine.publish;
+        family(
+            &mut out,
+            "apgre_serve_publish_chunks_copied",
+            "gauge",
+            "Chunks the served snapshot's publish had to copy, by chunk kind.",
+            &[
+                ("{kind=\"graph\"}", publish.graph_chunks_copied.to_string()),
+                ("{kind=\"score\"}", publish.score_chunks_copied.to_string()),
+            ],
+        );
+        family(
+            &mut out,
+            "apgre_serve_publish_chunks_reused",
+            "gauge",
+            "Chunks the served snapshot shares with its predecessor, by chunk kind.",
+            &[
+                ("{kind=\"graph\"}", publish.graph_chunks_reused.to_string()),
+                ("{kind=\"score\"}", publish.score_chunks_reused.to_string()),
+            ],
+        );
         family(
             &mut out,
             "apgre_serve_queue_depth",
@@ -416,6 +445,10 @@ mod tests {
         assert!(text.contains("apgre_engine_decomp_maintain_seconds_count 1"));
         assert!(text.contains("apgre_engine_decomp_maintain_seconds_bucket{le=\"+Inf\"} 1"));
         assert!(text.contains("apgre_engine_decomp_rebuild_seconds_count 0"));
+        assert!(text.contains("apgre_serve_publish_seconds_count 0"));
+        assert!(text.contains("apgre_serve_publish_chunks_copied{kind=\"graph\"} 1"));
+        assert!(text.contains("apgre_serve_publish_chunks_copied{kind=\"score\"}"));
+        assert!(text.contains("apgre_serve_publish_chunks_reused{kind=\"graph\"} 0"));
         // Region-size counter reflects the splice.
         let region = format!("apgre_serve_spliced_region_blocks_total {}", rep.region_blocks);
         assert!(text.contains(&region), "missing {region}");

@@ -26,7 +26,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::mpsc::{Receiver, SyncSender, TryRecvError, TrySendError};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use apgre_bc::sync::{AtomicU32, Ordering};
 use apgre_bc::{bc_approx, ApgreOptions};
@@ -175,7 +175,7 @@ fn trigger_shutdown(shared: &Shared) {
 /// listening and the seed snapshot is published — the service is fully
 /// queryable when this returns.
 pub fn serve(graph: &Graph, cfg: ServeConfig) -> std::io::Result<ServerHandle> {
-    let engine = DynamicBc::new(graph, cfg.opts.clone());
+    let mut engine = DynamicBc::new(graph, cfg.opts.clone());
     let overlay = GraphOverlay::from_graph(&engine.current_graph());
     let seed = BcSnapshot::new(engine.snapshot(), 0, 0);
 
@@ -351,7 +351,7 @@ fn get_bc(shared: &Shared, req: &Request, vertex: &str) -> Response {
     match req.query_param("approx") {
         None => {
             let snap = shared.cell.load();
-            let Some(&score) = snap.engine.scores.get(v) else {
+            let Some(score) = snap.engine.scores.get(v) else {
                 return Response::text(404, "vertex out of range\n");
             };
             Metrics::inc(&shared.metrics.bc_requests);
@@ -388,7 +388,7 @@ fn get_bc_approx(shared: &Shared, v: usize, k: usize) -> Response {
     let fresh_enough = snap.generation == front_generation
         || snap.published_at.elapsed() <= shared.cfg.staleness_budget;
     if fresh_enough {
-        let Some(&score) = snap.engine.scores.get(v) else {
+        let Some(score) = snap.engine.scores.get(v) else {
             return Response::text(404, "vertex out of range\n");
         };
         Metrics::inc(&shared.metrics.bc_requests);
@@ -475,7 +475,10 @@ fn get_top(shared: &Shared, req: &Request) -> Response {
         if i > 0 {
             body.push(',');
         }
-        body.push_str(&format!("{{\"vertex\":{v},\"score\":{}}}", snap.engine.scores[v as usize]));
+        body.push_str(&format!(
+            "{{\"vertex\":{v},\"score\":{}}}",
+            snap.engine.scores.score(v as usize)
+        ));
     }
     body.push_str("]}");
     Metrics::inc(&shared.metrics.top_requests);
@@ -664,7 +667,9 @@ fn parse_mutations(text: &str) -> Result<MutationBatch, &'static str> {
 fn post_checkpoint(shared: &Shared) -> Response {
     let snap = shared.cell.load();
     let mut body = Vec::new();
-    if write_edge_list(&snap.engine.graph, &mut body).is_err() {
+    // Checkpointing wants a real CSR; materializing here keeps the cost on
+    // the (rare) checkpoint request instead of on every publish.
+    if write_edge_list(&snap.engine.graph.to_graph(), &mut body).is_err() {
         return Response::text(500, "serialization failed\n");
     }
     Metrics::inc(&shared.metrics.checkpoint_requests);
@@ -712,7 +717,9 @@ fn writer_loop(shared: &Shared, mut engine: DynamicBc, rx: &Receiver<QueuedBatch
         let report = engine.apply(&merged);
         shared.metrics.record_batch(&report, coalesced);
         seq += 1;
+        let publish_start = Instant::now();
         shared.cell.store(BcSnapshot::new(engine.snapshot(), seq, generation));
+        shared.metrics.publish_seconds.observe(publish_start.elapsed());
     }
 }
 

@@ -49,7 +49,9 @@ impl BcSnapshot {
     /// snapshot, on demand.
     pub fn ranked(&self) -> &[u32] {
         self.ranked.get_or_init(|| {
-            let scores = &self.engine.scores;
+            // Fold the chunked scores flat once: ranking reads every vertex
+            // anyway, and the flat vector makes the sort comparator O(1).
+            let scores = self.engine.scores.to_vec();
             let mut ids: Vec<u32> = (0..scores.len() as u32).collect();
             ids.sort_by(|&a, &b| {
                 scores[b as usize].total_cmp(&scores[a as usize]).then_with(|| a.cmp(&b))
@@ -104,7 +106,7 @@ mod tests {
 
     fn snap(seq: u64) -> BcSnapshot {
         let g = Graph::undirected_from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
-        let engine = DynamicBc::new(&g, ApgreOptions::default());
+        let mut engine = DynamicBc::new(&g, ApgreOptions::default());
         BcSnapshot::new(engine.snapshot(), seq, seq)
     }
 
@@ -114,7 +116,8 @@ mod tests {
         let ranked = s.ranked();
         assert_eq!(ranked.len(), 4);
         for w in ranked.windows(2) {
-            let (a, b) = (s.engine.scores[w[0] as usize], s.engine.scores[w[1] as usize]);
+            let (a, b) =
+                (s.engine.scores.score(w[0] as usize), s.engine.scores.score(w[1] as usize));
             assert!(a > b || (a == b && w[0] < w[1]), "total order");
         }
         // Path graph: the two interior vertices outrank the endpoints.

@@ -1,0 +1,588 @@
+//! The chunked copy-on-write graph: base CSR adjacency split into
+//! fixed-arity vertex chunks behind `Arc`s, with a thin sorted add/remove
+//! arc delta per chunk.
+//!
+//! Invariants (per chunk):
+//! * `added` and `removed` are sorted by `(local, target)` and disjoint,
+//! * `added` arcs are absent from the base CSR, `removed` arcs present,
+//! * undirected graphs store every edge as two arcs (one in each
+//!   endpoint's chunk), exactly like the CSR they mirror.
+//!
+//! Mutations copy only the chunk(s) of the edited endpoints (and only when
+//! the chunk is shared with a live snapshot — `Arc::make_mut`); a snapshot
+//! ([`CowGraph::view`]) is O(#chunks) pointer clones.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use apgre_graph::{Graph, VertexId};
+
+/// Vertices per adjacency chunk. Fixed arity keeps `vertex -> chunk` a
+/// shift and bounds the deep-copy a single edit can trigger.
+pub const GRAPH_CHUNK_SIZE: usize = 1024;
+const CHUNK_BITS: u32 = GRAPH_CHUNK_SIZE.trailing_zeros();
+
+/// Per-chunk delta budget: past this many outstanding add/remove arcs the
+/// chunk folds its deltas into the base CSR on the next mutation. The
+/// budget trades merge work per read (deltas scanned on every `neighbors`)
+/// against compaction churn; 256 keeps the delta scan trivially small next
+/// to a 1024-vertex base segment.
+const COMPACT_BUDGET: usize = 256;
+
+/// One chunk of adjacency: base CSR rows for `len` consecutive vertices
+/// starting at `first`, plus the outstanding arc deltas.
+#[derive(Clone, Debug)]
+struct AdjChunk {
+    /// First vertex id covered by this chunk.
+    first: VertexId,
+    /// Vertices covered (the tail chunk may be partial).
+    len: u32,
+    /// CSR row offsets into `targets`; `len + 1` entries.
+    offsets: Vec<u32>,
+    /// Base arc targets, in the order the source graph stored them
+    /// (ascending for materialized undirected graphs).
+    targets: Vec<VertexId>,
+    /// Arcs added since the last compaction, sorted by `(local, target)`.
+    added: Vec<(u32, VertexId)>,
+    /// Base arcs removed since the last compaction, sorted likewise.
+    removed: Vec<(u32, VertexId)>,
+}
+
+/// The delta entries of one local vertex (both delta lists are sorted by
+/// `(local, target)`, so the row is a contiguous range).
+fn delta_row(list: &[(u32, VertexId)], local: u32) -> &[(u32, VertexId)] {
+    let lo = list.partition_point(|&(l, _)| l < local);
+    let hi = lo + list[lo..].partition_point(|&(l, _)| l == local);
+    &list[lo..hi]
+}
+
+impl AdjChunk {
+    fn empty(first: VertexId) -> Self {
+        AdjChunk {
+            first,
+            len: 0,
+            offsets: vec![0],
+            targets: Vec::new(),
+            added: Vec::new(),
+            removed: Vec::new(),
+        }
+    }
+
+    fn base_row(&self, local: u32) -> &[VertexId] {
+        let lo = self.offsets[local as usize] as usize;
+        let hi = self.offsets[local as usize + 1] as usize;
+        &self.targets[lo..hi]
+    }
+
+    fn degree(&self, local: u32) -> usize {
+        self.base_row(local).len() + delta_row(&self.added, local).len()
+            - delta_row(&self.removed, local).len()
+    }
+
+    /// The merged adjacency row: base minus `removed` plus `added`. For a
+    /// base row in ascending target order (every materialized undirected
+    /// CSR) the merge is ascending too; with empty deltas it is the base
+    /// row verbatim in either case.
+    fn neighbors(&self, local: u32) -> Vec<VertexId> {
+        let base = self.base_row(local);
+        let add = delta_row(&self.added, local);
+        let rem = delta_row(&self.removed, local);
+        if add.is_empty() && rem.is_empty() {
+            return base.to_vec();
+        }
+        let mut out = Vec::with_capacity(base.len() + add.len() - rem.len());
+        let mut ai = 0;
+        let mut ri = 0;
+        for &t in base {
+            if ri < rem.len() && rem[ri].1 == t {
+                ri += 1;
+                continue;
+            }
+            while ai < add.len() && add[ai].1 < t {
+                out.push(add[ai].1);
+                ai += 1;
+            }
+            out.push(t);
+        }
+        while ai < add.len() {
+            out.push(add[ai].1);
+            ai += 1;
+        }
+        out
+    }
+
+    fn arc_count(&self) -> usize {
+        self.targets.len() + self.added.len() - self.removed.len()
+    }
+
+    /// Folds the deltas into the base CSR (no-op when there are none).
+    fn compact(&mut self) {
+        if self.added.is_empty() && self.removed.is_empty() {
+            return;
+        }
+        let mut offsets = Vec::with_capacity(self.len as usize + 1);
+        let mut targets = Vec::with_capacity(self.arc_count());
+        offsets.push(0u32);
+        for local in 0..self.len {
+            targets.extend_from_slice(&self.neighbors(local));
+            offsets.push(targets.len() as u32);
+        }
+        self.offsets = offsets;
+        self.targets = targets;
+        self.added.clear();
+        self.removed.clear();
+    }
+}
+
+/// The mutable, chunked copy-on-write graph owned by the engine. Mirrors
+/// the engine's [`apgre_graph::GraphOverlay`] edge-for-edge; the engine
+/// feeds it the same effective edits it feeds the decomposition
+/// maintainer.
+#[derive(Clone, Debug)]
+pub struct CowGraph {
+    directed: bool,
+    num_vertices: usize,
+    num_arcs: usize,
+    chunks: Vec<Arc<AdjChunk>>,
+    /// Chunks mutated since the last [`CowGraph::take_copied`] — exactly
+    /// the chunks the next snapshot cannot share with the previous one.
+    touched: HashSet<u32>,
+}
+
+impl CowGraph {
+    /// Builds the chunked representation from a materialized graph.
+    pub fn from_graph(g: &Graph) -> Self {
+        let mut cow = CowGraph {
+            directed: g.is_directed(),
+            num_vertices: 0,
+            num_arcs: 0,
+            chunks: Vec::new(),
+            touched: HashSet::new(),
+        };
+        cow.reset_from(g);
+        cow
+    }
+
+    /// Replaces the entire contents from a materialized graph (the engine's
+    /// from-scratch rebuild path). Every chunk is rebuilt, so the next
+    /// snapshot shares nothing — which is exactly what a full rebuild
+    /// costs.
+    pub fn reset_from(&mut self, g: &Graph) {
+        self.directed = g.is_directed();
+        self.num_vertices = g.num_vertices();
+        self.num_arcs = g.num_arcs();
+        self.chunks.clear();
+        let n = g.num_vertices();
+        let num_chunks = n.div_ceil(GRAPH_CHUNK_SIZE);
+        for c in 0..num_chunks {
+            let first = c * GRAPH_CHUNK_SIZE;
+            let len = GRAPH_CHUNK_SIZE.min(n - first);
+            let mut chunk = AdjChunk::empty(first as VertexId);
+            chunk.len = len as u32;
+            for v in first..first + len {
+                chunk.targets.extend_from_slice(g.out_neighbors(v as VertexId));
+                chunk.offsets.push(chunk.targets.len() as u32);
+            }
+            self.chunks.push(Arc::new(chunk));
+        }
+        self.touched = (0..num_chunks as u32).collect();
+    }
+
+    /// Whether the graph is directed.
+    pub fn is_directed(&self) -> bool {
+        self.directed
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Edges: arcs for directed graphs, undirected edges otherwise.
+    pub fn num_edges(&self) -> usize {
+        if self.directed {
+            self.num_arcs
+        } else {
+            self.num_arcs / 2
+        }
+    }
+
+    /// Outstanding (uncompacted) delta arcs across all chunks.
+    pub fn delta_arcs(&self) -> usize {
+        self.chunks.iter().map(|c| c.added.len() + c.removed.len()).sum()
+    }
+
+    /// Out-degree of `v`.
+    pub fn degree(&self, v: VertexId) -> usize {
+        let c = (v as usize) >> CHUNK_BITS;
+        self.chunks[c].degree(v - self.chunks[c].first)
+    }
+
+    /// Out-neighbours of `v` (merged base + deltas).
+    pub fn neighbors(&self, v: VertexId) -> Vec<VertexId> {
+        let c = (v as usize) >> CHUNK_BITS;
+        self.chunks[c].neighbors(v - self.chunks[c].first)
+    }
+
+    fn chunk_mut(&mut self, c: usize) -> &mut AdjChunk {
+        self.touched.insert(c as u32);
+        Arc::make_mut(&mut self.chunks[c])
+    }
+
+    /// Appends an isolated vertex and returns its id.
+    pub fn add_vertex(&mut self) -> VertexId {
+        let v = self.num_vertices as VertexId;
+        let c = self.num_vertices >> CHUNK_BITS;
+        if c == self.chunks.len() {
+            self.chunks.push(Arc::new(AdjChunk::empty((c * GRAPH_CHUNK_SIZE) as VertexId)));
+        }
+        let chunk = self.chunk_mut(c);
+        let end = chunk.offsets[chunk.offsets.len() - 1];
+        chunk.offsets.push(end);
+        chunk.len += 1;
+        self.num_vertices += 1;
+        v
+    }
+
+    fn add_arc(&mut self, u: VertexId, v: VertexId) {
+        let c = (u as usize) >> CHUNK_BITS;
+        let local = u - self.chunks[c].first;
+        let chunk = self.chunk_mut(c);
+        if let Ok(pos) = chunk.removed.binary_search(&(local, v)) {
+            // Re-adding a base arc: cancel the pending removal.
+            chunk.removed.remove(pos);
+        } else if let Err(pos) = chunk.added.binary_search(&(local, v)) {
+            chunk.added.insert(pos, (local, v));
+        } else {
+            debug_assert!(false, "arc {u}->{v} added twice");
+        }
+        if chunk.added.len() + chunk.removed.len() > COMPACT_BUDGET {
+            chunk.compact();
+        }
+    }
+
+    fn remove_arc(&mut self, u: VertexId, v: VertexId) {
+        let c = (u as usize) >> CHUNK_BITS;
+        let local = u - self.chunks[c].first;
+        let chunk = self.chunk_mut(c);
+        if let Ok(pos) = chunk.added.binary_search(&(local, v)) {
+            // Removing a not-yet-compacted addition: cancel it.
+            chunk.added.remove(pos);
+        } else if let Err(pos) = chunk.removed.binary_search(&(local, v)) {
+            debug_assert!(chunk.base_row(local).contains(&v), "arc {u}->{v} absent");
+            chunk.removed.insert(pos, (local, v));
+        } else {
+            debug_assert!(false, "arc {u}->{v} removed twice");
+        }
+        if chunk.added.len() + chunk.removed.len() > COMPACT_BUDGET {
+            chunk.compact();
+        }
+    }
+
+    /// Records an *effective* edge insertion (the caller — the engine's
+    /// overlay — has established the edge was absent). Undirected graphs
+    /// store the arc in both endpoint chunks.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) {
+        debug_assert_ne!(u, v, "self-loops are not representable");
+        self.add_arc(u, v);
+        self.num_arcs += 1;
+        if !self.directed {
+            self.add_arc(v, u);
+            self.num_arcs += 1;
+        }
+    }
+
+    /// Records an *effective* edge deletion (the edge was present).
+    pub fn remove_edge(&mut self, u: VertexId, v: VertexId) {
+        self.remove_arc(u, v);
+        self.num_arcs -= 1;
+        if !self.directed {
+            self.remove_arc(v, u);
+            self.num_arcs -= 1;
+        }
+    }
+
+    /// Folds every chunk's deltas into its base CSR. Touches (and thus
+    /// un-shares) only chunks that actually had deltas.
+    pub fn compact(&mut self) {
+        for c in 0..self.chunks.len() {
+            if !self.chunks[c].added.is_empty() || !self.chunks[c].removed.is_empty() {
+                self.chunk_mut(c).compact();
+            }
+        }
+    }
+
+    /// An immutable snapshot view: O(#chunks) `Arc` clones, no adjacency
+    /// copied.
+    pub fn view(&self) -> GraphView {
+        GraphView {
+            directed: self.directed,
+            num_vertices: self.num_vertices,
+            num_arcs: self.num_arcs,
+            chunks: self.chunks.clone(),
+        }
+    }
+
+    /// Publish accounting: `(chunks touched since the last call, total
+    /// chunks)`. Touched chunks are exactly those the next
+    /// [`view`](CowGraph::view) cannot share with the previous one;
+    /// resets the window.
+    pub fn take_copied(&mut self) -> (usize, usize) {
+        let copied = self.touched.len().min(self.chunks.len());
+        self.touched.clear();
+        (copied, self.chunks.len())
+    }
+
+    /// Cross-checks the chunked representation against a freshly
+    /// materialized graph: same CSR offsets and targets (and reverse CSR
+    /// for directed graphs). Used by the engine's `invariants` feature and
+    /// the property tests.
+    pub fn verify_against_fresh(&self, fresh: &Graph) -> Result<(), String> {
+        let mine = self.view().to_graph();
+        if mine.is_directed() != fresh.is_directed() {
+            return Err("directedness mismatch".to_owned());
+        }
+        if mine.num_vertices() != fresh.num_vertices() {
+            return Err(format!(
+                "vertex count mismatch: cow {} vs fresh {}",
+                mine.num_vertices(),
+                fresh.num_vertices()
+            ));
+        }
+        if mine.csr().offsets() != fresh.csr().offsets()
+            || mine.csr().targets() != fresh.csr().targets()
+        {
+            return Err("forward CSR mismatch between CowGraph and fresh graph".to_owned());
+        }
+        if fresh.is_directed()
+            && (mine.rev_csr().offsets() != fresh.rev_csr().offsets()
+                || mine.rev_csr().targets() != fresh.rev_csr().targets())
+        {
+            return Err("reverse CSR mismatch between CowGraph and fresh graph".to_owned());
+        }
+        Ok(())
+    }
+}
+
+/// An immutable, `Send + Sync` snapshot of a [`CowGraph`]: shares every
+/// chunk with the store (and with other views) by `Arc`. Mirrors the
+/// read-side surface of [`apgre_graph::Graph`] that the query service
+/// needs; [`GraphView::to_graph`] materializes a real CSR when one is
+/// required (checkpointing).
+#[derive(Clone, Debug)]
+pub struct GraphView {
+    directed: bool,
+    num_vertices: usize,
+    num_arcs: usize,
+    chunks: Vec<Arc<AdjChunk>>,
+}
+
+impl GraphView {
+    /// Whether the graph is directed.
+    pub fn is_directed(&self) -> bool {
+        self.directed
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Edges: arcs for directed graphs, undirected edges otherwise.
+    pub fn num_edges(&self) -> usize {
+        if self.directed {
+            self.num_arcs
+        } else {
+            self.num_arcs / 2
+        }
+    }
+
+    /// Directed arcs stored (`2·E` for undirected graphs).
+    pub fn num_arcs(&self) -> usize {
+        self.num_arcs
+    }
+
+    /// Out-degree of `v`.
+    pub fn degree(&self, v: VertexId) -> usize {
+        let c = (v as usize) >> CHUNK_BITS;
+        self.chunks[c].degree(v - self.chunks[c].first)
+    }
+
+    /// Out-neighbours of `v`, merged from the chunk's base row and deltas.
+    pub fn neighbors(&self, v: VertexId) -> Vec<VertexId> {
+        let c = (v as usize) >> CHUNK_BITS;
+        self.chunks[c].neighbors(v - self.chunks[c].first)
+    }
+
+    /// Adjacency chunks backing this view.
+    pub fn num_chunks(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Whether this view and `other` share the backing storage of the
+    /// chunk covering vertex `v` (test/metrics introspection).
+    pub fn shares_chunk(&self, other: &GraphView, v: VertexId) -> bool {
+        let c = (v as usize) >> CHUNK_BITS;
+        match (self.chunks.get(c), other.chunks.get(c)) {
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+
+    /// Materializes a real CSR [`Graph`]. For undirected graphs the result
+    /// is CSR-identical to `GraphOverlay::to_graph` on the same edge set
+    /// (both normalize through [`Graph::undirected_from_edges`], which
+    /// sorts and symmetrizes); for directed graphs arcs are emitted in
+    /// stored order, so a delta-free view reproduces its source CSR
+    /// verbatim.
+    pub fn to_graph(&self) -> Graph {
+        if self.directed {
+            let mut arcs: Vec<(VertexId, VertexId)> = Vec::with_capacity(self.num_arcs);
+            for chunk in &self.chunks {
+                for local in 0..chunk.len {
+                    let u = chunk.first + local;
+                    for t in chunk.neighbors(local) {
+                        arcs.push((u, t));
+                    }
+                }
+            }
+            Graph::directed_from_edges(self.num_vertices, &arcs)
+        } else {
+            let mut edges: Vec<(VertexId, VertexId)> = Vec::with_capacity(self.num_arcs / 2);
+            for chunk in &self.chunks {
+                for local in 0..chunk.len {
+                    let u = chunk.first + local;
+                    for t in chunk.neighbors(local) {
+                        if u < t {
+                            edges.push((u, t));
+                        }
+                    }
+                }
+            }
+            Graph::undirected_from_edges(self.num_vertices, &edges)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(n: usize) -> Graph {
+        let edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+        Graph::undirected_from_edges(n, &edges)
+    }
+
+    #[test]
+    fn round_trip_is_csr_identical() {
+        let g = path(10);
+        let cow = CowGraph::from_graph(&g);
+        cow.verify_against_fresh(&g).expect("round trip");
+        assert_eq!(cow.num_vertices(), 10);
+        assert_eq!(cow.num_edges(), 9);
+        assert_eq!(cow.neighbors(1), vec![0, 2]);
+    }
+
+    #[test]
+    fn edits_merge_into_reads_and_to_graph() {
+        let g = path(6);
+        let mut cow = CowGraph::from_graph(&g);
+        cow.take_copied();
+        cow.add_edge(0, 3);
+        cow.remove_edge(1, 2);
+        assert_eq!(cow.neighbors(0), vec![1, 3]);
+        assert_eq!(cow.neighbors(1), vec![0]);
+        assert_eq!(cow.degree(3), 3);
+        assert_eq!(cow.num_edges(), 5);
+        let fresh = Graph::undirected_from_edges(6, &[(0, 1), (0, 3), (2, 3), (3, 4), (4, 5)]);
+        cow.verify_against_fresh(&fresh).expect("delta merge");
+    }
+
+    #[test]
+    fn add_then_remove_cancels_and_reverse() {
+        let g = path(4);
+        let mut cow = CowGraph::from_graph(&g);
+        cow.add_edge(0, 2);
+        cow.remove_edge(0, 2);
+        assert_eq!(cow.delta_arcs(), 0, "add then remove cancels");
+        cow.remove_edge(0, 1);
+        cow.add_edge(0, 1);
+        assert_eq!(cow.delta_arcs(), 0, "remove then re-add cancels");
+        cow.verify_against_fresh(&g).expect("back to start");
+    }
+
+    #[test]
+    fn views_share_untouched_chunks() {
+        // Two chunks: 1500 vertices.
+        let g = path(1500);
+        let mut cow = CowGraph::from_graph(&g);
+        let (copied, total) = cow.take_copied();
+        assert_eq!((copied, total), (2, 2), "initial build copies everything");
+        let before = cow.view();
+        cow.add_edge(0, 2); // both endpoints in chunk 0
+        let after = cow.view();
+        assert!(before.shares_chunk(&after, 1400), "chunk 1 untouched");
+        assert!(!before.shares_chunk(&after, 0), "chunk 0 copied");
+        assert_eq!(cow.take_copied(), (1, 2));
+        assert_eq!(before.neighbors(0), vec![1], "old view unaffected");
+        assert_eq!(after.neighbors(0), vec![1, 2]);
+    }
+
+    #[test]
+    fn compaction_preserves_the_graph() {
+        let g = path(8);
+        let mut cow = CowGraph::from_graph(&g);
+        cow.add_edge(0, 4);
+        cow.remove_edge(2, 3);
+        assert!(cow.delta_arcs() > 0);
+        cow.compact();
+        assert_eq!(cow.delta_arcs(), 0);
+        let fresh = Graph::undirected_from_edges(
+            8,
+            &[(0, 1), (0, 4), (1, 2), (3, 4), (4, 5), (5, 6), (6, 7)],
+        );
+        cow.verify_against_fresh(&fresh).expect("post-compact");
+    }
+
+    #[test]
+    fn auto_compaction_bounds_deltas() {
+        // A star big enough to overflow one chunk's delta budget.
+        let g = Graph::undirected_from_edges(600, &[(0, 1)]);
+        let mut cow = CowGraph::from_graph(&g);
+        for v in 2..600u32 {
+            cow.add_edge(0, v);
+        }
+        assert!(
+            cow.delta_arcs() <= 2 * (COMPACT_BUDGET + 1),
+            "deltas stay bounded: {}",
+            cow.delta_arcs()
+        );
+        let edges: Vec<(u32, u32)> = (1..600u32).map(|v| (0, v)).collect();
+        cow.verify_against_fresh(&Graph::undirected_from_edges(600, &edges)).expect("star");
+    }
+
+    #[test]
+    fn vertex_growth_spans_chunks() {
+        let g = path(GRAPH_CHUNK_SIZE); // exactly one full chunk
+        let mut cow = CowGraph::from_graph(&g);
+        let v = cow.add_vertex();
+        assert_eq!(v as usize, GRAPH_CHUNK_SIZE);
+        assert_eq!(cow.view().num_chunks(), 2, "growth opened a new chunk");
+        cow.add_edge(v, 0);
+        assert_eq!(cow.neighbors(v), vec![0]);
+        let mut edges: Vec<(u32, u32)> =
+            (0..GRAPH_CHUNK_SIZE as u32 - 1).map(|i| (i, i + 1)).collect();
+        edges.push((v, 0));
+        cow.verify_against_fresh(&Graph::undirected_from_edges(GRAPH_CHUNK_SIZE + 1, &edges))
+            .expect("grown");
+    }
+
+    #[test]
+    fn directed_reset_reproduces_csr() {
+        let g = Graph::directed_from_edges(5, &[(0, 1), (1, 2), (2, 0), (3, 1), (2, 4)]);
+        let cow = CowGraph::from_graph(&g);
+        assert!(cow.is_directed());
+        assert_eq!(cow.num_edges(), 5);
+        cow.verify_against_fresh(&g).expect("directed round trip");
+    }
+}

@@ -1,0 +1,615 @@
+//! Per-sub-graph score chunks with a slot-stable layout.
+//!
+//! The engine's global score vector is the Equation-8 fold of one local
+//! contribution vector per sub-graph, added in **ascending sub-graph index
+//! order** (the bitwise determinism anchor, DESIGN.md §3.8). This module
+//! stores exactly those contributions — one `Arc<[f64]>` span per
+//! sub-graph — plus enough indexing to fold any single vertex on demand in
+//! the same order:
+//!
+//! * **Slots.** Sub-graph indices are renumbered by every structural
+//!   splice (survivors compact downward, fresh groups append at the tail),
+//!   so per-vertex owner entries reference a stable *slot* instead. A
+//!   splice then rewrites only the O(S) `order`/`rank` maps, never the
+//!   owner entries of untouched vertices.
+//! * **Owner index.** `vertex -> [(slot, local)]` lists, chunked
+//!   [`INDEX_CHUNK_SIZE`] vertices per `Arc` so a splice deep-copies only
+//!   the chunks containing touched vertices. Entries are unordered; folds
+//!   sort the (tiny — one per owning sub-graph) list by current rank.
+//! * **Fold order.** [`FoldStore::fold_vertex`] and
+//!   [`ScoreChunks::score`] start from `0.0` and add owner contributions
+//!   in ascending current-index order — the exact float-add sequence of
+//!   the full from-zeros refold, hence bitwise-identical results.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use apgre_graph::VertexId;
+
+/// Vertices per owner-index chunk.
+pub const INDEX_CHUNK_SIZE: usize = 1024;
+const INDEX_CHUNK_BITS: u32 = INDEX_CHUNK_SIZE.trailing_zeros();
+
+/// Owner entries for one run of [`INDEX_CHUNK_SIZE`] consecutive vertices:
+/// CSR-style offsets into a flat `(slot, local)` pair list.
+#[derive(Clone, Debug)]
+struct IndexChunk {
+    /// Per-vertex entry ranges; `covered_vertices + 1` offsets. Vertices
+    /// past the covered prefix (grown after the chunk was last rebuilt)
+    /// implicitly have no entries.
+    offsets: Vec<u32>,
+    /// `(slot, local)` owner pairs, unordered within a vertex.
+    pairs: Vec<(u32, u32)>,
+}
+
+impl IndexChunk {
+    fn empty() -> Self {
+        IndexChunk { offsets: vec![0], pairs: Vec::new() }
+    }
+
+    fn entries(&self, local: usize) -> &[(u32, u32)] {
+        if local + 1 >= self.offsets.len() {
+            return &[];
+        }
+        &self.pairs[self.offsets[local] as usize..self.offsets[local + 1] as usize]
+    }
+}
+
+/// Folds one vertex's score from its owner entries, in ascending
+/// current-index order, starting from `0.0` — the same float-add sequence
+/// as the full refold.
+fn fold_at(
+    index: &[Arc<IndexChunk>],
+    rank: &[u32],
+    values: &[Option<Arc<[f64]>>],
+    v: usize,
+) -> f64 {
+    let chunk = v >> INDEX_CHUNK_BITS;
+    let entries = match index.get(chunk) {
+        Some(c) => c.entries(v & (INDEX_CHUNK_SIZE - 1)),
+        None => &[],
+    };
+    let mut owners: Vec<(u32, u32)> = entries.to_vec();
+    if owners.len() > 1 {
+        owners.sort_unstable_by_key(|&(slot, _)| rank[slot as usize]);
+    }
+    let mut acc = 0.0f64;
+    for (slot, local) in owners {
+        if let Some(vals) = &values[slot as usize] {
+            acc += vals[local as usize];
+        }
+    }
+    acc
+}
+
+/// The engine-side store: slot-addressed per-sub-graph contribution spans,
+/// the `index <-> slot` maps, and the chunked per-vertex owner index.
+///
+/// The engine is the only mutator; [`FoldStore::chunks`] snapshots the
+/// whole store in O(sub-graphs + vertices/[`INDEX_CHUNK_SIZE`]) `Arc`
+/// clones.
+#[derive(Debug, Default)]
+pub struct FoldStore {
+    num_vertices: usize,
+    /// Per-slot sub-graph vertex lists (`None` = free slot). Retained for
+    /// dead slots' vertices at splice time, so the engine never needs the
+    /// pre-splice decomposition.
+    globals: Vec<Option<Arc<[u32]>>>,
+    /// Per-slot contribution spans, aligned with `globals`.
+    values: Vec<Option<Arc<[f64]>>>,
+    free: Vec<u32>,
+    /// Current sub-graph index -> slot (ascending fold order).
+    order: Vec<u32>,
+    /// Slot -> current sub-graph index (`u32::MAX` when dead).
+    rank: Vec<u32>,
+    index: Vec<Arc<IndexChunk>>,
+    /// Slots whose value span was replaced since the last
+    /// [`FoldStore::take_copied`] window.
+    copied: HashSet<u32>,
+}
+
+impl FoldStore {
+    /// Replaces the whole store from a full set of `(vertex list,
+    /// contribution)` pairs in sub-graph index order (seed and rebuild
+    /// paths — O(V) by nature there).
+    pub fn rebuild(&mut self, num_vertices: usize, subgraphs: Vec<(Arc<[u32]>, Arc<[f64]>)>) {
+        let count = subgraphs.len();
+        self.num_vertices = num_vertices;
+        self.free.clear();
+        self.globals = Vec::with_capacity(count);
+        self.values = Vec::with_capacity(count);
+        self.order = (0..count as u32).collect();
+        self.rank = (0..count as u32).collect();
+        self.copied = (0..count as u32).collect();
+        let mut entries: Vec<(u32, (u32, u32))> = Vec::new();
+        for (slot, (globals, values)) in subgraphs.into_iter().enumerate() {
+            assert_eq!(globals.len(), values.len(), "contribution span mismatch");
+            for (local, &v) in globals.iter().enumerate() {
+                entries.push((v, (slot as u32, local as u32)));
+            }
+            self.globals.push(Some(globals));
+            self.values.push(Some(values));
+        }
+        entries.sort_unstable_by_key(|&(v, _)| v);
+        let num_chunks = num_vertices.div_ceil(INDEX_CHUNK_SIZE);
+        self.index = Vec::with_capacity(num_chunks);
+        let mut ei = 0;
+        for c in 0..num_chunks {
+            let first = c * INDEX_CHUNK_SIZE;
+            let len = INDEX_CHUNK_SIZE.min(num_vertices - first);
+            let mut chunk = IndexChunk::empty();
+            for local in 0..len {
+                let v = (first + local) as u32;
+                while ei < entries.len() && entries[ei].0 == v {
+                    chunk.pairs.push(entries[ei].1);
+                    ei += 1;
+                }
+                chunk.offsets.push(chunk.pairs.len() as u32);
+            }
+            self.index.push(Arc::new(chunk));
+        }
+    }
+
+    /// Number of sub-graphs currently stored.
+    pub fn num_subgraphs(&self) -> usize {
+        self.order.len()
+    }
+
+    /// The contribution span of sub-graph `index` (current indexing).
+    pub fn values_of(&self, index: usize) -> Arc<[f64]> {
+        let slot = self.order[index] as usize;
+        match &self.values[slot] {
+            Some(v) => Arc::clone(v),
+            None => Arc::from(Vec::new()),
+        }
+    }
+
+    /// All contribution spans in current sub-graph index order (`Arc`
+    /// clones; used by the rebuild path's fingerprint carry-forward).
+    pub fn values_in_order(&self) -> Vec<Arc<[f64]>> {
+        (0..self.order.len()).map(|i| self.values_of(i)).collect()
+    }
+
+    /// Replaces the contribution span of sub-graph `index` (current
+    /// indexing) after its kernel re-ran.
+    pub fn set_values(&mut self, index: usize, values: Arc<[f64]>) {
+        let slot = self.order[index] as usize;
+        match &self.globals[slot] {
+            Some(g) => assert_eq!(g.len(), values.len(), "contribution span mismatch"),
+            None => panic!("set_values on a free slot"),
+        }
+        self.values[slot] = Some(values);
+        self.copied.insert(slot as u32);
+    }
+
+    /// Applies a structural splice: `old_to_new` maps pre-splice sub-graph
+    /// indices to post-splice ones (`None` = dissolved), `new_globals`
+    /// lists every post-splice sub-graph's vertex list (only consulted for
+    /// fresh ones). Fresh sub-graphs get zeroed placeholder spans — the
+    /// engine overwrites them via [`FoldStore::set_values`], since every
+    /// fresh sub-graph is dirty by construction.
+    ///
+    /// Returns the sorted, deduplicated vertices whose owner set changed
+    /// (members of dissolved and fresh sub-graphs); the engine refolds
+    /// exactly these into its flat score vector. Every other vertex's fold
+    /// input sequence is unchanged: survivors keep their relative order
+    /// and unchanged spans, so its folded score is bitwise-stable.
+    pub fn apply_splice(
+        &mut self,
+        num_vertices: usize,
+        old_to_new: &[Option<u32>],
+        new_globals: &[&[u32]],
+    ) -> Vec<u32> {
+        assert_eq!(old_to_new.len(), self.order.len(), "splice map arity");
+        let mut new_order = vec![u32::MAX; new_globals.len()];
+        let mut touched: Vec<u32> = Vec::new();
+        let mut dead = vec![false; self.globals.len()];
+
+        for (old, &dst) in old_to_new.iter().enumerate() {
+            let slot = self.order[old];
+            match dst {
+                Some(n) => {
+                    new_order[n as usize] = slot;
+                    debug_assert_eq!(
+                        self.globals[slot as usize].as_deref(),
+                        Some(new_globals[n as usize]),
+                        "survivor {old}->{n} changed its vertex set"
+                    );
+                }
+                None => {
+                    dead[slot as usize] = true;
+                    if let Some(g) = &self.globals[slot as usize] {
+                        touched.extend_from_slice(g);
+                    }
+                    self.globals[slot as usize] = None;
+                    self.values[slot as usize] = None;
+                    self.free.push(slot);
+                    self.copied.remove(&slot);
+                }
+            }
+        }
+
+        let mut fresh: HashMap<u32, Vec<(u32, u32)>> = HashMap::new();
+        for (n, slot) in new_order.iter_mut().enumerate() {
+            if *slot != u32::MAX {
+                continue;
+            }
+            let s = match self.free.pop() {
+                Some(s) => s,
+                None => {
+                    self.globals.push(None);
+                    self.values.push(None);
+                    dead.push(false);
+                    (self.globals.len() - 1) as u32
+                }
+            };
+            let g: Arc<[u32]> = Arc::from(new_globals[n]);
+            for (local, &v) in g.iter().enumerate() {
+                fresh.entry(v).or_default().push((s, local as u32));
+                touched.push(v);
+            }
+            self.values[s as usize] = Some(Arc::from(vec![0.0f64; g.len()]));
+            self.globals[s as usize] = Some(g);
+            self.copied.insert(s);
+            *slot = s;
+        }
+
+        self.order = new_order;
+        self.rank = vec![u32::MAX; self.globals.len()];
+        for (i, &s) in self.order.iter().enumerate() {
+            self.rank[s as usize] = i as u32;
+        }
+
+        // Vertex growth: cover new ids with (implicitly empty) chunks.
+        let num_chunks = num_vertices.div_ceil(INDEX_CHUNK_SIZE);
+        while self.index.len() < num_chunks {
+            self.index.push(Arc::new(IndexChunk::empty()));
+        }
+        self.num_vertices = num_vertices;
+
+        touched.sort_unstable();
+        touched.dedup();
+        // Rebuild the owner lists of touched vertices, one affected chunk
+        // at a time; untouched chunks stay shared.
+        let mut i = 0;
+        while i < touched.len() {
+            let c = (touched[i] as usize) >> INDEX_CHUNK_BITS;
+            let mut j = i + 1;
+            while j < touched.len() && (touched[j] as usize) >> INDEX_CHUNK_BITS == c {
+                j += 1;
+            }
+            self.rebuild_index_chunk(c, &touched[i..j], &dead, &fresh);
+            i = j;
+        }
+        touched
+    }
+
+    /// Replaces owner-index chunk `c`, recomputing the entries of
+    /// `touched` vertices (all within the chunk) and carrying everything
+    /// else over verbatim.
+    fn rebuild_index_chunk(
+        &mut self,
+        c: usize,
+        touched: &[u32],
+        dead: &[bool],
+        fresh: &HashMap<u32, Vec<(u32, u32)>>,
+    ) {
+        let old = Arc::clone(&self.index[c]);
+        let first = c * INDEX_CHUNK_SIZE;
+        let len = INDEX_CHUNK_SIZE.min(self.num_vertices - first);
+        let mut chunk = IndexChunk {
+            offsets: Vec::with_capacity(len + 1),
+            pairs: Vec::with_capacity(old.pairs.len()),
+        };
+        chunk.offsets.push(0);
+        let mut ti = 0;
+        for local in 0..len {
+            let v = (first + local) as u32;
+            let is_touched = ti < touched.len() && touched[ti] == v;
+            if is_touched {
+                ti += 1;
+                for &(slot, sl) in old.entries(local) {
+                    if !dead[slot as usize] {
+                        chunk.pairs.push((slot, sl));
+                    }
+                }
+                if let Some(extra) = fresh.get(&v) {
+                    chunk.pairs.extend_from_slice(extra);
+                }
+            } else {
+                chunk.pairs.extend_from_slice(old.entries(local));
+            }
+            chunk.offsets.push(chunk.pairs.len() as u32);
+        }
+        debug_assert_eq!(ti, touched.len(), "touched vertex outside chunk {c}");
+        self.index[c] = Arc::new(chunk);
+    }
+
+    /// Folds one vertex's score (ascending sub-graph index order, from
+    /// `0.0`).
+    pub fn fold_vertex(&self, v: VertexId) -> f64 {
+        fold_at(&self.index, &self.rank, &self.values, v as usize)
+    }
+
+    /// The full score vector, folded from zeros in ascending sub-graph
+    /// index order — bitwise-identical to the engine's historical
+    /// `refold`.
+    pub fn to_flat(&self) -> Vec<f64> {
+        let mut out = vec![0.0f64; self.num_vertices];
+        for &slot in &self.order {
+            if let (Some(globals), Some(values)) =
+                (&self.globals[slot as usize], &self.values[slot as usize])
+            {
+                for (local, &v) in globals.iter().enumerate() {
+                    out[v as usize] += values[local];
+                }
+            }
+        }
+        out
+    }
+
+    /// An immutable snapshot of the store: O(sub-graphs +
+    /// vertices/[`INDEX_CHUNK_SIZE`]) `Arc` clones.
+    pub fn chunks(&self) -> ScoreChunks {
+        ScoreChunks {
+            num_vertices: self.num_vertices,
+            order: self.order.clone(),
+            rank: self.rank.clone(),
+            globals: self.globals.clone(),
+            values: self.values.clone(),
+            index: self.index.clone(),
+        }
+    }
+
+    /// Publish accounting: `(value spans replaced since the last call,
+    /// live sub-graphs)`; resets the window.
+    pub fn take_copied(&mut self) -> (usize, usize) {
+        let copied = self.copied.len().min(self.order.len());
+        self.copied.clear();
+        (copied, self.order.len())
+    }
+
+    /// Cross-checks internal consistency against a freshly-built store
+    /// over the same `(vertex list, contribution)` pairs: identical flat
+    /// fold (bitwise) and identical per-vertex folds. Used by the engine's
+    /// `invariants` feature and the property tests.
+    pub fn verify_against_fresh(
+        &self,
+        num_vertices: usize,
+        subgraphs: Vec<(Arc<[u32]>, Arc<[f64]>)>,
+    ) -> Result<(), String> {
+        let mut fresh = FoldStore::default();
+        fresh.rebuild(num_vertices, subgraphs);
+        let want = fresh.to_flat();
+        let got = self.to_flat();
+        if got.len() != want.len() {
+            return Err(format!("length mismatch: {} vs {}", got.len(), want.len()));
+        }
+        for (v, (g, w)) in got.iter().zip(&want).enumerate() {
+            if g.to_bits() != w.to_bits() {
+                return Err(format!("flat fold diverged at vertex {v}: {g} vs {w}"));
+            }
+            let single = self.fold_vertex(v as u32);
+            if single.to_bits() != w.to_bits() {
+                return Err(format!("fold_vertex diverged at vertex {v}: {single} vs {w}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// An immutable, `Send + Sync` snapshot of a [`FoldStore`]: per-sub-graph
+/// score spans shared by `Arc`, plus the owner index for per-vertex folds.
+/// This is what [`apgre-serve`]'s snapshots hold instead of a flat
+/// `Vec<f64>` clone.
+///
+/// [`apgre-serve`]: index.html
+#[derive(Clone, Debug)]
+pub struct ScoreChunks {
+    num_vertices: usize,
+    order: Vec<u32>,
+    rank: Vec<u32>,
+    globals: Vec<Option<Arc<[u32]>>>,
+    values: Vec<Option<Arc<[f64]>>>,
+    index: Vec<Arc<IndexChunk>>,
+}
+
+impl ScoreChunks {
+    /// Number of vertices covered (the length of [`ScoreChunks::to_vec`]).
+    pub fn len(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Whether the score vector is empty.
+    pub fn is_empty(&self) -> bool {
+        self.num_vertices == 0
+    }
+
+    /// Number of per-sub-graph score spans.
+    pub fn num_subgraph_chunks(&self) -> usize {
+        self.order.len()
+    }
+
+    /// One vertex's score, folded from its owning sub-graphs' spans in
+    /// ascending sub-graph index order from `0.0` — bitwise-identical to
+    /// `to_vec()[v]`.
+    ///
+    /// # Panics
+    /// Panics when `v >= len()` (use [`ScoreChunks::get`] for checked
+    /// access).
+    pub fn score(&self, v: usize) -> f64 {
+        assert!(v < self.num_vertices, "vertex {v} out of range");
+        fold_at(&self.index, &self.rank, &self.values, v)
+    }
+
+    /// Checked [`ScoreChunks::score`].
+    pub fn get(&self, v: usize) -> Option<f64> {
+        if v < self.num_vertices {
+            Some(fold_at(&self.index, &self.rank, &self.values, v))
+        } else {
+            None
+        }
+    }
+
+    /// The flat score vector, folded from zeros in ascending sub-graph
+    /// index order (bitwise-identical to the engine's flat scores).
+    pub fn to_vec(&self) -> Vec<f64> {
+        let mut out = vec![0.0f64; self.num_vertices];
+        for &slot in &self.order {
+            if let (Some(globals), Some(values)) =
+                (&self.globals[slot as usize], &self.values[slot as usize])
+            {
+                for (local, &v) in globals.iter().enumerate() {
+                    out[v as usize] += values[local];
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether this snapshot and `other` share the backing span of
+    /// sub-graph `index` (test/metrics introspection; both indices are in
+    /// the *respective* snapshot's ordering).
+    pub fn shares_span(&self, other: &ScoreChunks, index: usize) -> bool {
+        match (self.order.get(index), other.order.get(index)) {
+            (Some(&a), Some(&b)) => match (&self.values[a as usize], &other.values[b as usize]) {
+                (Some(x), Some(y)) => Arc::ptr_eq(x, y),
+                _ => false,
+            },
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arc_u32(v: &[u32]) -> Arc<[u32]> {
+        Arc::from(v)
+    }
+
+    fn arc_f64(v: &[f64]) -> Arc<[f64]> {
+        Arc::from(v)
+    }
+
+    /// Two sub-graphs sharing vertex 2 (an articulation point).
+    fn seed() -> FoldStore {
+        let mut store = FoldStore::default();
+        store.rebuild(
+            6,
+            vec![
+                (arc_u32(&[0, 1, 2]), arc_f64(&[1.0, 2.0, 3.0])),
+                (arc_u32(&[2, 3, 4]), arc_f64(&[0.5, 6.0, 7.0])),
+            ],
+        );
+        store
+    }
+
+    #[test]
+    fn flat_and_per_vertex_folds_agree() {
+        let store = seed();
+        let flat = store.to_flat();
+        assert_eq!(flat, vec![1.0, 2.0, 3.5, 6.0, 7.0, 0.0]);
+        for v in 0..6 {
+            assert_eq!(store.fold_vertex(v).to_bits(), flat[v as usize].to_bits());
+        }
+        let snap = store.chunks();
+        assert_eq!(snap.to_vec(), flat);
+        assert_eq!(snap.score(2).to_bits(), flat[2].to_bits());
+        assert_eq!(snap.get(6), None);
+    }
+
+    #[test]
+    fn set_values_updates_only_its_span() {
+        let mut store = seed();
+        let before = store.chunks();
+        store.take_copied();
+        store.set_values(1, arc_f64(&[1.5, 1.5, 1.5]));
+        let after = store.chunks();
+        assert!(before.shares_span(&after, 0), "untouched span shared");
+        assert!(!before.shares_span(&after, 1), "dirty span replaced");
+        assert_eq!(store.take_copied(), (1, 2));
+        assert_eq!(after.score(2), 3.0 + 1.5);
+        assert_eq!(before.score(2), 3.5, "old snapshot unaffected");
+    }
+
+    #[test]
+    fn splice_replaces_dissolved_with_fresh_at_tail() {
+        let mut store = seed();
+        store.take_copied();
+        // Sub-graph 0 survives (now index 0), sub-graph 1 dissolves into
+        // two fresh groups appended at the tail.
+        let touched = store.apply_splice(7, &[Some(0), None], &[&[0, 1, 2], &[2, 3], &[3, 4, 6]]);
+        assert_eq!(touched, vec![2, 3, 4, 6]);
+        store.set_values(1, arc_f64(&[0.25, 0.5]));
+        store.set_values(2, arc_f64(&[1.0, 2.0, 4.0]));
+        assert_eq!(store.num_subgraphs(), 3);
+        let flat = store.to_flat();
+        assert_eq!(flat, vec![1.0, 2.0, 3.25, 1.5, 2.0, 0.0, 4.0]);
+        for v in 0..7 {
+            assert_eq!(store.fold_vertex(v).to_bits(), flat[v as usize].to_bits());
+        }
+        // Survivor's span is still shared with pre-splice snapshots.
+        assert_eq!(store.take_copied(), (2, 3), "two fresh spans copied");
+        store
+            .verify_against_fresh(
+                7,
+                vec![
+                    (arc_u32(&[0, 1, 2]), arc_f64(&[1.0, 2.0, 3.0])),
+                    (arc_u32(&[2, 3]), arc_f64(&[0.25, 0.5])),
+                    (arc_u32(&[3, 4, 6]), arc_f64(&[1.0, 2.0, 4.0])),
+                ],
+            )
+            .expect("matches a fresh store");
+    }
+
+    #[test]
+    fn fold_order_is_ascending_index_even_after_slot_reuse() {
+        let mut store = seed();
+        // Dissolve sub-graph 0; its slot is reused by a fresh group that
+        // lands at the *tail* of the order.
+        store.apply_splice(6, &[None, Some(0)], &[&[2, 3, 4], &[0, 1, 2]]);
+        store.set_values(1, arc_f64(&[10.0, 20.0, 30.0]));
+        // Vertex 2 is owned by both; fold order must be index order
+        // (survivor first), not slot order.
+        let flat = store.to_flat();
+        assert_eq!(flat[2].to_bits(), (0.0f64 + 0.5 + 30.0).to_bits());
+        assert_eq!(store.fold_vertex(2).to_bits(), flat[2].to_bits());
+        let snap = store.chunks();
+        assert_eq!(snap.score(2).to_bits(), flat[2].to_bits());
+    }
+
+    #[test]
+    fn index_chunks_shared_when_untouched() {
+        // Vertices split across two index chunks; splice touches only the
+        // second chunk's vertices.
+        let far = INDEX_CHUNK_SIZE as u32 + 5;
+        let mut store = FoldStore::default();
+        store.rebuild(
+            far as usize + 1,
+            vec![
+                (arc_u32(&[0, 1]), arc_f64(&[1.0, 2.0])),
+                (arc_u32(&[far - 1, far]), arc_f64(&[3.0, 4.0])),
+            ],
+        );
+        let before = store.chunks();
+        store.apply_splice(far as usize + 1, &[Some(0), None], &[&[0, 1], &[far - 1, far]]);
+        store.set_values(1, arc_f64(&[5.0, 6.0]));
+        let after = store.chunks();
+        assert!(Arc::ptr_eq(&before.index[0], &after.index[0]), "chunk 0 untouched");
+        assert!(!Arc::ptr_eq(&before.index[1], &after.index[1]), "chunk 1 rebuilt");
+        assert_eq!(after.score(far as usize), 6.0);
+        assert_eq!(before.score(far as usize), 4.0);
+    }
+
+    #[test]
+    fn vertex_growth_extends_coverage() {
+        let mut store = seed();
+        let touched = store.apply_splice(9, &[Some(0), Some(1)], &[&[0, 1, 2], &[2, 3, 4]]);
+        assert!(touched.is_empty(), "no membership changed");
+        assert_eq!(store.to_flat().len(), 9);
+        assert_eq!(store.fold_vertex(8), 0.0);
+        assert_eq!(store.chunks().get(8), Some(0.0));
+    }
+}

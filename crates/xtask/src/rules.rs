@@ -6,11 +6,11 @@
 //! | R1 | `raw-atomic-import` | `std::sync::atomic` / `core::sync::atomic` only inside the sync facades (`apgre_bc::sync`, `apgre_graph::sync`) |
 //! | R2 | `ordering-creep` | no `SeqCst` / `AcqRel` outside the facade — the kernels' correctness argument is written for `Relaxed` + fork-join edges |
 //! | R3 | `naked-par-accum` | no `slice[i] += …` inside a `par_iter`-family closure (escape: `lint:allow(par_accum)`) |
-//! | R4 | `kernel-missing-serial-test` | every `pub fn bc_*` kernel in `crates/bc` / `crates/dynamic` has a test pinning it against the serial oracle; the maintenance module's `apply_edits` must likewise be pinned against fresh `decompose()` (`verify_against_fresh` / `decomp_equivalent`) |
+//! | R4 | `kernel-missing-serial-test` | every `pub fn bc_*` kernel in `crates/bc` / `crates/dynamic` has a test pinning it against the serial oracle; the maintenance module's `apply_edits` and the store's snapshot entry points (`CowGraph::view`, `FoldStore::chunks`) must likewise be pinned against their fresh oracle (`verify_against_fresh` / `decomp_equivalent`) |
 //! | R5 | `serve-socket-unwrap` | no `.unwrap()` / `.expect(…)` in `crates/serve/src` outside `#[cfg(test)]` (escape: `lint:allow(serve_unwrap)`) |
 //! | R6 | `guard-across-blocking` | no lock guard in `crates/serve` live across socket I/O or a snapshot publish (escape: `lint:allow(guard_blocking)`) |
 //! | R7 | `ordering-protocol` | facade atomic call sites outside the facade conform to the claim-Relaxed / publish-Release / read-Acquire state machine, annotated with the call chain from the kernel entry points |
-//! | R8 | `panic-reachability` | no `unwrap` / `expect` / `panic!`-family / unguarded `[]` reachable from serve's spawned threads, `DynamicBc::apply`, or `MaintainedDecomposition::apply_edits`, intraprocedurally plus bounded call expansion (escape: `lint:allow(panic_path)`) |
+//! | R8 | `panic-reachability` | no `unwrap` / `expect` / `panic!`-family / unguarded `[]` reachable from serve's spawned threads, `DynamicBc::apply`/`snapshot`, `MaintainedDecomposition::apply_edits`, or the store publish path (`CowGraph::view`, `FoldStore::chunks`), intraprocedurally plus bounded call expansion (escape: `lint:allow(panic_path)`) |
 //! | R9 | `hot-loop-index` | bounds-checked `[]` inside the root-parallel / level-sync kernel inner loops is audited explicitly (escape: `lint:allow(hot_index)` on or above the loop header) |
 //!
 //! R1–R5 are re-expressions of the old line-lexer rules with the textual
@@ -266,6 +266,21 @@ fn r4_kernel_serial_tests(ws: &Workspace, flat: &[Vec<Tok>], out: &mut Vec<Findi
         if f.path.contains("crates/decomp/src/maintain") {
             for fun in &f.fns {
                 if fun.is_pub && !fun.in_test && fun.name == "apply_edits" {
+                    maint.push((fi, fun.line, fun.name.clone()));
+                }
+            }
+            continue;
+        }
+        // The store's snapshot entry points (`CowGraph::view`,
+        // `FoldStore::chunks`) promise CSR/bitwise equivalence with a fresh
+        // materialization; their oracle is `verify_against_fresh` too.
+        if f.path.contains("crates/store/src") {
+            for fun in &f.fns {
+                if fun.is_pub
+                    && !fun.in_test
+                    && (fun.name == "view" || fun.name == "chunks")
+                    && matches!(fun.owner.as_deref(), Some("CowGraph") | Some("FoldStore"))
+                {
                     maint.push((fi, fun.line, fun.name.clone()));
                 }
             }
@@ -690,9 +705,11 @@ fn is_test_scaffolding(f: &FileIndex) -> bool {
     f.path.contains("/tests/") || f.path.contains("/benches/")
 }
 
-/// R8: no panicking operation reachable from serve's spawned threads or
-/// `DynamicBc::apply`. A panic on the writer thread kills the mutation
-/// pipeline; one in `apply` poisons every lock the kernels share.
+/// R8: no panicking operation reachable from serve's spawned threads,
+/// `DynamicBc::apply`/`snapshot`, or the store's publish entry points. A
+/// panic on the writer thread kills the mutation pipeline; one in `apply`
+/// poisons every lock the kernels share; one in the publish path leaves
+/// readers pinned to the last good snapshot forever.
 /// Supersedes the purely textual reading of R5 with reachability.
 fn r8_panic_reachability(ws: &Workspace, out: &mut Vec<Finding>) {
     // Roots: serve functions referenced inside a `spawn(…)` argument, plus
@@ -718,6 +735,27 @@ fn r8_panic_reachability(ws: &Workspace, out: &mut Vec<Finding>) {
         for fun in &f.fns {
             if fun.name == "apply" && fun.owner.as_deref() == Some("DynamicBc") && !fun.in_test {
                 roots.push((f.crate_name.clone(), "apply".into(), "`DynamicBc::apply`".into()));
+            }
+            // The publish path runs on the writer thread too: a panic in
+            // `snapshot()` (or the store views it hands out) kills the
+            // publisher with readers still holding the previous snapshot.
+            if fun.name == "snapshot" && fun.owner.as_deref() == Some("DynamicBc") && !fun.in_test {
+                roots.push((
+                    f.crate_name.clone(),
+                    "snapshot".into(),
+                    "`DynamicBc::snapshot`".into(),
+                ));
+            }
+            if !fun.in_test
+                && ((fun.name == "view" && fun.owner.as_deref() == Some("CowGraph"))
+                    || (fun.name == "chunks" && fun.owner.as_deref() == Some("FoldStore")))
+            {
+                let owner = fun.owner.as_deref().unwrap_or_default();
+                roots.push((
+                    f.crate_name.clone(),
+                    fun.name.clone(),
+                    format!("publish path `{owner}::{}`", fun.name),
+                ));
             }
             // The splice path runs on the same writer thread as `apply`; a
             // panic mid-splice strands a half-updated block store.

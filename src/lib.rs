@@ -33,6 +33,9 @@
 //!   ([`apgre_bc`]),
 //! * [`dynamic`] — the incremental engine: mutation batches, dirty-sub-graph
 //!   tracking, contribution carry-forward ([`apgre_dynamic`]),
+//! * [`store`] — the persistent copy-on-write snapshot store: chunked CoW
+//!   graph + per-sub-graph score spans, so publishing costs only the dirty
+//!   set ([`apgre_store`]),
 //! * [`serve`] — the concurrent query service over the incremental engine:
 //!   snapshot isolation, mutation batching, admission control, metrics
 //!   ([`apgre_serve`]),
@@ -46,6 +49,7 @@ pub use apgre_decomp as decomp;
 pub use apgre_dynamic as dynamic;
 pub use apgre_graph as graph;
 pub use apgre_serve as serve;
+pub use apgre_store as store;
 pub use apgre_workloads as workloads;
 
 /// The names most programs need.
@@ -66,6 +70,7 @@ pub mod prelude {
     };
     pub use apgre_graph::{Graph, GraphBuilder, GraphOverlay, VertexId, WeightedGraph};
     pub use apgre_serve::{serve as serve_bc, ServeConfig, ServerHandle};
+    pub use apgre_store::{CowGraph, FoldStore, GraphView, PublishStats, ScoreChunks};
 }
 
 pub use prelude::*;
