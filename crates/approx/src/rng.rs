@@ -1,0 +1,116 @@
+//! Seeded, generation-stable sampling primitives.
+//!
+//! The estimator's determinism contract (same seed + same dirty set ⇒
+//! bitwise-identical estimates to a from-scratch run) hinges on the root
+//! sample of a sub-graph depending only on the global seed and the
+//! sub-graph's *content* — never on when, or in which generation, the
+//! sample is drawn. The per-sub-graph stream is therefore seeded by mixing
+//! the global seed with [`SubGraph::fingerprint`], and the generator is a
+//! self-contained splitmix64 so the draw is reproducible across builds
+//! regardless of which `rand` is linked (same reasoning as `bc-tool`'s
+//! inline edit-stream RNG).
+//!
+//! [`SubGraph::fingerprint`]: apgre_decomp::SubGraph::fingerprint
+
+/// A splitmix64 stream (Steele, Lea & Flood's mixer): tiny state, full
+/// 64-bit period, and good enough equidistribution for pivot sampling.
+#[derive(Clone, Debug)]
+pub struct SplitMix64(u64);
+
+impl SplitMix64 {
+    /// Seeds a stream.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64(seed)
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform draw from `0..bound` (`bound > 0`). Uses the modulo
+    /// reduction: the bias is at most `bound / 2^64`, irrelevant for root
+    /// pools of at most a few million, and the arithmetic is branch-free —
+    /// what matters here is determinism, not cryptographic uniformity.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        self.next_u64() % bound
+    }
+}
+
+/// Mixes the global seed with a sub-graph fingerprint into a stream seed.
+/// One extra splitmix64 scramble decorrelates fingerprints that differ in
+/// few bits (FNV over near-identical sub-graphs).
+pub fn mix_seed(seed: u64, fingerprint: u64) -> u64 {
+    SplitMix64::new(seed ^ fingerprint.rotate_left(17)).next_u64()
+}
+
+/// Draws `k` distinct elements of `pool` by a partial Fisher–Yates shuffle
+/// seeded with `seed`, then sorts the sample ascending (the kernels sweep
+/// sampled roots in slice order; sorting makes that order — and the
+/// root-parallel chunking — canonical). `k` is clamped to `pool.len()`.
+pub fn sample_roots(pool: &[u32], k: usize, seed: u64) -> Vec<u32> {
+    let k = k.min(pool.len());
+    let mut scratch: Vec<u32> = pool.to_vec();
+    let mut rng = SplitMix64::new(seed);
+    for i in 0..k {
+        let j = i + rng.below((scratch.len() - i) as u64) as usize;
+        scratch.swap(i, j);
+    }
+    scratch.truncate(k);
+    scratch.sort_unstable();
+    scratch
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic_and_seed_sensitive() {
+        let a: Vec<u64> = {
+            let mut r = SplitMix64::new(7);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = SplitMix64::new(7);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let c: Vec<u64> = {
+            let mut r = SplitMix64::new(8);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn sample_is_a_sorted_distinct_subset() {
+        let pool: Vec<u32> = (0..100).map(|i| i * 3).collect();
+        let s = sample_roots(&pool, 17, 0xFEED);
+        assert_eq!(s.len(), 17);
+        assert!(s.windows(2).all(|w| w[0] < w[1]), "sorted and distinct");
+        assert!(s.iter().all(|v| pool.contains(v)));
+        assert_eq!(s, sample_roots(&pool, 17, 0xFEED), "same seed, same draw");
+        assert_ne!(s, sample_roots(&pool, 17, 0xBEEF), "seed-sensitive");
+    }
+
+    #[test]
+    fn full_draw_is_the_whole_pool() {
+        let pool = vec![5u32, 1, 9, 2];
+        assert_eq!(sample_roots(&pool, 4, 1), vec![1, 2, 5, 9]);
+        assert_eq!(sample_roots(&pool, 99, 1), vec![1, 2, 5, 9], "k clamps");
+    }
+
+    #[test]
+    fn mix_seed_separates_nearby_fingerprints() {
+        let a = mix_seed(42, 0x1000);
+        let b = mix_seed(42, 0x1001);
+        assert_ne!(a, b);
+        assert_ne!(a & 0xFFFF, b & 0xFFFF, "low bits decorrelated");
+    }
+}

@@ -1,0 +1,342 @@
+//! The decomposition-composed sampled estimator and its incremental store.
+//!
+//! The paper's X3 extension observes that the articulation-point
+//! decomposition composes with *any* per-sub-graph BC routine. This module
+//! composes it with Brandes–Pich pivot sampling: each sub-graph sweeps a
+//! seeded sample of its root set (whiskers and γ folding untouched), the
+//! per-root Equation-7 contributions are scaled by `|R_i| / k_i`, and the
+//! scaled spans fold into global estimates in ascending sub-graph index
+//! order from zeros — the same determinism anchor as the exact path
+//! (DESIGN.md §3.8).
+//!
+//! Because sub-graph `i`'s sample depends only on the global seed and the
+//! sub-graph's content fingerprint, an estimate span never has to be
+//! recomputed unless the sub-graph itself changed. [`SampleStore`] exploits
+//! that: it mirrors `FoldStore`'s slot-stable span design (indeed it *is* a
+//! `FoldStore` of scaled sample spans plus sampling metadata), carries
+//! unaffected sub-graphs' spans across generations verbatim, and resamples
+//! only the dirty set — so refresh cost tracks the dirty set the way PR 8
+//! made publish cost do.
+
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use apgre_bc::apgre::{run_sampled_subgraph_kernels, ApgreOptions};
+use apgre_decomp::{decompose, Decomposition, SubGraph};
+use apgre_graph::Graph;
+use apgre_store::FoldStore;
+
+use crate::rng::{mix_seed, sample_roots};
+
+/// Sampling parameters of the composed estimator.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SampleOptions {
+    /// Root-sample cap per sub-graph: sub-graph `i` sweeps
+    /// `k_i = min(|R_i|, samples_per_subgraph)` sampled roots. Sub-graphs
+    /// at or under the cap run exhaustively (scale 1 — their spans are
+    /// exact), so error concentrates where sampling actually saves work.
+    pub samples_per_subgraph: usize,
+    /// Global seed; sub-graph `i` draws from a stream seeded by
+    /// `mix_seed(seed, fingerprint_i)`, making the draw generation-stable.
+    pub seed: u64,
+}
+
+impl Default for SampleOptions {
+    fn default() -> Self {
+        SampleOptions { samples_per_subgraph: 16, seed: 0xA99 }
+    }
+}
+
+/// Accounting for one [`SampleStore::refresh`].
+#[derive(Clone, Debug, Default)]
+pub struct SampleRefresh {
+    /// Sub-graphs whose sample span was recomputed this refresh.
+    pub resampled: usize,
+    /// Sub-graphs whose span was carried verbatim.
+    pub reused: usize,
+    /// Σ sampled roots swept by the recomputed spans.
+    pub sampled_roots: u64,
+    /// Σ edges traversed by the recomputed spans' kernels.
+    pub edges: u64,
+    /// Wall clock of the refresh (draw + kernels + span installs).
+    pub wall: Duration,
+}
+
+impl SampleRefresh {
+    /// Fraction of sub-graphs resampled (0 when the store is empty).
+    pub fn resample_fraction(&self) -> f64 {
+        let total = self.resampled + self.reused;
+        if total == 0 {
+            0.0
+        } else {
+            self.resampled as f64 / total as f64
+        }
+    }
+}
+
+/// Draws sub-graph `sg`'s root sample: `(sampled roots, scale)` with
+/// `scale = |R| / k`. The draw depends only on `sopts` and the sub-graph's
+/// content (via [`SubGraph::fingerprint`]), never on generation history.
+pub fn draw_roots(sg: &SubGraph, sopts: &SampleOptions) -> (Vec<u32>, f64) {
+    let total = sg.roots.len();
+    let k = total.min(sopts.samples_per_subgraph.max(1));
+    if k == total {
+        return (sg.roots.clone(), 1.0);
+    }
+    let sample = sample_roots(&sg.roots, k, mix_seed(sopts.seed, sg.fingerprint()));
+    (sample, total as f64 / k as f64)
+}
+
+/// From-scratch composed estimator over an existing decomposition: draws
+/// every sub-graph's sample, runs the sampled kernels, scales, and folds
+/// ascending from zeros. This is the oracle of the determinism contract —
+/// [`SampleStore::refresh`] must reproduce its output bitwise.
+pub fn bc_sampled_from_decomposition(
+    decomp: &Decomposition,
+    opts: &ApgreOptions,
+    sopts: &SampleOptions,
+) -> Vec<f64> {
+    let draws: Vec<(Vec<u32>, f64)> =
+        decomp.subgraphs.iter().map(|sg| draw_roots(sg, sopts)).collect();
+    let jobs: Vec<(usize, &[u32])> =
+        draws.iter().enumerate().map(|(i, d)| (i, d.0.as_slice())).collect();
+    let runs = run_sampled_subgraph_kernels(decomp, &jobs, opts);
+    let mut out = vec![0.0f64; decomp.num_vertices];
+    for run in &runs {
+        let sg = &decomp.subgraphs[run.index];
+        let scale = draws[run.index].1;
+        for (local, &v) in sg.globals.iter().enumerate() {
+            out[v as usize] += run.local[local] * scale;
+        }
+    }
+    out
+}
+
+/// Convenience one-shot: decompose `g` and run the composed estimator.
+pub fn bc_sampled(g: &Graph, opts: &ApgreOptions, sopts: &SampleOptions) -> Vec<f64> {
+    let decomp = decompose(g, &opts.partition);
+    bc_sampled_from_decomposition(&decomp, opts, sopts)
+}
+
+/// Per-sub-graph sampling metadata, aligned with the current sub-graph
+/// indexing. `fingerprint` is the content hash the span was drawn against;
+/// it keys the rebuild path's carry-forward.
+#[derive(Clone, Debug)]
+struct SampleMeta {
+    fingerprint: u64,
+}
+
+/// The incremental estimator state: a slot-stable [`FoldStore`] of *scaled*
+/// sample spans plus per-sub-graph sampling metadata and the pending dirty
+/// set.
+///
+/// Lifecycle (driven by `DynamicBc`): [`SampleStore::seed`] over the
+/// initial decomposition (everything pending), then per batch either
+/// [`SampleStore::apply_splice`] + [`SampleStore::mark_dirty`] (absorbed
+/// batches) or [`SampleStore::rebuild`] (from-scratch re-decompositions,
+/// with fingerprint-keyed span carry), and finally
+/// [`SampleStore::refresh`] when estimates are demanded — resampling the
+/// accumulated dirty set only.
+#[derive(Debug, Default)]
+pub struct SampleStore {
+    fold: FoldStore,
+    meta: Vec<Option<SampleMeta>>,
+    pending: BTreeSet<usize>,
+    num_vertices: usize,
+    /// Parameters the live spans were drawn with; a refresh under different
+    /// parameters invalidates everything.
+    params: Option<SampleOptions>,
+}
+
+impl SampleStore {
+    /// Seeds the store over `decomp`: zeroed placeholder spans, every
+    /// sub-graph pending.
+    pub fn seed(decomp: &Decomposition) -> Self {
+        let mut store = SampleStore::default();
+        store.rebuild(decomp);
+        store
+    }
+
+    /// Number of sub-graphs currently tracked.
+    pub fn num_subgraphs(&self) -> usize {
+        self.meta.len()
+    }
+
+    /// Sub-graphs awaiting a resample.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Mirrors a structural splice of the decomposition (same `old_to_new`
+    /// contract as `FoldStore::apply_splice`; `decomp` is the post-splice
+    /// decomposition). Survivor spans and metadata carry over; fresh
+    /// sub-graphs join the pending set with zeroed placeholders.
+    pub fn apply_splice(
+        &mut self,
+        num_vertices: usize,
+        old_to_new: &[Option<u32>],
+        decomp: &Decomposition,
+    ) {
+        let new_globals: Vec<&[u32]> =
+            decomp.subgraphs.iter().map(|sg| sg.globals.as_slice()).collect();
+        self.fold.apply_splice(num_vertices, old_to_new, &new_globals);
+        let count = decomp.num_subgraphs();
+        let mut meta: Vec<Option<SampleMeta>> = vec![None; count];
+        let mut pending = BTreeSet::new();
+        for (old, &dst) in old_to_new.iter().enumerate() {
+            if let Some(n) = dst {
+                meta[n as usize] = self.meta[old].take();
+                if self.pending.contains(&old) {
+                    pending.insert(n as usize);
+                }
+            }
+        }
+        for (i, m) in meta.iter().enumerate() {
+            if m.is_none() {
+                pending.insert(i);
+            }
+        }
+        self.meta = meta;
+        self.pending = pending;
+        self.num_vertices = num_vertices;
+    }
+
+    /// Marks sub-graphs (current indexing) whose content changed in place.
+    pub fn mark_dirty(&mut self, dirty: &[usize]) {
+        self.pending.extend(dirty.iter().copied());
+    }
+
+    /// Replaces the store after a from-scratch re-decomposition, carrying
+    /// spans whose sub-graph content fingerprint reappears (same
+    /// fingerprint ⇒ same seed ⇒ same sample ⇒ same span, so the carry is
+    /// bitwise-equivalent to resampling). Misses join the pending set.
+    pub fn rebuild(&mut self, decomp: &Decomposition) {
+        let spans = self.fold.values_in_order();
+        let mut carry: HashMap<u64, Vec<Arc<[f64]>>> = HashMap::new();
+        for (m, span) in self.meta.iter().zip(spans) {
+            if let Some(meta) = m {
+                carry.entry(meta.fingerprint).or_default().push(span);
+            }
+        }
+        let count = decomp.num_subgraphs();
+        let mut meta = Vec::with_capacity(count);
+        let mut pending = BTreeSet::new();
+        let mut pairs: Vec<(Arc<[u32]>, Arc<[f64]>)> = Vec::with_capacity(count);
+        for (i, sg) in decomp.subgraphs.iter().enumerate() {
+            let fp = sg.fingerprint();
+            let globals: Arc<[u32]> = Arc::from(sg.globals.as_slice());
+            match carry.get_mut(&fp).and_then(|v| v.pop()) {
+                Some(span) => {
+                    debug_assert_eq!(span.len(), sg.num_vertices(), "fingerprint collision");
+                    pairs.push((globals, span));
+                    meta.push(Some(SampleMeta { fingerprint: fp }));
+                }
+                None => {
+                    pairs.push((globals, Arc::from(vec![0.0f64; sg.num_vertices()])));
+                    meta.push(None);
+                    pending.insert(i);
+                }
+            }
+        }
+        self.fold.rebuild(decomp.num_vertices, pairs);
+        self.meta = meta;
+        self.pending = pending;
+        self.num_vertices = decomp.num_vertices;
+    }
+
+    /// Resamples exactly the pending sub-graphs (all of them when the
+    /// sampling parameters changed since the last refresh) and clears the
+    /// pending set. After a refresh, [`SampleStore::estimates`] is
+    /// bitwise-identical to [`bc_sampled_from_decomposition`] over the same
+    /// decomposition and parameters — the determinism contract, asserted
+    /// here under `--features invariants`.
+    pub fn refresh(
+        &mut self,
+        decomp: &Decomposition,
+        opts: &ApgreOptions,
+        sopts: &SampleOptions,
+    ) -> SampleRefresh {
+        let t = Instant::now();
+        assert_eq!(decomp.num_subgraphs(), self.meta.len(), "store lags the decomposition");
+        if self.params.as_ref() != Some(sopts) {
+            self.pending.extend(0..self.meta.len());
+            self.params = Some(sopts.clone());
+        }
+        let dirty: Vec<usize> = self.pending.iter().copied().collect();
+        let draws: Vec<(u64, Vec<u32>, f64)> = dirty
+            .iter()
+            .map(|&i| {
+                let sg = &decomp.subgraphs[i];
+                let (roots, scale) = draw_roots(sg, sopts);
+                (sg.fingerprint(), roots, scale)
+            })
+            .collect();
+        let jobs: Vec<(usize, &[u32])> =
+            dirty.iter().zip(&draws).map(|(&i, d)| (i, d.1.as_slice())).collect();
+        let runs = run_sampled_subgraph_kernels(decomp, &jobs, opts);
+        let mut report = SampleRefresh {
+            resampled: dirty.len(),
+            reused: self.meta.len() - dirty.len(),
+            ..SampleRefresh::default()
+        };
+        // `runs` comes back sorted by sub-graph index and `dirty` is the
+        // ascending pending order, so the two line up pairwise.
+        for (run, (fp, roots, scale)) in runs.into_iter().zip(draws) {
+            let span: Vec<f64> = run.local.iter().map(|&x| x * scale).collect();
+            self.fold.set_values(run.index, Arc::from(span));
+            self.meta[run.index] = Some(SampleMeta { fingerprint: fp });
+            report.sampled_roots += roots.len() as u64;
+            report.edges += run.edges;
+        }
+        self.pending.clear();
+        report.wall = t.elapsed();
+        #[cfg(feature = "invariants")]
+        self.verify_against_scratch(decomp, opts, sopts)
+            .expect("incremental sampled estimates diverged from the from-scratch oracle");
+        report
+    }
+
+    /// The flat estimate vector (ascending-index fold from zeros).
+    /// Meaningful once the pending set is empty — call
+    /// [`SampleStore::refresh`] first.
+    pub fn estimates(&self) -> Vec<f64> {
+        self.fold.to_flat()
+    }
+
+    /// One vertex's estimate (same fold order as [`SampleStore::estimates`]).
+    pub fn estimate(&self, v: u32) -> f64 {
+        self.fold.fold_vertex(v)
+    }
+
+    /// An immutable snapshot of the estimate spans (O(sub-graphs) `Arc`
+    /// clones), for publication next to the exact `ScoreChunks`.
+    pub fn chunks(&self) -> apgre_store::ScoreChunks {
+        self.fold.chunks()
+    }
+
+    /// Bitwise cross-check against [`bc_sampled_from_decomposition`].
+    /// Errors when the store still has pending sub-graphs or any estimate
+    /// diverges.
+    pub fn verify_against_scratch(
+        &self,
+        decomp: &Decomposition,
+        opts: &ApgreOptions,
+        sopts: &SampleOptions,
+    ) -> Result<(), String> {
+        if !self.pending.is_empty() {
+            return Err(format!("{} sub-graphs still pending", self.pending.len()));
+        }
+        let want = bc_sampled_from_decomposition(decomp, opts, sopts);
+        let got = self.estimates();
+        if got.len() != want.len() {
+            return Err(format!("length mismatch: {} vs {}", got.len(), want.len()));
+        }
+        for (v, (g, w)) in got.iter().zip(&want).enumerate() {
+            if g.to_bits() != w.to_bits() {
+                return Err(format!("estimate diverged at vertex {v}: {g} vs {w}"));
+            }
+        }
+        Ok(())
+    }
+}

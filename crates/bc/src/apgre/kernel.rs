@@ -188,11 +188,24 @@ pub fn bc_in_subgraph_seq(sg: &SubGraph, bc_local: &mut [f64]) -> u64 {
 
 /// [`bc_in_subgraph_seq`] with a caller-owned (typically pooled) workspace.
 pub fn bc_in_subgraph_seq_with(sg: &SubGraph, bc_local: &mut [f64], ws: &mut SgWorkspace) -> u64 {
+    bc_in_subgraph_seq_roots_with(sg, &sg.roots, bc_local, ws)
+}
+
+/// [`bc_in_subgraph_seq_with`] over an explicit root slice instead of the
+/// full `sg.roots` — the sampling entry point. Each root must be one of the
+/// sub-graph's compacted local ids; sweeping a subset yields that subset's
+/// exact Equation-7 contribution (the sampled estimator rescales it).
+pub fn bc_in_subgraph_seq_roots_with(
+    sg: &SubGraph,
+    roots: &[VertexId],
+    bc_local: &mut [f64],
+    ws: &mut SgWorkspace,
+) -> u64 {
     let n = sg.num_vertices();
     debug_assert_eq!(bc_local.len(), n);
     ws.ensure(n);
     let mut edges = 0u64;
-    for &s in &sg.roots {
+    for &s in roots {
         edges += sweep_root(sg, s, ws, bc_local);
     }
     edges
@@ -219,17 +232,28 @@ pub fn bc_in_subgraph_seq_with(sg: &SubGraph, bc_local: &mut [f64], ws: &mut SgW
 /// `grain` is the minimum number of roots per chunk; chunks also target ~4
 /// per worker so stealing can balance uneven sweep costs.
 pub fn bc_in_subgraph_root_par(sg: &SubGraph, bc_local: &mut [f64], grain: usize) -> u64 {
+    bc_in_subgraph_root_par_roots(sg, &sg.roots, bc_local, grain)
+}
+
+/// [`bc_in_subgraph_root_par`] over an explicit root slice — same fixed
+/// chunking and pairwise tree reduction, so for a given root slice, grain and
+/// pool size the result is bitwise deterministic.
+pub fn bc_in_subgraph_root_par_roots(
+    sg: &SubGraph,
+    roots: &[VertexId],
+    bc_local: &mut [f64],
+    grain: usize,
+) -> u64 {
     let n = sg.num_vertices();
     debug_assert_eq!(bc_local.len(), n);
-    if sg.roots.is_empty() {
+    if roots.is_empty() {
         return 0;
     }
     let threads = rayon::current_num_threads().max(1);
     // Fixed, deterministic chunking: at least `grain` roots per chunk (one
     // partial vector is allocated per chunk), at most ~4 chunks per worker.
-    let chunk = sg.roots.len().div_ceil(4 * threads).max(grain.max(1));
-    let mut partials: Vec<(Vec<f64>, u64)> = sg
-        .roots
+    let chunk = roots.len().div_ceil(4 * threads).max(grain.max(1));
+    let mut partials: Vec<(Vec<f64>, u64)> = roots
         .par_chunks(chunk)
         .map_init(
             || SgWorkspace::new(n),
@@ -349,6 +373,18 @@ pub fn bc_in_subgraph_level_sync_with(
     grain: usize,
     ws: &mut SgParWs,
 ) -> u64 {
+    bc_in_subgraph_level_sync_roots_with(sg, &sg.roots, bc_local, grain, ws)
+}
+
+/// [`bc_in_subgraph_level_sync_with`] over an explicit root slice — the
+/// sampling entry point for the root-starved-but-huge regime.
+pub fn bc_in_subgraph_level_sync_roots_with(
+    sg: &SubGraph,
+    roots: &[VertexId],
+    bc_local: &mut [f64],
+    grain: usize,
+    ws: &mut SgParWs,
+) -> u64 {
     let n = sg.num_vertices();
     debug_assert_eq!(bc_local.len(), n);
     ws.ensure(n);
@@ -366,7 +402,7 @@ pub fn bc_in_subgraph_level_sync_with(
 
     // Audited: roots and neighbors are compacted sub-graph ids `< sg.n`;
     // `ensure(n)` above sizes every shared array. lint:allow(hot_index)
-    for &s in &sg.roots {
+    for &s in roots {
         // Split borrows: the frontier is a slice of `levels.order`, the back
         // buffer `next` refills in place, the atomic arrays are shared.
         let SgParWs { dist, sigma, d_i2i, d_i2o, d_o2o, bc, next, levels } = &mut *ws;

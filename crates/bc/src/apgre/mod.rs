@@ -603,6 +603,73 @@ pub fn run_subgraph_kernels(
     runs
 }
 
+/// [`run_subgraph_kernels`] over explicit per-sub-graph root slices instead
+/// of each sub-graph's full `roots` — the engine of the sampled estimator.
+///
+/// Each job `(index, roots)` sweeps exactly `roots` (compacted local ids of
+/// sub-graph `index`) through the same kernel the batch driver would pick,
+/// with the policy resolved on the *sampled* root count, the same shared
+/// [`BufferPool`], largest-first dispatch, and the outer rayon loop when
+/// `opts.outer_parallel`. The returned local vectors are the exact
+/// Equation-7 contribution of those roots — unscaled; the caller applies the
+/// sampling scale. Results come back sorted by ascending sub-graph index, so
+/// a list-order fold reproduces the deterministic batch merge order, and for
+/// a given root slice the per-sub-graph vectors are bitwise reproducible
+/// (`Seq`/`LevelSync` unconditionally; `RootParallel` per pool size).
+pub fn run_sampled_subgraph_kernels(
+    decomp: &Decomposition,
+    jobs: &[(usize, &[apgre_graph::VertexId])],
+    opts: &ApgreOptions,
+) -> Vec<SubgraphKernelRun> {
+    let threads = rayon::current_num_threads().max(1);
+    let grain = opts.grain.max(1);
+    let mut order: Vec<usize> = (0..jobs.len()).collect();
+    // Callers pass sub-graph ids taken from this same decomposition.
+    order.sort_by_key(|&j| std::cmp::Reverse(decomp.subgraphs[jobs[j].0].num_vertices())); // lint:allow(panic_path)
+
+    let pool = BufferPool::default();
+    let out: Mutex<Vec<SubgraphKernelRun>> = Mutex::new(Vec::with_capacity(order.len()));
+    let run_one = |&j: &usize| {
+        let (i, roots) = jobs[j]; // lint:allow(panic_path) — j comes from the order permutation
+        let sg = &decomp.subgraphs[i]; // lint:allow(panic_path) — same contract as the sort above
+        let n = sg.num_vertices();
+        let t = Instant::now();
+        let mut local = vec![0.0f64; n];
+        let choice = opts.kernel.choose(roots.len(), n, sg.num_edges(), threads, grain);
+        let edges = match choice {
+            KernelChoice::Seq => {
+                let mut ws = pool.take_seq(n);
+                let e = kernel::bc_in_subgraph_seq_roots_with(sg, roots, &mut local, &mut ws);
+                pool.put_seq(ws);
+                e
+            }
+            KernelChoice::RootParallel => {
+                kernel::bc_in_subgraph_root_par_roots(sg, roots, &mut local, grain)
+            }
+            KernelChoice::LevelSync => {
+                let mut ws = pool.take_par(n);
+                let e = kernel::bc_in_subgraph_level_sync_roots_with(
+                    sg, roots, &mut local, grain, &mut ws,
+                );
+                pool.put_par(ws);
+                e
+            }
+        };
+        let run = SubgraphKernelRun { index: i, local, edges, choice, time: t.elapsed() };
+        // Recover from poisoning: a panicking sibling kernel must not turn
+        // into a second panic here — completed runs are still valid.
+        out.lock().unwrap_or_else(|p| p.into_inner()).push(run);
+    };
+    if opts.outer_parallel {
+        order.par_iter().for_each(run_one);
+    } else {
+        order.iter().for_each(run_one);
+    }
+    let mut runs = out.into_inner().unwrap_or_else(|p| p.into_inner());
+    runs.sort_by_key(|r| r.index);
+    runs
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -835,6 +902,68 @@ mod tests {
                 }
             }
             assert_eq!(got, want, "{name}: forced-Seq refold must be bitwise");
+        }
+    }
+
+    #[test]
+    fn run_sampled_subgraph_kernels_full_roots_is_bitwise_to_unsampled() {
+        for (name, g) in zoo() {
+            let opts = ApgreOptions { kernel: KernelPolicy::Seq, ..Default::default() };
+            let decomp = decompose(&g, &opts.partition);
+            let all: Vec<usize> = (0..decomp.num_subgraphs()).collect();
+            let want = run_subgraph_kernels(&decomp, &all, &opts);
+            let jobs: Vec<(usize, &[u32])> =
+                all.iter().map(|&i| (i, decomp.subgraphs[i].roots.as_slice())).collect();
+            let got = run_sampled_subgraph_kernels(&decomp, &jobs, &opts);
+            assert_eq!(got.len(), want.len(), "{name}");
+            for (a, b) in got.iter().zip(&want) {
+                assert_eq!(a.index, b.index, "{name}");
+                assert_eq!(
+                    a.local, b.local,
+                    "{name}: SG{} full-roots sample must be bitwise",
+                    a.index
+                );
+                assert_eq!(a.edges, b.edges, "{name}");
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_root_subsets_sum_to_full_sweep() {
+        // Root additivity: sweeping a partition of the roots in two sampled
+        // calls folds (in slice order) to the full sequential sweep.
+        let g = generators::whiskered_community(&generators::WhiskeredCommunityParams {
+            core_vertices: 70,
+            core_attach: 2,
+            community_count: 5,
+            community_size: 9,
+            community_density: 1.7,
+            whiskers: 30,
+            seed: 77,
+        });
+        let opts = ApgreOptions { kernel: KernelPolicy::Seq, ..Default::default() };
+        let decomp = decompose(&g, &opts.partition);
+        for (i, sg) in decomp.subgraphs.iter().enumerate() {
+            let mid = sg.roots.len() / 2;
+            let (front, back) = sg.roots.split_at(mid);
+            let jobs = [(i, front), (i, back)];
+            let halves = run_sampled_subgraph_kernels(&decomp, &jobs, &opts);
+            let mut folded = vec![0.0f64; sg.num_vertices()];
+            for run in &halves {
+                for (l, &x) in run.local.iter().enumerate() {
+                    folded[l] += x;
+                }
+            }
+            let mut full = vec![0.0f64; sg.num_vertices()];
+            kernel::bc_in_subgraph_seq(sg, &mut full);
+            for l in 0..full.len() {
+                assert!(
+                    (folded[l] - full[l]).abs() <= 1e-9 * (1.0 + full[l].abs()),
+                    "SG{i} local {l}: {} vs {}",
+                    folded[l],
+                    full[l]
+                );
+            }
         }
     }
 

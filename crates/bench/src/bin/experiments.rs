@@ -47,6 +47,15 @@
 //!                        graph (writes the record committed as
 //!                        BENCH_PR8.json; `--smoke` shrinks the graph and
 //!                        batch count for CI)
+//!   bench-pr9            incremental sampled-estimator benchmark: dirty-set
+//!                        approx refresh (`DynamicBc::approx_snapshot`)
+//!                        vs the legacy from-scratch `bc_approx` pivot
+//!                        sweep at an equal root-sample budget, across the
+//!                        same chord-toggle mutation stream as bench-pr8,
+//!                        with a bitwise cross-check against the
+//!                        from-scratch composed estimator (writes the
+//!                        record committed as BENCH_PR9.json; `--smoke`
+//!                        shrinks the graph and batch count for CI)
 //!   all      everything above
 //! ```
 //!
@@ -138,6 +147,7 @@ fn main() {
         "bench-pr4" => bench_pr4(&opts, &mut json_out),
         "bench-pr7" => bench_pr7(&opts, &mut json_out),
         "bench-pr8" => bench_pr8(&opts, &mut json_out),
+        "bench-pr9" => bench_pr9(&opts, &mut json_out),
         "all" => {
             table1(&opts, &mut json_out);
             let m = measure_all(&opts);
@@ -159,6 +169,7 @@ fn main() {
             bench_pr4(&opts, &mut json_out);
             bench_pr7(&opts, &mut json_out);
             bench_pr8(&opts, &mut json_out);
+            bench_pr9(&opts, &mut json_out);
         }
         _ => usage(),
     }
@@ -173,7 +184,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: experiments <table1|table2|table3|table4|fig2|fig3|fig6|fig7|fig8|fig9|fig10|\
          ablation-threshold|ablation-alphabeta|ablation-gamma|bench-pr2|bench-pr3|bench-pr4|\
-         bench-pr7|bench-pr8|all> \
+         bench-pr7|bench-pr8|bench-pr9|all> \
          [--scale tiny|small|medium] [--threads N] [--json FILE] [--smoke]"
     );
     exit(2)
@@ -1747,6 +1758,280 @@ fn bench_pr8(opts: &Opts, json: &mut serde_json::Map<String, serde_json::Value>)
                  tolerance) against a from-scratch APGRE run on the \
                  snapshot's own checkpointed graph, through both the flat \
                  fold and the per-vertex chunk fold that /bc/:v serves.",
+            ],
+        }),
+    );
+}
+
+// --------------------------------------------------------------- bench-pr9
+
+/// PR-9 acceptance benchmark: dirty-set incremental refresh of the
+/// decomposition-composed sampled estimator against the legacy from-scratch
+/// `bc_approx` pivot sweep the serve tier used to pay per stale generation.
+///
+/// The edit stream is bench-pr8's: one chord toggle per non-top community
+/// sub-graph, the Local class, dirtying exactly one sub-graph per batch.
+/// After every batch the incremental arm calls
+/// `DynamicBc::approx_snapshot()`, which resamples only the dirty
+/// sub-graph and carries every other scaled sample span verbatim. The
+/// legacy arm re-does what `apgre-serve` did before the estimator existed:
+/// materialize the front graph and run `bc_approx` from scratch — at an
+/// equal root-sample budget (the estimator's own seed-time total), so both
+/// arms sweep the same number of sources. Acceptance is a ≥ 5× mean
+/// speedup. The final incremental estimates are then cross-checked
+/// **bitwise** against the from-scratch composed estimator
+/// (`bc_sampled_from_decomposition`) on the engine's own decomposition —
+/// the determinism contract DESIGN.md §3.12 states.
+fn bench_pr9(opts: &Opts, json: &mut serde_json::Map<String, serde_json::Value>) {
+    use apgre_approx::{bc_sampled_from_decomposition, SampleOptions};
+    use apgre_bc::apgre::KernelPolicy;
+    use apgre_bc::bc_approx;
+    use apgre_dynamic::{BatchClass, DynamicBc, MutationBatch};
+    use std::hint::black_box;
+
+    println!("\n=== bench-pr9: incremental approx refresh vs from-scratch bc_approx ===\n");
+    // The refresh happens on the single serve writer thread, so both arms
+    // run single-threaded; the sequential kernel pins the bitwise oracle.
+    let measurement_mode = "single-thread refresh (both arms run on one thread, as the serve \
+                            writer does; KernelPolicy::Seq pins the bitwise estimator oracle)";
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("execution: refresh path is single-threaded ({cores} hardware thread(s) present)");
+
+    let params = if opts.smoke {
+        apgre_graph::generators::WhiskeredCommunityParams {
+            core_vertices: 600,
+            core_attach: 3,
+            community_count: 24,
+            community_size: 30,
+            community_density: 1.8,
+            whiskers: 2_000,
+            seed: 4242,
+        }
+    } else {
+        apgre_graph::generators::WhiskeredCommunityParams {
+            core_vertices: 6000,
+            core_attach: 3,
+            community_count: 220,
+            community_size: 40,
+            community_density: 1.8,
+            whiskers: 36_000,
+            seed: 4242,
+        }
+    };
+    let g = apgre_graph::generators::whiskered_community(&params);
+    if !opts.smoke {
+        assert!(g.num_vertices() >= 50_000, "acceptance graph too small: {}", g.num_vertices());
+    }
+    println!(
+        "whiskered-community{}: {} vertices, {} edges",
+        if opts.smoke { " (smoke)" } else { "" },
+        g.num_vertices(),
+        g.num_edges()
+    );
+
+    let bopts = ApgreOptions { kernel: KernelPolicy::Seq, ..Default::default() };
+    let sopts = SampleOptions { samples_per_subgraph: 8, seed: 0xA99 };
+    let (mut engine, seed_t) = time(|| DynamicBc::new(&g, bopts.clone()));
+    let num_subgraphs = engine.decomposition().num_subgraphs();
+    println!("engine seeded in {} ({num_subgraphs} sub-graphs)", fmt_secs(seed_t.as_secs_f64()));
+    engine.enable_approx(sopts.clone());
+    // The seed refresh samples every sub-graph once (nothing to carry yet);
+    // its total root count becomes the legacy arm's pivot budget, so both
+    // arms sweep the same number of sources per answer.
+    let (seed_ap, seed_refresh_t) = time(|| engine.approx_snapshot().expect("estimator enabled"));
+    let budget = seed_ap.refresh.sampled_roots as usize;
+    println!(
+        "seed refresh: {} sub-graphs sampled, {budget} roots total, in {} (one-off)",
+        seed_ap.refresh.resampled,
+        fmt_secs(seed_refresh_t.as_secs_f64())
+    );
+
+    // Same chord discovery as bench-pr8: one chord between two interior,
+    // non-adjacent, non-whisker vertices per non-top community sub-graph.
+    const WANT_CHORDS: usize = 8;
+    let d = engine.decomposition();
+    let top_index = (0..d.subgraphs.len())
+        .max_by_key(|&i| d.subgraphs[i].num_vertices())
+        .expect("non-empty decomposition");
+    let mut chords: Vec<(u32, u32)> = Vec::new();
+    for si in 0..d.subgraphs.len() {
+        if chords.len() == WANT_CHORDS {
+            break;
+        }
+        if si == top_index || d.subgraphs[si].num_vertices() < 10 {
+            continue;
+        }
+        let sg = &d.subgraphs[si];
+        let interior: Vec<u32> = (0..sg.num_vertices() as u32)
+            .filter(|&l| !sg.is_boundary[l as usize] && !sg.is_whisker[l as usize])
+            .collect();
+        'outer: for (a, &lu) in interior.iter().enumerate() {
+            for &lv in &interior[a + 1..] {
+                if !sg.graph.out_neighbors(lu).contains(&lv) {
+                    chords.push((sg.globals[lu as usize], sg.globals[lv as usize]));
+                    break 'outer;
+                }
+            }
+        }
+    }
+    assert!(chords.len() >= 4, "only {} community chords found", chords.len());
+    println!("{} community chords (first: {} -- {})", chords.len(), chords[0].0, chords[0].1);
+
+    // The legacy arm's cost is O(budget × (V + E)) and independent of the
+    // batch, so it is measured on the first few toggles and averaged; the
+    // incremental arm is measured on every toggle.
+    let toggles = if opts.smoke { 6 } else { 20 };
+    let legacy_measured = if opts.smoke { 2 } else { 3 };
+    let mut legacy_times = Vec::with_capacity(legacy_measured);
+    let mut incr_times = Vec::with_capacity(toggles);
+    let mut resampled_max = 0usize;
+    let mut reused_min = usize::MAX;
+    let mut last_ap = seed_ap;
+    for k in 0..toggles {
+        let (u, v) = chords[(k / 2) % chords.len()];
+        let batch = if k.is_multiple_of(2) {
+            MutationBatch::new().add_edge(u, v)
+        } else {
+            MutationBatch::new().remove_edge(u, v)
+        };
+        let report = engine.apply(&batch);
+        assert_eq!(report.class, BatchClass::Local, "batch {k} not local: {}", report.reason);
+        assert!(!report.rebuilt, "local batch {k} rebuilt: {}", report.reason);
+
+        if k < legacy_measured {
+            // Legacy arm: what a stale `?approx` answer cost before — build
+            // the front CSR and sweep `budget` pivots over the whole graph.
+            let (n, legacy_t) = time(|| {
+                let full = engine.current_graph();
+                black_box(bc_approx(&full, budget, sopts.seed ^ k as u64)).len()
+            });
+            assert_eq!(n, g.num_vertices());
+            legacy_times.push(legacy_t.as_secs_f64());
+        }
+
+        // Incremental arm: resample the dirty sub-graph, carry the rest.
+        let (ap, incr_t) = time(|| engine.approx_snapshot().expect("estimator enabled"));
+        incr_times.push(incr_t.as_secs_f64());
+        assert_eq!(
+            ap.refresh.resampled, report.dirty_subgraphs,
+            "refresh resampled != dirty sub-graphs on batch {k}"
+        );
+        resampled_max = resampled_max.max(ap.refresh.resampled);
+        reused_min = reused_min.min(ap.refresh.reused);
+        last_ap = ap;
+    }
+    let legacy_mean = legacy_times.iter().sum::<f64>() / legacy_times.len() as f64;
+    let incr_mean = incr_times.iter().sum::<f64>() / incr_times.len() as f64;
+    println!(
+        "{toggles} local batches: from-scratch bc_approx mean {} per answer \
+         (measured on {legacy_measured}), incremental refresh mean {} per publish",
+        fmt_secs(legacy_mean),
+        fmt_secs(incr_mean)
+    );
+    println!(
+        "dirty set per refresh: <= {resampled_max} sub-graph(s) resampled \
+         (>= {reused_min} carried)"
+    );
+
+    // Determinism cross-check before reporting any time: the incremental
+    // estimates must be bitwise-reproducible by the from-scratch composed
+    // estimator on the engine's own decomposition, same seed.
+    let oracle = bc_sampled_from_decomposition(engine.decomposition(), &bopts, &sopts);
+    let served = last_ap.estimates.to_vec();
+    assert_eq!(served.len(), oracle.len());
+    let mismatches = served.iter().zip(&oracle).filter(|(a, b)| a.to_bits() != b.to_bits()).count();
+    assert_eq!(mismatches, 0, "incremental estimates diverge bitwise from composed oracle");
+    println!(
+        "bitwise cross-check vs from-scratch composed estimator: \
+         {} vertices, 0 mismatches",
+        oracle.len()
+    );
+
+    // Accuracy flavor (the statistical bound itself is property-tested in
+    // crates/approx): mean relative error of the estimates against the
+    // exact scores the engine maintains, over vertices with exact BC > 0.
+    let exact = engine.scores();
+    let mut rel_sum = 0.0f64;
+    let mut rel_n = 0usize;
+    for (e, s) in exact.iter().zip(&served) {
+        if *e > 0.0 {
+            rel_sum += (s - e).abs() / e;
+            rel_n += 1;
+        }
+    }
+    let mean_rel_err = rel_sum / rel_n.max(1) as f64;
+    println!("estimate accuracy: mean relative error {mean_rel_err:.4} over {rel_n} vertices");
+
+    let speedup = legacy_mean / incr_mean;
+    println!(
+        "approx answer, incremental refresh vs from-scratch bc_approx: \
+         {speedup:.1}x (acceptance: >= 5x)"
+    );
+
+    json.insert(
+        "bench_pr9".into(),
+        json!({
+            "measurement_mode": measurement_mode,
+            "execution": {
+                "hardware_threads": cores,
+                "refresh_threads": 1,
+                "parallel": false,
+                "kernel_policy": "seq",
+            },
+            "graph": {
+                "family": "whiskered-community", "seed": 4242,
+                "vertices": g.num_vertices(), "edges": g.num_edges(),
+                "subgraphs": num_subgraphs,
+                "smoke": opts.smoke,
+            },
+            "estimator": {
+                "samples_per_subgraph": sopts.samples_per_subgraph,
+                "seed": sopts.seed,
+                "seed_refresh_seconds": seed_refresh_t.as_secs_f64(),
+                "root_budget": budget,
+            },
+            "engine_seed_seconds": seed_t.as_secs_f64(),
+            "from_scratch_bc_approx": {
+                "count": legacy_times.len(),
+                "mean_answer_seconds": legacy_mean,
+                "pivots": budget,
+            },
+            "incremental_refresh": {
+                "count": toggles,
+                "mean_refresh_seconds": incr_mean,
+                "subgraphs_resampled_max": resampled_max,
+                "subgraphs_reused_min": reused_min,
+            },
+            "bitwise_vs_composed_oracle": {
+                "vertices": oracle.len(),
+                "mismatches": mismatches,
+            },
+            "mean_relative_error_vs_exact": mean_rel_err,
+            "speedup_incremental_vs_scratch": speedup,
+            "acceptance": {
+                "required": 5.0,
+                "measured": speedup,
+                "pass": speedup >= 5.0,
+                "measured_with": measurement_mode,
+            },
+            "notes": [
+                "Both arms answer after the same Local chord-toggle batches \
+                 at the same total root-sample budget. The legacy arm is \
+                 the pre-PR-9 serve tier: materialize the front graph and \
+                 run bc_approx from scratch per stale generation. The \
+                 incremental arm resamples only the batch's dirty \
+                 sub-graph and carries every other scaled sample span.",
+                "The legacy arm's cost is batch-independent, so it is \
+                 measured on the first few toggles and averaged; the \
+                 incremental arm is measured on every toggle and its \
+                 resampled count is asserted equal to the batch's dirty \
+                 sub-graphs.",
+                "The final incremental estimates are cross-checked bitwise \
+                 (not within a tolerance) against \
+                 bc_sampled_from_decomposition on the engine's own \
+                 decomposition — the determinism contract of DESIGN.md \
+                 \u{a7}3.12. The statistical error bound vs exact scores \
+                 is property-tested in crates/approx.",
             ],
         }),
     );

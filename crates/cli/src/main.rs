@@ -16,6 +16,9 @@
 //!                           (default 256)
 //!   --workers <n>           request worker threads (default 4)
 //!   --staleness-ms <n>      approx-tier staleness budget (default 250)
+//!   --approx-samples <k>    incremental estimator root samples per
+//!                           sub-graph (default 8; 0 disables the tier)
+//!   --approx-seed <s>       incremental estimator RNG seed (default 42)
 //!   --kernel/--threshold/--grain/--directed as below
 //!
 //! options:
@@ -74,7 +77,8 @@ fn usage() -> ! {
          [--top K] [--threshold N] [--kernel auto|seq|rootpar|levelsync] [--grain N] \
          [--threads T] [--dynamic N] [--seed S] [--stats] [--normalize]\n\
          or:    bc-tool serve --graph <input> [--addr A] [--queue-depth N] [--workers N] \
-         [--staleness-ms N] [--kernel P] [--threshold N] [--grain N] [--directed]\n\
+         [--staleness-ms N] [--approx-samples K] [--approx-seed S] \
+         [--kernel P] [--threshold N] [--grain N] [--directed]\n\
          workloads: {}",
         apgre_workloads::registry().iter().map(|w| w.name).collect::<Vec<_>>().join(", ")
     );
@@ -208,6 +212,8 @@ fn serve_main() -> ! {
                 cfg.staleness_budget =
                     std::time::Duration::from_millis(next_usize("--staleness-ms") as u64)
             }
+            "--approx-samples" => cfg.approx_samples = next_usize("--approx-samples"),
+            "--approx-seed" => cfg.approx_seed = next_usize("--approx-seed") as u64,
             "--threshold" => threshold = next_usize("--threshold"),
             "--grain" => grain = next_usize("--grain"),
             "--kernel" => {

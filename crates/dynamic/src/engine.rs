@@ -6,6 +6,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use apgre_approx::{SampleOptions, SampleRefresh, SampleStore};
 use apgre_bc::apgre::{ApgreReport, KernelChoice, SubgraphKernelRun};
 use apgre_bc::{run_subgraph_kernels, ApgreOptions};
 use apgre_decomp::{decompose, Decomposition, EdgeEdit, MaintainedDecomposition};
@@ -150,6 +151,17 @@ pub struct DynamicBc {
     report: ApgreReport,
     /// The report of the most recent [`DynamicBc::apply`] call.
     last_batch: Option<DynamicReport>,
+    /// The incremental sampled estimator, when enabled
+    /// ([`DynamicBc::enable_approx`]). The engine mirrors every splice and
+    /// dirty set into it per batch (cheap bookkeeping, no kernels);
+    /// resampling is deferred to [`DynamicBc::approx_snapshot`].
+    approx: Option<ApproxState>,
+}
+
+/// The deferred sampled-estimator state riding inside the engine.
+struct ApproxState {
+    store: SampleStore,
+    opts: SampleOptions,
 }
 
 impl DynamicBc {
@@ -192,7 +204,37 @@ impl DynamicBc {
             force_rebuild: false,
             report,
             last_batch: None,
+            approx: None,
         }
+    }
+
+    /// Turns on the incremental sampled estimator with the given sampling
+    /// parameters. Every sub-graph starts pending; the first
+    /// [`DynamicBc::approx_snapshot`] pays the full composed-estimator
+    /// cost, subsequent ones resample only what batches dirtied.
+    pub fn enable_approx(&mut self, sopts: SampleOptions) {
+        self.approx =
+            Some(ApproxState { store: SampleStore::seed(self.maintained.decomp()), opts: sopts });
+    }
+
+    /// Whether [`DynamicBc::enable_approx`] was called.
+    pub fn approx_enabled(&self) -> bool {
+        self.approx.is_some()
+    }
+
+    /// Refreshes the incremental sampled estimator — resampling exactly the
+    /// sub-graphs dirtied since the last refresh — and publishes its
+    /// estimates as immutable chunks. Returns `None` when the estimator is
+    /// disabled.
+    ///
+    /// Determinism contract: the returned estimates are bitwise-identical
+    /// to [`apgre_approx::bc_sampled_from_decomposition`] on the engine's
+    /// current decomposition with the same [`SampleOptions`] (asserted
+    /// after every refresh under `--features invariants`).
+    pub fn approx_snapshot(&mut self) -> Option<ApproxSnapshot> {
+        let ap = self.approx.as_mut()?;
+        let refresh = ap.store.refresh(self.maintained.decomp(), &self.opts, &ap.opts);
+        Some(ApproxSnapshot { estimates: ap.store.chunks(), refresh, options: ap.opts.clone() })
     }
 
     /// The current global BC scores (ordered-pair convention, matching
@@ -420,6 +462,14 @@ impl DynamicBc {
         let new_globals: Vec<&[u32]> =
             self.maintained.decomp().subgraphs.iter().map(|sg| &sg.globals[..]).collect();
         let mut touched = self.fold.apply_splice(n, &outcome.old_to_new, &new_globals);
+        if let Some(ap) = &mut self.approx {
+            // Mirror the splice and the dirty set into the sampled
+            // estimator; resampling itself is deferred to
+            // `approx_snapshot`, so an unqueried estimator costs only this
+            // bookkeeping.
+            ap.store.apply_splice(n, &outcome.old_to_new, self.maintained.decomp());
+            ap.store.mark_dirty(&outcome.dirty);
+        }
 
         let runs = run_subgraph_kernels(self.maintained.decomp(), &outcome.dirty, &self.opts);
         let top = self.maintained.decomp().top_subgraph;
@@ -522,6 +572,14 @@ impl DynamicBc {
         }
         self.fold.rebuild(self.overlay.num_vertices(), spans);
         self.scores = self.fold.to_flat();
+        if let Some(ap) = &mut self.approx {
+            // Rebuild the estimator over the fresh decomposition with the
+            // same fingerprint carry the exact store uses: equal
+            // fingerprints mean equal kernel input *and* equal sample draw,
+            // so carried sample spans are bitwise what resampling would
+            // produce.
+            ap.store.rebuild(self.maintained.decomp());
+        }
 
         let mut report = DynamicReport::empty(BatchClass::Structural, reason);
         report.dirty_subgraphs = recomputed;
@@ -582,6 +640,20 @@ pub struct EngineSnapshot {
     pub report: ApgreReport,
     /// The report of the batch applied most recently before the snapshot.
     pub last_batch: Option<DynamicReport>,
+}
+
+/// An immutable publication of the incremental sampled estimator
+/// ([`DynamicBc::approx_snapshot`]): `Arc`-shared estimate spans plus the
+/// refresh accounting, `Send + Sync` like [`EngineSnapshot`].
+#[derive(Clone, Debug)]
+pub struct ApproxSnapshot {
+    /// Sampled BC estimates, indexed by vertex id ([`ScoreChunks::score`]
+    /// folds one vertex on demand).
+    pub estimates: ScoreChunks,
+    /// What the refresh producing this snapshot resampled vs reused.
+    pub refresh: SampleRefresh,
+    /// The sampling parameters the estimates were drawn with.
+    pub options: SampleOptions,
 }
 
 /// Seeds an [`ApgreReport`] from a fresh decomposition: timings come from

@@ -36,6 +36,9 @@
 mod engine;
 mod mutation;
 
-pub use apgre_store::{GraphView, PublishStats, ScoreChunks};
-pub use engine::{bc_dynamic, BatchClass, DynamicBc, DynamicReport, EngineSnapshot};
+pub use apgre_approx::{SampleOptions, SampleRefresh};
+pub use apgre_store::{GraphView, PublishStats, ScoreChunks, TopCache};
+pub use engine::{
+    bc_dynamic, ApproxSnapshot, BatchClass, DynamicBc, DynamicReport, EngineSnapshot,
+};
 pub use mutation::{Mutation, MutationBatch};

@@ -65,6 +65,12 @@ pub struct Metrics {
     /// Wall clock of snapshot publication (copy-on-write engine snapshot
     /// plus the cell swap), per publish.
     pub publish_seconds: LatencyHistogram,
+    /// Sub-graphs resampled by the incremental estimator across refreshes.
+    pub approx_resampled_subgraphs: AtomicU64,
+    /// Sub-graphs whose sample spans the estimator carried verbatim.
+    pub approx_reused_subgraphs: AtomicU64,
+    /// Wall clock of the incremental estimator refresh, per publish.
+    pub approx_refresh_seconds: LatencyHistogram,
 }
 
 /// Upper bounds, in seconds, of the fixed latency histogram buckets (an
@@ -157,6 +163,15 @@ impl Metrics {
                 self.subgraph_splits.fetch_add(report.subgraphs_split as u64, Ordering::Relaxed);
             }
         }
+    }
+
+    /// Records one sampled-estimator refresh: the resampled-vs-reused
+    /// sub-graph split and the refresh latency histogram.
+    #[allow(clippy::disallowed_methods)] // integer event counters, see `inc`
+    pub fn record_approx_refresh(&self, refresh: &apgre_dynamic::SampleRefresh) {
+        self.approx_resampled_subgraphs.fetch_add(refresh.resampled as u64, Ordering::Relaxed);
+        self.approx_reused_subgraphs.fetch_add(refresh.reused as u64, Ordering::Relaxed);
+        self.approx_refresh_seconds.observe(refresh.wall);
     }
 
     /// Renders the Prometheus text exposition format (v0.0.4): service
@@ -276,6 +291,21 @@ impl Metrics {
             &mut out,
             "apgre_serve_publish_seconds",
             "Snapshot publication (copy-on-write snapshot + cell swap) wall clock.",
+        );
+        family(
+            &mut out,
+            "apgre_serve_approx_subgraphs_total",
+            "counter",
+            "Sub-graphs the incremental estimator resampled vs carried, across refreshes.",
+            &[
+                ("{kind=\"resampled\"}", load(&self.approx_resampled_subgraphs)),
+                ("{kind=\"reused\"}", load(&self.approx_reused_subgraphs)),
+            ],
+        );
+        self.approx_refresh_seconds.render_into(
+            &mut out,
+            "apgre_serve_approx_refresh_seconds",
+            "Incremental sampled-estimator refresh wall clock per publish.",
         );
         let publish = &snapshot.engine.publish;
         family(
@@ -446,6 +476,9 @@ mod tests {
         assert!(text.contains("apgre_engine_decomp_maintain_seconds_bucket{le=\"+Inf\"} 1"));
         assert!(text.contains("apgre_engine_decomp_rebuild_seconds_count 0"));
         assert!(text.contains("apgre_serve_publish_seconds_count 0"));
+        assert!(text.contains("apgre_serve_approx_subgraphs_total{kind=\"resampled\"} 0"));
+        assert!(text.contains("apgre_serve_approx_subgraphs_total{kind=\"reused\"} 0"));
+        assert!(text.contains("apgre_serve_approx_refresh_seconds_count 0"));
         assert!(text.contains("apgre_serve_publish_chunks_copied{kind=\"graph\"} 1"));
         assert!(text.contains("apgre_serve_publish_chunks_copied{kind=\"score\"}"));
         assert!(text.contains("apgre_serve_publish_chunks_reused{kind=\"graph\"} 0"));

@@ -20,7 +20,6 @@
 //! Workers answer every query from the snapshot cell and never touch the
 //! engine, so reads are wait-free with respect to recomputation.
 
-use std::collections::HashMap;
 use std::io::{BufReader, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::mpsc::{Receiver, SyncSender, TryRecvError, TrySendError};
@@ -29,8 +28,8 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use apgre_bc::sync::{AtomicU32, Ordering};
-use apgre_bc::{bc_approx, ApgreOptions};
-use apgre_dynamic::{DynamicBc, Mutation, MutationBatch};
+use apgre_bc::ApgreOptions;
+use apgre_dynamic::{DynamicBc, Mutation, MutationBatch, SampleOptions, TopCache};
 use apgre_graph::io::write_edge_list;
 use apgre_graph::{Graph, GraphOverlay};
 
@@ -53,9 +52,14 @@ pub struct ServeConfig {
     /// Maximum `POST /mutate` requests coalesced into one engine batch.
     pub max_coalesce: usize,
     /// When a `?approx=k` query arrives and the exact snapshot is older
-    /// than this, the sampling tier answers from the *front* graph instead.
+    /// than this, the sampling tier answers from the incremental estimator
+    /// published alongside the snapshot instead of the exact fold.
     pub staleness_budget: Duration,
-    /// Seed for the sampling tier (deterministic per (generation, k)).
+    /// Root samples per sub-graph for the incremental estimator
+    /// (`0` disables the sampling tier; `?approx` then serves exact).
+    pub approx_samples: usize,
+    /// Seed for the incremental estimator (deterministic per
+    /// (seed, sub-graph fingerprint)).
     pub approx_seed: u64,
     /// Test/chaos knob: the writer sleeps this long before applying each
     /// batch, so saturation behavior (429s) is reproducible. Zero in
@@ -72,6 +76,7 @@ impl Default for ServeConfig {
             workers: 4,
             max_coalesce: 64,
             staleness_budget: Duration::from_millis(250),
+            approx_samples: 8,
             approx_seed: 42,
             writer_pause_per_batch: Duration::ZERO,
         }
@@ -98,13 +103,6 @@ struct FrontState {
     sender: Option<SyncSender<QueuedBatch>>,
 }
 
-/// Memoized sampling-tier answers, keyed by (front generation, k).
-struct ApproxCache {
-    generation: u64,
-    graph: Option<Arc<Graph>>,
-    scores: HashMap<usize, Arc<Vec<f64>>>,
-}
-
 /// State shared by every thread of the service.
 struct Shared {
     cfg: ServeConfig,
@@ -113,7 +111,9 @@ struct Shared {
     metrics: Metrics,
     cell: SnapshotCell,
     front: Mutex<FrontState>,
-    approx: Mutex<ApproxCache>,
+    /// `/top` ranking cache: per-span top-k prefixes keyed by span
+    /// identity, so ranking after a publish re-sorts only dirty spans.
+    top: Mutex<TopCache>,
     /// 0 = running, 1 = shutting down.
     stop: AtomicU32,
 }
@@ -177,7 +177,16 @@ fn trigger_shutdown(shared: &Shared) {
 pub fn serve(graph: &Graph, cfg: ServeConfig) -> std::io::Result<ServerHandle> {
     let mut engine = DynamicBc::new(graph, cfg.opts.clone());
     let overlay = GraphOverlay::from_graph(&engine.current_graph());
-    let seed = BcSnapshot::new(engine.snapshot(), 0, 0);
+    if cfg.approx_samples > 0 {
+        engine.enable_approx(SampleOptions {
+            samples_per_subgraph: cfg.approx_samples,
+            seed: cfg.approx_seed,
+        });
+    }
+    // The seed refresh samples every sub-graph once; each subsequent
+    // publish resamples only the batch's dirty set.
+    let approx = engine.approx_snapshot();
+    let seed = BcSnapshot::new(engine.snapshot(), 0, 0).with_approx(approx);
 
     let listener = TcpListener::bind(&cfg.addr)?;
     let addr = listener.local_addr()?;
@@ -188,7 +197,7 @@ pub fn serve(graph: &Graph, cfg: ServeConfig) -> std::io::Result<ServerHandle> {
         metrics: Metrics::default(),
         cell: SnapshotCell::new(seed),
         front: Mutex::new(FrontState { overlay, generation: 0, sender: Some(batch_tx) }),
-        approx: Mutex::new(ApproxCache { generation: 0, graph: None, scores: HashMap::new() }),
+        top: Mutex::new(TopCache::new()),
         stop: AtomicU32::new(0),
         cfg,
     });
@@ -364,22 +373,25 @@ fn get_bc(shared: &Shared, req: &Request, vertex: &str) -> Response {
             )
         }
         Some(k) => {
+            // `k` opts into the sampling tier; the served sample count is
+            // the estimator's configured per-sub-graph cap (the estimator
+            // is refreshed incrementally, not re-run per request).
             let Ok(k) = k.parse::<usize>() else {
                 return Response::text(400, "approx must be a positive sample count\n");
             };
             if k == 0 {
                 return Response::text(400, "approx must be a positive sample count\n");
             }
-            get_bc_approx(shared, v, k)
+            get_bc_approx(shared, v)
         }
     }
 }
 
 /// The sampling tier: serves the exact snapshot when it is within the
-/// staleness budget (or already current), otherwise Brandes–Pich sampling
-/// on the *front* graph — fresher data at lower fidelity, explicitly
-/// labelled.
-fn get_bc_approx(shared: &Shared, v: usize, k: usize) -> Response {
+/// staleness budget (or already current), otherwise the incremental
+/// sampled estimator published alongside the snapshot — a cheaper answer
+/// at lower fidelity, explicitly labelled with its resample fraction.
+fn get_bc_approx(shared: &Shared, v: usize) -> Response {
     let snap = shared.cell.load();
     let front_generation = match shared.front.lock() {
         Ok(front) => front.generation,
@@ -387,7 +399,9 @@ fn get_bc_approx(shared: &Shared, v: usize, k: usize) -> Response {
     };
     let fresh_enough = snap.generation == front_generation
         || snap.published_at.elapsed() <= shared.cfg.staleness_budget;
-    if fresh_enough {
+    // With the estimator disabled (`approx_samples == 0`) the exact
+    // snapshot is the only answer we have; label it honestly.
+    let Some(ap) = snap.approx.as_ref().filter(|_| !fresh_enough) else {
         let Some(score) = snap.engine.scores.get(v) else {
             return Response::text(404, "vertex out of range\n");
         };
@@ -399,59 +413,22 @@ fn get_bc_approx(shared: &Shared, v: usize, k: usize) -> Response {
                 snap.seq, snap.generation
             ),
         );
-    }
-
-    let scores = match approx_scores(shared, front_generation, k) {
-        Ok(scores) => scores,
-        Err(resp) => return resp,
     };
-    let Some(&score) = scores.get(v) else {
+    let Some(score) = ap.estimates.get(v) else {
         return Response::text(404, "vertex out of range\n");
     };
     Metrics::inc(&shared.metrics.approx_requests);
     Response::json(
         200,
         format!(
-            "{{\"vertex\":{v},\"score\":{score},\"tier\":\"approx\",\"samples\":{k},\"generation\":{front_generation}}}"
+            "{{\"vertex\":{v},\"score\":{score},\"tier\":\"approx\",\"samples\":{},\
+             \"resample_fraction\":{:.6},\"seq\":{},\"generation\":{}}}",
+            ap.options.samples_per_subgraph,
+            ap.refresh.resample_fraction(),
+            snap.seq,
+            snap.generation
         ),
     )
-}
-
-/// Returns (computing on miss) the sampled score vector for
-/// `(generation, k)`. The cache holds one generation: a publish-lagging
-/// burst of approx queries shares one computation.
-fn approx_scores(shared: &Shared, generation: u64, k: usize) -> Result<Arc<Vec<f64>>, Response> {
-    let mut cache = match shared.approx.lock() {
-        Ok(cache) => cache,
-        Err(_) => return Err(Response::text(503, "service state poisoned\n")),
-    };
-    if cache.generation != generation {
-        cache.generation = generation;
-        cache.graph = None;
-        cache.scores.clear();
-    }
-    if let Some(scores) = cache.scores.get(&k) {
-        return Ok(Arc::clone(scores));
-    }
-    let graph = match &cache.graph {
-        Some(g) => Arc::clone(g),
-        None => {
-            // Clone the overlay under the front lock (cheap), materialize
-            // the CSR outside it (not cheap) — enqueuers never wait on a
-            // graph build.
-            let overlay = match shared.front.lock() {
-                Ok(front) => front.overlay.clone(),
-                Err(_) => return Err(Response::text(503, "service state poisoned\n")),
-            };
-            let g = Arc::new(overlay.to_graph());
-            cache.graph = Some(Arc::clone(&g));
-            g
-        }
-    };
-    let seed = shared.cfg.approx_seed ^ generation;
-    let scores = Arc::new(bc_approx(&graph, k, seed));
-    cache.scores.insert(k, Arc::clone(&scores));
-    Ok(scores)
 }
 
 /// `GET /top?k=N` — the N highest-scoring vertices of the served snapshot.
@@ -464,7 +441,17 @@ fn get_top(shared: &Shared, req: &Request) -> Response {
         },
     };
     let snap = shared.cell.load();
-    let ranked = snap.ranked();
+    // The cache keys per-span prefixes by span identity, so only spans the
+    // latest batches actually touched get re-sorted; a poisoned cache lock
+    // (a panicked worker mid-rank) is recovered by starting cold.
+    let ranked = match shared.top.lock() {
+        Ok(mut cache) => cache.top_k(&snap.engine.scores, k),
+        Err(poisoned) => {
+            let mut cache = poisoned.into_inner();
+            *cache = TopCache::new();
+            cache.top_k(&snap.engine.scores, k)
+        }
+    };
     let k = k.min(ranked.len());
     let mut body = String::with_capacity(64 + 32 * k);
     body.push_str(&format!(
@@ -716,9 +703,15 @@ fn writer_loop(shared: &Shared, mut engine: DynamicBc, rx: &Receiver<QueuedBatch
         }
         let report = engine.apply(&merged);
         shared.metrics.record_batch(&report, coalesced);
+        // Refresh the sampled estimator before publishing so the approx
+        // tier always answers at the same generation as the exact fold.
+        let approx = engine.approx_snapshot();
+        if let Some(ap) = &approx {
+            shared.metrics.record_approx_refresh(&ap.refresh);
+        }
         seq += 1;
         let publish_start = Instant::now();
-        shared.cell.store(BcSnapshot::new(engine.snapshot(), seq, generation));
+        shared.cell.store(BcSnapshot::new(engine.snapshot(), seq, generation).with_approx(approx));
         shared.metrics.publish_seconds.observe(publish_start.elapsed());
     }
 }

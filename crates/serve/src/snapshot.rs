@@ -8,10 +8,10 @@
 //! never block behind a kernel recompute and can never observe a torn
 //! (partially folded) score vector.
 
-use std::sync::{Arc, OnceLock, RwLock};
+use std::sync::{Arc, RwLock};
 use std::time::Instant;
 
-use apgre_dynamic::EngineSnapshot;
+use apgre_dynamic::{ApproxSnapshot, EngineSnapshot};
 
 /// One published, immutable view of the engine: scores, the graph they were
 /// computed on, decomposition summary counts, and cumulative reports.
@@ -19,6 +19,10 @@ pub struct BcSnapshot {
     /// The engine state (graph, scores, reports) — see
     /// [`apgre_dynamic::EngineSnapshot`].
     pub engine: EngineSnapshot,
+    /// The incremental sampled estimator's publication refreshed alongside
+    /// this snapshot (`None` when the estimator is disabled). Same
+    /// generation as `engine`; the `?approx=k` tier answers from it.
+    pub approx: Option<ApproxSnapshot>,
     /// Publication sequence number: the seed snapshot is 0 and every
     /// publish increments by exactly one. Strictly monotone.
     pub seq: u64,
@@ -27,37 +31,18 @@ pub struct BcSnapshot {
     pub generation: u64,
     /// When the snapshot was swapped in (serves `snapshot_age_seconds`).
     pub published_at: Instant,
-    /// Vertex ids sorted by descending score, materialized lazily on the
-    /// first `GET /top` against this snapshot and shared by later ones.
-    ranked: OnceLock<Vec<u32>>,
 }
 
 impl BcSnapshot {
-    /// Wraps an engine snapshot for publication.
+    /// Wraps an engine snapshot for publication (no approx tier attached).
     pub fn new(engine: EngineSnapshot, seq: u64, generation: u64) -> Self {
-        BcSnapshot {
-            engine,
-            seq,
-            generation,
-            published_at: Instant::now(),
-            ranked: OnceLock::new(),
-        }
+        BcSnapshot { engine, approx: None, seq, generation, published_at: Instant::now() }
     }
 
-    /// Vertex ids in descending score order (ties broken by ascending id,
-    /// so the ranking is total and deterministic). Computed once per
-    /// snapshot, on demand.
-    pub fn ranked(&self) -> &[u32] {
-        self.ranked.get_or_init(|| {
-            // Fold the chunked scores flat once: ranking reads every vertex
-            // anyway, and the flat vector makes the sort comparator O(1).
-            let scores = self.engine.scores.to_vec();
-            let mut ids: Vec<u32> = (0..scores.len() as u32).collect();
-            ids.sort_by(|&a, &b| {
-                scores[b as usize].total_cmp(&scores[a as usize]).then_with(|| a.cmp(&b))
-            });
-            ids
-        })
+    /// Attaches the sampled estimator's publication.
+    pub fn with_approx(mut self, approx: Option<ApproxSnapshot>) -> Self {
+        self.approx = approx;
+        self
     }
 }
 
@@ -101,7 +86,7 @@ impl SnapshotCell {
 mod tests {
     use super::*;
     use apgre_bc::ApgreOptions;
-    use apgre_dynamic::DynamicBc;
+    use apgre_dynamic::{DynamicBc, SampleOptions, TopCache};
     use apgre_graph::Graph;
 
     fn snap(seq: u64) -> BcSnapshot {
@@ -111,9 +96,13 @@ mod tests {
     }
 
     #[test]
-    fn ranking_is_descending_and_deterministic() {
+    fn top_cache_ranking_is_descending_and_deterministic() {
+        // `/top` ranks through the shared `TopCache` now (snapshots carry
+        // no materialized ranking); the cache must produce the same total
+        // order the old full sort did.
         let s = snap(0);
-        let ranked = s.ranked();
+        let mut cache = TopCache::new();
+        let ranked = cache.top_k(&s.engine.scores, 4);
         assert_eq!(ranked.len(), 4);
         for w in ranked.windows(2) {
             let (a, b) =
@@ -122,7 +111,19 @@ mod tests {
         }
         // Path graph: the two interior vertices outrank the endpoints.
         assert_eq!(&ranked[..2], &[1, 2]);
-        assert_eq!(s.ranked().as_ptr(), ranked.as_ptr(), "memoized");
+        assert_eq!(cache.top_k(&s.engine.scores, 4), ranked, "deterministic");
+    }
+
+    #[test]
+    fn approx_publication_rides_the_snapshot() {
+        let g = Graph::undirected_from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let mut engine = DynamicBc::new(&g, ApgreOptions::default());
+        engine.enable_approx(SampleOptions { samples_per_subgraph: 2, seed: 9 });
+        let approx = engine.approx_snapshot();
+        let s = BcSnapshot::new(engine.snapshot(), 0, 0).with_approx(approx);
+        let ap = s.approx.as_ref().expect("estimator enabled");
+        assert_eq!(ap.estimates.len(), 4);
+        assert_eq!(ap.refresh.reused, 0, "seed refresh samples everything");
     }
 
     #[test]

@@ -331,13 +331,25 @@ fn approx_tier_answers_fresh_and_is_labelled() {
     let generation: u64 = json_field(&resp, "generation").parse().expect("generation");
 
     // The writer is sleeping on the batch: the snapshot lags the front
-    // graph, so the sampling tier must answer, labelled and stamped with
-    // the *front* generation.
+    // graph, so the sampling tier must answer from the incremental
+    // estimator — labelled, stamped with the generation it was refreshed
+    // at (the snapshot's, still behind the front), and carrying its
+    // resample fraction.
     let (status, body) = http(addr, "GET", "/bc/6?approx=8", "");
     assert_eq!(status, 200, "{body}");
     assert!(json_field(&body, "tier").contains("approx"), "stale snapshot degrades: {body}");
     assert_eq!(json_field(&body, "samples"), "8");
-    assert_eq!(json_field(&body, "generation").parse::<u64>().expect("gen"), generation);
+    assert!(json_field(&body, "generation").parse::<u64>().expect("gen") < generation);
+    let fraction: f64 = json_field(&body, "resample_fraction").parse().expect("fraction");
+    assert!((0.0..=1.0).contains(&fraction), "fraction out of range: {fraction}");
+
+    // The served estimate is the deterministic composed estimator: an
+    // engine seeded the same way produces the bitwise-identical value.
+    let mut oracle = apgre_dynamic::DynamicBc::new(&g, seq_opts());
+    oracle.enable_approx(apgre_dynamic::SampleOptions { samples_per_subgraph: 8, seed: 42 });
+    let want = oracle.approx_snapshot().expect("enabled").estimates.score(6);
+    let got: f64 = json_field(&body, "score").parse().expect("score");
+    assert_eq!(got.to_bits(), want.to_bits(), "served {got:?} != estimator {want:?}");
 
     // Exact queries still come from the (stale but consistent) snapshot.
     let (status, body) = http(addr, "GET", "/bc/6", "");

@@ -33,7 +33,7 @@ mod cow;
 mod score;
 
 pub use cow::{CowGraph, GraphView, GRAPH_CHUNK_SIZE};
-pub use score::{FoldStore, ScoreChunks, INDEX_CHUNK_SIZE};
+pub use score::{FoldStore, ScoreChunks, TopCache, INDEX_CHUNK_SIZE};
 
 /// Chunk-reuse accounting for one published snapshot: how many chunks the
 /// publish had to deep-copy (because a batch since the previous publish

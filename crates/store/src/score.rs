@@ -481,6 +481,164 @@ impl ScoreChunks {
     }
 }
 
+/// Incremental top-k ranking over successive [`ScoreChunks`] snapshots.
+///
+/// A snapshot shares every span and owner-index chunk a batch did not touch
+/// with its predecessor, so ranking work should track the dirty set the
+/// same way publishing does. The cache therefore keys two artifacts by
+/// **span identity** (the `Arc` allocation address, pinned by a held clone
+/// so the address cannot be recycled while the entry lives):
+///
+/// * per score span: a prefix of its vertices ordered by `(value desc,
+///   vertex id asc)` — recomputed only when the span was replaced (or a
+///   larger prefix is needed),
+/// * per owner-index chunk: the vertices with two or more owner entries
+///   (articulation points shared by sub-graphs), whose global score is not
+///   any single span's value.
+///
+/// At ranking time multi-owner vertices are folded exactly (there are few —
+/// one per shared articulation point) and span prefixes contribute their
+/// best `k` *single-owner* vertices; a single-owner vertex's global score
+/// is bitwise its span value (folded `0.0 + x`), so span-local order is
+/// global order. Caching a prefix of `k + |multi|` entries guarantees at
+/// least `k` usable single-owner candidates precede any vertex the prefix
+/// cut off, which makes the merge exact. Two cases fall back to ranking the
+/// full folded vector: fewer than `k` candidates, and a `k`-th candidate of
+/// exactly `0.0` (ownerless vertices — score `0.0` — appear in no span but
+/// still rank by the id tie-break).
+#[derive(Debug, Default)]
+pub struct TopCache {
+    /// Span address -> cached prefix.
+    spans: HashMap<usize, SpanPrefix>,
+    /// Owner-index chunk address -> multi-owner vertices in the chunk.
+    multis: HashMap<usize, ChunkMulti>,
+}
+
+#[derive(Debug)]
+struct SpanPrefix {
+    /// Pins the span allocation so the address key stays unambiguous.
+    _pin: Arc<[f64]>,
+    /// `(value, vertex)` ordered by value desc, vertex asc; covers the
+    /// whole span when `entries.len() == span length`.
+    entries: Vec<(f64, u32)>,
+}
+
+#[derive(Debug)]
+struct ChunkMulti {
+    /// Pins the chunk allocation (same reasoning as [`SpanPrefix::_pin`]).
+    _pin: Arc<IndexChunk>,
+    /// Global ids of vertices with >= 2 owner entries, ascending.
+    multi: Vec<u32>,
+}
+
+/// `(value desc, id asc)` — the ranking order of `/top` and the ranking
+/// tests.
+fn rank_cmp(a: &(f64, u32), b: &(f64, u32)) -> std::cmp::Ordering {
+    b.0.total_cmp(&a.0).then_with(|| a.1.cmp(&b.1))
+}
+
+impl TopCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        TopCache::default()
+    }
+
+    /// Cached span prefixes (introspection for reuse tests).
+    pub fn cached_spans(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// The ids of the `k` highest-scoring vertices of `snap`, ordered by
+    /// `(value desc, id asc)` — identical to sorting the full folded vector,
+    /// but touching only spans that changed since the previous call.
+    pub fn top_k(&mut self, snap: &ScoreChunks, k: usize) -> Vec<u32> {
+        let k = k.min(snap.num_vertices);
+        if k == 0 {
+            return Vec::new();
+        }
+
+        // Multi-owner vertices, from per-chunk caches (chunk `Arc`s are
+        // position-stable: chunk `c` always covers the same vertex range).
+        let mut live_chunks: HashSet<usize> = HashSet::with_capacity(snap.index.len());
+        let mut multi: Vec<u32> = Vec::new();
+        for (c, chunk) in snap.index.iter().enumerate() {
+            let key = Arc::as_ptr(chunk) as usize;
+            live_chunks.insert(key);
+            let entry = self.multis.entry(key).or_insert_with(|| {
+                let first = c * INDEX_CHUNK_SIZE;
+                let mut m = Vec::new();
+                for local in 0..chunk.offsets.len().saturating_sub(1) {
+                    if chunk.entries(local).len() >= 2 {
+                        m.push((first + local) as u32);
+                    }
+                }
+                ChunkMulti { _pin: Arc::clone(chunk), multi: m }
+            });
+            multi.extend_from_slice(&entry.multi);
+        }
+        self.multis.retain(|key, _| live_chunks.contains(key));
+
+        // Per-span prefixes, recomputed only for replaced spans (or when a
+        // larger prefix is needed than was cached).
+        let cap_target = k + multi.len();
+        let mut live_spans: HashSet<usize> = HashSet::with_capacity(snap.order.len());
+        let mut cands: Vec<(f64, u32)> = Vec::with_capacity(multi.len() + k * snap.order.len());
+        for &slot in &snap.order {
+            let (globals, values) =
+                match (&snap.globals[slot as usize], &snap.values[slot as usize]) {
+                    (Some(g), Some(v)) => (g, v),
+                    _ => continue,
+                };
+            let key = Arc::as_ptr(values) as *const u8 as usize;
+            live_spans.insert(key);
+            let cap = cap_target.min(globals.len());
+            let stale = match self.spans.get(&key) {
+                Some(p) => p.entries.len() < cap,
+                None => true,
+            };
+            if stale {
+                let mut all: Vec<(f64, u32)> =
+                    values.iter().copied().zip(globals.iter().copied()).collect();
+                if cap < all.len() {
+                    all.select_nth_unstable_by(cap - 1, rank_cmp);
+                    all.truncate(cap);
+                }
+                all.sort_unstable_by(rank_cmp);
+                self.spans.insert(key, SpanPrefix { _pin: Arc::clone(values), entries: all });
+            }
+            let prefix = &self.spans[&key];
+            let mut taken = 0usize;
+            for &(v, id) in &prefix.entries {
+                if taken == k {
+                    break;
+                }
+                if multi.binary_search(&id).is_err() {
+                    cands.push((v, id));
+                    taken += 1;
+                }
+            }
+        }
+        self.spans.retain(|key, _| live_spans.contains(key));
+
+        // Multi-owner vertices enter with their exact fold.
+        for &v in &multi {
+            cands.push((snap.score(v as usize), v));
+        }
+        cands.sort_unstable_by(rank_cmp);
+
+        if cands.len() < k || cands[k - 1].0 == 0.0 {
+            // Not enough owned vertices, or zero-score ties with ownerless
+            // vertices: rank the full folded vector.
+            let flat = snap.to_vec();
+            let mut all: Vec<(f64, u32)> = flat.into_iter().zip(0u32..).collect();
+            all.sort_unstable_by(rank_cmp);
+            return all.into_iter().take(k).map(|(_, id)| id).collect();
+        }
+        cands.truncate(k);
+        cands.into_iter().map(|(_, id)| id).collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -601,6 +759,89 @@ mod tests {
         assert!(!Arc::ptr_eq(&before.index[1], &after.index[1]), "chunk 1 rebuilt");
         assert_eq!(after.score(far as usize), 6.0);
         assert_eq!(before.score(far as usize), 4.0);
+    }
+
+    /// Reference ranking: full fold, sorted `(value desc, id asc)`.
+    fn ranked_flat(snap: &ScoreChunks, k: usize) -> Vec<u32> {
+        let mut all: Vec<(f64, u32)> = snap.to_vec().into_iter().zip(0u32..).collect();
+        all.sort_unstable_by(rank_cmp);
+        all.into_iter().take(k).map(|(_, id)| id).collect()
+    }
+
+    #[test]
+    fn top_k_matches_full_sort_including_multi_owner_folds() {
+        let store = seed();
+        let snap = store.chunks();
+        let mut cache = TopCache::new();
+        for k in 0..=6 {
+            assert_eq!(cache.top_k(&snap, k), ranked_flat(&snap, k), "k={k}");
+        }
+        // k beyond the vertex count clamps.
+        assert_eq!(cache.top_k(&snap, 99).len(), 6);
+    }
+
+    #[test]
+    fn top_k_reuses_untouched_span_prefixes() {
+        let mut store = seed();
+        let mut cache = TopCache::new();
+        let before = store.chunks();
+        assert_eq!(cache.top_k(&before, 3), ranked_flat(&before, 3));
+        assert_eq!(cache.cached_spans(), 2);
+
+        // Replace one span: the other's prefix must survive the prune.
+        store.set_values(1, arc_f64(&[0.5, 9.0, 8.0]));
+        let after = store.chunks();
+        let kept: Vec<usize> = cache.spans.keys().copied().collect();
+        assert_eq!(cache.top_k(&after, 3), ranked_flat(&after, 3));
+        assert_eq!(cache.cached_spans(), 2);
+        let survivors = cache.spans.keys().filter(|k| kept.contains(k)).count();
+        assert_eq!(survivors, 1, "untouched span prefix reused, dirty one replaced");
+    }
+
+    #[test]
+    fn top_k_is_exact_when_the_articulation_fold_beats_span_values() {
+        // Vertex 2 is owned by both spans with small per-span values whose
+        // *sum* tops the ranking — the merge must fold it exactly rather
+        // than trust either span-local order.
+        let mut store = FoldStore::default();
+        store.rebuild(
+            5,
+            vec![
+                (arc_u32(&[0, 1, 2]), arc_f64(&[4.0, 1.0, 3.0])),
+                (arc_u32(&[2, 3, 4]), arc_f64(&[3.0, 2.0, 1.0])),
+            ],
+        );
+        let snap = store.chunks();
+        let mut cache = TopCache::new();
+        assert_eq!(cache.top_k(&snap, 2), vec![2, 0], "2 folds to 6.0");
+        assert_eq!(cache.top_k(&snap, 5), ranked_flat(&snap, 5));
+    }
+
+    #[test]
+    fn top_k_breaks_zero_ties_by_id_with_ownerless_vertices() {
+        // Vertices 0..3 are ownerless (score 0.0); the owned vertices also
+        // fold to 0.0. Ranking is then purely the id tie-break, which only
+        // the fallback path can see.
+        let mut store = FoldStore::default();
+        store.rebuild(6, vec![(arc_u32(&[4, 5]), arc_f64(&[0.0, 0.0]))]);
+        let snap = store.chunks();
+        let mut cache = TopCache::new();
+        assert_eq!(cache.top_k(&snap, 3), vec![0, 1, 2]);
+        assert_eq!(cache.top_k(&snap, 6), ranked_flat(&snap, 6));
+    }
+
+    #[test]
+    fn top_k_tracks_splices() {
+        let mut store = seed();
+        let mut cache = TopCache::new();
+        let _ = cache.top_k(&store.chunks(), 4);
+        store.apply_splice(7, &[Some(0), None], &[&[0, 1, 2], &[2, 3], &[3, 4, 6]]);
+        store.set_values(1, arc_f64(&[0.25, 0.5]));
+        store.set_values(2, arc_f64(&[1.0, 2.0, 4.0]));
+        let snap = store.chunks();
+        for k in 1..=7 {
+            assert_eq!(cache.top_k(&snap, k), ranked_flat(&snap, k), "k={k}");
+        }
     }
 
     #[test]

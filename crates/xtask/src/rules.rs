@@ -6,11 +6,11 @@
 //! | R1 | `raw-atomic-import` | `std::sync::atomic` / `core::sync::atomic` only inside the sync facades (`apgre_bc::sync`, `apgre_graph::sync`) |
 //! | R2 | `ordering-creep` | no `SeqCst` / `AcqRel` outside the facade — the kernels' correctness argument is written for `Relaxed` + fork-join edges |
 //! | R3 | `naked-par-accum` | no `slice[i] += …` inside a `par_iter`-family closure (escape: `lint:allow(par_accum)`) |
-//! | R4 | `kernel-missing-serial-test` | every `pub fn bc_*` kernel in `crates/bc` / `crates/dynamic` has a test pinning it against the serial oracle; the maintenance module's `apply_edits` and the store's snapshot entry points (`CowGraph::view`, `FoldStore::chunks`) must likewise be pinned against their fresh oracle (`verify_against_fresh` / `decomp_equivalent`) |
+//! | R4 | `kernel-missing-serial-test` | every `pub fn bc_*` kernel in `crates/bc` / `crates/dynamic` / `crates/approx` has a test pinning it against the serial oracle; the maintenance module's `apply_edits` and the store's snapshot entry points (`CowGraph::view`, `FoldStore::chunks`) must likewise be pinned against their fresh oracle (`verify_against_fresh` / `decomp_equivalent`) |
 //! | R5 | `serve-socket-unwrap` | no `.unwrap()` / `.expect(…)` in `crates/serve/src` outside `#[cfg(test)]` (escape: `lint:allow(serve_unwrap)`) |
 //! | R6 | `guard-across-blocking` | no lock guard in `crates/serve` live across socket I/O or a snapshot publish (escape: `lint:allow(guard_blocking)`) |
 //! | R7 | `ordering-protocol` | facade atomic call sites outside the facade conform to the claim-Relaxed / publish-Release / read-Acquire state machine, annotated with the call chain from the kernel entry points |
-//! | R8 | `panic-reachability` | no `unwrap` / `expect` / `panic!`-family / unguarded `[]` reachable from serve's spawned threads, `DynamicBc::apply`/`snapshot`, `MaintainedDecomposition::apply_edits`, or the store publish path (`CowGraph::view`, `FoldStore::chunks`), intraprocedurally plus bounded call expansion (escape: `lint:allow(panic_path)`) |
+//! | R8 | `panic-reachability` | no `unwrap` / `expect` / `panic!`-family / unguarded `[]` reachable from serve's spawned threads, `DynamicBc::apply`/`snapshot`/`approx_snapshot`, `MaintainedDecomposition::apply_edits`, the approx refresh path (`SampleStore::refresh`), or the store publish path (`CowGraph::view`, `FoldStore::chunks`), intraprocedurally plus bounded call expansion (escape: `lint:allow(panic_path)`) |
 //! | R9 | `hot-loop-index` | bounds-checked `[]` inside the root-parallel / level-sync kernel inner loops is audited explicitly (escape: `lint:allow(hot_index)` on or above the loop header) |
 //!
 //! R1–R5 are re-expressions of the old line-lexer rules with the textual
@@ -287,8 +287,13 @@ fn r4_kernel_serial_tests(ws: &Workspace, flat: &[Vec<Tok>], out: &mut Vec<Findi
             continue;
         }
         // The incremental engine's `bc_*` entry points promise the same
-        // contract as the batch kernels, so they carry the same obligation.
-        if !f.path.contains("crates/bc/src") && !f.path.contains("crates/dynamic/src") {
+        // contract as the batch kernels, and the sampled estimator's
+        // promise full-sample exactness against the same oracle, so they
+        // carry the same obligation.
+        if !f.path.contains("crates/bc/src")
+            && !f.path.contains("crates/dynamic/src")
+            && !f.path.contains("crates/approx/src")
+        {
             continue;
         }
         for fun in &f.fns {
@@ -735,6 +740,27 @@ fn r8_panic_reachability(ws: &Workspace, out: &mut Vec<Finding>) {
         for fun in &f.fns {
             if fun.name == "apply" && fun.owner.as_deref() == Some("DynamicBc") && !fun.in_test {
                 roots.push((f.crate_name.clone(), "apply".into(), "`DynamicBc::apply`".into()));
+            }
+            // The approx refresh runs on the writer thread between apply
+            // and publish; a panic there kills the publisher exactly like
+            // one in `snapshot()` would.
+            if fun.name == "approx_snapshot"
+                && fun.owner.as_deref() == Some("DynamicBc")
+                && !fun.in_test
+            {
+                roots.push((
+                    f.crate_name.clone(),
+                    "approx_snapshot".into(),
+                    "`DynamicBc::approx_snapshot`".into(),
+                ));
+            }
+            if fun.name == "refresh" && fun.owner.as_deref() == Some("SampleStore") && !fun.in_test
+            {
+                roots.push((
+                    f.crate_name.clone(),
+                    "refresh".into(),
+                    "approx refresh `SampleStore::refresh`".into(),
+                ));
             }
             // The publish path runs on the writer thread too: a panic in
             // `snapshot()` (or the store views it hands out) kills the

@@ -31,6 +31,9 @@
 //!   Algorithm 1 partition, α/β/γ ([`apgre_decomp`]),
 //! * [`bc`] — Brandes, the parallel baselines, APGRE, redundancy analysis
 //!   ([`apgre_bc`]),
+//! * [`approx`] — the decomposition-composed sampled estimator: seeded
+//!   generation-stable per-sub-graph root samples, carried incrementally by
+//!   a slot-stable `SampleStore` ([`apgre_approx`]),
 //! * [`dynamic`] — the incremental engine: mutation batches, dirty-sub-graph
 //!   tracking, contribution carry-forward ([`apgre_dynamic`]),
 //! * [`store`] — the persistent copy-on-write snapshot store: chunked CoW
@@ -44,6 +47,7 @@
 
 #![forbid(unsafe_code)]
 
+pub use apgre_approx as approx;
 pub use apgre_bc as bc;
 pub use apgre_decomp as decomp;
 pub use apgre_dynamic as dynamic;
@@ -54,6 +58,9 @@ pub use apgre_workloads as workloads;
 
 /// The names most programs need.
 pub mod prelude {
+    pub use apgre_approx::{
+        bc_sampled, bc_sampled_from_decomposition, SampleOptions, SampleRefresh, SampleStore,
+    };
     pub use apgre_bc::apgre::{
         bc_apgre, bc_apgre_with, ApgreOptions, ApgreReport, KernelChoice, KernelPolicy,
     };

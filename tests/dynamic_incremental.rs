@@ -182,6 +182,55 @@ fn zoo_short_streams_match_scratch() {
     }
 }
 
+/// The incremental sampled estimator (PR 9): after **every** batch of a
+/// random mutation stream, `DynamicBc::approx_snapshot` must be bitwise
+/// identical to the from-scratch composed estimator
+/// (`bc_sampled_from_decomposition`) over the engine's own decomposition —
+/// the determinism contract, independent of which sub-graphs were
+/// resampled vs carried.
+#[test]
+fn approx_stream_is_bitwise_vs_scratch_estimator_every_batch() {
+    let g = whiskered_community(&WhiskeredCommunityParams {
+        core_vertices: 50,
+        core_attach: 2,
+        community_count: 5,
+        community_size: 9,
+        community_density: 1.6,
+        whiskers: 24,
+        seed: 19,
+    });
+    let opts = ApgreOptions::default();
+    let sopts = SampleOptions { samples_per_subgraph: 6, seed: 0xBEAD };
+    let mut engine = DynamicBc::new(&g, opts.clone());
+    engine.enable_approx(sopts.clone());
+    assert!(engine.approx_enabled());
+    let mut rng = Rng(0x0900_cafe_f00d_0042);
+    let mut carried_any = false;
+    for step in 0..60 {
+        let batch = random_batch(&mut rng, &engine);
+        engine.apply(&batch);
+        let ap = engine.approx_snapshot().expect("estimator enabled");
+        let want = bc_sampled_from_decomposition(engine.decomposition(), &opts, &sopts);
+        let got = ap.estimates.to_vec();
+        assert_eq!(got.len(), want.len(), "step {step}");
+        for v in 0..want.len() {
+            assert!(
+                got[v].to_bits() == want[v].to_bits(),
+                "step {step}: vertex {v}: incremental {} vs scratch estimator {}",
+                got[v],
+                want[v]
+            );
+        }
+        assert_eq!(
+            ap.refresh.resampled + ap.refresh.reused,
+            engine.decomposition().num_subgraphs(),
+            "step {step}: refresh accounting must cover every sub-graph"
+        );
+        carried_any |= ap.refresh.reused > 0;
+    }
+    assert!(carried_any, "no refresh ever reused a span — the store is not incremental");
+}
+
 /// `bc_dynamic` (the one-shot entry point) equals serial Brandes on the
 /// final graph — the serial-oracle anchor for `xtask lint` rule R4.
 #[test]

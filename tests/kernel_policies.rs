@@ -6,8 +6,10 @@
 //! (recycled, oversized) workspaces.
 
 use apgre::bc::apgre::kernel::{
-    bc_in_subgraph_level_sync, bc_in_subgraph_level_sync_with, bc_in_subgraph_root_par,
-    bc_in_subgraph_seq, bc_in_subgraph_seq_with, SgParWs, SgWorkspace,
+    bc_in_subgraph_level_sync, bc_in_subgraph_level_sync_roots_with,
+    bc_in_subgraph_level_sync_with, bc_in_subgraph_root_par, bc_in_subgraph_root_par_roots,
+    bc_in_subgraph_seq, bc_in_subgraph_seq_roots_with, bc_in_subgraph_seq_with, SgParWs,
+    SgWorkspace,
 };
 use apgre::prelude::*;
 use apgre::workloads::{registry, Scale};
@@ -116,6 +118,99 @@ fn grain_sweep_matches_bc_serial() {
             let (got, report) = bc_apgre_with(&g, &opts);
             assert_close(&format!("{}/{kernel:?}@g{grain}", spec.name), &got, &want);
             assert_eq!(report.grain, grain.max(1));
+        }
+    }
+}
+
+/// The explicit-roots kernel variants, handed the full `sg.roots`, must be
+/// bitwise-identical to their implicit-roots counterparts (they are the
+/// same sweeps in the same order), and composing them reproduces serial
+/// Brandes (`bc_serial`) like every other kernel.
+#[test]
+fn roots_kernel_variants_match_their_full_kernels_and_bc_serial() {
+    for spec in registry().into_iter().step_by(3) {
+        let g = spec.graph(Scale::Tiny);
+        let want = bc_serial(&g);
+        let d = decompose(&g, &PartitionOptions::default());
+        let mut composed = vec![0.0f64; g.num_vertices()];
+        for sg in &d.subgraphs {
+            let n = sg.num_vertices();
+            let (mut full, mut roots) = (vec![0.0f64; n], vec![0.0f64; n]);
+            bc_in_subgraph_seq(sg, &mut full);
+            bc_in_subgraph_seq_roots_with(sg, &sg.roots, &mut roots, &mut SgWorkspace::new(n));
+            assert_eq!(full, roots, "{}/SG{}: seq_roots_with", spec.name, sg.id);
+
+            let (mut full, mut roots) = (vec![0.0f64; n], vec![0.0f64; n]);
+            bc_in_subgraph_root_par(sg, &mut full, 2);
+            bc_in_subgraph_root_par_roots(sg, &sg.roots, &mut roots, 2);
+            assert_eq!(full, roots, "{}/SG{}: root_par_roots", spec.name, sg.id);
+
+            let (mut full, mut lvl) = (vec![0.0f64; n], vec![0.0f64; n]);
+            bc_in_subgraph_level_sync(sg, &mut full, 1);
+            bc_in_subgraph_level_sync_roots_with(sg, &sg.roots, &mut lvl, 1, &mut SgParWs::new(n));
+            assert_eq!(full, lvl, "{}/SG{}: level_sync_roots_with", spec.name, sg.id);
+
+            for (l, &score) in lvl.iter().enumerate() {
+                composed[sg.globals[l] as usize] += score;
+            }
+        }
+        assert_close(&format!("{}/roots-composed", spec.name), &composed, &want);
+    }
+}
+
+/// The sampled estimator must respect the kernel policy the same way the
+/// exact pipeline does: with every sub-graph fully sampled (scale 1.0) its
+/// estimates are **bitwise** the exact APGRE scores under every forced
+/// policy, and the whole composition stays close to serial Brandes.
+#[test]
+fn sampled_estimator_full_draw_is_exact_under_every_policy() {
+    for spec in registry().into_iter().step_by(4) {
+        let g = spec.graph(Scale::Tiny);
+        let want = bc_serial(&g);
+        let full = SampleOptions { samples_per_subgraph: usize::MAX, seed: 0xA99 };
+        for (name, kernel) in [
+            ("seq", KernelPolicy::Seq),
+            ("rootpar", KernelPolicy::RootParallel),
+            ("levelsync", KernelPolicy::LevelSync),
+        ] {
+            let opts = ApgreOptions { kernel, grain: 2, ..Default::default() };
+            let (exact, _) = bc_apgre_with(&g, &opts);
+            let est = bc_sampled(&g, &opts, &full);
+            assert_eq!(est.len(), exact.len());
+            for v in 0..exact.len() {
+                assert!(
+                    est[v].to_bits() == exact[v].to_bits(),
+                    "{}/{name}: vertex {v}: full-draw estimate {} != exact {}",
+                    spec.name,
+                    est[v],
+                    exact[v]
+                );
+            }
+            assert_close(&format!("{}/{name}/estimator", spec.name), &est, &want);
+        }
+    }
+}
+
+/// The estimator's parallel kernels must be exact and bitwise-stable in a
+/// single-worker pool (the degenerate scheduling case), matching the
+/// ambient-pool run of the same draw — the pooled-workspace anchor the
+/// exact kernels already carry.
+#[test]
+fn sampled_estimator_is_bitwise_stable_in_a_one_thread_pool() {
+    let spec = &registry()[1];
+    let g = spec.graph(Scale::Tiny);
+    let sopts = SampleOptions { samples_per_subgraph: 4, seed: 0x5EED };
+    let pool = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+    for kernel in [KernelPolicy::Seq, KernelPolicy::RootParallel, KernelPolicy::LevelSync] {
+        let opts = ApgreOptions { kernel, grain: 1, ..Default::default() };
+        let ambient = bc_sampled(&g, &opts, &sopts);
+        let pooled = pool.install(|| bc_sampled(&g, &opts, &sopts));
+        for v in 0..ambient.len() {
+            assert!(
+                ambient[v].to_bits() == pooled[v].to_bits(),
+                "{}/{kernel:?}: vertex {v} diverges between pool sizes",
+                spec.name
+            );
         }
     }
 }

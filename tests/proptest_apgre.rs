@@ -111,6 +111,42 @@ proptest! {
     }
 
     #[test]
+    fn sampled_estimator_stream_is_bitwise_vs_scratch(
+        (n, edges) in edges_strategy(32, 70),
+        ops in proptest::collection::vec((0u32..32, 0u32..32, proptest::bool::ANY), 1..10),
+        k in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        // PR 9 determinism contract under arbitrary mutation streams: after
+        // every batch the incremental estimator must be bitwise the
+        // from-scratch composed estimator over the engine's decomposition.
+        let g = Graph::undirected_from_edges(n as usize, &edges);
+        let opts = ApgreOptions::default();
+        let sopts = SampleOptions { samples_per_subgraph: k, seed };
+        let mut engine = DynamicBc::new(&g, opts.clone());
+        engine.enable_approx(sopts.clone());
+        for &(u, v, add) in &ops {
+            let (u, v) = (u % n, v % n);
+            let batch = if add {
+                MutationBatch::new().add_edge(u, v)
+            } else {
+                MutationBatch::new().remove_edge(u, v)
+            };
+            engine.apply(&batch);
+            let ap = engine.approx_snapshot().expect("estimator enabled");
+            let got = ap.estimates.to_vec();
+            let want = bc_sampled_from_decomposition(engine.decomposition(), &opts, &sopts);
+            prop_assert_eq!(got.len(), want.len());
+            for i in 0..want.len() {
+                prop_assert!(
+                    got[i].to_bits() == want[i].to_bits(),
+                    "vertex {}: incremental {} vs scratch {}", i, got[i], want[i]
+                );
+            }
+        }
+    }
+
+    #[test]
     fn alpha_beta_methods_agree_on_undirected((n, edges) in edges_strategy(48, 110)) {
         let g = Graph::undirected_from_edges(n as usize, &edges);
         let tree = decompose(&g, &PartitionOptions { merge_threshold: 4, alpha_beta: AlphaBetaMethod::BlockCutTree, ..Default::default() });
