@@ -8,7 +8,11 @@
 //! any per-sub-graph routine — and makes the result *incremental*: samples
 //! are generation-stable (seeded off each sub-graph's content
 //! fingerprint), so the [`SampleStore`] only resamples sub-graphs a
-//! mutation batch dirtied and carries everything else verbatim.
+//! mutation batch dirtied and carries everything else verbatim. A
+//! variance-guided allocator ([`SampleBudget::Adaptive`], DESIGN.md §3.13)
+//! can replace the uniform per-sub-graph cap with a *global* root budget
+//! split proportionally to `|R_i|·σ_i`, surfacing per-vertex standard
+//! errors from the same accumulators.
 //!
 //! Layering: `graph`/`decomp`/`bc` below (kernels and decomposition),
 //! `store` for the slot-stable span store, `dynamic` above (drives the
@@ -24,11 +28,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod budget;
 mod rng;
 mod sample;
 
+pub use budget::{allocate_budget, plan_adaptive, AdaptivePlan, DEFAULT_PILOT};
 pub use rng::{mix_seed, sample_roots, SplitMix64};
 pub use sample::{
-    bc_sampled, bc_sampled_from_decomposition, draw_roots, SampleOptions, SampleRefresh,
-    SampleStore,
+    bc_sampled, bc_sampled_from_decomposition, bc_sampled_with_stderr,
+    bc_sampled_with_stderr_from_decomposition, draw_roots, SampleBudget, SampleOptions,
+    SampleRefresh, SampleStore,
 };

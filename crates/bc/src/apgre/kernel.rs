@@ -113,6 +113,24 @@ impl SgWorkspace {
 /// they cannot drift apart. Accumulates into `bc_local`, returns the number
 /// of edges examined, and leaves `ws` reset for the next root.
 fn sweep_root(sg: &SubGraph, s: VertexId, ws: &mut SgWorkspace, bc_local: &mut [f64]) -> u64 {
+    let edges = sweep_root_core(sg, s, ws, bc_local, None);
+    ws.reset_touched();
+    edges
+}
+
+/// The sweep body proper. When `contrib` is given, the root's own Equation-7
+/// term for every touched vertex is *also* recorded there (`contrib[v] =
+/// term` before the `bc_local[v] += term` add, so the accumulated span stays
+/// bitwise identical to the unobserved sweep). Does **not** reset the
+/// workspace — the caller decides when, so an observer can still read
+/// `ws.order` / `contrib` after the sweep.
+fn sweep_root_core(
+    sg: &SubGraph,
+    s: VertexId,
+    ws: &mut SgWorkspace,
+    bc_local: &mut [f64],
+    mut contrib: Option<&mut [f64]>,
+) -> u64 {
     let csr = sg.graph.csr();
     let directed = sg.graph.is_directed();
     let mut edges = 0u64;
@@ -168,14 +186,21 @@ fn sweep_root(sg: &SubGraph, s: VertexId, ws: &mut SgWorkspace, bc_local: &mut [
         ws.d_i2o[vu] = i2o;
         ws.d_o2o[vu] = o2o;
         if v != s {
-            bc_local[vu] += (1.0 + gamma_s) * (i2i + i2o) + beta_s * i2i + o2o;
+            let term = (1.0 + gamma_s) * (i2i + i2o) + beta_s * i2i + o2o;
+            if let Some(c) = contrib.as_deref_mut() {
+                c[vu] = term;
+            }
+            bc_local[vu] += term;
         } else if gamma_s > 0.0 {
             let alpha_s = if s_boundary { sg.alpha[vu] as f64 } else { 0.0 };
             let whisker_self = if directed { 0.0 } else { 1.0 };
-            bc_local[vu] += gamma_s * ((i2i - whisker_self) + i2o + alpha_s);
+            let term = gamma_s * ((i2i - whisker_self) + i2o + alpha_s);
+            if let Some(c) = contrib.as_deref_mut() {
+                c[vu] = term;
+            }
+            bc_local[vu] += term;
         }
     }
-    ws.reset_touched();
     edges
 }
 
@@ -207,6 +232,51 @@ pub fn bc_in_subgraph_seq_roots_with(
     let mut edges = 0u64;
     for &s in roots {
         edges += sweep_root(sg, s, ws, bc_local);
+    }
+    edges
+}
+
+/// [`bc_in_subgraph_seq_roots_with`] that additionally surfaces each root's
+/// *own* Equation-7 contribution vector — the per-root hook of the adaptive
+/// sampling estimator. After every root's backward sweep, `observe` is
+/// called with the dense per-local-vertex contribution of that root alone
+/// (`contrib[v] == 0` for vertices the root did not reach); the kernel then
+/// zeroes the touched cells so `contrib` is clean for the next root.
+///
+/// `contrib` is caller scratch of length ≥ `sg.num_vertices()` that must
+/// arrive zeroed. `bc_local` receives exactly the same single per-vertex add
+/// per root as the unobserved sweep, so the accumulated span is **bitwise
+/// identical** to [`bc_in_subgraph_seq_roots_with`] over the same roots —
+/// observing costs an extra O(reached) store/reset per root, never a
+/// different rounding.
+///
+/// Roots are observed in slice order (the estimator draws them sorted
+/// ascending), which fixes the fold order of any streaming statistics the
+/// observer accumulates — the determinism anchor of the variance-guided
+/// budget allocator.
+pub fn bc_in_subgraph_seq_roots_observed(
+    sg: &SubGraph,
+    roots: &[VertexId],
+    bc_local: &mut [f64],
+    ws: &mut SgWorkspace,
+    contrib: &mut [f64],
+    mut observe: impl FnMut(&[f64]),
+) -> u64 {
+    let n = sg.num_vertices();
+    debug_assert_eq!(bc_local.len(), n);
+    debug_assert!(contrib.len() >= n);
+    ws.ensure(n);
+    let mut edges = 0u64;
+    // Audited: `contrib[..n]` is a length-n slice take with n ≤ contrib.len()
+    // asserted at entry; the reset loop writes only compacted ids the BFS
+    // pushed, all `< n ≤ contrib.len()`. lint:allow(hot_index)
+    for &s in roots {
+        edges += sweep_root_core(sg, s, ws, bc_local, Some(contrib));
+        observe(&contrib[..n]);
+        for &v in &ws.order {
+            contrib[v as usize] = 0.0;
+        }
+        ws.reset_touched();
     }
     edges
 }

@@ -670,6 +670,118 @@ pub fn run_sampled_subgraph_kernels(
     runs
 }
 
+/// [`run_sampled_subgraph_kernels`] plus per-root contribution statistics —
+/// the kernel side of the variance-guided budget allocator.
+///
+/// Each job's roots are swept by the *observed sequential* kernel
+/// ([`kernel::bc_in_subgraph_seq_roots_observed`]): per-root Welford
+/// accumulation needs the roots in a fixed order, and only the sequential
+/// sweep visits them in slice order, so the per-sub-graph statistics are a
+/// pure function of `(sub-graph content, root slice)` regardless of policy,
+/// thread count, or scheduling. Parallelism still applies *across* jobs
+/// (`opts.outer_parallel`), which is where the sampled workload's
+/// concurrency lives anyway. The returned `local` span is bitwise identical
+/// to a `KernelPolicy::Seq` run of [`run_sampled_subgraph_kernels`] over the
+/// same roots.
+#[derive(Clone, Debug)]
+pub struct SubgraphSampleStats {
+    /// Index of the sub-graph within the decomposition.
+    pub index: usize,
+    /// Unscaled Equation-7 contribution of the swept roots (local ids).
+    pub local: Vec<f64>,
+    /// Per-local-vertex Welford `M2` of the per-root contributions: the
+    /// sample variance of root `r`'s contribution to vertex `v` is
+    /// `vertex_m2[v] / (roots − 1)` (0 when fewer than two roots).
+    pub vertex_m2: Vec<f64>,
+    /// Welford mean of the per-root total contribution mass `Σ_v c_r(v)`.
+    pub mass_mean: f64,
+    /// Welford `M2` of the per-root total contribution mass.
+    pub mass_m2: f64,
+    /// Number of roots swept.
+    pub roots: usize,
+    /// Edges examined by the kernel (forward + backward scans).
+    pub edges: u64,
+    /// Wall clock of this sub-graph's kernel.
+    pub time: Duration,
+}
+
+/// Runs the observed sequential kernel over explicit per-sub-graph root
+/// slices, returning each sub-graph's span *and* the running per-root
+/// contribution statistics ([`SubgraphSampleStats`]). Results come back
+/// sorted by ascending sub-graph index, like every other dispatcher here.
+pub fn run_sampled_subgraph_kernels_stats(
+    decomp: &Decomposition,
+    jobs: &[(usize, &[apgre_graph::VertexId])],
+    opts: &ApgreOptions,
+) -> Vec<SubgraphSampleStats> {
+    let mut order: Vec<usize> = (0..jobs.len()).collect();
+    // Callers pass sub-graph ids taken from this same decomposition.
+    order.sort_by_key(|&j| std::cmp::Reverse(decomp.subgraphs[jobs[j].0].num_vertices())); // lint:allow(panic_path)
+
+    let pool = BufferPool::default();
+    let out: Mutex<Vec<SubgraphSampleStats>> = Mutex::new(Vec::with_capacity(order.len()));
+    let run_one = |&j: &usize| {
+        let (i, roots) = jobs[j]; // lint:allow(panic_path) — j comes from the order permutation
+        let sg = &decomp.subgraphs[i]; // lint:allow(panic_path) — same contract as the sort above
+        let n = sg.num_vertices();
+        let t = Instant::now();
+        let mut local = vec![0.0f64; n];
+        let mut contrib = vec![0.0f64; n];
+        let mut mean = vec![0.0f64; n];
+        let mut vertex_m2 = vec![0.0f64; n];
+        let (mut mass_mean, mut mass_m2) = (0.0f64, 0.0f64);
+        let mut count = 0usize;
+        let mut ws = pool.take_seq(n);
+        let edges = kernel::bc_in_subgraph_seq_roots_observed(
+            sg,
+            roots,
+            &mut local,
+            &mut ws,
+            &mut contrib,
+            |c| {
+                count += 1;
+                let k = count as f64;
+                let mut mass = 0.0f64;
+                // Audited: `c` is the dense contribution vector of length n,
+                // and mean / vertex_m2 were allocated at n above.
+                // lint:allow(hot_index)
+                for v in 0..n {
+                    let x = c[v];
+                    mass += x;
+                    let d = x - mean[v];
+                    mean[v] += d / k;
+                    vertex_m2[v] += d * (x - mean[v]);
+                }
+                let d = mass - mass_mean;
+                mass_mean += d / k;
+                mass_m2 += d * (mass - mass_mean);
+            },
+        );
+        pool.put_seq(ws);
+        let run = SubgraphSampleStats {
+            index: i,
+            local,
+            vertex_m2,
+            mass_mean,
+            mass_m2,
+            roots: roots.len(),
+            edges,
+            time: t.elapsed(),
+        };
+        // Recover from poisoning: a panicking sibling kernel must not turn
+        // into a second panic here — completed runs are still valid.
+        out.lock().unwrap_or_else(|p| p.into_inner()).push(run);
+    };
+    if opts.outer_parallel {
+        order.par_iter().for_each(run_one);
+    } else {
+        order.iter().for_each(run_one);
+    }
+    let mut runs = out.into_inner().unwrap_or_else(|p| p.into_inner());
+    runs.sort_by_key(|r| r.index);
+    runs
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -963,6 +1075,44 @@ mod tests {
                     folded[l],
                     full[l]
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn stats_runs_are_bitwise_to_seq_and_welford_consistent() {
+        for (name, g) in zoo() {
+            let opts = ApgreOptions { kernel: KernelPolicy::Seq, ..Default::default() };
+            let decomp = decompose(&g, &opts.partition);
+            let jobs: Vec<(usize, &[u32])> = decomp
+                .subgraphs
+                .iter()
+                .enumerate()
+                .map(|(i, sg)| (i, sg.roots.as_slice()))
+                .collect();
+            let want = run_sampled_subgraph_kernels(&decomp, &jobs, &opts);
+            let got = run_sampled_subgraph_kernels_stats(&decomp, &jobs, &opts);
+            assert_eq!(got.len(), want.len(), "{name}");
+            for (a, b) in got.iter().zip(&want) {
+                assert_eq!(a.index, b.index, "{name}");
+                assert_eq!(
+                    a.local, b.local,
+                    "{name}: SG{} observed sweep must be bitwise to the plain one",
+                    a.index
+                );
+                assert_eq!(a.edges, b.edges, "{name}");
+                assert_eq!(a.roots, decomp.subgraphs[a.index].roots.len(), "{name}");
+                // The Welford mass mean times the root count is the span
+                // total (up to fp association), and M2 is non-negative.
+                let total: f64 = a.local.iter().sum();
+                let welford_total = a.mass_mean * a.roots as f64;
+                assert!(
+                    (total - welford_total).abs() <= 1e-9 * (1.0 + total.abs()),
+                    "{name}: SG{}: span total {total} vs Welford {welford_total}",
+                    a.index
+                );
+                assert!(a.mass_m2 >= 0.0, "{name}");
+                assert!(a.vertex_m2.iter().all(|&x| x >= 0.0), "{name}");
             }
         }
     }

@@ -148,6 +148,7 @@ fn main() {
         "bench-pr7" => bench_pr7(&opts, &mut json_out),
         "bench-pr8" => bench_pr8(&opts, &mut json_out),
         "bench-pr9" => bench_pr9(&opts, &mut json_out),
+        "bench-pr10" => bench_pr10(&opts, &mut json_out),
         "all" => {
             table1(&opts, &mut json_out);
             let m = measure_all(&opts);
@@ -170,6 +171,7 @@ fn main() {
             bench_pr7(&opts, &mut json_out);
             bench_pr8(&opts, &mut json_out);
             bench_pr9(&opts, &mut json_out);
+            bench_pr10(&opts, &mut json_out);
         }
         _ => usage(),
     }
@@ -184,7 +186,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: experiments <table1|table2|table3|table4|fig2|fig3|fig6|fig7|fig8|fig9|fig10|\
          ablation-threshold|ablation-alphabeta|ablation-gamma|bench-pr2|bench-pr3|bench-pr4|\
-         bench-pr7|bench-pr8|bench-pr9|all> \
+         bench-pr7|bench-pr8|bench-pr9|bench-pr10|all> \
          [--scale tiny|small|medium] [--threads N] [--json FILE] [--smoke]"
     );
     exit(2)
@@ -1830,7 +1832,7 @@ fn bench_pr9(opts: &Opts, json: &mut serde_json::Map<String, serde_json::Value>)
     );
 
     let bopts = ApgreOptions { kernel: KernelPolicy::Seq, ..Default::default() };
-    let sopts = SampleOptions { samples_per_subgraph: 8, seed: 0xA99 };
+    let sopts = SampleOptions::uniform(8, 0xA99);
     let (mut engine, seed_t) = time(|| DynamicBc::new(&g, bopts.clone()));
     let num_subgraphs = engine.decomposition().num_subgraphs();
     println!("engine seeded in {} ({num_subgraphs} sub-graphs)", fmt_secs(seed_t.as_secs_f64()));
@@ -1985,7 +1987,7 @@ fn bench_pr9(opts: &Opts, json: &mut serde_json::Map<String, serde_json::Value>)
                 "smoke": opts.smoke,
             },
             "estimator": {
-                "samples_per_subgraph": sopts.samples_per_subgraph,
+                "samples_per_subgraph": 8,
                 "seed": sopts.seed,
                 "seed_refresh_seconds": seed_refresh_t.as_secs_f64(),
                 "root_budget": budget,
@@ -2032,6 +2034,291 @@ fn bench_pr9(opts: &Opts, json: &mut serde_json::Map<String, serde_json::Value>)
                  decomposition — the determinism contract of DESIGN.md \
                  \u{a7}3.12. The statistical error bound vs exact scores \
                  is property-tested in crates/approx.",
+            ],
+        }),
+    );
+}
+
+// -------------------------------------------------------------- bench-pr10
+
+/// PR-10 acceptance benchmark: variance-guided adaptive root budgets
+/// against the uniform per-sub-graph cap, at **equal total root budget**.
+///
+/// The uniform arm is PR 9's estimator with its cap of 8; its total drawn
+/// root count `B = Σ min(8, |R_i|)` becomes the adaptive arm's global
+/// budget, so both arms sweep comparable source counts. On the
+/// whiskered-community graph the contribution variance is skewed by
+/// construction — the core sub-graph's roots differ wildly while each
+/// 40-vertex community is nearly symmetric — so the allocator drains the
+/// symmetric communities down to their pilot floors and pours the budget
+/// into the core. Acceptance is ≥ 1.5× lower mean absolute error vs the
+/// exact scores.
+///
+/// The second half drives ≥ 20 Local chord-toggle batches through a
+/// `DynamicBc` engine with the adaptive estimator enabled and cross-checks
+/// the final incremental estimates **and** standard errors bitwise against
+/// the from-scratch adaptive oracle (`--features invariants` additionally
+/// asserts this after every refresh inside the store itself).
+fn bench_pr10(opts: &Opts, json: &mut serde_json::Map<String, serde_json::Value>) {
+    use apgre_approx::{bc_sampled_with_stderr_from_decomposition, plan_adaptive, SampleOptions};
+    use apgre_bc::apgre::KernelPolicy;
+    use apgre_dynamic::{BatchClass, DynamicBc, MutationBatch};
+
+    println!("\n=== bench-pr10: adaptive vs uniform sample budgets at equal root budget ===\n");
+    let measurement_mode = "single-thread refresh (serve-writer shape; KernelPolicy::Seq pins \
+                            the bitwise estimator oracle)";
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("execution: estimator path is single-threaded ({cores} hardware thread(s) present)");
+
+    let params = if opts.smoke {
+        apgre_graph::generators::WhiskeredCommunityParams {
+            core_vertices: 600,
+            core_attach: 3,
+            community_count: 24,
+            community_size: 30,
+            community_density: 1.8,
+            whiskers: 2_000,
+            seed: 4242,
+        }
+    } else {
+        apgre_graph::generators::WhiskeredCommunityParams {
+            core_vertices: 6000,
+            core_attach: 3,
+            community_count: 220,
+            community_size: 40,
+            community_density: 1.8,
+            whiskers: 36_000,
+            seed: 4242,
+        }
+    };
+    let g = apgre_graph::generators::whiskered_community(&params);
+    if !opts.smoke {
+        assert!(g.num_vertices() >= 50_000, "acceptance graph too small: {}", g.num_vertices());
+    }
+    println!(
+        "whiskered-community{}: {} vertices, {} edges",
+        if opts.smoke { " (smoke)" } else { "" },
+        g.num_vertices(),
+        g.num_edges()
+    );
+
+    let bopts = ApgreOptions { kernel: KernelPolicy::Seq, ..Default::default() };
+    let (mut engine, seed_t) = time(|| DynamicBc::new(&g, bopts.clone()));
+    let d = engine.decomposition();
+    let num_subgraphs = d.num_subgraphs();
+    println!("engine seeded in {} ({num_subgraphs} sub-graphs)", fmt_secs(seed_t.as_secs_f64()));
+
+    // Equal-budget construction: the adaptive arm's global budget is
+    // exactly what the uniform cap would spend.
+    const UNIFORM_CAP: usize = 8;
+    let seed = 0xA99u64;
+    let budget: usize = d.subgraphs.iter().map(|sg| sg.roots.len().min(UNIFORM_CAP)).sum();
+    let uniform = SampleOptions::uniform(UNIFORM_CAP, seed);
+    let adaptive = SampleOptions::adaptive(budget, seed);
+    let plan = plan_adaptive(
+        d,
+        &bopts,
+        seed,
+        budget,
+        apgre_approx::DEFAULT_PILOT,
+        &vec![None; num_subgraphs],
+    );
+    let allocated: u64 = plan.allocated();
+    let k_max = plan.k.iter().copied().max().unwrap_or(0);
+    println!(
+        "root budget B = {budget} (uniform cap {UNIFORM_CAP}); adaptive allocates {allocated} \
+         (pilot {} roots, max k_i = {k_max})",
+        plan.pilot_roots
+    );
+
+    let exact = engine.scores().to_vec();
+    let mae = |est: &[f64]| -> f64 {
+        est.iter().zip(&exact).map(|(e, x)| (e - x).abs()).sum::<f64>() / exact.len() as f64
+    };
+
+    let ((est_u, _), t_u) = time(|| bc_sampled_with_stderr_from_decomposition(d, &bopts, &uniform));
+    let ((est_a, err_a), t_a) =
+        time(|| bc_sampled_with_stderr_from_decomposition(d, &bopts, &adaptive));
+    let mae_u = mae(&est_u);
+    let mae_a = mae(&est_a);
+    let improvement = mae_u / mae_a.max(f64::MIN_POSITIVE);
+    println!(
+        "uniform  MAE {mae_u:.6} ({} estimator)\nadaptive MAE {mae_a:.6} ({} estimator, \
+         incl. pilots)",
+        fmt_secs(t_u.as_secs_f64()),
+        fmt_secs(t_a.as_secs_f64())
+    );
+    println!("error-at-equal-budget improvement: {improvement:.2}x (acceptance: >= 1.5x)");
+
+    // stderr sanity: how often the true error sits within two reported
+    // standard errors, over vertices the estimator actually sampled
+    // (stderr > 0). The binding statistical check lives in crates/approx.
+    let mut covered = 0usize;
+    let mut sampled = 0usize;
+    for ((e, x), s) in est_a.iter().zip(&exact).zip(&err_a) {
+        if *s > 0.0 {
+            sampled += 1;
+            if (e - x).abs() <= 2.0 * s {
+                covered += 1;
+            }
+        }
+    }
+    let coverage = covered as f64 / sampled.max(1) as f64;
+    println!("reported stderr: |err| <= 2se on {coverage:.3} of {sampled} sampled vertices");
+
+    // Incremental phase: >= 20 Local chord toggles with the adaptive
+    // estimator live, then a bitwise check of estimates *and* stderr
+    // against the from-scratch adaptive oracle.
+    const WANT_CHORDS: usize = 8;
+    let top_index = (0..d.subgraphs.len())
+        .max_by_key(|&i| d.subgraphs[i].num_vertices())
+        .expect("non-empty decomposition");
+    let mut chords: Vec<(u32, u32)> = Vec::new();
+    for si in 0..d.subgraphs.len() {
+        if chords.len() == WANT_CHORDS {
+            break;
+        }
+        if si == top_index || d.subgraphs[si].num_vertices() < 10 {
+            continue;
+        }
+        let sg = &d.subgraphs[si];
+        let interior: Vec<u32> = (0..sg.num_vertices() as u32)
+            .filter(|&l| !sg.is_boundary[l as usize] && !sg.is_whisker[l as usize])
+            .collect();
+        'outer: for (a, &lu) in interior.iter().enumerate() {
+            for &lv in &interior[a + 1..] {
+                if !sg.graph.out_neighbors(lu).contains(&lv) {
+                    chords.push((sg.globals[lu as usize], sg.globals[lv as usize]));
+                    break 'outer;
+                }
+            }
+        }
+    }
+    assert!(chords.len() >= 4, "only {} community chords found", chords.len());
+
+    engine.enable_approx(adaptive.clone());
+    let (seed_ap, seed_refresh_t) = time(|| engine.approx_snapshot().expect("estimator enabled"));
+    println!(
+        "adaptive seed refresh: {} sub-graphs, {} sampled + {} pilot roots, in {} \
+         (budget utilization {:.3})",
+        seed_ap.refresh.resampled,
+        seed_ap.refresh.sampled_roots,
+        seed_ap.refresh.pilot_roots,
+        fmt_secs(seed_refresh_t.as_secs_f64()),
+        seed_ap.refresh.budget_utilization()
+    );
+
+    let toggles = if opts.smoke { 6 } else { 20 };
+    let mut refresh_times = Vec::with_capacity(toggles);
+    let mut resampled_max = 0usize;
+    let mut last_ap = seed_ap;
+    for k in 0..toggles {
+        let (u, v) = chords[(k / 2) % chords.len()];
+        let batch = if k.is_multiple_of(2) {
+            MutationBatch::new().add_edge(u, v)
+        } else {
+            MutationBatch::new().remove_edge(u, v)
+        };
+        let report = engine.apply(&batch);
+        assert_eq!(report.class, BatchClass::Local, "batch {k} not local: {}", report.reason);
+        let (ap, incr_t) = time(|| engine.approx_snapshot().expect("estimator enabled"));
+        refresh_times.push(incr_t.as_secs_f64());
+        resampled_max = resampled_max.max(ap.refresh.resampled);
+        last_ap = ap;
+    }
+    let refresh_mean = refresh_times.iter().sum::<f64>() / refresh_times.len() as f64;
+    println!(
+        "{toggles} local batches: adaptive refresh mean {} per publish \
+         (<= {resampled_max} sub-graph(s) resampled per refresh)",
+        fmt_secs(refresh_mean)
+    );
+
+    let (oracle_est, oracle_err) =
+        bc_sampled_with_stderr_from_decomposition(engine.decomposition(), &bopts, &adaptive);
+    let served = last_ap.estimates.to_vec();
+    assert_eq!(served.len(), oracle_est.len());
+    let est_mismatches =
+        served.iter().zip(&oracle_est).filter(|(a, b)| a.to_bits() != b.to_bits()).count();
+    let err_mismatches = (0..oracle_err.len())
+        .filter(|&v| last_ap.stderr(v).to_bits() != oracle_err[v].to_bits())
+        .count();
+    assert_eq!(est_mismatches, 0, "incremental adaptive estimates diverge bitwise from oracle");
+    assert_eq!(err_mismatches, 0, "incremental stderr diverges bitwise from oracle");
+    println!(
+        "bitwise cross-check vs from-scratch adaptive oracle after {toggles} batches: \
+         {} vertices, 0 estimate / 0 stderr mismatches",
+        oracle_est.len()
+    );
+
+    let pass = improvement >= 1.5;
+    assert!(
+        pass || opts.smoke,
+        "adaptive MAE improvement {improvement:.2}x below the 1.5x acceptance bar"
+    );
+
+    json.insert(
+        "bench_pr10".into(),
+        json!({
+            "measurement_mode": measurement_mode,
+            "execution": {
+                "hardware_threads": cores,
+                "refresh_threads": 1,
+                "parallel": false,
+                "kernel_policy": "seq",
+            },
+            "graph": {
+                "family": "whiskered-community", "seed": 4242,
+                "vertices": g.num_vertices(), "edges": g.num_edges(),
+                "subgraphs": num_subgraphs,
+                "smoke": opts.smoke,
+            },
+            "budget": {
+                "uniform_cap": UNIFORM_CAP,
+                "total_roots": budget,
+                "adaptive_allocated": allocated,
+                "adaptive_pilot_roots": plan.pilot_roots,
+                "adaptive_k_max": k_max,
+                "seed": seed,
+            },
+            "error_at_equal_budget": {
+                "uniform_mae": mae_u,
+                "adaptive_mae": mae_a,
+                "improvement": improvement,
+                "uniform_estimator_seconds": t_u.as_secs_f64(),
+                "adaptive_estimator_seconds": t_a.as_secs_f64(),
+            },
+            "stderr_two_sigma_coverage": {
+                "fraction": coverage,
+                "sampled_vertices": sampled,
+            },
+            "incremental": {
+                "batches": toggles,
+                "mean_refresh_seconds": refresh_mean,
+                "subgraphs_resampled_max": resampled_max,
+                "seed_refresh_seconds": seed_refresh_t.as_secs_f64(),
+                "budget_utilization": last_ap.refresh.budget_utilization(),
+                "estimate_mismatches": est_mismatches,
+                "stderr_mismatches": err_mismatches,
+            },
+            "acceptance": {
+                "required_improvement": 1.5,
+                "measured_improvement": improvement,
+                "bitwise_incremental": est_mismatches == 0 && err_mismatches == 0,
+                "pass": pass && est_mismatches == 0 && err_mismatches == 0,
+                "measured_with": measurement_mode,
+            },
+            "notes": [
+                "Both arms spend the same total root budget B = sum over \
+                 sub-graphs of min(8, |R_i|). The uniform arm is the PR 9 \
+                 estimator; the adaptive arm distributes B proportionally \
+                 to |R_i| * sigma_i from deterministic pilot sweeps \
+                 (DESIGN.md section 3.13) and reports per-vertex standard \
+                 errors from the same Welford accumulators.",
+                "The incremental phase publishes after each of the Local \
+                 chord-toggle batches and cross-checks the final estimates \
+                 and standard errors bitwise against the from-scratch \
+                 adaptive oracle; --features invariants asserts the same \
+                 equality inside SampleStore::refresh after every publish.",
             ],
         }),
     );

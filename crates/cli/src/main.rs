@@ -18,6 +18,10 @@
 //!   --staleness-ms <n>      approx-tier staleness budget (default 250)
 //!   --approx-samples <k>    incremental estimator root samples per
 //!                           sub-graph (default 8; 0 disables the tier)
+//!   --approx-budget <n>     global adaptive root budget for the
+//!                           estimator: replaces the uniform per-sub-graph
+//!                           cap with the variance-guided allocator and
+//!                           surfaces `stderr` (default 0 = uniform mode)
 //!   --approx-seed <s>       incremental estimator RNG seed (default 42)
 //!   --kernel/--threshold/--grain/--directed as below
 //!
@@ -77,7 +81,7 @@ fn usage() -> ! {
          [--top K] [--threshold N] [--kernel auto|seq|rootpar|levelsync] [--grain N] \
          [--threads T] [--dynamic N] [--seed S] [--stats] [--normalize]\n\
          or:    bc-tool serve --graph <input> [--addr A] [--queue-depth N] [--workers N] \
-         [--staleness-ms N] [--approx-samples K] [--approx-seed S] \
+         [--staleness-ms N] [--approx-samples K] [--approx-budget N] [--approx-seed S] \
          [--kernel P] [--threshold N] [--grain N] [--directed]\n\
          workloads: {}",
         apgre_workloads::registry().iter().map(|w| w.name).collect::<Vec<_>>().join(", ")
@@ -213,6 +217,7 @@ fn serve_main() -> ! {
                     std::time::Duration::from_millis(next_usize("--staleness-ms") as u64)
             }
             "--approx-samples" => cfg.approx_samples = next_usize("--approx-samples"),
+            "--approx-budget" => cfg.approx_budget = next_usize("--approx-budget"),
             "--approx-seed" => cfg.approx_seed = next_usize("--approx-seed") as u64,
             "--threshold" => threshold = next_usize("--threshold"),
             "--grain" => grain = next_usize("--grain"),

@@ -234,7 +234,13 @@ impl DynamicBc {
     pub fn approx_snapshot(&mut self) -> Option<ApproxSnapshot> {
         let ap = self.approx.as_mut()?;
         let refresh = ap.store.refresh(self.maintained.decomp(), &self.opts, &ap.opts);
-        Some(ApproxSnapshot { estimates: ap.store.chunks(), refresh, options: ap.opts.clone() })
+        Some(ApproxSnapshot {
+            estimates: ap.store.chunks(),
+            stderr_sq: ap.store.stderr_chunks(),
+            stderr_max: ap.store.stderr_max(),
+            refresh,
+            options: ap.opts.clone(),
+        })
     }
 
     /// The current global BC scores (ordered-pair convention, matching
@@ -650,10 +656,25 @@ pub struct ApproxSnapshot {
     /// Sampled BC estimates, indexed by vertex id ([`ScoreChunks::score`]
     /// folds one vertex on demand).
     pub estimates: ScoreChunks,
+    /// Squared per-vertex standard errors, same span layout as
+    /// `estimates`; fold a vertex and take the square root to recover its
+    /// standard error. All-zero in uniform-budget mode.
+    pub stderr_sq: ScoreChunks,
+    /// The largest per-vertex standard error in this snapshot (0 in
+    /// uniform mode).
+    pub stderr_max: f64,
     /// What the refresh producing this snapshot resampled vs reused.
     pub refresh: SampleRefresh,
     /// The sampling parameters the estimates were drawn with.
     pub options: SampleOptions,
+}
+
+impl ApproxSnapshot {
+    /// One vertex's standard error (square root of the folded squared
+    /// errors; 0 in uniform mode).
+    pub fn stderr(&self, v: usize) -> f64 {
+        self.stderr_sq.score(v).sqrt()
+    }
 }
 
 /// Seeds an [`ApgreReport`] from a fresh decomposition: timings come from

@@ -36,7 +36,7 @@
 mod engine;
 mod mutation;
 
-pub use apgre_approx::{SampleOptions, SampleRefresh};
+pub use apgre_approx::{SampleBudget, SampleOptions, SampleRefresh};
 pub use apgre_store::{GraphView, PublishStats, ScoreChunks, TopCache};
 pub use engine::{
     bc_dynamic, ApproxSnapshot, BatchClass, DynamicBc, DynamicReport, EngineSnapshot,

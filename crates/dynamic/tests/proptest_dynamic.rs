@@ -149,6 +149,50 @@ proptest! {
     }
 
     #[test]
+    fn adaptive_refresh_is_bitwise_vs_scratch_oracle(
+        (n, edges, stream) in scenario(34, 80),
+        threshold in 0usize..12,
+        budget in 4usize..40,
+    ) {
+        use apgre_approx::{bc_sampled_with_stderr_from_decomposition, SampleOptions};
+
+        let g = Graph::undirected_from_edges(n as usize, &edges);
+        let opts = ApgreOptions {
+            kernel: KernelPolicy::Seq,
+            partition: PartitionOptions { merge_threshold: threshold, ..Default::default() },
+            ..Default::default()
+        };
+        let sopts = SampleOptions::adaptive(budget, 0xAD4B ^ budget as u64);
+        let mut engine = DynamicBc::new(&g, opts.clone());
+        engine.enable_approx(sopts.clone());
+        for (k, raw) in stream.iter().enumerate() {
+            let batch = resolve(raw, engine.num_vertices());
+            engine.apply(&batch);
+            // The incremental refresh re-pilots only dirty sub-graphs and
+            // resamples the pending set plus allocation drift; the oracle
+            // re-plans everything from scratch. They must agree bitwise —
+            // estimates and standard errors.
+            let ap = engine.approx_snapshot().expect("estimator enabled");
+            let (want, want_err) = bc_sampled_with_stderr_from_decomposition(
+                engine.decomposition(), &opts, &sopts);
+            let got = ap.estimates.to_vec();
+            prop_assert_eq!(got.len(), want.len(), "n={} batch {}: length", n, k);
+            for v in 0..want.len() {
+                prop_assert_eq!(
+                    got[v].to_bits(), want[v].to_bits(),
+                    "n={} t={} B={} batch {}: estimate bits diverge at vertex {}",
+                    n, threshold, budget, k, v
+                );
+                prop_assert_eq!(
+                    ap.stderr(v).to_bits(), want_err[v].to_bits(),
+                    "n={} t={} B={} batch {}: stderr bits diverge at vertex {}",
+                    n, threshold, budget, k, v
+                );
+            }
+        }
+    }
+
+    #[test]
     fn one_shot_replay_matches_serial(
         (n, edges, stream) in scenario(28, 60),
     ) {

@@ -77,7 +77,7 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Option<Request>, HttpE
         return Err(HttpError::BadRequest("unsupported HTTP version"));
     }
 
-    let mut content_length = 0usize;
+    let mut content_length: Option<usize> = None;
     // HTTP/1.1 defaults to keep-alive; HTTP/1.0 to close.
     let mut keep_alive = version == "HTTP/1.1";
     let mut head_bytes = line.len();
@@ -100,18 +100,32 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Option<Request>, HttpE
         };
         let value = value.trim();
         if name.eq_ignore_ascii_case("content-length") {
-            content_length =
+            let parsed: usize =
                 value.parse().map_err(|_| HttpError::BadRequest("bad Content-Length"))?;
+            // Duplicate Content-Length headers that agree are harmless
+            // (some proxies repeat them); *conflicting* ones are a request
+            // smuggling vector — reject rather than last-wins.
+            if content_length.is_some_and(|prev| prev != parsed) {
+                return Err(HttpError::BadRequest("conflicting Content-Length"));
+            }
+            content_length = Some(parsed);
         } else if name.eq_ignore_ascii_case("connection") {
-            if value.eq_ignore_ascii_case("close") {
-                keep_alive = false;
-            } else if value.eq_ignore_ascii_case("keep-alive") {
-                keep_alive = true;
+            // Connection is a comma-separated option list
+            // (`keep-alive, upgrade`); honor whichever persistence token
+            // appears rather than requiring the whole value to match.
+            for token in value.split(',') {
+                let token = token.trim();
+                if token.eq_ignore_ascii_case("close") {
+                    keep_alive = false;
+                } else if token.eq_ignore_ascii_case("keep-alive") {
+                    keep_alive = true;
+                }
             }
         } else if name.eq_ignore_ascii_case("transfer-encoding") {
             return Err(HttpError::BadRequest("chunked bodies not supported"));
         }
     }
+    let content_length = content_length.unwrap_or(0);
     if content_length > MAX_BODY_BYTES {
         return Err(HttpError::TooLarge("request body too large"));
     }
@@ -257,6 +271,32 @@ mod tests {
         assert!(text.contains("Content-Length: 11\r\n"));
         assert!(text.contains("Connection: keep-alive\r\n"));
         assert!(text.ends_with("{\"ok\":true}"));
+    }
+
+    #[test]
+    fn conflicting_content_lengths_are_rejected() {
+        // Disagreeing duplicates: smuggling hygiene demands a 400.
+        let raw = b"POST /mutate HTTP/1.1\r\nContent-Length: 7\r\nContent-Length: 3\r\n\r\nadd 1 2";
+        assert!(matches!(
+            read_request(&mut BufReader::new(&raw[..])),
+            Err(HttpError::BadRequest("conflicting Content-Length"))
+        ));
+        // Agreeing duplicates (proxy artifacts) still parse.
+        let raw = b"POST /mutate HTTP/1.1\r\nContent-Length: 7\r\nContent-Length: 7\r\n\r\nadd 1 2";
+        let req = read_request(&mut BufReader::new(&raw[..])).expect("parse").expect("not EOF");
+        assert_eq!(req.body, b"add 1 2");
+    }
+
+    #[test]
+    fn connection_header_is_a_token_list() {
+        // `keep-alive, upgrade` must keep the connection open…
+        let raw = b"GET / HTTP/1.0\r\nConnection: keep-alive, Upgrade\r\n\r\n";
+        let req = read_request(&mut BufReader::new(&raw[..])).expect("parse").expect("not EOF");
+        assert!(req.keep_alive, "keep-alive token inside a list must be honored");
+        // …and `close` anywhere in the list must close it.
+        let raw = b"GET / HTTP/1.1\r\nConnection: foo, close\r\n\r\n";
+        let req = read_request(&mut BufReader::new(&raw[..])).expect("parse").expect("not EOF");
+        assert!(!req.keep_alive, "close token inside a list must be honored");
     }
 
     #[test]

@@ -307,6 +307,27 @@ impl Metrics {
             "apgre_serve_approx_refresh_seconds",
             "Incremental sampled-estimator refresh wall clock per publish.",
         );
+        // Adaptive-estimator gauges read off the served snapshot: both are
+        // 0 with the estimator disabled or in uniform-budget mode.
+        let (stderr_max, budget_utilization) = snapshot
+            .approx
+            .as_ref()
+            .map(|ap| (ap.stderr_max, ap.refresh.budget_utilization()))
+            .unwrap_or((0.0, 0.0));
+        family(
+            &mut out,
+            "apgre_serve_approx_stderr_max",
+            "gauge",
+            "Largest per-vertex standard error of the served sampled estimates.",
+            &[("", format!("{stderr_max:.6}"))],
+        );
+        family(
+            &mut out,
+            "apgre_serve_approx_budget_utilization",
+            "gauge",
+            "Allocated over configured root budget of the served estimator refresh.",
+            &[("", format!("{budget_utilization:.6}"))],
+        );
         let publish = &snapshot.engine.publish;
         family(
             &mut out,

@@ -29,7 +29,7 @@ use std::time::{Duration, Instant};
 
 use apgre_bc::sync::{AtomicU32, Ordering};
 use apgre_bc::ApgreOptions;
-use apgre_dynamic::{DynamicBc, Mutation, MutationBatch, SampleOptions, TopCache};
+use apgre_dynamic::{DynamicBc, Mutation, MutationBatch, SampleBudget, SampleOptions, TopCache};
 use apgre_graph::io::write_edge_list;
 use apgre_graph::{Graph, GraphOverlay};
 
@@ -57,7 +57,13 @@ pub struct ServeConfig {
     pub staleness_budget: Duration,
     /// Root samples per sub-graph for the incremental estimator
     /// (`0` disables the sampling tier; `?approx` then serves exact).
+    /// Ignored when `approx_budget` is set.
     pub approx_samples: usize,
+    /// Global adaptive root budget (`bc-tool serve --approx-budget N`).
+    /// When non-zero the estimator runs the variance-guided allocator
+    /// (DESIGN.md §3.13) instead of the uniform per-sub-graph cap, and
+    /// `?approx=k` answers carry a `stderr` field.
+    pub approx_budget: usize,
     /// Seed for the incremental estimator (deterministic per
     /// (seed, sub-graph fingerprint)).
     pub approx_seed: u64,
@@ -77,6 +83,7 @@ impl Default for ServeConfig {
             max_coalesce: 64,
             staleness_budget: Duration::from_millis(250),
             approx_samples: 8,
+            approx_budget: 0,
             approx_seed: 42,
             writer_pause_per_batch: Duration::ZERO,
         }
@@ -177,11 +184,10 @@ fn trigger_shutdown(shared: &Shared) {
 pub fn serve(graph: &Graph, cfg: ServeConfig) -> std::io::Result<ServerHandle> {
     let mut engine = DynamicBc::new(graph, cfg.opts.clone());
     let overlay = GraphOverlay::from_graph(&engine.current_graph());
-    if cfg.approx_samples > 0 {
-        engine.enable_approx(SampleOptions {
-            samples_per_subgraph: cfg.approx_samples,
-            seed: cfg.approx_seed,
-        });
+    if cfg.approx_budget > 0 {
+        engine.enable_approx(SampleOptions::adaptive(cfg.approx_budget, cfg.approx_seed));
+    } else if cfg.approx_samples > 0 {
+        engine.enable_approx(SampleOptions::uniform(cfg.approx_samples, cfg.approx_seed));
     }
     // The seed refresh samples every sub-graph once; each subsequent
     // publish resamples only the batch's dirty set.
@@ -418,12 +424,21 @@ fn get_bc_approx(shared: &Shared, v: usize) -> Response {
         return Response::text(404, "vertex out of range\n");
     };
     Metrics::inc(&shared.metrics.approx_requests);
+    // The budget field names the active regime; only the adaptive
+    // estimator carries error accumulators, so only it reports `stderr`.
+    let budget_fields = match ap.options.budget {
+        SampleBudget::Uniform { samples_per_subgraph } => {
+            format!("\"samples\":{samples_per_subgraph}")
+        }
+        SampleBudget::Adaptive { total_roots, .. } => {
+            format!("\"budget\":{total_roots},\"stderr\":{}", ap.stderr(v))
+        }
+    };
     Response::json(
         200,
         format!(
-            "{{\"vertex\":{v},\"score\":{score},\"tier\":\"approx\",\"samples\":{},\
+            "{{\"vertex\":{v},\"score\":{score},\"tier\":\"approx\",{budget_fields},\
              \"resample_fraction\":{:.6},\"seq\":{},\"generation\":{}}}",
-            ap.options.samples_per_subgraph,
             ap.refresh.resample_fraction(),
             snap.seq,
             snap.generation

@@ -118,7 +118,7 @@ mod tests {
     fn approx_publication_rides_the_snapshot() {
         let g = Graph::undirected_from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
         let mut engine = DynamicBc::new(&g, ApgreOptions::default());
-        engine.enable_approx(SampleOptions { samples_per_subgraph: 2, seed: 9 });
+        engine.enable_approx(SampleOptions::uniform(2, 9));
         let approx = engine.approx_snapshot();
         let s = BcSnapshot::new(engine.snapshot(), 0, 0).with_approx(approx);
         let ap = s.approx.as_ref().expect("estimator enabled");

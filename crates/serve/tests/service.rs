@@ -346,7 +346,7 @@ fn approx_tier_answers_fresh_and_is_labelled() {
     // The served estimate is the deterministic composed estimator: an
     // engine seeded the same way produces the bitwise-identical value.
     let mut oracle = apgre_dynamic::DynamicBc::new(&g, seq_opts());
-    oracle.enable_approx(apgre_dynamic::SampleOptions { samples_per_subgraph: 8, seed: 42 });
+    oracle.enable_approx(apgre_dynamic::SampleOptions::uniform(8, 42));
     let want = oracle.approx_snapshot().expect("enabled").estimates.score(6);
     let got: f64 = json_field(&body, "score").parse().expect("score");
     assert_eq!(got.to_bits(), want.to_bits(), "served {got:?} != estimator {want:?}");
@@ -361,6 +361,72 @@ fn approx_tier_answers_fresh_and_is_labelled() {
     let (status, body) = http(addr, "GET", "/bc/6?approx=8", "");
     assert_eq!(status, 200, "{body}");
     assert!(json_field(&body, "tier").contains("exact"), "caught-up snapshot is exact: {body}");
+
+    handle.shutdown();
+    handle.wait();
+}
+
+#[test]
+fn adaptive_tier_reports_stderr_and_budget_metrics() {
+    let g = test_graph();
+    let budget = 12usize;
+    let cfg = ServeConfig {
+        opts: seq_opts(),
+        staleness_budget: Duration::ZERO,
+        writer_pause_per_batch: Duration::from_millis(200),
+        max_coalesce: 1,
+        // A non-zero budget switches the estimator to the variance-guided
+        // allocator; `approx_samples` is then ignored.
+        approx_budget: budget,
+        ..Default::default()
+    };
+    let handle = serve(&g, cfg).expect("serve");
+    let addr = handle.local_addr();
+
+    let (status, resp) = http(addr, "POST", "/mutate", "remove 0 1\n");
+    assert_eq!(status, 202, "{resp}");
+
+    // Writer asleep on the batch: the adaptive sampling tier answers, and
+    // its answers carry the budget and a stderr field instead of the
+    // uniform tier's samples field.
+    let (status, body) = http(addr, "GET", "/bc/6?approx=8", "");
+    assert_eq!(status, 200, "{body}");
+    assert!(json_field(&body, "tier").contains("approx"), "stale snapshot degrades: {body}");
+    assert_eq!(json_field(&body, "budget").parse::<usize>().expect("budget"), budget);
+    assert!(!body.contains("\"samples\""), "adaptive answers must not claim a uniform cap");
+    let stderr: f64 = json_field(&body, "stderr").parse().expect("stderr");
+    assert!(stderr.is_finite() && stderr >= 0.0, "bad stderr: {stderr}");
+
+    // Bitwise oracle: an engine seeded identically reproduces both the
+    // estimate and the standard error.
+    let mut oracle = apgre_dynamic::DynamicBc::new(&g, seq_opts());
+    oracle.enable_approx(apgre_dynamic::SampleOptions::adaptive(budget, 42));
+    let ap = oracle.approx_snapshot().expect("enabled");
+    let got: f64 = json_field(&body, "score").parse().expect("score");
+    assert_eq!(got.to_bits(), ap.estimates.score(6).to_bits(), "estimate diverges from oracle");
+    assert_eq!(stderr.to_bits(), ap.stderr(6).to_bits(), "stderr diverges from oracle");
+
+    // The adaptive gauges are exported: stderr_max mirrors the snapshot's
+    // estimator, utilization is allocated/budget (floors can push it >1).
+    let (status, metrics) = http(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    let gauge = |name: &str| -> f64 {
+        metrics
+            .lines()
+            .find(|l| l.starts_with(name) && !l.starts_with('#'))
+            .unwrap_or_else(|| panic!("{name} not exported"))
+            .rsplit(' ')
+            .next()
+            .expect("value")
+            .parse()
+            .expect("numeric")
+    };
+    let stderr_max = gauge("apgre_serve_approx_stderr_max");
+    assert!((stderr_max - ap.stderr_max).abs() <= 1e-6 * (1.0 + ap.stderr_max));
+    let utilization = gauge("apgre_serve_approx_budget_utilization");
+    let want_util = ap.refresh.budget_utilization();
+    assert!((utilization - want_util).abs() <= 1e-6 * (1.0 + want_util));
+    assert!(utilization > 0.0, "adaptive refresh must report budget utilization");
 
     handle.shutdown();
     handle.wait();

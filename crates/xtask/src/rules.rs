@@ -6,11 +6,11 @@
 //! | R1 | `raw-atomic-import` | `std::sync::atomic` / `core::sync::atomic` only inside the sync facades (`apgre_bc::sync`, `apgre_graph::sync`) |
 //! | R2 | `ordering-creep` | no `SeqCst` / `AcqRel` outside the facade — the kernels' correctness argument is written for `Relaxed` + fork-join edges |
 //! | R3 | `naked-par-accum` | no `slice[i] += …` inside a `par_iter`-family closure (escape: `lint:allow(par_accum)`) |
-//! | R4 | `kernel-missing-serial-test` | every `pub fn bc_*` kernel in `crates/bc` / `crates/dynamic` / `crates/approx` has a test pinning it against the serial oracle; the maintenance module's `apply_edits` and the store's snapshot entry points (`CowGraph::view`, `FoldStore::chunks`) must likewise be pinned against their fresh oracle (`verify_against_fresh` / `decomp_equivalent`) |
+//! | R4 | `kernel-missing-serial-test` | every `pub fn bc_*` kernel in `crates/bc` / `crates/dynamic` / `crates/approx` has a test pinning it against the serial oracle; the maintenance module's `apply_edits` and the store's snapshot entry points (`CowGraph::view`, `FoldStore::chunks`) must likewise be pinned against their fresh oracle (`verify_against_fresh` / `decomp_equivalent`); the budget allocator's entry points (`plan_adaptive`, `allocate_budget`) must be pinned against the from-scratch sampled oracle (`verify_against_scratch` / `bc_sampled_from_decomposition`) |
 //! | R5 | `serve-socket-unwrap` | no `.unwrap()` / `.expect(…)` in `crates/serve/src` outside `#[cfg(test)]` (escape: `lint:allow(serve_unwrap)`) |
 //! | R6 | `guard-across-blocking` | no lock guard in `crates/serve` live across socket I/O or a snapshot publish (escape: `lint:allow(guard_blocking)`) |
 //! | R7 | `ordering-protocol` | facade atomic call sites outside the facade conform to the claim-Relaxed / publish-Release / read-Acquire state machine, annotated with the call chain from the kernel entry points |
-//! | R8 | `panic-reachability` | no `unwrap` / `expect` / `panic!`-family / unguarded `[]` reachable from serve's spawned threads, `DynamicBc::apply`/`snapshot`/`approx_snapshot`, `MaintainedDecomposition::apply_edits`, the approx refresh path (`SampleStore::refresh`), or the store publish path (`CowGraph::view`, `FoldStore::chunks`), intraprocedurally plus bounded call expansion (escape: `lint:allow(panic_path)`) |
+//! | R8 | `panic-reachability` | no `unwrap` / `expect` / `panic!`-family / unguarded `[]` reachable from serve's spawned threads, `DynamicBc::apply`/`snapshot`/`approx_snapshot`, `MaintainedDecomposition::apply_edits`, the approx refresh path (`SampleStore::refresh`), the allocator path (`plan_adaptive`), or the store publish path (`CowGraph::view`, `FoldStore::chunks`), intraprocedurally plus bounded call expansion (escape: `lint:allow(panic_path)`) |
 //! | R9 | `hot-loop-index` | bounds-checked `[]` inside the root-parallel / level-sync kernel inner loops is audited explicitly (escape: `lint:allow(hot_index)` on or above the loop header) |
 //!
 //! R1–R5 are re-expressions of the old line-lexer rules with the textual
@@ -259,6 +259,7 @@ fn find_indexed_accum(
 fn r4_kernel_serial_tests(ws: &Workspace, flat: &[Vec<Tok>], out: &mut Vec<Finding>) {
     let mut kernels: Vec<(usize, usize, String)> = Vec::new();
     let mut maint: Vec<(usize, usize, String)> = Vec::new();
+    let mut alloc: Vec<(usize, usize, String)> = Vec::new();
     for (fi, f) in ws.files.iter().enumerate() {
         // The maintenance module's splice entry points promise structural
         // equivalence with fresh `decompose()`; their oracle is the fresh
@@ -303,6 +304,17 @@ fn r4_kernel_serial_tests(ws: &Workspace, flat: &[Vec<Tok>], out: &mut Vec<Findi
                 && !fun.name.starts_with(SERIAL_PREFIX)
             {
                 kernels.push((fi, fun.line, fun.name.clone()));
+            }
+            // The budget allocator decides what the sampled estimator
+            // computes; its entry points promise bitwise agreement between
+            // the incremental store and the from-scratch estimator, so they
+            // must be pinned against that oracle.
+            if fun.is_pub
+                && !fun.in_test
+                && f.path.contains("crates/approx/src")
+                && (fun.name == "plan_adaptive" || fun.name == "allocate_budget")
+            {
+                alloc.push((fi, fun.line, fun.name.clone()));
             }
         }
     }
@@ -351,6 +363,34 @@ fn r4_kernel_serial_tests(ws: &Workspace, flat: &[Vec<Tok>], out: &mut Vec<Findi
                     "maintenance entry `{name}` has no test pinning it against \
                      a fresh decomposition (`verify_against_fresh` / \
                      `decomp_equivalent`)"
+                ),
+            );
+        }
+    }
+    for (fi, line, name) in alloc {
+        let covered = ws.files.iter().zip(flat).any(|(f2, toks)| {
+            let test_bearing = f2.path.contains("/tests/")
+                || !f2.test_ranges.is_empty()
+                || f2.fns.iter().any(|x| x.in_test);
+            test_bearing
+                && toks.iter().any(|t| t.is_ident(&name))
+                && toks.iter().any(|t| {
+                    t.is_ident("verify_against_scratch")
+                        || t.is_ident("bc_sampled_with_stderr_from_decomposition")
+                        || t.is_ident("bc_sampled_from_decomposition")
+                })
+        });
+        if !covered {
+            let f = &ws.files[fi];
+            push(
+                out,
+                f,
+                line,
+                "kernel-missing-serial-test",
+                format!(
+                    "allocator entry `{name}` has no test pinning it against \
+                     the from-scratch sampled oracle (`verify_against_scratch` \
+                     / `bc_sampled_from_decomposition`)"
                 ),
             );
         }
@@ -760,6 +800,17 @@ fn r8_panic_reachability(ws: &Workspace, out: &mut Vec<Finding>) {
                     f.crate_name.clone(),
                     "refresh".into(),
                     "approx refresh `SampleStore::refresh`".into(),
+                ));
+            }
+            // The budget allocator also runs on the writer thread (inside
+            // the adaptive refresh), but `plan_adaptive → allocate_budget`
+            // sits one hop beyond what the refresh root's bounded expansion
+            // reaches, so the allocator path gets its own root.
+            if fun.name == "plan_adaptive" && fun.owner.is_none() && !fun.in_test {
+                roots.push((
+                    f.crate_name.clone(),
+                    "plan_adaptive".into(),
+                    "allocator `plan_adaptive`".into(),
                 ));
             }
             // The publish path runs on the writer thread too: a panic in

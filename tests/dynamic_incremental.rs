@@ -200,7 +200,7 @@ fn approx_stream_is_bitwise_vs_scratch_estimator_every_batch() {
         seed: 19,
     });
     let opts = ApgreOptions::default();
-    let sopts = SampleOptions { samples_per_subgraph: 6, seed: 0xBEAD };
+    let sopts = SampleOptions::uniform(6, 0xBEAD);
     let mut engine = DynamicBc::new(&g, opts.clone());
     engine.enable_approx(sopts.clone());
     assert!(engine.approx_enabled());

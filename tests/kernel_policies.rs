@@ -167,7 +167,7 @@ fn sampled_estimator_full_draw_is_exact_under_every_policy() {
     for spec in registry().into_iter().step_by(4) {
         let g = spec.graph(Scale::Tiny);
         let want = bc_serial(&g);
-        let full = SampleOptions { samples_per_subgraph: usize::MAX, seed: 0xA99 };
+        let full = SampleOptions::uniform(usize::MAX, 0xA99);
         for (name, kernel) in [
             ("seq", KernelPolicy::Seq),
             ("rootpar", KernelPolicy::RootParallel),
@@ -199,7 +199,7 @@ fn sampled_estimator_full_draw_is_exact_under_every_policy() {
 fn sampled_estimator_is_bitwise_stable_in_a_one_thread_pool() {
     let spec = &registry()[1];
     let g = spec.graph(Scale::Tiny);
-    let sopts = SampleOptions { samples_per_subgraph: 4, seed: 0x5EED };
+    let sopts = SampleOptions::uniform(4, 0x5EED);
     let pool = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
     for kernel in [KernelPolicy::Seq, KernelPolicy::RootParallel, KernelPolicy::LevelSync] {
         let opts = ApgreOptions { kernel, grain: 1, ..Default::default() };

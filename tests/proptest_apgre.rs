@@ -122,7 +122,7 @@ proptest! {
         // from-scratch composed estimator over the engine's decomposition.
         let g = Graph::undirected_from_edges(n as usize, &edges);
         let opts = ApgreOptions::default();
-        let sopts = SampleOptions { samples_per_subgraph: k, seed };
+        let sopts = SampleOptions::uniform(k, seed);
         let mut engine = DynamicBc::new(&g, opts.clone());
         engine.enable_approx(sopts.clone());
         for &(u, v, add) in &ops {
